@@ -1,0 +1,41 @@
+# gbcr — Group-based Coordinated Checkpointing for MPI (ICPP 2007 reproduction)
+
+GO ?= go
+
+.PHONY: all build test vet bench figures examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every paper figure once as benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Print every figure/ablation/extension as text tables.
+figures:
+	$(GO) run ./cmd/figures
+
+# Refresh the committed artifact.
+docs/figures.txt:
+	$(GO) run ./cmd/figures > $@
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/placement
+	$(GO) run ./examples/restart
+	$(GO) run ./examples/hpl
+	$(GO) run ./examples/motifminer
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	$(GO) clean ./...

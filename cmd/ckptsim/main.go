@@ -1,0 +1,141 @@
+// Command ckptsim runs one checkpointing experiment on the simulated
+// cluster and prints the paper's delay metrics.
+//
+// Examples:
+//
+//	ckptsim -workload hpl -group 4 -at 50
+//	ckptsim -workload commgroups -n 32 -comm 8 -group 8 -at 10
+//	ckptsim -workload motif -group 0 -at 30        # regular protocol
+//	ckptsim -workload barrier -group 8 -at 55      # near the barrier
+//	ckptsim -workload commgroups -group 4 -dynamic # dynamic group formation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gbcr/internal/harness"
+	"gbcr/internal/sim"
+	"gbcr/internal/trace"
+	"gbcr/internal/workload"
+	"gbcr/internal/workload/hpl"
+	"gbcr/internal/workload/motif"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "commgroups", "workload: commgroups, barrier, hpl, motif, ring")
+		n         = flag.Int("n", 32, "number of ranks (commgroups/barrier/ring)")
+		comm      = flag.Int("comm", 8, "communication group size (commgroups/barrier)")
+		group     = flag.Int("group", 8, "checkpoint group size (0 = regular, all at once)")
+		at        = flag.Float64("at", 10, "checkpoint issuance time in seconds")
+		foot      = flag.Int64("footprint", 180, "per-process footprint in MB (commgroups/barrier/ring)")
+		iters     = flag.Int("iters", 900, "iterations (commgroups/ring)")
+		dynamic   = flag.Bool("dynamic", false, "dynamic group formation from the communication pattern")
+		helper    = flag.Bool("helper", true, "enable the passive-coordination helper thread")
+		verbose   = flag.Bool("v", false, "print per-rank checkpoint records")
+		showTrace = flag.Bool("trace", false, "print the protocol timeline")
+		mtbf      = flag.Float64("mtbf", 0, "run to completion under failures with this MTBF in seconds (ring workload only)")
+		interval  = flag.Float64("interval", 0, "periodic checkpoint interval in seconds (with -mtbf)")
+		seed      = flag.Int64("seed", 1, "failure-injection seed (with -mtbf)")
+	)
+	flag.Parse()
+
+	var w workload.Workload
+	ranks := *n
+	switch *name {
+	case "commgroups":
+		w = workload.CommGroups{N: *n, CommGroupSize: *comm, Iters: *iters,
+			Chunk: 100 * sim.Millisecond, FootprintMB: *foot}
+	case "barrier":
+		w = workload.BarrierPhases{N: *n, CommGroupSize: *comm,
+			Chunk: 100 * sim.Millisecond, BarrierEvery: sim.Minute,
+			Phases: 3, FootprintMB: *foot}
+	case "hpl":
+		hw := hpl.PaperTimed()
+		ranks = hw.P * hw.Q
+		w = hw
+	case "motif":
+		mw := motif.PaperTimed()
+		ranks = mw.N
+		w = mw
+	case "ring":
+		w = workload.Ring{N: *n, Iters: *iters,
+			Chunk: 50 * sim.Millisecond, FootprintMB: *foot}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+
+	cfg := harness.PaperCluster(ranks)
+	cfg.CR.GroupSize = *group
+	cfg.CR.Dynamic = *dynamic
+	cfg.CR.HelperEnabled = *helper
+
+	if *mtbf > 0 {
+		rw, ok := w.(workload.Restartable)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "-mtbf requires a restartable workload (ring)\n")
+			os.Exit(2)
+		}
+		iv := sim.Seconds(*interval)
+		if iv <= 0 {
+			iv = sim.Seconds(*mtbf / 4)
+		}
+		fr, err := harness.RunWithPeriodicCheckpoints(cfg, rw, iv, sim.Seconds(*mtbf), *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
+		fmt.Printf("protocol:              %s\n", protocolName(*group, ranks, *dynamic))
+		fmt.Printf("checkpoint interval:   %v (MTBF %vs)\n", iv, *mtbf)
+		fmt.Printf("wall time to finish:   %v\n", fr.Wall)
+		fmt.Printf("failures survived:     %d\n", fr.Failures)
+		fmt.Printf("checkpoints completed: %d\n", fr.Checkpoints)
+		return
+	}
+
+	var log *trace.Log
+	if *showTrace {
+		log = &trace.Log{}
+	}
+	res := harness.MeasureTraced(cfg, w, sim.Seconds(*at), log)
+	fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
+	fmt.Printf("protocol:              %s\n", protocolName(*group, ranks, *dynamic))
+	fmt.Printf("checkpoint issued at:  %v\n", res.IssuedAt)
+	fmt.Printf("baseline completion:   %v\n", res.Baseline)
+	fmt.Printf("with checkpoint:       %v\n", res.WithCkpt)
+	fmt.Printf("effective ckpt delay:  %v\n", res.EffectiveDelay())
+	fmt.Printf("individual ckpt time:  %v mean, %v max\n",
+		res.Report.MeanIndividual(), res.Report.MaxIndividual())
+	fmt.Printf("total ckpt time:       %v\n", res.Total())
+	fmt.Printf("storage share:         %.1f%%\n", 100*res.Report.StorageShare())
+	fmt.Printf("groups:                %v\n", res.Report.Groups)
+	if *showTrace {
+		fmt.Println("\ncycle gantt:")
+		fmt.Print(res.Report.Gantt(72))
+		fmt.Println("\nprotocol timeline:")
+		log.Render(os.Stdout)
+	}
+	if *verbose {
+		fmt.Println("\nper-rank records:")
+		for rank, rec := range res.Report.Records {
+			fmt.Printf("  rank %2d group %d: stop %v, write %v..%v (%.0f MB), resume %v, downtime %v\n",
+				rank, rec.Group, rec.SafePointAt, rec.WriteStart, rec.WriteEnd,
+				float64(rec.Footprint)/(1<<20), rec.ResumeAt, rec.Individual())
+		}
+	}
+}
+
+func protocolName(group, ranks int, dynamic bool) string {
+	switch {
+	case dynamic:
+		return fmt.Sprintf("group-based (dynamic formation, max size %d)", group)
+	case group <= 0 || group >= ranks:
+		return "regular coordinated (all at once)"
+	default:
+		return fmt.Sprintf("group-based (static groups of %d)", group)
+	}
+}

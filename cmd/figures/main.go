@@ -1,0 +1,54 @@
+// Command figures regenerates every figure in the paper's evaluation
+// section from the simulation and prints the data series as text tables.
+//
+// Usage:
+//
+//	figures [-only fig1,fig3,fig4,fig5,fig6,fig7,ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gbcr/internal/figures"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset: fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions (default: all)")
+	flag.Parse()
+	want := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	run := func(name string, fn func() fmt.Stringer) {
+		if !sel(name) {
+			return
+		}
+		start := time.Now()
+		out := fn()
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig1", func() fmt.Stringer { return figures.Fig1() })
+	run("fig3", func() fmt.Stringer { return figures.Fig3() })
+	run("fig4", func() fmt.Stringer { return figures.Fig4() })
+	var fig5 *figures.Table
+	run("fig5", func() fmt.Stringer { fig5 = figures.Fig5(); return fig5 })
+	run("fig6", func() fmt.Stringer {
+		if fig5 == nil {
+			fig5 = figures.Fig5()
+		}
+		return figures.Fig6(fig5)
+	})
+	run("fig7", func() fmt.Stringer { return figures.Fig7() })
+	run("ablations", func() fmt.Stringer { return figures.Ablations() })
+	run("extensions", func() fmt.Stringer { return figures.Extensions() })
+}

@@ -1,0 +1,34 @@
+// Placement: the Figure 4 experiment — how the effective checkpoint delay
+// depends on where the checkpoint request lands relative to the
+// application's global synchronization (a barrier every minute). Far from
+// the barrier the delay is one group's Individual Checkpoint Time; close to
+// it, groups cannot run ahead and the delay approaches the Total Checkpoint
+// Time. The paper's advice: "checkpoint request should be placed long
+// before synchronization to achieve better overlap."
+package main
+
+import (
+	"fmt"
+
+	"gbcr/internal/figures"
+)
+
+func main() {
+	t := figures.Fig4()
+	fmt.Println(t)
+	eff := t.Row("Effective Ckpt Delay")
+	ind := t.Row("Individual Ckpt Time")
+	tot := t.Row("Total Ckpt Time")
+	best, worst := eff[0], eff[0]
+	for _, v := range eff {
+		if v < best {
+			best = v
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	fmt.Printf("individual time %.1fs <= effective delay [%.1fs .. %.1fs] <= total time %.1fs\n",
+		ind[0], best, worst, tot[0])
+	fmt.Println("place checkpoints right after a synchronization point, not before one")
+}

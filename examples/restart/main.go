@@ -1,0 +1,54 @@
+// Restart example: run a ring application with group-based checkpointing,
+// kill the whole job mid-run, restart every rank from the last complete
+// global checkpoint (taken group by group, so the snapshots were written at
+// different wall-clock times), and verify the recovered execution produces
+// exactly the failure-free results.
+package main
+
+import (
+	"fmt"
+
+	"gbcr/internal/harness"
+	"gbcr/internal/sim"
+	"gbcr/internal/workload"
+)
+
+func main() {
+	const n, iters = 8, 80
+	cfg := harness.PaperCluster(n)
+	cfg.CR.GroupSize = 2
+	cfg.CR.LocalSetup = 50 * sim.Millisecond
+	w := workload.Ring{N: n, Iters: iters, Chunk: 50 * sim.Millisecond, FootprintMB: 16}
+
+	// Failure-free reference.
+	ref := harness.NewCluster(cfg)
+	refInst := w.Launch(ref.Job).(*workload.RingInstance)
+	if err := ref.K.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("failure-free run finished at %v\n", ref.Job.FinishTime())
+
+	// Checkpoint at 1s, lose the whole job at 3s, restart from storage.
+	fr, err := harness.RunWithFailure(cfg, w,
+		[]sim.Time{sim.Second}, 3*sim.Second)
+	if err != nil {
+		panic(err)
+	}
+	inst := fr.RestartInst.(*workload.RingInstance)
+	fmt.Printf("job killed at %v; restarted from global checkpoint epoch %d\n",
+		fr.FailedAt, fr.Epoch)
+	fmt.Printf("snapshot read-back from storage took %v\n", fr.ReadbackTime)
+	fmt.Printf("restarted run finished after %v more simulated time\n", fr.RestartTime)
+
+	ok := true
+	for me := 0; me < n; me++ {
+		if inst.Sums[me] != refInst.Sums[me] {
+			ok = false
+			fmt.Printf("  rank %d MISMATCH: %d vs %d\n", me, inst.Sums[me], refInst.Sums[me])
+		}
+	}
+	if ok {
+		fmt.Println("all ranks' results identical to the failure-free run: the")
+		fmt.Println("staggered group-by-group snapshots form a consistent recovery line")
+	}
+}

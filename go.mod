@@ -1,0 +1,3 @@
+module gbcr
+
+go 1.22

@@ -1,0 +1,142 @@
+// Package blcr models the Berkeley Lab Checkpoint/Restart toolkit's role in
+// the system: producing a per-process snapshot whose dominant cost is
+// writing the process's memory footprint to storage, and carrying enough
+// state to reconstruct the process on restart.
+//
+// In the paper, BLCR captures registers and memory transparently. In the
+// simulation the equivalent is a Snapshot holding (a) the application state
+// blob provided by the workload, (b) the MPI library state blob, and (c) the
+// memory footprint size that determines the storage write.
+package blcr
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+)
+
+// Snapshot is one process's checkpoint image.
+type Snapshot struct {
+	Rank      int
+	Epoch     int      // checkpoint number this snapshot belongs to
+	TakenAt   sim.Time // simulated time of the capture
+	Footprint int64    // bytes written to storage (the memory image)
+	AppState  []byte   // serialized application state (may be nil in timing runs)
+	LibState  []byte   // serialized MPI library state (may be nil in timing runs)
+	checksum  uint64
+}
+
+// New captures a snapshot. The checksum covers both state blobs so restore
+// can detect corruption.
+func New(rank, epoch int, takenAt sim.Time, footprint int64, appState, libState []byte) *Snapshot {
+	s := &Snapshot{
+		Rank:      rank,
+		Epoch:     epoch,
+		TakenAt:   takenAt,
+		Footprint: footprint,
+		AppState:  appState,
+		LibState:  libState,
+	}
+	s.checksum = s.computeChecksum()
+	return s
+}
+
+func (s *Snapshot) computeChecksum() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d/%d/", s.Rank, s.Epoch, s.Footprint)
+	h.Write(s.AppState)
+	h.Write([]byte{0})
+	h.Write(s.LibState)
+	return h.Sum64()
+}
+
+// Verify checks the snapshot against its checksum.
+func (s *Snapshot) Verify() error {
+	if got := s.computeChecksum(); got != s.checksum {
+		return fmt.Errorf("blcr: snapshot for rank %d epoch %d corrupted", s.Rank, s.Epoch)
+	}
+	return nil
+}
+
+// WriteTo writes the snapshot image to storage on behalf of p, blocking for
+// the transfer, and returns the elapsed write time. The image size is the
+// memory footprint plus the state blobs.
+func (s *Snapshot) WriteTo(p *sim.Proc, st *storage.System) sim.Time {
+	return st.Write(p, s.Size())
+}
+
+// ReadFrom reads the snapshot image back from storage (restart path).
+func (s *Snapshot) ReadFrom(p *sim.Proc, st *storage.System) sim.Time {
+	return st.Read(p, s.Size())
+}
+
+// Size is the snapshot's storage image size in bytes.
+func (s *Snapshot) Size() int64 {
+	return s.Footprint + int64(len(s.AppState)) + int64(len(s.LibState))
+}
+
+// Store archives completed checkpoints: one snapshot per rank per epoch,
+// with an epoch marked complete only when every rank's snapshot is present —
+// the "global checkpoint is marked complete" step of the protocol.
+type Store struct {
+	n        int
+	epochs   map[int]map[int]*Snapshot
+	complete map[int]bool
+}
+
+// NewStore creates a store for an n-rank job.
+func NewStore(n int) *Store {
+	return &Store{
+		n:        n,
+		epochs:   make(map[int]map[int]*Snapshot),
+		complete: make(map[int]bool),
+	}
+}
+
+// Put archives a snapshot.
+func (st *Store) Put(s *Snapshot) {
+	m := st.epochs[s.Epoch]
+	if m == nil {
+		m = make(map[int]*Snapshot)
+		st.epochs[s.Epoch] = m
+	}
+	if m[s.Rank] != nil {
+		panic(fmt.Sprintf("blcr: duplicate snapshot rank %d epoch %d", s.Rank, s.Epoch))
+	}
+	m[s.Rank] = s
+}
+
+// MarkComplete records that epoch's global checkpoint as complete. It panics
+// if snapshots are missing.
+func (st *Store) MarkComplete(epoch int) {
+	if len(st.epochs[epoch]) != st.n {
+		panic(fmt.Sprintf("blcr: epoch %d marked complete with %d/%d snapshots",
+			epoch, len(st.epochs[epoch]), st.n))
+	}
+	st.complete[epoch] = true
+}
+
+// Complete reports whether the epoch's global checkpoint is complete.
+func (st *Store) Complete(epoch int) bool { return st.complete[epoch] }
+
+// Latest returns the most recent complete epoch and its snapshots (rank →
+// snapshot), or (0, nil) if none is complete.
+func (st *Store) Latest() (int, map[int]*Snapshot) {
+	best := 0
+	for e, ok := range st.complete {
+		if ok && e > best {
+			best = e
+		}
+	}
+	if best == 0 {
+		return 0, nil
+	}
+	return best, st.epochs[best]
+}
+
+// Get returns the snapshot for a rank at an epoch, or nil.
+func (st *Store) Get(epoch, rank int) *Snapshot {
+	return st.epochs[epoch][rank]
+}

@@ -1,0 +1,103 @@
+package blcr
+
+import (
+	"testing"
+
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+)
+
+func TestSnapshotVerify(t *testing.T) {
+	s := New(3, 1, 5*sim.Second, 100<<20, []byte("app"), []byte("lib"))
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	s.AppState[0] ^= 0xFF
+	if err := s.Verify(); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestSnapshotSize(t *testing.T) {
+	s := New(0, 1, 0, 1000, make([]byte, 10), make([]byte, 20))
+	if s.Size() != 1030 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+}
+
+func TestSnapshotWriteReadTiming(t *testing.T) {
+	k := sim.NewKernel(1)
+	st := storage.New(k, storage.Config{AggregateBW: 1000, ClientBW: 1000})
+	s := New(0, 1, 0, 1000, nil, nil)
+	var wrote, read sim.Time
+	k.Spawn("p", func(p *sim.Proc) {
+		wrote = s.WriteTo(p, st)
+		read = s.ReadFrom(p, st)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wrote != sim.Second || read != sim.Second {
+		t.Fatalf("write %v read %v, want 1s each", wrote, read)
+	}
+}
+
+func TestStoreCompleteness(t *testing.T) {
+	st := NewStore(3)
+	for r := 0; r < 3; r++ {
+		st.Put(New(r, 1, 0, 100, nil, nil))
+	}
+	st.MarkComplete(1)
+	if !st.Complete(1) || st.Complete(2) {
+		t.Fatal("completeness flags wrong")
+	}
+	e, snaps := st.Latest()
+	if e != 1 || len(snaps) != 3 {
+		t.Fatalf("Latest = %d, %d snaps", e, len(snaps))
+	}
+	if st.Get(1, 2).Rank != 2 {
+		t.Fatal("Get")
+	}
+}
+
+func TestStoreLatestPrefersNewest(t *testing.T) {
+	st := NewStore(2)
+	for epoch := 1; epoch <= 3; epoch++ {
+		for r := 0; r < 2; r++ {
+			st.Put(New(r, epoch, 0, 100, nil, nil))
+		}
+		st.MarkComplete(epoch)
+	}
+	if e, _ := st.Latest(); e != 3 {
+		t.Fatalf("Latest epoch %d, want 3", e)
+	}
+}
+
+func TestStoreLatestEmpty(t *testing.T) {
+	st := NewStore(2)
+	if e, snaps := st.Latest(); e != 0 || snaps != nil {
+		t.Fatal("empty store should have no latest epoch")
+	}
+}
+
+func TestStoreDuplicatePanics(t *testing.T) {
+	st := NewStore(2)
+	st.Put(New(0, 1, 0, 100, nil, nil))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate snapshot accepted")
+		}
+	}()
+	st.Put(New(0, 1, 0, 100, nil, nil))
+}
+
+func TestStoreIncompleteMarkPanics(t *testing.T) {
+	st := NewStore(2)
+	st.Put(New(0, 1, 0, 100, nil, nil))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("incomplete epoch marked complete")
+		}
+	}()
+	st.MarkComplete(1)
+}

@@ -1,0 +1,506 @@
+package cr
+
+import (
+	"fmt"
+
+	"gbcr/internal/blcr"
+	"gbcr/internal/ib"
+	"gbcr/internal/mpi"
+	"gbcr/internal/sim"
+	"gbcr/internal/trace"
+)
+
+// Controller is the local C/R controller embedded in one MPI process. It
+// implements mpi.CRHooks (safe points and the send gate) and reacts to
+// coordinator messages immediately on arrival, like the controller thread in
+// the MVAPICH2 framework.
+type Controller struct {
+	co   *Coordinator
+	rank *mpi.Rank
+
+	// FootprintFn supplies the process's memory footprint at snapshot time;
+	// workloads install it (HPL's footprint shrinks over the run). Nil
+	// means Config.DefaultFootprint.
+	FootprintFn func() int64
+	// CaptureFn serializes application state for functional restart.
+	CaptureFn func() []byte
+
+	epoch      int      // completed checkpoints
+	lastCkptAt sim.Time // when the previous snapshot was taken (incremental)
+
+	// Cycle state.
+	cycleActive bool
+	cycle       int
+	baseEpoch   int
+	groups      [][]int
+	groupOf     map[int]int
+	myGroup     int
+	turnStarted []bool
+	groupDone   []bool
+	mySaved     bool
+	activating  bool
+	inCkpt      bool
+	goFlag      bool
+	resumeFlag  bool
+
+	// finishedStep drives the inline checkpoint of a rank whose body
+	// already returned; nil otherwise.
+	finishedStep func()
+
+	// bufStart snapshots the rank's buffering counters at cycle start so
+	// endCycle can attribute the cycle's deferral activity to its record;
+	// the deltas are kept per cycle and folded into the records when the
+	// coordinator assembles reports.
+	bufStart   mpi.RankStats
+	bufByCycle map[int]bufDelta
+
+	records []CkptRecord
+}
+
+func newController(co *Coordinator, rank *mpi.Rank) *Controller {
+	c := &Controller{co: co, rank: rank, bufByCycle: make(map[int]bufDelta)}
+	rank.SetHooks(c)
+	ep := rank.Endpoint()
+	ep.AcceptConn = c.acceptConn
+	ep.OnOOBImmediate = c.onOOB
+	rank.ConnUpHook = c.onConnEvent
+	rank.ConnDownHook = c.onConnEvent
+	return c
+}
+
+// Epoch returns the number of checkpoints this process has completed.
+func (c *Controller) Epoch() int { return c.epoch }
+
+// Records returns the per-cycle participation records.
+func (c *Controller) Records() []CkptRecord { return c.records }
+
+// Rank returns the MPI rank this controller is attached to.
+func (c *Controller) Rank() *mpi.Rank { return c.rank }
+
+// ConnMeta tags outgoing connection requests with the current epoch.
+func (c *Controller) ConnMeta() int64 { return int64(c.epoch) }
+
+// onConnEvent wakes the process during checkpoint teardown so it can
+// re-evaluate connection states.
+func (c *Controller) onConnEvent(peer int) {
+	if c.inCkpt && c.rank.Proc() != nil {
+		c.rank.Proc().Unpark()
+	}
+}
+
+// SendAllowed implements the consistency gate (Section 3.2): a group that
+// has taken its checkpoint must not exchange messages with a group that has
+// not. Blocked traffic lands in the MPI outbox (message/request buffering).
+func (c *Controller) SendAllowed(dst int) bool {
+	if !c.cycleActive {
+		return true
+	}
+	if c.inCkpt {
+		// The process is stopped for its own checkpoint: nothing is posted
+		// until it resumes.
+		return false
+	}
+	g, ok := c.groupOf[dst]
+	if !ok {
+		return true
+	}
+	if g == c.myGroup {
+		// Same schedule; the connection layer quiesces intra-group traffic
+		// during the actual checkpoint.
+		return true
+	}
+	if c.turnStarted[g] && !c.groupDone[g] {
+		// That group is checkpointing right now.
+		return false
+	}
+	return c.groupDone[g] == c.mySaved
+}
+
+// acceptConn epoch-gates passive connection acceptance: reconnection across
+// the recovery line is deferred until both sides have checkpointed.
+func (c *Controller) acceptConn(peer int, meta int64) bool {
+	if !c.cycleActive {
+		return true
+	}
+	if c.inCkpt {
+		return false
+	}
+	peerView := c.baseEpoch
+	if g, ok := c.groupOf[peer]; ok && c.groupDone[g] {
+		peerView++
+	}
+	return peerView == c.epoch
+}
+
+// onOOB handles coordinator traffic immediately on arrival.
+func (c *Controller) onOOB(src int, payload any) bool {
+	switch m := payload.(type) {
+	case msgCkptRequest:
+		c.startCycle(m)
+	case msgTurn:
+		c.onTurn(m)
+	case msgGo:
+		if m.group == c.myGroup {
+			c.goFlag = true
+			c.unparkSelf()
+			if c.finishedStep != nil {
+				c.finishedStep()
+			}
+		}
+	case msgGroupDone:
+		c.onGroupDone(m)
+	case msgCycleDone:
+		c.endCycle()
+	default:
+		return false // not a checkpoint message; deliver normally
+	}
+	return true
+}
+
+func (c *Controller) unparkSelf() {
+	if p := c.rank.Proc(); p != nil {
+		p.Unpark()
+	}
+}
+
+func (c *Controller) startCycle(m msgCkptRequest) {
+	c.cycleActive = true
+	c.bufStart = c.rank.Stats()
+	c.cycle = m.cycle
+	c.baseEpoch = c.epoch
+	c.groups = m.groups
+	c.groupOf = make(map[int]int)
+	c.myGroup = -1
+	for gi, g := range m.groups {
+		for _, r := range g {
+			c.groupOf[r] = gi
+			if r == c.rank.World() {
+				c.myGroup = gi
+			}
+		}
+	}
+	c.turnStarted = make([]bool, len(m.groups))
+	c.groupDone = make([]bool, len(m.groups))
+	c.mySaved = false
+	c.goFlag = false
+	c.resumeFlag = false
+	if c.co.cfg.HelperEnabled {
+		// Passive coordination: bound protocol-processing delay while the
+		// application computes (Section 4.4).
+		c.rank.SetHelper(true)
+	}
+	if c.co.cfg.Polled {
+		// Polled (restartable) mode: every rank quiesces at its next
+		// boundary before any group writes. Boundary-only safe points
+		// cannot interrupt a blocked receive, so the per-group stop of the
+		// signal protocol could deadlock against the consistency gate; a
+		// global quiesce followed by staggered group writes is the sound
+		// equivalent (the SCR-style application-level discipline).
+		if c.rank.Finished() {
+			c.checkpointFinishedRank()
+		} else {
+			c.activating = true
+			c.rank.RequestSafePointPolled()
+		}
+	}
+}
+
+func (c *Controller) onTurn(m msgTurn) {
+	c.turnStarted[m.group] = true
+	if m.group != c.myGroup || c.co.cfg.Polled {
+		return // polled mode already requested safe points at cycle start
+	}
+	if c.rank.Finished() {
+		// The process already sits in finalize; checkpoint it inline with
+		// an empty execution state.
+		c.checkpointFinishedRank()
+		return
+	}
+	c.activating = true
+	c.rank.RequestSafePoint()
+}
+
+func (c *Controller) onGroupDone(m msgGroupDone) {
+	c.groupDone[m.group] = true
+	if m.group == c.myGroup {
+		c.resumeFlag = true
+		c.unparkSelf()
+	}
+	c.releaseAligned()
+}
+
+func (c *Controller) endCycle() {
+	c.cycleActive = false
+	c.finishedStep = nil
+	c.rank.SetHelper(false)
+	c.releaseAligned()
+	// Record the cycle's deferral activity; the coordinator folds it into
+	// the cycle report (this rank's own record may not exist yet — its
+	// process resumes after this handler).
+	now := c.rank.Stats()
+	c.bufByCycle[c.cycle] = bufDelta{
+		msgs:  now.MsgsBuffered - c.bufStart.MsgsBuffered,
+		reqs:  now.ReqsBuffered - c.bufStart.ReqsBuffered,
+		bytes: now.BytesBuffered - c.bufStart.BytesBuffered,
+	}
+}
+
+// bufDelta is one rank's deferral activity during one cycle.
+type bufDelta struct {
+	msgs, reqs int
+	bytes      int64
+}
+
+// releaseAligned re-attempts deferred sends and deferred connection requests
+// whose gates may have opened.
+func (c *Controller) releaseAligned() {
+	n := c.co.job.Size()
+	for dst := 0; dst < n; dst++ {
+		if dst != c.rank.World() && c.SendAllowed(dst) {
+			c.rank.ReleaseDst(dst)
+		}
+	}
+	c.rank.Endpoint().Reexamine()
+}
+
+// AtSafePoint is the member's checkpoint procedure, run in application
+// context: the four phases of the checkpointing cycle.
+func (c *Controller) AtSafePoint(e *mpi.Env) {
+	if !c.activating {
+		return // spurious (stale interrupt)
+	}
+	c.activating = false
+	c.inCkpt = true
+	p := e.Proc()
+	k := c.co.k
+	world := c.rank.World()
+	c.co.Trace.Add(k.Now(), world, trace.KindPhase, "safe-point", "")
+	rec := CkptRecord{Cycle: c.cycle, Group: c.myGroup, SafePointAt: k.Now()}
+
+	// Phase 1: Initial Synchronization — report readiness, wait for the
+	// whole group to stop.
+	c.sendCo(msgReady{cycle: c.cycle, rank: c.rank.World()})
+	c.waitFlag(p, &c.goFlag, "cr: initial synchronization")
+	rec.GoAt = k.Now()
+	c.co.Trace.Add(k.Now(), world, trace.KindPhase, "pre-checkpoint",
+		fmt.Sprintf("%d connections to tear down", len(c.rank.Endpoint().Peers())))
+
+	// Phase 2: Pre-checkpoint Coordination — flush in-transit messages and
+	// tear down all connections (passive peers answer via CM thread and
+	// helper-driven progress).
+	c.teardownConnections(p)
+	rec.TeardownDone = k.Now()
+	c.co.Trace.Add(k.Now(), world, trace.KindConn, "teardown-done", "")
+
+	// Phase 3: Local Checkpointing — BLCR-style snapshot written to the
+	// shared storage system, after the fixed local setup cost (process
+	// freeze, file creation).
+	if c.co.cfg.LocalSetup > 0 {
+		p.Sleep(c.co.cfg.LocalSetup)
+	}
+	snap := c.takeSnapshot()
+	rec.Footprint = snap.Footprint
+	rec.WriteStart = k.Now()
+	c.co.Trace.Add(k.Now(), world, trace.KindStorage, "write-start",
+		fmt.Sprintf("%.0f MB", float64(snap.Size())/(1<<20)))
+	if c.co.cfg.Staged {
+		// Two-phase: node-local write now (unshared disk), background
+		// drain to central storage after.
+		p.Sleep(c.localWriteTime(snap.Size()))
+		c.startDrain(snap.Size())
+	} else {
+		snap.WriteTo(p, c.co.store)
+	}
+	rec.WriteEnd = k.Now()
+	c.co.Trace.Add(k.Now(), world, trace.KindStorage, "write-end", "")
+	c.epoch++
+	c.mySaved = true
+	c.co.snaps.Put(snap)
+	c.sendCo(msgSaved{cycle: c.cycle, rank: c.rank.World()})
+
+	// Phase 4: Post-checkpoint Coordination — wait for the group to finish;
+	// connections rebuild on demand as execution resumes.
+	c.waitFlag(p, &c.resumeFlag, "cr: post-checkpoint coordination")
+	c.inCkpt = false
+	rec.ResumeAt = k.Now()
+	c.co.Trace.Add(k.Now(), world, trace.KindPhase, "resume",
+		fmt.Sprintf("downtime %v", rec.ResumeAt-rec.SafePointAt))
+	c.records = append(c.records, rec)
+	c.releaseAligned()
+}
+
+// teardownConnections drives every established connection through the
+// flush-and-disconnect protocol and waits for the handshakes to settle.
+// Half-open outgoing connections (deferred by an epoch-mismatched peer) are
+// left alone: they carry no data and complete after the recovery line passes.
+func (c *Controller) teardownConnections(p *sim.Proc) {
+	ep := c.rank.Endpoint()
+	for {
+		busy := false
+		for _, peer := range ep.Peers() {
+			switch ep.State(peer) {
+			case ib.StateConnected:
+				ep.Disconnect(peer)
+				busy = true
+			case ib.StateAccepting, ib.StateDraining, ib.StateDisconnecting:
+				busy = true
+			}
+		}
+		if !busy {
+			return
+		}
+		p.Park("cr: connection teardown")
+	}
+}
+
+// takeSnapshot captures the process image.
+func (c *Controller) takeSnapshot() *blcr.Snapshot {
+	var app, lib []byte
+	if c.co.cfg.CaptureState {
+		if c.CaptureFn != nil {
+			app = c.CaptureFn()
+		}
+		var err error
+		lib, err = c.rank.CaptureLibState()
+		if err != nil {
+			panic(fmt.Sprintf("cr: rank %d: %v", c.rank.World(), err))
+		}
+	}
+	fp := c.co.cfg.DefaultFootprint
+	if c.FootprintFn != nil {
+		fp = c.FootprintFn()
+	}
+	if c.co.cfg.Incremental && c.epoch > 0 {
+		fp = c.incrementalSize(fp)
+	}
+	c.lastCkptAt = c.co.k.Now()
+	return blcr.New(c.rank.World(), c.epoch+1, c.co.k.Now(), fp, app, lib)
+}
+
+// incrementalSize models the dirty-page image written by an incremental
+// checkpoint: a floor of always-written metadata plus memory dirtied since
+// the previous snapshot, capped at the full footprint.
+func (c *Controller) incrementalSize(full int64) int64 {
+	dirtyBW := c.co.cfg.DirtyBW
+	if dirtyBW <= 0 {
+		dirtyBW = 20 << 20
+	}
+	floor := c.co.cfg.IncrementalFloor
+	if floor <= 0 {
+		floor = 0.05
+	}
+	elapsed := (c.co.k.Now() - c.lastCkptAt).Seconds()
+	dirty := int64(floor*float64(full) + dirtyBW*elapsed)
+	if dirty > full {
+		return full
+	}
+	return dirty
+}
+
+// checkpointFinishedRank checkpoints a rank whose body already returned: it
+// tears down connections and writes its image without application
+// participation (the process is idle in finalize).
+func (c *Controller) checkpointFinishedRank() {
+	k := c.co.k
+	rec := CkptRecord{Cycle: c.cycle, Group: c.myGroup, SafePointAt: k.Now()}
+	c.inCkpt = true
+	c.sendCo(msgReady{cycle: c.cycle, rank: c.rank.World()})
+	// Proceed on msgGo by polling conn states event-driven: disconnect now
+	// and re-check on each connection event.
+	var tryFinish func()
+	writing := false
+	step := func() {
+		if !c.goFlag || writing {
+			return
+		}
+		ep := c.rank.Endpoint()
+		busy := false
+		for _, peer := range ep.Peers() {
+			switch ep.State(peer) {
+			case ib.StateConnected:
+				ep.Disconnect(peer)
+				busy = true
+			case ib.StateAccepting, ib.StateDraining, ib.StateDisconnecting:
+				busy = true
+			}
+		}
+		if busy {
+			return
+		}
+		rec.TeardownDone = k.Now()
+		writing = true
+		k.After(c.co.cfg.LocalSetup, func() {
+			c.writeFinishedSnapshot(&rec)
+		})
+	}
+	tryFinish = step
+	// Hook connection events and the go flag to drive the steps.
+	prevUp, prevDown := c.rank.ConnUpHook, c.rank.ConnDownHook
+	c.rank.ConnUpHook = func(peer int) { prevUp(peer); tryFinish() }
+	c.rank.ConnDownHook = func(peer int) { prevDown(peer); tryFinish() }
+	c.finishedStep = tryFinish
+	tryFinish()
+}
+
+// writeFinishedSnapshot completes a finished rank's inline checkpoint.
+func (c *Controller) writeFinishedSnapshot(rec *CkptRecord) {
+	k := c.co.k
+	snap := c.takeSnapshot()
+	rec.Footprint = snap.Footprint
+	rec.WriteStart = k.Now()
+	done := func() {
+		rec.WriteEnd = k.Now()
+		c.epoch++
+		c.mySaved = true
+		c.co.snaps.Put(snap)
+		c.sendCo(msgSaved{cycle: c.cycle, rank: c.rank.World()})
+		c.inCkpt = false
+		rec.ResumeAt = k.Now()
+		c.records = append(c.records, *rec)
+		c.releaseAligned()
+	}
+	if c.co.cfg.Staged {
+		k.After(c.localWriteTime(snap.Size()), func() {
+			c.startDrain(snap.Size())
+			done()
+		})
+		return
+	}
+	tr := c.co.store.Start(snap.Size())
+	tr.OnDone(done)
+}
+
+// localWriteTime is the node-local disk write time for a staged snapshot.
+func (c *Controller) localWriteTime(size int64) sim.Time {
+	bw := c.co.cfg.LocalDiskBW
+	if bw <= 0 {
+		bw = 60 << 20
+	}
+	return sim.Time(float64(size) / bw * float64(sim.Second))
+}
+
+// startDrain begins the background transfer of a staged snapshot from
+// local disk to central storage and reports completion to the coordinator.
+func (c *Controller) startDrain(size int64) {
+	cycle := c.cycle
+	rank := c.rank.World()
+	c.co.Trace.Add(c.co.k.Now(), rank, trace.KindStorage, "drain-start",
+		fmt.Sprintf("%.0f MB to central storage", float64(size)/(1<<20)))
+	tr := c.co.store.Start(size)
+	tr.OnDone(func() {
+		c.co.Trace.Add(c.co.k.Now(), rank, trace.KindStorage, "drain-end", "")
+		c.sendCo(msgDrained{cycle: cycle, rank: rank})
+	})
+}
+
+func (c *Controller) sendCo(payload any) {
+	c.rank.Endpoint().SendOOB(CoordinatorID, payload)
+}
+
+// waitFlag parks the application process until the flag is set by a
+// coordinator message.
+func (c *Controller) waitFlag(p *sim.Proc, flag *bool, reason string) {
+	for !*flag {
+		p.Park(reason)
+	}
+}

@@ -1,0 +1,276 @@
+package cr
+
+import (
+	"fmt"
+
+	"gbcr/internal/blcr"
+	"gbcr/internal/ib"
+	"gbcr/internal/mpi"
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+	"gbcr/internal/trace"
+)
+
+// Coordinator is the global C/R coordinator: it forms the checkpoint groups,
+// walks them through the cycle one group at a time over the out-of-band
+// channel, and archives the resulting snapshots.
+type Coordinator struct {
+	k     *sim.Kernel
+	job   *mpi.Job
+	store *storage.System
+	cfg   Config
+	ep    *ib.Endpoint
+	ctls  []*Controller
+	snaps *blcr.Store
+
+	active    bool
+	cycle     int
+	groups    [][]int
+	turn      int
+	ready     map[int]bool
+	saved     map[int]bool
+	requestAt sim.Time
+	reports   []*CycleReport
+
+	// Staged-mode drain tracking, per cycle (drains can outlive the cycle).
+	drains     map[int]map[int]bool
+	repByCycle map[int]*CycleReport
+
+	// OnCycleDone, if non-nil, is invoked when a global checkpoint
+	// completes.
+	OnCycleDone func(rep *CycleReport)
+
+	// Trace, if non-nil, records the protocol timeline (phases, teardown,
+	// storage writes) for debugging and the ckptsim -trace view.
+	Trace *trace.Log
+}
+
+// New attaches a coordinator and per-rank controllers to a job. It must be
+// called before ranks are launched so the hooks observe all activity.
+func New(k *sim.Kernel, job *mpi.Job, store *storage.System, cfg Config) *Coordinator {
+	if cfg.DefaultFootprint <= 0 {
+		cfg.DefaultFootprint = DefaultConfig().DefaultFootprint
+	}
+	co := &Coordinator{
+		k:          k,
+		job:        job,
+		store:      store,
+		cfg:        cfg,
+		ep:         job.Fabric().AddEndpoint(CoordinatorID),
+		snaps:      blcr.NewStore(job.Size()),
+		drains:     make(map[int]map[int]bool),
+		repByCycle: make(map[int]*CycleReport),
+	}
+	co.ep.OnOOBImmediate = func(src int, payload any) bool {
+		co.onMsg(src, payload)
+		return true
+	}
+	for i := 0; i < job.Size(); i++ {
+		co.ctls = append(co.ctls, newController(co, job.Rank(i)))
+	}
+	return co
+}
+
+// Controller returns the controller attached to a rank.
+func (co *Coordinator) Controller(rank int) *Controller { return co.ctls[rank] }
+
+// Snapshots returns the archive of completed checkpoints.
+func (co *Coordinator) Snapshots() *blcr.Store { return co.snaps }
+
+// Reports returns the completed cycle reports with per-rank records filled
+// in. Call it after the simulation has quiesced: the last group's resume
+// records land shortly after the cycle completes.
+func (co *Coordinator) Reports() []*CycleReport {
+	for _, rep := range co.reports {
+		co.fillRecords(rep)
+	}
+	return co.reports
+}
+
+func (co *Coordinator) fillRecords(rep *CycleReport) {
+	if rep.Records != nil {
+		return
+	}
+	rep.Records = make([]CkptRecord, co.job.Size())
+	for i, ctl := range co.ctls {
+		found := false
+		for _, rec := range ctl.records {
+			if rec.Cycle == rep.Cycle {
+				rep.Records[i] = rec
+				if d, ok := ctl.bufByCycle[rep.Cycle]; ok {
+					rep.Records[i].BufferedMsgs = d.msgs
+					rep.Records[i].BufferedReqs = d.reqs
+					rep.Records[i].BufferedBytes = d.bytes
+				}
+				found = true
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("cr: rank %d has no record for cycle %d (report read too early?)", i, rep.Cycle))
+		}
+	}
+}
+
+// Active reports whether a checkpoint cycle is in progress.
+func (co *Coordinator) Active() bool { return co.active }
+
+// Config returns the coordinator configuration.
+func (co *Coordinator) Config() Config { return co.cfg }
+
+// ScheduleCheckpoint arranges for a checkpoint request at absolute time t.
+func (co *Coordinator) ScheduleCheckpoint(t sim.Time) {
+	co.k.At(t, co.RequestCheckpoint)
+}
+
+// RequestCheckpoint opens a checkpointing cycle now: groups are formed
+// (statically or from the observed communication pattern), the schedule is
+// broadcast, and the first group's turn begins.
+func (co *Coordinator) RequestCheckpoint() {
+	if co.active {
+		panic("cr: overlapping checkpoint cycles")
+	}
+	co.active = true
+	co.cycle++
+	co.requestAt = co.k.Now()
+	n := co.job.Size()
+	if co.cfg.Dynamic {
+		traffic := make([]map[int]int64, n)
+		for i := 0; i < n; i++ {
+			traffic[i] = co.job.Rank(i).Traffic()
+		}
+		co.groups = FormDynamicGroups(n, co.cfg.GroupSize, traffic)
+	} else {
+		co.groups = FormStaticGroups(n, co.cfg.GroupSize)
+	}
+	co.turn = 0
+	co.ready = make(map[int]bool)
+	co.saved = make(map[int]bool)
+	co.Trace.Add(co.k.Now(), -1, trace.KindCycle, "request",
+		fmt.Sprintf("cycle %d, groups %v", co.cycle, co.groups))
+	co.broadcast(msgCkptRequest{cycle: co.cycle, groups: co.groups})
+	if !co.cfg.Polled {
+		// Signal mode: group 0 is interrupted immediately; other groups
+		// keep computing (passive coordination).
+		co.startTurn(0)
+	}
+	// Polled mode: all ranks quiesce at boundaries first (the controllers
+	// self-request safe points on msgCkptRequest); turn 0 begins once every
+	// rank has reported ready.
+}
+
+func (co *Coordinator) broadcast(payload any) {
+	for i := 0; i < co.job.Size(); i++ {
+		co.ep.SendOOB(i, payload)
+	}
+}
+
+func (co *Coordinator) sendGroup(group int, payload any) {
+	for _, r := range co.groups[group] {
+		co.ep.SendOOB(r, payload)
+	}
+}
+
+func (co *Coordinator) onMsg(src int, payload any) {
+	switch m := payload.(type) {
+	case msgReady:
+		if m.cycle != co.cycle || co.turn >= len(co.groups) {
+			return
+		}
+		co.ready[m.rank] = true
+		if co.cfg.Polled {
+			// Global quiesce barrier: start the first group only when
+			// every rank is stopped at a boundary.
+			if len(co.ready) == co.job.Size() && co.turn == 0 {
+				co.startTurn(0)
+			}
+			return
+		}
+		if co.groupCovered(co.ready, co.turn) {
+			co.sendGroup(co.turn, msgGo{cycle: co.cycle, group: co.turn})
+		}
+	case msgSaved:
+		if m.cycle != co.cycle || co.turn >= len(co.groups) {
+			return
+		}
+		co.saved[m.rank] = true
+		if co.groupCovered(co.saved, co.turn) {
+			co.Trace.Add(co.k.Now(), -1, trace.KindCycle, "group-done",
+				fmt.Sprintf("group %d", co.turn))
+			co.broadcast(msgGroupDone{cycle: co.cycle, group: co.turn})
+			co.turn++
+			if co.turn < len(co.groups) {
+				co.startTurn(co.turn)
+			} else {
+				co.finishCycle()
+			}
+		}
+	case msgDrained:
+		set := co.drains[m.cycle]
+		if set == nil {
+			set = make(map[int]bool)
+			co.drains[m.cycle] = set
+		}
+		set[m.rank] = true
+		rep := co.repByCycle[m.cycle]
+		if rep != nil && len(set) == co.job.Size() {
+			co.Trace.Add(co.k.Now(), -1, trace.KindStorage, "all-drained",
+				fmt.Sprintf("cycle %d durable", m.cycle))
+			co.snaps.MarkComplete(m.cycle)
+			rep.DrainedAt = co.k.Now()
+			delete(co.drains, m.cycle)
+			delete(co.repByCycle, m.cycle)
+		}
+	default:
+		panic(fmt.Sprintf("cr: coordinator got unexpected message %T from %d", payload, src))
+	}
+}
+
+// startTurn announces a group's turn; in polled mode its members are already
+// quiesced and receive their go immediately.
+func (co *Coordinator) startTurn(turn int) {
+	co.Trace.Add(co.k.Now(), -1, trace.KindCycle, "turn",
+		fmt.Sprintf("group %d %v", turn, co.groups[turn]))
+	co.broadcast(msgTurn{cycle: co.cycle, group: turn})
+	if co.cfg.Polled {
+		co.sendGroup(turn, msgGo{cycle: co.cycle, group: turn})
+	}
+}
+
+func (co *Coordinator) groupCovered(set map[int]bool, group int) bool {
+	for _, r := range co.groups[group] {
+		if !set[r] {
+			return false
+		}
+	}
+	return true
+}
+
+func (co *Coordinator) finishCycle() {
+	co.Trace.Add(co.k.Now(), -1, trace.KindCycle, "cycle-done",
+		fmt.Sprintf("cycle %d", co.cycle))
+	co.broadcast(msgCycleDone{cycle: co.cycle})
+	rep := &CycleReport{
+		Cycle:     co.cycle,
+		Groups:    co.groups,
+		RequestAt: co.requestAt,
+		DoneAt:    co.k.Now(),
+	}
+	if co.cfg.Staged {
+		// Durability lags resumption: the global checkpoint completes only
+		// when every background drain finishes.
+		co.repByCycle[co.cycle] = rep
+		if set := co.drains[co.cycle]; len(set) == co.job.Size() {
+			co.snaps.MarkComplete(co.cycle)
+			rep.DrainedAt = co.k.Now()
+			delete(co.drains, co.cycle)
+			delete(co.repByCycle, co.cycle)
+		}
+	} else {
+		co.snaps.MarkComplete(co.cycle)
+	}
+	co.reports = append(co.reports, rep)
+	co.active = false
+	if co.OnCycleDone != nil {
+		co.OnCycleDone(rep)
+	}
+}

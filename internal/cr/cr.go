@@ -1,0 +1,297 @@
+// Package cr implements the paper's contribution: coordinated
+// checkpoint/restart for the simulated MPI stack, covering both the regular
+// blocking protocol (all processes checkpoint simultaneously — the paper's
+// "All" configuration and its ICPP'06 predecessor) and the group-based
+// protocol, in which processes checkpoint group by group while other groups
+// keep computing.
+//
+// Structure, mirroring the MVAPICH2 C/R framework (Section 2.2):
+//
+//   - a global Coordinator orchestrates the checkpointing cycle over the
+//     out-of-band channel;
+//   - a local Controller in each MPI process participates: it reaches a safe
+//     point, runs Initial Synchronization, Pre-checkpoint Coordination
+//     (channel flush + connection teardown), Local Checkpointing (the
+//     BLCR-style snapshot written to shared storage), and Post-checkpoint
+//     Coordination (resume);
+//   - consistency between groups is kept without message logging by
+//     deferring cross-recovery-line traffic: the controller's send gate puts
+//     messages into the MPI outbox (message buffering / request buffering,
+//     Section 4.3) and connection acceptance is epoch-gated (Section 4.2),
+//     releasing as soon as both endpoints have checkpointed.
+package cr
+
+import (
+	"fmt"
+	"strings"
+
+	"gbcr/internal/sim"
+)
+
+// Config parameterizes a checkpoint/restart deployment.
+type Config struct {
+	// GroupSize is the static checkpoint group size. Zero (or >= the job
+	// size) means all processes checkpoint at once: the regular coordinated
+	// protocol.
+	GroupSize int
+	// Dynamic selects runtime group formation from the observed
+	// communication pattern (Section 4.1); GroupSize then caps the group
+	// size and is the fallback when the application communicates globally.
+	Dynamic bool
+	// HelperEnabled activates the passive-coordination helper thread on
+	// ranks outside the checkpointing group (Section 4.4). Disabling it is
+	// the asynchronous-progress ablation.
+	HelperEnabled bool
+	// Polled makes safe-point requests non-interrupting: they are served at
+	// the application's next library call or MaybeCheckpoint boundary.
+	// Functional-restart runs use this; timing runs interrupt like a BLCR
+	// signal.
+	Polled bool
+	// CaptureState records application and library state blobs in each
+	// snapshot (required for functional restart; timing runs skip it).
+	CaptureState bool
+	// DefaultFootprint is the per-process checkpoint image size used when a
+	// rank has no footprint function installed.
+	DefaultFootprint int64
+	// LocalSetup is the fixed per-process cost of taking the local
+	// snapshot before the storage write begins: BLCR's process freeze,
+	// checkpoint-file creation, metadata registration. It is paid once per
+	// member per checkpoint, so many small groups pay it many times over —
+	// one reason very small checkpoint groups can be slower than larger
+	// ones (Figure 3).
+	LocalSetup sim.Time
+	// Incremental enables incremental checkpointing — the future-work
+	// direction the paper names (cf. TICK): after a process's first full
+	// snapshot, later snapshots write only the memory dirtied since the
+	// previous checkpoint, modeled as floor + DirtyBW × elapsed, capped at
+	// the full footprint.
+	Incremental bool
+	// DirtyBW is the rate at which a running process dirties memory
+	// (bytes per second of execution). Zero means 20 MB/s.
+	DirtyBW float64
+	// IncrementalFloor is the minimum fraction of the full footprint an
+	// incremental snapshot writes (page-table metadata and always-hot
+	// pages). Zero means 0.05.
+	IncrementalFloor float64
+	// Staged enables two-phase checkpointing: snapshots land on node-local
+	// disk first (fast, unshared) and drain to central storage in the
+	// background. Section 2.1 argues against it — new large clusters are
+	// diskless, and a crash before the drain completes loses the
+	// checkpoint — so this mode exists to quantify the trade-off: the
+	// effective delay collapses to the local-write time, but the global
+	// checkpoint is only durable when every drain finishes
+	// (CycleReport.VulnerabilityWindow).
+	Staged bool
+	// LocalDiskBW is the node-local disk bandwidth in bytes/second used by
+	// staged checkpoints. Zero means 60 MB/s (a 2007-era SATA disk).
+	LocalDiskBW float64
+}
+
+// DefaultConfig returns a regular-protocol configuration with the helper
+// thread enabled.
+func DefaultConfig() Config {
+	return Config{HelperEnabled: true, DefaultFootprint: 64 << 20}
+}
+
+// CoordinatorID is the endpoint id the global coordinator uses on the
+// fabric's out-of-band channel.
+const CoordinatorID = -1
+
+// Out-of-band control messages. Coordinator-to-controller messages are
+// processed immediately on arrival (the controller-thread model);
+// controller-to-coordinator messages likewise.
+type (
+	// msgCkptRequest opens a checkpointing cycle and publishes the group
+	// schedule to every rank.
+	msgCkptRequest struct {
+		cycle  int
+		groups [][]int
+	}
+	// msgTurn announces that a group's checkpoint begins. Members reach a
+	// safe point; everyone else stops sending to that group.
+	msgTurn struct {
+		cycle, group int
+	}
+	// msgGo releases a group's members into pre-checkpoint coordination
+	// once all of them reached their safe point (Initial Synchronization).
+	msgGo struct {
+		cycle, group int
+	}
+	// msgGroupDone announces that every member of a group has saved its
+	// snapshot: the group resumes and cross-group gates involving it are
+	// re-evaluated.
+	msgGroupDone struct {
+		cycle, group int
+	}
+	// msgCycleDone marks the global checkpoint complete.
+	msgCycleDone struct {
+		cycle int
+	}
+	// msgReady tells the coordinator a member reached its safe point.
+	msgReady struct {
+		cycle, rank int
+	}
+	// msgSaved tells the coordinator a member's snapshot is on storage
+	// (or, in staged mode, on its local disk).
+	msgSaved struct {
+		cycle, rank int
+	}
+	// msgDrained tells the coordinator a staged snapshot finished draining
+	// from local disk to central storage.
+	msgDrained struct {
+		cycle, rank int
+	}
+)
+
+// CkptRecord captures one rank's participation in one checkpoint cycle, the
+// raw material for the paper's three metrics.
+type CkptRecord struct {
+	Cycle        int
+	Group        int
+	SafePointAt  sim.Time // execution stops (downtime begins)
+	GoAt         sim.Time // initial synchronization complete
+	TeardownDone sim.Time // channels flushed, connections down
+	WriteStart   sim.Time
+	WriteEnd     sim.Time // snapshot on storage
+	ResumeAt     sim.Time // execution resumes (downtime ends)
+	Footprint    int64
+
+	// Consistency-deferral activity during the cycle (Section 4.3): eager
+	// messages held in communication buffers, requests held incomplete,
+	// and the payload bytes involved.
+	BufferedMsgs  int
+	BufferedReqs  int
+	BufferedBytes int64
+}
+
+// Individual is the paper's Individual Checkpoint Time: the downtime this
+// process observed.
+func (r CkptRecord) Individual() sim.Time { return r.ResumeAt - r.SafePointAt }
+
+// StorageTime is the portion of the downtime spent writing to storage.
+func (r CkptRecord) StorageTime() sim.Time { return r.WriteEnd - r.WriteStart }
+
+// CoordinationTime is the downtime not spent writing: synchronization,
+// channel flush, connection teardown, and resume scheduling.
+func (r CkptRecord) CoordinationTime() sim.Time { return r.Individual() - r.StorageTime() }
+
+// CycleReport summarizes one global checkpoint.
+type CycleReport struct {
+	Cycle     int
+	Groups    [][]int
+	RequestAt sim.Time
+	DoneAt    sim.Time
+	// DrainedAt is when every staged snapshot finished draining to central
+	// storage (zero unless Config.Staged).
+	DrainedAt sim.Time
+	Records   []CkptRecord // one per rank, indexed by world rank
+}
+
+// Total is the paper's Total Checkpoint Time: request issued to global
+// checkpoint complete.
+func (r *CycleReport) Total() sim.Time { return r.DoneAt - r.RequestAt }
+
+// VulnerabilityWindow is how long after the processes resumed the new
+// checkpoint remained non-durable (staged mode only): a node crash in this
+// window falls back to the previous checkpoint.
+func (r *CycleReport) VulnerabilityWindow() sim.Time {
+	if r.DrainedAt == 0 {
+		return 0
+	}
+	return r.DrainedAt - r.DoneAt
+}
+
+// MaxIndividual returns the largest per-process downtime in the cycle.
+func (r *CycleReport) MaxIndividual() sim.Time {
+	var m sim.Time
+	for _, rec := range r.Records {
+		if d := rec.Individual(); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MeanIndividual returns the average per-process downtime in the cycle.
+func (r *CycleReport) MeanIndividual() sim.Time {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, rec := range r.Records {
+		sum += rec.Individual()
+	}
+	return sum / sim.Time(len(r.Records))
+}
+
+// BufferedTotals sums the cycle's message- and request-buffering activity
+// across ranks (Section 4.3).
+func (r *CycleReport) BufferedTotals() (msgs, reqs int, bytes int64) {
+	for _, rec := range r.Records {
+		msgs += rec.BufferedMsgs
+		reqs += rec.BufferedReqs
+		bytes += rec.BufferedBytes
+	}
+	return msgs, reqs, bytes
+}
+
+// StorageShare reports the fraction of total downtime spent in storage
+// writes — the paper observes this is over 95% for the regular protocol.
+func (r *CycleReport) StorageShare() float64 {
+	var ind, st sim.Time
+	for _, rec := range r.Records {
+		ind += rec.Individual()
+		st += rec.StorageTime()
+	}
+	if ind == 0 {
+		return 0
+	}
+	return float64(st) / float64(ind)
+}
+
+// Gantt renders the cycle as an ASCII timeline, one row per rank, from the
+// request to the last resume: '.' is normal execution, 'c' is coordination
+// (stopped but not writing), 'W' is the storage write. The staggered
+// group-by-group schedule is directly visible.
+func (r *CycleReport) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	end := r.DoneAt
+	for _, rec := range r.Records {
+		if rec.ResumeAt > end {
+			end = rec.ResumeAt
+		}
+	}
+	span := end - r.RequestAt
+	if span <= 0 {
+		return ""
+	}
+	col := func(t sim.Time) int {
+		c := int(int64(t-r.RequestAt) * int64(width) / int64(span))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "checkpoint cycle %d: %v ... %v (W=write, c=coordination)\n",
+		r.Cycle, r.RequestAt, end)
+	for rank, rec := range r.Records {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for i := col(rec.SafePointAt); i <= col(rec.ResumeAt); i++ {
+			row[i] = 'c'
+		}
+		for i := col(rec.WriteStart); i <= col(rec.WriteEnd); i++ {
+			row[i] = 'W'
+		}
+		fmt.Fprintf(&b, "rank %2d |%s|\n", rank, row)
+	}
+	return b.String()
+}

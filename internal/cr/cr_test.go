@@ -1,0 +1,1087 @@
+package cr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gbcr/internal/ib"
+	"gbcr/internal/mpi"
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+	"gbcr/internal/trace"
+)
+
+const testMB = 1 << 20
+
+// testCluster bundles a simulation with storage, fabric, job, and C/R.
+type testCluster struct {
+	k  *sim.Kernel
+	st *storage.System
+	j  *mpi.Job
+	co *Coordinator
+}
+
+// newCluster builds an n-rank cluster with 100 MB/s aggregate storage (no
+// per-client cap below that) and the given C/R config.
+func newCluster(n int, cfg Config) *testCluster {
+	k := sim.NewKernel(1)
+	st := storage.New(k, storage.Config{AggregateBW: 100 * testMB, ClientBW: 100 * testMB})
+	f := ib.New(k, ib.PaperConfig())
+	j := mpi.NewJob(k, f, mpi.DefaultConfig(), n)
+	co := New(k, j, st, cfg)
+	return &testCluster{k: k, st: st, j: j, co: co}
+}
+
+// computeLoop is a pure-compute workload body: iters chunks of the given
+// duration.
+func computeLoop(iters int, chunk sim.Time) func(*mpi.Env) {
+	return func(e *mpi.Env) {
+		for i := 0; i < iters; i++ {
+			e.Compute(chunk)
+		}
+	}
+}
+
+func runSim(t *testing.T, k *sim.Kernel) {
+	t.Helper()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularProtocolBasics(t *testing.T) {
+	const n = 4
+	cfg := DefaultConfig()
+	cfg.DefaultFootprint = 100 * testMB
+	c := newCluster(n, cfg)
+	c.j.LaunchAll(computeLoop(50, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(2 * sim.Second)
+	runSim(t, c.k)
+
+	reps := c.co.Reports()
+	if len(reps) != 1 {
+		t.Fatalf("reports: %d", len(reps))
+	}
+	rep := reps[0]
+	if len(rep.Groups) != 1 || len(rep.Groups[0]) != n {
+		t.Fatalf("regular protocol groups: %v", rep.Groups)
+	}
+	// Equation (2a): individual time ~ N*S/B = 4*100/100 = 4 s.
+	want := 4 * sim.Second
+	for i, rec := range rep.Records {
+		if math.Abs((rec.Individual() - want).Seconds()) > 0.2 {
+			t.Fatalf("rank %d individual %v, eq(2a) predicts %v", i, rec.Individual(), want)
+		}
+		// Phase ordering invariants.
+		if !(rec.SafePointAt <= rec.GoAt && rec.GoAt <= rec.TeardownDone &&
+			rec.TeardownDone <= rec.WriteStart && rec.WriteStart < rec.WriteEnd &&
+			rec.WriteEnd <= rec.ResumeAt) {
+			t.Fatalf("rank %d phases out of order: %+v", i, rec)
+		}
+	}
+	// Equation (2b): total ~ individual for the regular protocol.
+	if math.Abs((rep.Total() - want).Seconds()) > 0.2 {
+		t.Fatalf("total %v, want ~%v", rep.Total(), want)
+	}
+	// Storage dominates the delay (paper: >95%).
+	if rep.StorageShare() < 0.95 {
+		t.Fatalf("storage share %.3f, want > 0.95", rep.StorageShare())
+	}
+	if !c.co.Snapshots().Complete(1) {
+		t.Fatal("global checkpoint not marked complete")
+	}
+}
+
+func TestGroupBasedScheduling(t *testing.T) {
+	const n, g = 8, 2
+	cfg := DefaultConfig()
+	cfg.GroupSize = g
+	cfg.DefaultFootprint = 50 * testMB
+	c := newCluster(n, cfg)
+	c.j.LaunchAll(computeLoop(80, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(sim.Second)
+	runSim(t, c.k)
+
+	rep := c.co.Reports()[0]
+	if len(rep.Groups) != n/g {
+		t.Fatalf("groups: %v", rep.Groups)
+	}
+	// Equation (3a): individual ~ g*S/B = 2*50/100 = 1 s.
+	wantInd := sim.Second
+	for i, rec := range rep.Records {
+		if math.Abs((rec.Individual() - wantInd).Seconds()) > 0.3 {
+			t.Fatalf("rank %d individual %v, eq(3a) predicts %v", i, rec.Individual(), wantInd)
+		}
+	}
+	// Equation (3b): total ~ (N/g) * individual.
+	wantTotal := sim.Time(n/g) * wantInd
+	if math.Abs((rep.Total() - wantTotal).Seconds()) > 0.5 {
+		t.Fatalf("total %v, eq(3b) predicts %v", rep.Total(), wantTotal)
+	}
+	// Groups write sequentially: storage concurrency never exceeds the
+	// group size.
+	if c.st.MaxConcurrent() > g {
+		t.Fatalf("storage concurrency %d exceeds group size %d", c.st.MaxConcurrent(), g)
+	}
+	// And groups proceed in order: each group's earliest write starts no
+	// earlier than the previous group's last write ends.
+	groupStart := make([]sim.Time, n/g)
+	groupEnd := make([]sim.Time, n/g)
+	for i := range groupStart {
+		groupStart[i] = sim.Time(math.MaxInt64)
+	}
+	for _, rec := range rep.Records {
+		if rec.WriteStart < groupStart[rec.Group] {
+			groupStart[rec.Group] = rec.WriteStart
+		}
+		if rec.WriteEnd > groupEnd[rec.Group] {
+			groupEnd[rec.Group] = rec.WriteEnd
+		}
+	}
+	for gi := 1; gi < n/g; gi++ {
+		if groupStart[gi] < groupEnd[gi-1]-10*sim.Millisecond {
+			t.Fatalf("group %d started writing at %v before group %d finished at %v",
+				gi, groupStart[gi], gi-1, groupEnd[gi-1])
+		}
+	}
+}
+
+func TestEffectiveDelayReduction(t *testing.T) {
+	// The headline effect: on a compute-heavy workload the group-based
+	// protocol's effective delay is far below the regular protocol's.
+	const n = 8
+	const iters, chunk = 100, 100 * sim.Millisecond
+	baseline := func() sim.Time {
+		c := newCluster(n, DefaultConfig())
+		c.j.LaunchAll(computeLoop(iters, chunk))
+		runSim(t, c.k)
+		return c.j.FinishTime()
+	}()
+
+	delay := func(groupSize int) sim.Time {
+		cfg := DefaultConfig()
+		cfg.GroupSize = groupSize
+		cfg.DefaultFootprint = 100 * testMB
+		c := newCluster(n, cfg)
+		c.j.LaunchAll(computeLoop(iters, chunk))
+		c.co.ScheduleCheckpoint(2 * sim.Second)
+		runSim(t, c.k)
+		return c.j.FinishTime() - baseline
+	}
+
+	regular := delay(0) // all at once
+	grouped := delay(2)
+	// Regular: everyone stalls for N*S/B = 8 s.
+	if math.Abs((regular - 8*sim.Second).Seconds()) > 0.5 {
+		t.Fatalf("regular effective delay %v, want ~8s", regular)
+	}
+	// Group-based: each rank stalls ~g*S/B = 2 s while others compute.
+	if grouped > regular/2 {
+		t.Fatalf("group-based delay %v not well below regular %v", grouped, regular)
+	}
+	if grouped < sim.Second {
+		t.Fatalf("group-based delay %v implausibly low (< individual time)", grouped)
+	}
+}
+
+// ringWorkload exchanges eager messages around a ring each iteration and
+// records the sum of received values.
+func ringWorkload(n, iters int, chunk sim.Time, sums []int64) func(*mpi.Env) {
+	return func(e *mpi.Env) {
+		w := e.World()
+		me := e.Rank()
+		right, left := (me+1)%n, (me-1+n)%n
+		var sum int64
+		for i := 0; i < iters; i++ {
+			e.Compute(chunk)
+			data, _ := e.Sendrecv(w, right, 1, mpi.I64ToBytes([]int64{int64(me*1000 + i)}), left, 1)
+			sum += mpi.BytesToI64(data)[0]
+		}
+		sums[me] = sum
+	}
+}
+
+func ringExpected(n, iters int, me int) int64 {
+	left := (me - 1 + n) % n
+	var sum int64
+	for i := 0; i < iters; i++ {
+		sum += int64(left*1000 + i)
+	}
+	return sum
+}
+
+func TestApplicationCorrectAcrossCheckpoint(t *testing.T) {
+	const n, iters = 6, 40
+	for _, gs := range []int{0, 1, 2, 3} {
+		cfg := DefaultConfig()
+		cfg.GroupSize = gs
+		cfg.DefaultFootprint = 20 * testMB
+		c := newCluster(n, cfg)
+		sums := make([]int64, n)
+		c.j.LaunchAll(ringWorkload(n, iters, 50*sim.Millisecond, sums))
+		c.co.ScheduleCheckpoint(500 * sim.Millisecond)
+		runSim(t, c.k)
+		for me := 0; me < n; me++ {
+			if sums[me] != ringExpected(n, iters, me) {
+				t.Fatalf("groupsize=%d rank %d sum %d, want %d (messages lost or duplicated)",
+					gs, me, sums[me], ringExpected(n, iters, me))
+			}
+		}
+		if len(c.co.Reports()) != 1 {
+			t.Fatalf("groupsize=%d: cycle did not complete", gs)
+		}
+	}
+}
+
+func TestCrossGroupTrafficDeferred(t *testing.T) {
+	// Rank 0 (group 0) checkpoints first; rank 1 (group 1) sends to it
+	// while it is checkpointing. The messages must be buffered and arrive
+	// intact after both groups checkpoint.
+	const n = 2
+	cfg := DefaultConfig()
+	cfg.GroupSize = 1
+	cfg.DefaultFootprint = 100 * testMB // 1 s write each
+	c := newCluster(n, cfg)
+	var got []byte
+	c.j.Launch(0, func(e *mpi.Env) {
+		e.Compute(500 * sim.Millisecond)
+		got, _ = e.Recv(e.World(), 1, 0)
+		e.Compute(3 * sim.Second)
+	})
+	c.j.Launch(1, func(e *mpi.Env) {
+		e.Compute(600 * sim.Millisecond) // rank 0 is checkpointing by now
+		e.Send(e.World(), 0, 0, []byte("cross-group"))
+		e.Compute(3 * sim.Second)
+	})
+	c.co.ScheduleCheckpoint(100 * sim.Millisecond)
+	runSim(t, c.k)
+	if string(got) != "cross-group" {
+		t.Fatalf("deferred message corrupted: %q", got)
+	}
+	if c.j.Rank(1).Stats().MsgsBuffered == 0 {
+		t.Fatal("cross-group eager message was not buffered")
+	}
+	rep := c.co.Reports()[0]
+	// Rank 1's message was sent at ~600 ms, while rank 0 was checkpointing
+	// (from ~100 ms to ~1.1 s); delivery must happen after rank 1 also
+	// saved (both sides of the recovery line).
+	r1Saved := rep.Records[1].WriteEnd
+	if rep.Records[0].WriteEnd > r1Saved {
+		t.Fatal("test premise broken: rank 0 should checkpoint first")
+	}
+}
+
+func TestConnectionsRebuiltAfterCycle(t *testing.T) {
+	const n = 4
+	cfg := DefaultConfig()
+	cfg.GroupSize = 2
+	cfg.DefaultFootprint = 10 * testMB
+	c := newCluster(n, cfg)
+	sums := make([]int64, n)
+	c.j.LaunchAll(ringWorkload(n, 30, 50*sim.Millisecond, sums))
+	c.co.ScheduleCheckpoint(300 * sim.Millisecond)
+	runSim(t, c.k)
+	// After the run, ring neighbours must have re-established connections.
+	for me := 0; me < n; me++ {
+		ep := c.j.Rank(me).Endpoint()
+		if len(ep.Peers()) == 0 {
+			t.Fatalf("rank %d has no connections after the cycle", me)
+		}
+		for _, p := range ep.Peers() {
+			if ep.State(p) != ib.StateConnected {
+				t.Fatalf("rank %d conn to %d in state %v", me, p, ep.State(p))
+			}
+		}
+	}
+}
+
+func TestConnectionsClosedAtSnapshot(t *testing.T) {
+	// The channel-quiescence invariant: when a rank starts its storage
+	// write, it must hold no established connections and no unprocessed
+	// in-band packets.
+	const n = 4
+	cfg := DefaultConfig()
+	cfg.GroupSize = 2
+	cfg.DefaultFootprint = 10 * testMB
+	c := newCluster(n, cfg)
+	violations := 0
+	for i := 0; i < n; i++ {
+		i := i
+		ctl := c.co.Controller(i)
+		origFn := ctl.FootprintFn
+		ctl.FootprintFn = func() int64 {
+			ep := c.j.Rank(i).Endpoint()
+			for _, p := range ep.Peers() {
+				switch ep.State(p) {
+				case ib.StateConnected, ib.StateAccepting, ib.StateDraining, ib.StateDisconnecting:
+					violations++
+				}
+			}
+			if ep.PendingWork() {
+				violations++
+			}
+			if origFn != nil {
+				return origFn()
+			}
+			return cfg.DefaultFootprint
+		}
+	}
+	sums := make([]int64, n)
+	c.j.LaunchAll(ringWorkload(n, 30, 50*sim.Millisecond, sums))
+	c.co.ScheduleCheckpoint(300 * sim.Millisecond)
+	runSim(t, c.k)
+	if violations != 0 {
+		t.Fatalf("%d channel-quiescence violations at snapshot time", violations)
+	}
+}
+
+func TestHelperThreadAblation(t *testing.T) {
+	// A member must tear down a connection to a passive peer that computes
+	// in long chunks. With the helper thread the flush completes within the
+	// helper interval; without it the teardown stalls until the peer's next
+	// library call.
+	teardown := func(helper bool) sim.Time {
+		cfg := DefaultConfig()
+		cfg.GroupSize = 1
+		cfg.HelperEnabled = helper
+		cfg.DefaultFootprint = 1 * testMB
+		c := newCluster(2, cfg)
+		// Establish a connection, then rank 1 computes one long chunk.
+		c.j.Launch(0, func(e *mpi.Env) {
+			e.Send(e.World(), 1, 0, []byte("warm"))
+			e.Compute(10 * sim.Second)
+		})
+		c.j.Launch(1, func(e *mpi.Env) {
+			e.Recv(e.World(), 0, 0)
+			e.Compute(10 * sim.Second) // passive during rank 0's checkpoint
+		})
+		c.co.ScheduleCheckpoint(500 * sim.Millisecond)
+		runSim(t, c.k)
+		rec := c.co.Reports()[0].Records[0]
+		return rec.TeardownDone - rec.GoAt
+	}
+	with := teardown(true)
+	without := teardown(false)
+	if with > 250*sim.Millisecond {
+		t.Fatalf("teardown with helper took %v, want <= ~2 helper intervals", with)
+	}
+	if without < 2*sim.Second {
+		t.Fatalf("teardown without helper took only %v; ablation shows no effect", without)
+	}
+}
+
+func TestFinishedRankCheckpoints(t *testing.T) {
+	const n = 3
+	cfg := DefaultConfig()
+	cfg.DefaultFootprint = 10 * testMB
+	c := newCluster(n, cfg)
+	c.j.Launch(0, func(e *mpi.Env) {
+		e.Compute(100 * sim.Millisecond) // finishes before the checkpoint
+	})
+	c.j.Launch(1, computeLoop(30, 100*sim.Millisecond))
+	c.j.Launch(2, computeLoop(30, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(sim.Second)
+	runSim(t, c.k)
+	if len(c.co.Reports()) != 1 {
+		t.Fatal("cycle did not complete with a finished rank")
+	}
+	if !c.co.Snapshots().Complete(1) {
+		t.Fatal("snapshot set incomplete")
+	}
+}
+
+func TestTwoSequentialCheckpoints(t *testing.T) {
+	const n = 4
+	cfg := DefaultConfig()
+	cfg.GroupSize = 2
+	cfg.DefaultFootprint = 10 * testMB
+	c := newCluster(n, cfg)
+	sums := make([]int64, n)
+	c.j.LaunchAll(ringWorkload(n, 60, 50*sim.Millisecond, sums))
+	c.co.ScheduleCheckpoint(300 * sim.Millisecond)
+	c.co.ScheduleCheckpoint(2 * sim.Second)
+	runSim(t, c.k)
+	if len(c.co.Reports()) != 2 {
+		t.Fatalf("cycles completed: %d", len(c.co.Reports()))
+	}
+	for me := 0; me < n; me++ {
+		if sums[me] != ringExpected(n, 60, me) {
+			t.Fatalf("rank %d corrupted across two checkpoints", me)
+		}
+	}
+	if !c.co.Snapshots().Complete(2) {
+		t.Fatal("second epoch incomplete")
+	}
+	if e, _ := c.co.Snapshots().Latest(); e != 2 {
+		t.Fatalf("latest epoch %d", e)
+	}
+}
+
+func TestOverlappingCheckpointPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DefaultFootprint = 100 * testMB
+	c := newCluster(2, cfg)
+	c.j.LaunchAll(computeLoop(50, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(sim.Second)
+	c.co.ScheduleCheckpoint(sim.Second + sim.Millisecond) // overlaps
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping cycles not rejected")
+		}
+	}()
+	_ = c.k.Run()
+	t.Fatal("expected panic from overlapping checkpoint request")
+}
+
+func TestStaticGroupFormation(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    string
+	}{
+		{8, 2, "[[0 1] [2 3] [4 5] [6 7]]"},
+		{8, 3, "[[0 1 2] [3 4 5] [6 7]]"},
+		{8, 0, "[[0 1 2 3 4 5 6 7]]"},
+		{8, 100, "[[0 1 2 3 4 5 6 7]]"},
+		{1, 1, "[[0]]"},
+		{5, 5, "[[0 1 2 3 4]]"},
+	}
+	for _, c := range cases {
+		got := fmt.Sprint(FormStaticGroups(c.n, c.size))
+		if got != c.want {
+			t.Errorf("FormStaticGroups(%d,%d) = %v, want %v", c.n, c.size, got, c.want)
+		}
+	}
+}
+
+func TestDynamicGroupFormationClusters(t *testing.T) {
+	// Two communication cliques {0,1,2,3} and {4,5,6,7}: dynamic formation
+	// must recover them.
+	traffic := make([]map[int]int64, 8)
+	for i := range traffic {
+		traffic[i] = make(map[int]int64)
+	}
+	for _, clique := range [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		for _, a := range clique {
+			for _, b := range clique {
+				if a != b {
+					traffic[a][b] = 100
+				}
+			}
+		}
+	}
+	got := fmt.Sprint(FormDynamicGroups(8, 4, traffic))
+	if got != "[[0 1 2 3] [4 5 6 7]]" {
+		t.Fatalf("dynamic groups = %v", got)
+	}
+}
+
+func TestDynamicGroupFormationGlobalFallsBack(t *testing.T) {
+	// All-to-all traffic: one giant component triggers the static fallback.
+	traffic := make([]map[int]int64, 8)
+	for i := range traffic {
+		traffic[i] = make(map[int]int64)
+		for j := 0; j < 8; j++ {
+			if j != i {
+				traffic[i][j] = 50
+			}
+		}
+	}
+	got := fmt.Sprint(FormDynamicGroups(8, 2, traffic))
+	want := fmt.Sprint(FormStaticGroups(8, 2))
+	if got != want {
+		t.Fatalf("global traffic: got %v, want static %v", got, want)
+	}
+}
+
+func TestDynamicGroupFormationSplitsAndPacks(t *testing.T) {
+	// One 6-clique (split into 4+2 by maxSize=4... chunks of 4) plus two
+	// singletons that pack together.
+	traffic := make([]map[int]int64, 8)
+	for i := range traffic {
+		traffic[i] = make(map[int]int64)
+	}
+	for a := 0; a < 6; a++ {
+		for b := 0; b < 6; b++ {
+			if a != b {
+				traffic[a][b] = 100
+			}
+		}
+	}
+	got := fmt.Sprint(FormDynamicGroups(8, 4, traffic))
+	if got != "[[0 1 2 3] [4 5] [6 7]]" {
+		t.Fatalf("dynamic groups = %v", got)
+	}
+}
+
+func TestDynamicGroupFormationNoTraffic(t *testing.T) {
+	traffic := make([]map[int]int64, 4)
+	got := fmt.Sprint(FormDynamicGroups(4, 2, traffic))
+	if got != fmt.Sprint(FormStaticGroups(4, 2)) {
+		t.Fatalf("no traffic: %v", got)
+	}
+}
+
+func TestDynamicGroupsEndToEnd(t *testing.T) {
+	// Ranks communicate in pairs; a dynamic-formation checkpoint should
+	// schedule those pairs as groups and the application must stay correct.
+	const n, iters = 6, 40
+	cfg := DefaultConfig()
+	cfg.Dynamic = true
+	cfg.GroupSize = 2
+	cfg.DefaultFootprint = 10 * testMB
+	c := newCluster(n, cfg)
+	results := make([]int64, n)
+	c.j.LaunchAll(func(e *mpi.Env) {
+		w := e.World()
+		me := e.Rank()
+		partner := me ^ 1
+		var sum int64
+		for i := 0; i < iters; i++ {
+			e.Compute(50 * sim.Millisecond)
+			data, _ := e.Sendrecv(w, partner, 1, mpi.I64ToBytes([]int64{int64(me + i)}), partner, 1)
+			sum += mpi.BytesToI64(data)[0]
+		}
+		results[me] = sum
+	})
+	c.co.ScheduleCheckpoint(800 * sim.Millisecond)
+	runSim(t, c.k)
+	rep := c.co.Reports()[0]
+	if len(rep.Groups) != 3 {
+		t.Fatalf("dynamic groups: %v", rep.Groups)
+	}
+	for _, g := range rep.Groups {
+		if len(g) != 2 || g[0]^1 != g[1] {
+			t.Fatalf("dynamic groups did not recover pairs: %v", rep.Groups)
+		}
+	}
+	for me := 0; me < n; me++ {
+		partner := me ^ 1
+		var want int64
+		for i := 0; i < iters; i++ {
+			want += int64(partner + i)
+		}
+		if results[me] != want {
+			t.Fatalf("rank %d result %d, want %d", me, results[me], want)
+		}
+	}
+}
+
+// Property: for random group sizes, checkpoint times, and message sizes, the
+// ring workload completes with correct sums and the checkpoint cycle
+// completes.
+func TestQuickProtocolConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		gs := rng.Intn(n + 1)
+		iters := rng.Intn(20) + 10
+		cfg := DefaultConfig()
+		cfg.GroupSize = gs
+		cfg.DefaultFootprint = int64(rng.Intn(20)+1) * testMB
+		cfg.HelperEnabled = rng.Intn(4) != 0
+		k := sim.NewKernel(seed)
+		st := storage.New(k, storage.Config{AggregateBW: 100 * testMB, ClientBW: 100 * testMB})
+		f := ib.New(k, ib.PaperConfig())
+		j := mpi.NewJob(k, f, mpi.DefaultConfig(), n)
+		co := New(k, j, st, cfg)
+		sums := make([]int64, n)
+		j.LaunchAll(ringWorkload(n, iters, sim.Time(rng.Intn(80)+20)*sim.Millisecond, sums))
+		co.ScheduleCheckpoint(sim.Time(rng.Intn(900)+100) * sim.Millisecond)
+		if err := k.Run(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for me := 0; me < n; me++ {
+			if sums[me] != ringExpected(n, iters, me) {
+				return false
+			}
+		}
+		return len(co.Reports()) == 1 && co.Snapshots().Complete(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// epochTracer pairs every wire-level post with its delivery (per-pair FIFO)
+// and checks the recovery-line invariant: the sender's checkpoint epoch when
+// a packet is posted equals the receiver's epoch when it is processed. A
+// violation would mean a message crossed the recovery line — lost or
+// duplicated on restart.
+type epochTracer struct {
+	c          *testCluster
+	queues     map[[2]int][]int
+	posts      int
+	deliveries int
+	violations int
+}
+
+func installEpochTracer(c *testCluster) *epochTracer {
+	tr := &epochTracer{c: c, queues: make(map[[2]int][]int)}
+	for i := 0; i < c.j.Size(); i++ {
+		i := i
+		rank := c.j.Rank(i)
+		rank.PostHook = func(dst int) {
+			tr.posts++
+			key := [2]int{i, dst}
+			tr.queues[key] = append(tr.queues[key], c.co.Controller(i).Epoch())
+		}
+		rank.DeliverHook = func(src int) {
+			tr.deliveries++
+			key := [2]int{src, i}
+			q := tr.queues[key]
+			if len(q) == 0 {
+				tr.violations++
+				return
+			}
+			sendEpoch := q[0]
+			tr.queues[key] = q[1:]
+			if sendEpoch != c.co.Controller(i).Epoch() {
+				tr.violations++
+			}
+		}
+	}
+	return tr
+}
+
+func TestEpochInvariantSignalMode(t *testing.T) {
+	const n, iters = 6, 50
+	for _, gs := range []int{0, 1, 2, 3} {
+		cfg := DefaultConfig()
+		cfg.GroupSize = gs
+		cfg.DefaultFootprint = 30 * testMB
+		c := newCluster(n, cfg)
+		tr := installEpochTracer(c)
+		sums := make([]int64, n)
+		c.j.LaunchAll(ringWorkload(n, iters, 50*sim.Millisecond, sums))
+		c.co.ScheduleCheckpoint(400 * sim.Millisecond)
+		c.co.ScheduleCheckpoint(3 * sim.Second)
+		runSim(t, c.k)
+		if tr.violations != 0 {
+			t.Fatalf("groupsize=%d: %d recovery-line violations (%d posts, %d deliveries)",
+				gs, tr.violations, tr.posts, tr.deliveries)
+		}
+		if tr.posts == 0 || tr.posts != tr.deliveries {
+			t.Fatalf("groupsize=%d: tracer accounting broken: %d posts, %d deliveries",
+				gs, tr.posts, tr.deliveries)
+		}
+	}
+}
+
+// Property: the recovery-line invariant holds for random workloads, group
+// sizes, helper settings, and checkpoint times.
+func TestQuickEpochInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		cfg := DefaultConfig()
+		cfg.GroupSize = rng.Intn(n + 1)
+		cfg.DefaultFootprint = int64(rng.Intn(30)+1) * testMB
+		cfg.HelperEnabled = rng.Intn(3) != 0
+		k := sim.NewKernel(seed)
+		st := storage.New(k, storage.Config{AggregateBW: 100 * testMB, ClientBW: 100 * testMB})
+		fab := ib.New(k, ib.PaperConfig())
+		j := mpi.NewJob(k, fab, mpi.DefaultConfig(), n)
+		co := New(k, j, st, cfg)
+		c := &testCluster{k: k, st: st, j: j, co: co}
+		tr := installEpochTracer(c)
+		sums := make([]int64, n)
+		j.LaunchAll(ringWorkload(n, rng.Intn(25)+10, sim.Time(rng.Intn(80)+20)*sim.Millisecond, sums))
+		co.ScheduleCheckpoint(sim.Time(rng.Intn(900)+100) * sim.Millisecond)
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return tr.violations == 0 && tr.posts == tr.deliveries
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStagedCheckpointing(t *testing.T) {
+	const n = 4
+	cfg := DefaultConfig()
+	cfg.GroupSize = 2
+	cfg.DefaultFootprint = 60 * testMB
+	cfg.Staged = true
+	cfg.LocalDiskBW = 60 * testMB // 1 s local write per rank
+	c := newCluster(n, cfg)
+	c.j.LaunchAll(computeLoop(80, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(sim.Second)
+	runSim(t, c.k)
+	rep := c.co.Reports()[0]
+	// Each rank's downtime is the local write (~1 s), independent of the
+	// group size; the shared-storage contention moves to the drains.
+	for i, rec := range rep.Records {
+		if d := rec.Individual(); d < 900*sim.Millisecond || d > 1500*sim.Millisecond {
+			t.Fatalf("rank %d staged downtime %v, want ~1s local write", i, d)
+		}
+	}
+	// The checkpoint only becomes durable when all drains complete:
+	// 4 ranks x 60 MB over 100 MB/s shared storage = 2.4 s of draining.
+	if !c.co.Snapshots().Complete(1) {
+		t.Fatal("drains never completed")
+	}
+	if w := rep.VulnerabilityWindow(); w <= 0 {
+		t.Fatalf("vulnerability window %v, want > 0 for staged mode", w)
+	}
+	if rep.DrainedAt <= rep.DoneAt {
+		t.Fatal("DrainedAt must lag DoneAt in staged mode")
+	}
+}
+
+func TestStagedDrainGatesRestartEpoch(t *testing.T) {
+	// A staged checkpoint is not restartable until drained: Latest() must
+	// not return the epoch while drains are in flight.
+	const n = 2
+	cfg := DefaultConfig()
+	cfg.GroupSize = 1
+	cfg.DefaultFootprint = 100 * testMB
+	cfg.Staged = true
+	cfg.LocalDiskBW = 1000 * testMB // local write nearly instant
+	c := newCluster(n, cfg)
+	c.j.LaunchAll(computeLoop(100, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(sim.Second)
+	// Probe completeness mid-drain: drains need 2x100MB/100MBps = 2 s.
+	var during, after bool
+	c.k.At(2*sim.Second, func() { during = c.co.Snapshots().Complete(1) })
+	c.k.At(9*sim.Second, func() { after = c.co.Snapshots().Complete(1) })
+	runSim(t, c.k)
+	if during {
+		t.Fatal("epoch marked complete while drains were still in flight")
+	}
+	if !after {
+		t.Fatal("epoch never completed after drains")
+	}
+}
+
+func TestFailureMidCycleFallsBackToPreviousEpoch(t *testing.T) {
+	// If the job dies while checkpoint 2 is being taken, restart must use
+	// epoch 1 (the last COMPLETE global checkpoint).
+	const n = 4
+	cfg := DefaultConfig()
+	cfg.GroupSize = 2
+	cfg.DefaultFootprint = 50 * testMB
+	c := newCluster(n, cfg)
+	c.j.LaunchAll(computeLoop(100, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(sim.Second)     // completes ~2s
+	c.co.ScheduleCheckpoint(5 * sim.Second) // in flight at the failure
+	if err := c.k.RunUntil(5500 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if c.co.Snapshots().Complete(2) {
+		t.Fatal("test premise broken: cycle 2 already finished at 5.5s")
+	}
+	epoch, snaps := c.co.Snapshots().Latest()
+	if epoch != 1 || len(snaps) != n {
+		t.Fatalf("mid-cycle failure: Latest() = epoch %d with %d snaps, want epoch 1", epoch, len(snaps))
+	}
+	for _, s := range snaps {
+		if err := s.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTraceTimeline(t *testing.T) {
+	const n = 4
+	cfg := DefaultConfig()
+	cfg.GroupSize = 2
+	cfg.DefaultFootprint = 20 * testMB
+	c := newCluster(n, cfg)
+	log := &trace.Log{}
+	c.co.Trace = log
+	c.j.LaunchAll(computeLoop(40, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(sim.Second)
+	runSim(t, c.k)
+	// The coordinator's cycle events appear in protocol order.
+	var cycleEvents []string
+	for _, e := range log.ByRank(-1) {
+		cycleEvents = append(cycleEvents, e.What)
+	}
+	want := []string{"request", "turn", "group-done", "turn", "group-done", "cycle-done"}
+	if fmt.Sprint(cycleEvents) != fmt.Sprint(want) {
+		t.Fatalf("cycle events %v, want %v", cycleEvents, want)
+	}
+	// Every rank walked through the full phase sequence.
+	for r := 0; r < n; r++ {
+		var phases []string
+		for _, e := range log.ByRank(r) {
+			if e.Kind == trace.KindPhase || e.Kind == trace.KindStorage {
+				phases = append(phases, e.What)
+			}
+		}
+		wantPhases := []string{"safe-point", "pre-checkpoint", "write-start", "write-end", "resume"}
+		if fmt.Sprint(phases) != fmt.Sprint(wantPhases) {
+			t.Fatalf("rank %d phases %v, want %v", r, phases, wantPhases)
+		}
+	}
+}
+
+func TestIncrementalSnapshotSizing(t *testing.T) {
+	const n = 2
+	cfg := DefaultConfig()
+	cfg.GroupSize = 0
+	cfg.DefaultFootprint = 100 * testMB
+	cfg.Incremental = true
+	cfg.DirtyBW = 1 * testMB // 1 MB/s of dirtied memory
+	c := newCluster(n, cfg)
+	c.j.LaunchAll(computeLoop(120, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(sim.Second)
+	c.co.ScheduleCheckpoint(7 * sim.Second) // ~4s after the first completes
+	runSim(t, c.k)
+	reps := c.co.Reports()
+	if len(reps) != 2 {
+		t.Fatalf("cycles: %d", len(reps))
+	}
+	first := reps[0].Records[0].Footprint
+	second := reps[1].Records[0].Footprint
+	if first != 100*testMB {
+		t.Fatalf("first snapshot %d, want the full footprint", first)
+	}
+	// Second snapshot: 5% floor (5 MB) + ~6 MB dirtied in ~6s.
+	if second >= first/4 || second < 5*testMB {
+		t.Fatalf("second snapshot %d bytes, want a small incremental image", second)
+	}
+	// The second cycle is correspondingly much faster.
+	if reps[1].Total() > reps[0].Total()/3 {
+		t.Fatalf("incremental cycle %v not much faster than full %v",
+			reps[1].Total(), reps[0].Total())
+	}
+}
+
+func TestIncrementalCapsAtFullFootprint(t *testing.T) {
+	const n = 1
+	cfg := DefaultConfig()
+	cfg.DefaultFootprint = 10 * testMB
+	cfg.Incremental = true
+	cfg.DirtyBW = 100 * testMB // dirties everything between checkpoints
+	c := newCluster(n, cfg)
+	c.j.LaunchAll(computeLoop(80, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(sim.Second)
+	c.co.ScheduleCheckpoint(5 * sim.Second)
+	runSim(t, c.k)
+	reps := c.co.Reports()
+	if got := reps[1].Records[0].Footprint; got != 10*testMB {
+		t.Fatalf("incremental image %d exceeded or undershot the full footprint", got)
+	}
+}
+
+func TestReportAndControllerAccessors(t *testing.T) {
+	const n = 2
+	cfg := DefaultConfig()
+	cfg.DefaultFootprint = 10 * testMB
+	c := newCluster(n, cfg)
+	c.j.LaunchAll(computeLoop(30, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(sim.Second)
+	if c.co.Active() {
+		t.Fatal("active before the request")
+	}
+	if c.co.Config().DefaultFootprint != 10*testMB {
+		t.Fatal("config accessor")
+	}
+	runSim(t, c.k)
+	rep := c.co.Reports()[0]
+	if rep.MaxIndividual() < rep.MeanIndividual() {
+		t.Fatal("max below mean")
+	}
+	if rep.VulnerabilityWindow() != 0 {
+		t.Fatal("direct writes must have no vulnerability window")
+	}
+	rec := rep.Records[0]
+	if rec.CoordinationTime() < 0 || rec.CoordinationTime() > rec.Individual() {
+		t.Fatalf("coordination time %v out of range", rec.CoordinationTime())
+	}
+	ctl := c.co.Controller(1)
+	if ctl.Rank() != c.j.Rank(1) || len(ctl.Records()) != 1 || ctl.Epoch() != 1 {
+		t.Fatal("controller accessors")
+	}
+	if ctl.ConnMeta() != 1 {
+		t.Fatalf("ConnMeta = %d, want the epoch", ctl.ConnMeta())
+	}
+}
+
+func TestGanttShowsStaggering(t *testing.T) {
+	const n = 4
+	cfg := DefaultConfig()
+	cfg.GroupSize = 2
+	cfg.DefaultFootprint = 50 * testMB
+	c := newCluster(n, cfg)
+	c.j.LaunchAll(computeLoop(60, 100*sim.Millisecond))
+	c.co.ScheduleCheckpoint(sim.Second)
+	runSim(t, c.k)
+	g := c.co.Reports()[0].Gantt(60)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != n+1 {
+		t.Fatalf("gantt lines: %d\n%s", len(lines), g)
+	}
+	// Group 0 (ranks 0,1) writes in the first half; group 1 in the second.
+	firstW := func(line string) int { return strings.IndexByte(line, 'W') }
+	if !(firstW(lines[1]) < firstW(lines[3])) {
+		t.Fatalf("staggering not visible:\n%s", g)
+	}
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, "W") || !strings.Contains(line, ".") {
+			t.Fatalf("row missing write or execution marks:\n%s", g)
+		}
+	}
+}
+
+// Property: mixed collectives (barrier, bcast, allreduce, allgather) stay
+// correct through a group-based checkpoint in signal mode.
+func TestQuickCollectivesAcrossCheckpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 2
+		gs := rng.Intn(n + 1)
+		iters := rng.Intn(10) + 6
+		cfg := DefaultConfig()
+		cfg.GroupSize = gs
+		cfg.DefaultFootprint = int64(rng.Intn(20)+1) * testMB
+		k := sim.NewKernel(seed)
+		st := storage.New(k, storage.Config{AggregateBW: 100 * testMB, ClientBW: 100 * testMB})
+		fab := ib.New(k, ib.PaperConfig())
+		j := mpi.NewJob(k, fab, mpi.DefaultConfig(), n)
+		co := New(k, j, st, cfg)
+		ok := make([]bool, n)
+		j.LaunchAll(func(e *mpi.Env) {
+			w := e.World()
+			me := e.Rank()
+			good := true
+			for i := 0; i < iters; i++ {
+				e.Compute(sim.Time(rng.Intn(60)+20) * sim.Millisecond)
+				switch i % 4 {
+				case 0:
+					e.Barrier(w)
+				case 1:
+					var in []byte
+					if me == i%n {
+						in = mpi.I64ToBytes([]int64{int64(i * 7)})
+					}
+					out := e.Bcast(w, i%n, in)
+					if mpi.BytesToI64(out)[0] != int64(i*7) {
+						good = false
+					}
+				case 2:
+					sum := e.AllreduceF64(w, []float64{float64(me)}, mpi.OpSum)
+					if sum[0] != float64(n*(n-1))/2 {
+						good = false
+					}
+				case 3:
+					blocks := e.Allgather(w, mpi.I64ToBytes([]int64{int64(me + i)}))
+					for src, b := range blocks {
+						if mpi.BytesToI64(b)[0] != int64(src+i) {
+							good = false
+						}
+					}
+				}
+			}
+			ok[me] = good
+		})
+		co.ScheduleCheckpoint(sim.Time(rng.Intn(600)+100) * sim.Millisecond)
+		if err := k.Run(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, g := range ok {
+			if !g {
+				return false
+			}
+		}
+		return len(co.Reports()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleBufferingAccountingReal(t *testing.T) {
+	const n = 2
+	cfg := DefaultConfig()
+	cfg.GroupSize = 1
+	cfg.DefaultFootprint = 100 * testMB
+	c := newCluster(n, cfg)
+	c.j.Launch(0, func(e *mpi.Env) {
+		for i := 0; i < 3; i++ {
+			e.Recv(e.World(), 1, 0)
+		}
+		e.Compute(4 * sim.Second)
+	})
+	c.j.Launch(1, func(e *mpi.Env) {
+		e.Compute(500 * sim.Millisecond) // rank 0 is checkpointing by now
+		for i := 0; i < 3; i++ {
+			e.Send(e.World(), 0, 0, []byte("deferred payload"))
+		}
+		e.Compute(4 * sim.Second)
+	})
+	c.co.ScheduleCheckpoint(100 * sim.Millisecond)
+	runSim(t, c.k)
+	rep := c.co.Reports()[0]
+	msgs, _, bytes := rep.BufferedTotals()
+	if msgs < 3 || bytes < 3*int64(len("deferred payload")) {
+		t.Fatalf("buffering not attributed: msgs=%d bytes=%d", msgs, bytes)
+	}
+	if rep.Records[1].BufferedMsgs < 3 {
+		t.Fatalf("rank 1 record: %+v", rep.Records[1])
+	}
+}
+
+func TestStagedPolledWithFinishedRank(t *testing.T) {
+	// The kitchen-sink combination: polled discipline, staged writes, and a
+	// rank that finished before the request.
+	const n = 3
+	cfg := DefaultConfig()
+	cfg.GroupSize = 2
+	cfg.Polled = true
+	cfg.Staged = true
+	cfg.LocalDiskBW = 100 * testMB
+	cfg.DefaultFootprint = 20 * testMB
+	c := newCluster(n, cfg)
+	sums := make([]int64, n)
+	c.j.Launch(0, func(e *mpi.Env) {
+		e.Compute(200 * sim.Millisecond) // finishes before the checkpoint
+	})
+	// Ranks 1 and 2 run a restartable-style loop with collective boundaries.
+	for i := 1; i < n; i++ {
+		i := i
+		c.j.Launch(i, func(e *mpi.Env) {
+			sub := e.NewComm([]int{1, 2})
+			var sum int64
+			for it := 0; it < 30; it++ {
+				e.CollectiveCheckpoint(sub)
+				e.Compute(50 * sim.Millisecond)
+				partner := 3 - i
+				data, _ := e.Sendrecv(sub, sub.CommRankOf(partner), 1,
+					mpi.I64ToBytes([]int64{int64(i*100 + it)}), sub.CommRankOf(partner), 1)
+				sum += mpi.BytesToI64(data)[0]
+			}
+			sums[i] = sum
+		})
+	}
+	c.co.ScheduleCheckpoint(600 * sim.Millisecond)
+	runSim(t, c.k)
+	if len(c.co.Reports()) != 1 {
+		t.Fatal("cycle incomplete")
+	}
+	rep := c.co.Reports()[0]
+	if rep.VulnerabilityWindow() <= 0 {
+		t.Fatal("staged cycle must report a vulnerability window")
+	}
+	if !c.co.Snapshots().Complete(1) {
+		t.Fatal("drains incomplete")
+	}
+	for i := 1; i < n; i++ {
+		partner := 3 - i
+		var want int64
+		for it := 0; it < 30; it++ {
+			want += int64(partner*100 + it)
+		}
+		if sums[i] != want {
+			t.Fatalf("rank %d sum %d, want %d", i, sums[i], want)
+		}
+	}
+}

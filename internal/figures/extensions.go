@@ -1,0 +1,256 @@
+package figures
+
+import (
+	"fmt"
+
+	"gbcr/internal/harness"
+	"gbcr/internal/sim"
+	"gbcr/internal/workload"
+)
+
+// Extensions runs the studies beyond the paper's figures: the message
+// logging alternative it argues against (Section 4.3 / related work) and
+// the incremental-checkpointing combination it names as future work.
+func Extensions() *AblationReport {
+	return &AblationReport{Tables: []*Table{
+		ExtensionLogging(),
+		ExtensionIncremental(),
+		ExtensionStaging(),
+		ExtensionFaultRecovery(),
+		ExtensionScalability(),
+	}}
+}
+
+// ExtensionLogging quantifies the failure-free cost of sender-based message
+// logging on a communication-intensive workload — the overhead that makes
+// uncoordinated/logging protocols unattractive on high-speed interconnects
+// (Sections 1 and 4.3).
+func ExtensionLogging() *Table {
+	t := &Table{
+		Title:     "Extension (S4.3): message buffering vs sender-based logging, failure-free cost",
+		Unit:      "(mixed)",
+		ColHeader: "metric",
+		RowHeader: "mode",
+		Cols:      []string{"runtime s", "overhead %", "copied GB"},
+	}
+	w := workload.CommGroups{
+		N: microN, CommGroupSize: 8, Iters: 500,
+		Chunk: 5 * sim.Millisecond, MsgBytes: 1 << 20, FootprintMB: microFootprint,
+	}
+	var base sim.Time
+	for _, logging := range []bool{false, true} {
+		cfg := harness.PaperCluster(microN)
+		cfg.MPI.LogMessages = logging
+		cfg.CR.GroupSize = 8
+		c := harness.NewCluster(cfg)
+		w.Launch(c.Job)
+		// One group-based checkpoint mid-run, so the buffering row shows
+		// how little the deferral approach actually copies.
+		c.Coord.ScheduleCheckpoint(2 * sim.Second)
+		if err := c.K.Run(); err != nil {
+			panic(err)
+		}
+		runtime := c.Job.FinishTime()
+		var copied int64
+		if logging {
+			for i := 0; i < microN; i++ {
+				copied += c.Job.Rank(i).Stats().BytesLogged
+			}
+		} else {
+			_, _, copied = c.Coord.Reports()[0].BufferedTotals()
+		}
+		label := "buffering (deferral)"
+		overhead := 0.0
+		if logging {
+			label = "sender-based logging"
+			overhead = 100 * float64(runtime-base) / float64(base)
+		} else {
+			base = runtime
+		}
+		t.Rows = append(t.Rows, label)
+		t.Cells = append(t.Cells, []float64{
+			runtime.Seconds(), overhead, float64(copied) / (1 << 30),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"'copied': payload bytes held by each scheme across the run (one group checkpoint included)",
+		"logging copies every payload always; buffering holds only cross-group traffic during the cycle")
+	return t
+}
+
+// ExtensionIncremental combines group-based checkpointing with incremental
+// checkpointing (future work in Section 8, cf. TICK): three periodic
+// checkpoints, comparing the cumulative effective delay of the four
+// protocol combinations.
+func ExtensionIncremental() *Table {
+	t := &Table{
+		Title:     "Extension (S8): group-based x incremental checkpointing, 3 checkpoints",
+		Unit:      "s",
+		ColHeader: "metric",
+		RowHeader: "protocol",
+		Cols:      []string{"cumulative delay", "ckpt-3 mean individual"},
+	}
+	w := workload.CommGroups{
+		N: microN, CommGroupSize: 8, Iters: 1800,
+		Chunk: 100 * sim.Millisecond, FootprintMB: microFootprint,
+	}
+	baseline := harness.Baseline(harness.PaperCluster(microN), w)
+	for _, incr := range []bool{false, true} {
+		for _, gs := range []int{0, 8} {
+			cfg := harness.PaperCluster(microN)
+			cfg.CR.GroupSize = gs
+			cfg.CR.DefaultFootprint = microFootprint << 20
+			cfg.CR.Incremental = incr
+			cfg.CR.DirtyBW = 1 << 20 // 1 MB/s: ~50 MB re-dirtied per 40 s interval
+			c := harness.NewCluster(cfg)
+			w.Launch(c.Job)
+			for _, at := range []sim.Time{10 * sim.Second, 60 * sim.Second, 110 * sim.Second} {
+				c.Coord.ScheduleCheckpoint(at)
+			}
+			if err := c.K.Run(); err != nil {
+				panic(err)
+			}
+			reps := c.Coord.Reports()
+			last := reps[len(reps)-1]
+			mode := "full"
+			if incr {
+				mode = "incremental"
+			}
+			t.Rows = append(t.Rows, fmt.Sprintf("%s, %s", groupLabel(microN, gs), mode))
+			t.Cells = append(t.Cells, []float64{
+				(c.Job.FinishTime() - baseline).Seconds(),
+				last.MeanIndividual().Seconds(),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"incremental snapshots write only memory dirtied since the last checkpoint (1 MB/s dirty rate)")
+	return t
+}
+
+// ExtensionStaging quantifies the local-disk staging alternative the paper
+// rejects in Section 2.1: the delay collapses to the local-write time, but
+// the checkpoint stays non-durable until the background drains finish — a
+// node crash in that window loses it (and diskless nodes cannot stage at
+// all).
+func ExtensionStaging() *Table {
+	t := &Table{
+		Title:     "Extension (S2.1): direct central writes vs local-disk staging (60 MB/s SATA)",
+		Unit:      "s",
+		ColHeader: "metric",
+		RowHeader: "mode",
+		Cols:      []string{"effective delay", "total ckpt", "vulnerability window"},
+	}
+	w := workload.CommGroups{
+		N: microN, CommGroupSize: 8, Iters: 900,
+		Chunk: microChunk, FootprintMB: microFootprint,
+	}
+	for _, mode := range []struct {
+		label  string
+		gs     int
+		staged bool
+	}{
+		{"direct, All(32)", 0, false},
+		{"direct, Group(8)", 8, false},
+		{"staged, All(32)", 0, true},
+		{"staged, Group(8)", 8, true},
+	} {
+		cfg := harness.PaperCluster(microN)
+		cfg.CR.GroupSize = mode.gs
+		cfg.CR.Staged = mode.staged
+		res := harness.Measure(cfg, w, 10*sim.Second)
+		t.Rows = append(t.Rows, mode.label)
+		t.Cells = append(t.Cells, []float64{
+			secs(res.EffectiveDelay()),
+			secs(res.Total()),
+			secs(res.Report.VulnerabilityWindow()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"staging trades a shorter stall for a durability gap; the paper's diskless clusters cannot use it at all")
+	return t
+}
+
+// ExtensionFaultRecovery is the end-to-end payoff experiment: run a job to
+// completion under exponentially-distributed failures, checkpointing every
+// interval, and compare total wall time across intervals for the regular and
+// group-based protocols. Cheaper checkpoints (group-based) both lower the
+// curve and move its optimum toward shorter intervals — the system-level
+// consequence Young's formula predicts from the delay reduction.
+func ExtensionFaultRecovery() *Table {
+	t := &Table{
+		Title:     "Extension: wall time to completion under failures (MTBF 60s) vs checkpoint interval",
+		Unit:      "s",
+		ColHeader: "interval (s)",
+		RowHeader: "protocol",
+	}
+	w := workload.Ring{N: microN, Iters: 900, Chunk: 50 * sim.Millisecond, FootprintMB: 32}
+	intervals := []sim.Time{5 * sim.Second, 10 * sim.Second, 20 * sim.Second, 40 * sim.Second}
+	for _, iv := range intervals {
+		t.Cols = append(t.Cols, fmt.Sprintf("%.0f", iv.Seconds()))
+	}
+	for _, gs := range []int{0, 4} {
+		t.Rows = append(t.Rows, groupLabel(microN, gs))
+		var row []float64
+		for _, iv := range intervals {
+			cfg := harness.PaperCluster(microN)
+			cfg.CR.GroupSize = gs
+			cfg.CR.LocalSetup = 100 * sim.Millisecond
+			res, err := harness.RunWithPeriodicCheckpoints(cfg, w, iv, sim.Minute, 11)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, res.Wall.Seconds())
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	t.Notes = append(t.Notes,
+		"failure-free baseline ~45s; failures are exponential with identical seeds per cell",
+		"Young's U-curve: too-frequent checkpoints waste time, too-rare ones lose work",
+		"the protocols tie here because restartable runs use the polled (SCR-style) discipline,",
+		"which quiesces all ranks before any group writes and so forfeits the pre-turn compute",
+		"overlap; the overlap benefit is what Figures 3-7 measure under the signal protocol")
+	return t
+}
+
+// ExtensionScalability projects the paper's future-work question — behaviour
+// on larger platforms — by sweeping the job size at fixed storage
+// throughput: the regular protocol's delay grows linearly with N (the
+// storage bottleneck), while a fixed checkpoint group size keeps each
+// process's delay constant on overlap-friendly workloads.
+func ExtensionScalability() *Table {
+	t := &Table{
+		Title:     "Extension (S8): effective delay vs job size (fixed 140 MB/s storage, comm group 4)",
+		Unit:      "s",
+		ColHeader: "ranks",
+		RowHeader: "protocol",
+	}
+	sizes := []int{32, 64, 128, 256}
+	for _, n := range sizes {
+		t.Cols = append(t.Cols, fmt.Sprint(n))
+	}
+	for _, mode := range []struct {
+		label string
+		gs    int
+	}{{"All(N)", 0}, {"Group(4)", 4}} {
+		t.Rows = append(t.Rows, mode.label)
+		var row []float64
+		for _, n := range sizes {
+			// Runtime must exceed the largest delay: N*180MB/140MBps.
+			iters := 40 + 14*n
+			w := workload.CommGroups{
+				N: n, CommGroupSize: 4, Iters: iters,
+				Chunk: microChunk, FootprintMB: microFootprint,
+			}
+			cfg := harness.PaperCluster(n)
+			cfg.CR.GroupSize = mode.gs
+			res := harness.Measure(cfg, w, 10*sim.Second)
+			row = append(row, secs(res.EffectiveDelay()))
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	t.Notes = append(t.Notes,
+		"the regular protocol scales O(N) with the job size; group-based stays flat",
+		"(each group of 4 still writes at full aggregate bandwidth while others compute)")
+	return t
+}

@@ -1,0 +1,45 @@
+package figures
+
+import (
+	"fmt"
+
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+)
+
+// Fig1 reproduces Figure 1: bandwidth per client and aggregated throughput
+// with 1–32 clients writing checkpoint files concurrently to the 4-server
+// PVFS2 storage system.
+func Fig1() *Table {
+	clients := []int{1, 2, 4, 8, 16, 32}
+	t := &Table{
+		Title:     "Figure 1: Bandwidth to Storage vs Number of Clients",
+		Unit:      "MB/s",
+		ColHeader: "clients",
+		RowHeader: "metric",
+		Rows:      []string{"Bandwidth per Client", "Aggregated Throughput"},
+		Cells:     make([][]float64, 2),
+	}
+	const size = 256 * storage.MB
+	for _, n := range clients {
+		t.Cols = append(t.Cols, fmt.Sprint(n))
+		k := sim.NewKernel(1)
+		st := storage.New(k, storage.PaperConfig())
+		var makespan sim.Time
+		for i := 0; i < n; i++ {
+			k.Spawn(fmt.Sprintf("client%d", i), func(p *sim.Proc) {
+				st.Write(p, size)
+				if p.Now() > makespan {
+					makespan = p.Now()
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			panic(err)
+		}
+		per := float64(size) / makespan.Seconds() / storage.MB
+		t.Cells[0] = append(t.Cells[0], per)
+		t.Cells[1] = append(t.Cells[1], per*float64(n))
+	}
+	return t
+}

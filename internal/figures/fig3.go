@@ -1,0 +1,96 @@
+package figures
+
+import (
+	"fmt"
+
+	"gbcr/internal/harness"
+	"gbcr/internal/sim"
+	"gbcr/internal/workload"
+)
+
+// MicroConfig parameterizes the Figure 3/4 micro-benchmark cluster: 32
+// processes with a 180 MB footprint each, as in Section 6.1.
+const (
+	microN         = 32
+	microFootprint = 180 // MB
+	microChunk     = 100 * sim.Millisecond
+)
+
+// Fig3 reproduces Figure 3: Effective Checkpoint Delay for communication
+// group sizes 16/8/4/2/1 (1 = embarrassingly parallel) across checkpoint
+// group sizes All(32)/16/8/4/2.
+func Fig3() *Table {
+	commSizes := []int{16, 8, 4, 2, 1}
+	ckptSizes := []int{0, 16, 8, 4, 2}
+	t := &Table{
+		Title:     "Figure 3: Effective Checkpoint Delay vs Checkpoint Group Size",
+		Unit:      "s",
+		ColHeader: "ckpt group",
+		RowHeader: "comm group",
+	}
+	for _, gs := range ckptSizes {
+		label := "All(32)"
+		if gs > 0 {
+			label = fmt.Sprint(gs)
+		}
+		t.Cols = append(t.Cols, label)
+	}
+	issued := 10 * sim.Second
+	for _, cg := range commSizes {
+		label := fmt.Sprintf("Comm %d", cg)
+		if cg == 1 {
+			label = "Embar. Parallel"
+		}
+		t.Rows = append(t.Rows, label)
+		w := workload.CommGroups{
+			N: microN, CommGroupSize: cg, Iters: 900,
+			Chunk: microChunk, FootprintMB: microFootprint,
+		}
+		cfg := harness.PaperCluster(microN)
+		base := harness.Baseline(cfg, w)
+		var row []float64
+		for _, gs := range ckptSizes {
+			c := cfg
+			c.CR.GroupSize = gs
+			res := harness.MeasureWithBaseline(c, w, issued, base)
+			row = append(row, secs(res.EffectiveDelay()))
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	return t
+}
+
+// Fig4 reproduces Figure 4: checkpoint placement. Communication and
+// checkpoint group size are both 8, a global barrier runs every minute, and
+// the checkpoint is issued at 15–115 s. The effective delay lies between the
+// Individual and Total checkpoint times, approaching the total when the
+// request lands close to the synchronization line at 60 s.
+func Fig4() *Table {
+	times := []sim.Time{}
+	for s := 15; s <= 115; s += 10 {
+		times = append(times, sim.Time(s)*sim.Second)
+	}
+	t := &Table{
+		Title:     "Figure 4: Checkpoint Placement (comm group 8, ckpt group 8, barrier every 60s)",
+		Unit:      "s",
+		ColHeader: "issuance time (s)",
+		RowHeader: "metric",
+		Rows:      []string{"Effective Ckpt Delay", "Individual Ckpt Time", "Total Ckpt Time"},
+		Cells:     make([][]float64, 3),
+	}
+	w := workload.BarrierPhases{
+		N: microN, CommGroupSize: 8, Chunk: microChunk,
+		BarrierEvery: sim.Minute, Phases: 3, FootprintMB: microFootprint,
+	}
+	cfg := harness.PaperCluster(microN)
+	cfg.CR.GroupSize = 8
+	base := harness.Baseline(cfg, w)
+	for _, at := range times {
+		t.Cols = append(t.Cols, fmt.Sprint(int(at.Seconds())))
+		res := harness.MeasureWithBaseline(cfg, w, at, base)
+		t.Cells[0] = append(t.Cells[0], secs(res.EffectiveDelay()))
+		t.Cells[1] = append(t.Cells[1], secs(res.Report.MeanIndividual()))
+		t.Cells[2] = append(t.Cells[2], secs(res.Total()))
+	}
+	return t
+}

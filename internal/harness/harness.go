@@ -1,0 +1,178 @@
+// Package harness builds simulated clusters and measures the paper's
+// checkpoint-delay metrics: it runs a workload once without checkpointing
+// (baseline) and once with a checkpoint issued at a chosen time, and reports
+// the Effective Checkpoint Delay (Section 5) along with the Individual and
+// Total Checkpoint Times from the cycle report.
+package harness
+
+import (
+	"fmt"
+
+	"gbcr/internal/cr"
+	"gbcr/internal/ib"
+	"gbcr/internal/mpi"
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+	"gbcr/internal/trace"
+	"gbcr/internal/workload"
+)
+
+// ClusterConfig assembles the full stack's parameters.
+type ClusterConfig struct {
+	N       int
+	Seed    int64
+	Storage storage.Config
+	Fabric  ib.Config
+	MPI     mpi.Config
+	CR      cr.Config
+}
+
+// PaperCluster returns the evaluation testbed configuration: 32 compute
+// nodes on InfiniBand with 4 PVFS2 storage servers (~140 MB/s aggregate).
+func PaperCluster(n int) ClusterConfig {
+	crCfg := cr.DefaultConfig()
+	// Fixed per-process snapshot setup (BLCR process freeze, checkpoint
+	// file creation): paid once per member per checkpoint, which is what
+	// makes very small checkpoint groups pay coordination many times over.
+	crCfg.LocalSetup = 500 * sim.Millisecond
+	return ClusterConfig{
+		N:       n,
+		Seed:    1,
+		Storage: storage.PaperConfig(),
+		Fabric:  ib.PaperConfig(),
+		MPI:     mpi.DefaultConfig(),
+		CR:      crCfg,
+	}
+}
+
+// Cluster is one assembled simulation.
+type Cluster struct {
+	K       *sim.Kernel
+	Storage *storage.System
+	Fabric  *ib.Fabric
+	Job     *mpi.Job
+	Coord   *cr.Coordinator
+}
+
+// NewCluster builds the stack.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	k := sim.NewKernel(cfg.Seed)
+	st := storage.New(k, cfg.Storage)
+	f := ib.New(k, cfg.Fabric)
+	j := mpi.NewJob(k, f, cfg.MPI, cfg.N)
+	co := cr.New(k, j, st, cfg.CR)
+	return &Cluster{K: k, Storage: st, Fabric: f, Job: j, Coord: co}
+}
+
+// launch wires a workload instance into the cluster's controllers.
+func (c *Cluster) launch(w workload.Workload) workload.Instance {
+	inst := w.Launch(c.Job)
+	for i := 0; i < c.Job.Size(); i++ {
+		i := i
+		c.Coord.Controller(i).FootprintFn = func() int64 { return inst.Footprint(i) }
+	}
+	return inst
+}
+
+// Result reports one Effective Checkpoint Delay measurement.
+type Result struct {
+	Workload  string
+	GroupSize int
+	IssuedAt  sim.Time
+	Baseline  sim.Time // failure-free completion time
+	WithCkpt  sim.Time // completion time with one checkpoint
+	Report    *cr.CycleReport
+}
+
+// EffectiveDelay is the increase in application running time caused by the
+// checkpoint.
+func (r Result) EffectiveDelay() sim.Time { return r.WithCkpt - r.Baseline }
+
+// MaxIndividual is the largest per-process downtime.
+func (r Result) MaxIndividual() sim.Time { return r.Report.MaxIndividual() }
+
+// Total is the Total Checkpoint Time.
+func (r Result) Total() sim.Time { return r.Report.Total() }
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s group=%d t=%v: effective=%v individual=%v total=%v",
+		r.Workload, r.GroupSize, r.IssuedAt, r.EffectiveDelay(), r.MaxIndividual(), r.Total())
+}
+
+// Baseline runs the workload with no checkpoint and returns its completion
+// time.
+func Baseline(cfg ClusterConfig, w workload.Workload) sim.Time {
+	c := NewCluster(cfg)
+	c.launch(w)
+	if err := c.K.Run(); err != nil {
+		panic(fmt.Sprintf("harness: baseline run failed: %v", err))
+	}
+	return c.Job.FinishTime()
+}
+
+// MeasureWithBaseline runs the workload with one checkpoint at issuedAt,
+// using a previously measured baseline (so sweeps don't re-run it).
+func MeasureWithBaseline(cfg ClusterConfig, w workload.Workload, issuedAt, baseline sim.Time) Result {
+	c := NewCluster(cfg)
+	c.launch(w)
+	c.Coord.ScheduleCheckpoint(issuedAt)
+	if err := c.K.Run(); err != nil {
+		panic(fmt.Sprintf("harness: checkpointed run failed: %v", err))
+	}
+	reps := c.Coord.Reports()
+	if len(reps) != 1 {
+		panic(fmt.Sprintf("harness: expected 1 checkpoint cycle, got %d", len(reps)))
+	}
+	return Result{
+		Workload:  w.Name(),
+		GroupSize: cfg.CR.GroupSize,
+		IssuedAt:  issuedAt,
+		Baseline:  baseline,
+		WithCkpt:  c.Job.FinishTime(),
+		Report:    reps[0],
+	}
+}
+
+// Measure runs baseline and checkpointed executions and reports the delay
+// metrics.
+func Measure(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time) Result {
+	return MeasureWithBaseline(cfg, w, issuedAt, Baseline(cfg, w))
+}
+
+// MeasureTraced is Measure with a protocol trace log attached to the
+// checkpointed run (log may be nil).
+func MeasureTraced(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time, log *trace.Log) Result {
+	base := Baseline(cfg, w)
+	c := NewCluster(cfg)
+	c.Coord.Trace = log
+	c.launch(w)
+	c.Coord.ScheduleCheckpoint(issuedAt)
+	if err := c.K.Run(); err != nil {
+		panic(fmt.Sprintf("harness: traced run failed: %v", err))
+	}
+	return Result{
+		Workload:  w.Name(),
+		GroupSize: cfg.CR.GroupSize,
+		IssuedAt:  issuedAt,
+		Baseline:  base,
+		WithCkpt:  c.Job.FinishTime(),
+		Report:    c.Coord.Reports()[0],
+	}
+}
+
+// Sweep measures the effective delay across group sizes and issuance times.
+// groupSizes uses 0 for the regular protocol ("All"). The result is indexed
+// [groupSize][issuedAt] in the given orders.
+func Sweep(cfg ClusterConfig, w workload.Workload, groupSizes []int, times []sim.Time) [][]Result {
+	base := Baseline(cfg, w)
+	out := make([][]Result, len(groupSizes))
+	for gi, gs := range groupSizes {
+		out[gi] = make([]Result, len(times))
+		for ti, at := range times {
+			c := cfg
+			c.CR.GroupSize = gs
+			out[gi][ti] = MeasureWithBaseline(c, w, at, base)
+		}
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+package harness
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+	"gbcr/internal/trace"
+	"gbcr/internal/workload"
+	"gbcr/internal/workload/motif"
+)
+
+// smallCluster keeps test runtimes low: modest storage bandwidth, small
+// footprints.
+func smallCluster(n int) ClusterConfig {
+	cfg := PaperCluster(n)
+	cfg.Storage = storage.Config{AggregateBW: 100 << 20, ClientBW: 100 << 20}
+	cfg.CR.LocalSetup = 0 // keep cycle timing simple for the unit tests
+	return cfg
+}
+
+func TestMeasureCommGroups(t *testing.T) {
+	cfg := smallCluster(8)
+	w := workload.CommGroups{N: 8, CommGroupSize: 4, Iters: 100,
+		Chunk: 100 * sim.Millisecond, FootprintMB: 50}
+	res := Measure(cfg, w, 2*sim.Second)
+	if res.Baseline <= 0 || res.WithCkpt <= res.Baseline {
+		t.Fatalf("times: %+v", res)
+	}
+	// Effective delay lies between Individual and Total (Section 5), with a
+	// little slack for coordination overhead.
+	d := res.EffectiveDelay()
+	if d < res.MaxIndividual()-100*sim.Millisecond || d > res.Total()+500*sim.Millisecond {
+		t.Fatalf("effective %v outside [individual %v, total %v]",
+			d, res.MaxIndividual(), res.Total())
+	}
+}
+
+func TestSweepGroupSizeHalving(t *testing.T) {
+	// Figure 3's headline: while the checkpoint group covers the
+	// communication group, halving the checkpoint group roughly halves the
+	// effective delay.
+	cfg := smallCluster(8)
+	w := workload.CommGroups{N: 8, CommGroupSize: 2, Iters: 120,
+		Chunk: 100 * sim.Millisecond, FootprintMB: 100}
+	res := Sweep(cfg, w, []int{0, 4, 2}, []sim.Time{3 * sim.Second})
+	all := res[0][0].EffectiveDelay()
+	g4 := res[1][0].EffectiveDelay()
+	g2 := res[2][0].EffectiveDelay()
+	if !(all > g4 && g4 > g2) {
+		t.Fatalf("delays not decreasing: all=%v g4=%v g2=%v", all, g4, g2)
+	}
+	ratio := func(a, b sim.Time) float64 { return float64(a) / float64(b) }
+	if r := ratio(all, g4); r < 1.6 || r > 2.6 {
+		t.Fatalf("all/g4 ratio %.2f, want ~2", r)
+	}
+	if r := ratio(g4, g2); r < 1.6 || r > 2.6 {
+		t.Fatalf("g4/g2 ratio %.2f, want ~2", r)
+	}
+}
+
+func TestRestartRingEquivalence(t *testing.T) {
+	// The end-to-end consistency check: kill the job mid-run after a
+	// group-based checkpoint and verify the restarted execution produces
+	// exactly the failure-free results.
+	const n, iters = 6, 60
+	for _, gs := range []int{0, 1, 2, 3} {
+		cfg := smallCluster(n)
+		cfg.CR.GroupSize = gs
+		cfg.CR.DefaultFootprint = 10 << 20
+		w := workload.Ring{N: n, Iters: iters, Chunk: 50 * sim.Millisecond, FootprintMB: 10}
+		fr, err := RunWithFailure(cfg, w,
+			[]sim.Time{800 * sim.Millisecond}, 1700*sim.Millisecond)
+		if err != nil {
+			t.Fatalf("groupsize=%d: %v", gs, err)
+		}
+		inst := fr.RestartInst.(*workload.RingInstance)
+		for me := 0; me < n; me++ {
+			want := workload.ExpectedRingSum(n, iters, me)
+			if inst.Sums[me] != want {
+				t.Fatalf("groupsize=%d rank %d: restarted sum %d, want %d (recovery line inconsistent)",
+					gs, me, inst.Sums[me], want)
+			}
+		}
+		if fr.Epoch != 1 {
+			t.Fatalf("groupsize=%d: restarted from epoch %d", gs, fr.Epoch)
+		}
+	}
+}
+
+func TestRestartAllgatherEquivalence(t *testing.T) {
+	const n, iters = 4, 40
+	cfg := smallCluster(n)
+	cfg.CR.GroupSize = 2
+	w := workload.AllgatherLoop{N: n, Iters: iters, Chunk: 50 * sim.Millisecond, FootprintMB: 10}
+	// Failure-free reference.
+	ref := NewCluster(cfg)
+	refInst := w.Launch(ref.Job).(*workload.AllgatherInstance)
+	if err := ref.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := RunWithFailure(cfg, w, []sim.Time{700 * sim.Millisecond}, 1500*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := fr.RestartInst.(*workload.AllgatherInstance)
+	for me := 0; me < n; me++ {
+		if inst.Hashes[me] != refInst.Hashes[me] {
+			t.Fatalf("rank %d: restarted hash %x, reference %x", me, inst.Hashes[me], refInst.Hashes[me])
+		}
+	}
+}
+
+func TestRestartSecondCheckpointPreferred(t *testing.T) {
+	// With two completed checkpoints, restart uses the later one.
+	const n, iters = 4, 80
+	cfg := smallCluster(n)
+	cfg.CR.GroupSize = 2
+	cfg.CR.DefaultFootprint = 5 << 20
+	w := workload.Ring{N: n, Iters: iters, Chunk: 50 * sim.Millisecond, FootprintMB: 5}
+	fr, err := RunWithFailure(cfg, w,
+		[]sim.Time{500 * sim.Millisecond, 2 * sim.Second}, 3500*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Epoch != 2 {
+		t.Fatalf("restarted from epoch %d, want 2", fr.Epoch)
+	}
+	inst := fr.RestartInst.(*workload.RingInstance)
+	for me := 0; me < n; me++ {
+		if inst.Sums[me] != workload.ExpectedRingSum(n, iters, me) {
+			t.Fatalf("rank %d corrupted after epoch-2 restart", me)
+		}
+	}
+}
+
+func TestRestartWithoutCheckpointFails(t *testing.T) {
+	cfg := smallCluster(2)
+	w := workload.Ring{N: 2, Iters: 50, Chunk: 50 * sim.Millisecond, FootprintMB: 5}
+	_, err := RunWithFailure(cfg, w, nil, sim.Second)
+	if err == nil {
+		t.Fatal("expected an error when failing before any checkpoint")
+	}
+}
+
+func TestPaperClusterDefaults(t *testing.T) {
+	cfg := PaperCluster(32)
+	if cfg.N != 32 || cfg.Storage.Servers != 4 {
+		t.Fatalf("paper cluster: %+v", cfg)
+	}
+	c := NewCluster(cfg)
+	if c.Job.Size() != 32 {
+		t.Fatal("job size")
+	}
+}
+
+func TestRestartStencilEquivalence(t *testing.T) {
+	const n = 5
+	w := workload.Stencil{N: n, Cells: 8, Iters: 50, Chunk: 40 * sim.Millisecond, FootprintMB: 8}
+	cfg := smallCluster(n)
+	cfg.CR.GroupSize = 2
+	// Failure-free reference.
+	ref := NewCluster(cfg)
+	refInst := w.Launch(ref.Job).(*workload.StencilInstance)
+	if err := ref.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := RunWithFailure(cfg, w, []sim.Time{600 * sim.Millisecond}, 1400*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := fr.RestartInst.(*workload.StencilInstance)
+	for me := 0; me < n; me++ {
+		if inst.Checksums[me] != refInst.Checksums[me] {
+			t.Fatalf("rank %d: restarted checksum %v, reference %v",
+				me, inst.Checksums[me], refInst.Checksums[me])
+		}
+	}
+}
+
+func TestRunWithPeriodicCheckpointsUnderFailures(t *testing.T) {
+	const n = 4
+	cfg := smallCluster(n)
+	cfg.CR.GroupSize = 2
+	cfg.CR.DefaultFootprint = 5 << 20
+	w := workload.Ring{N: n, Iters: 150, Chunk: 20 * sim.Millisecond, FootprintMB: 5}
+	// Baseline without failures for reference.
+	base := Baseline(cfg, w)
+	res, err := RunWithPeriodicCheckpoints(cfg, w, 600*sim.Millisecond, 1500*sim.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Fatal("test premise: no failures injected (raise mtbf pressure)")
+	}
+	if res.Checkpoints == 0 {
+		t.Fatal("no checkpoints completed")
+	}
+	if res.Wall <= base {
+		t.Fatalf("wall %v not above failure-free baseline %v despite %d failures",
+			res.Wall, base, res.Failures)
+	}
+	// With checkpoint-restart, total time stays bounded: without recovery
+	// the job could never finish at MTBF << runtime; with it, the wall time
+	// is within a small multiple of the baseline.
+	if res.Wall > 6*base {
+		t.Fatalf("wall %v too large vs baseline %v (recovery not effective)", res.Wall, base)
+	}
+}
+
+func TestPeriodicCheckpointsNoFailures(t *testing.T) {
+	const n = 3
+	cfg := smallCluster(n)
+	cfg.CR.GroupSize = 0
+	cfg.CR.DefaultFootprint = 2 << 20
+	w := workload.Ring{N: n, Iters: 60, Chunk: 20 * sim.Millisecond, FootprintMB: 2}
+	// Effectively infinite MTBF: no failures, several checkpoints.
+	res, err := RunWithPeriodicCheckpoints(cfg, w, 300*sim.Millisecond, 1000*sim.Hour, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("unexpected failures: %d", res.Failures)
+	}
+	if res.Checkpoints < 2 {
+		t.Fatalf("periodic scheduling broken: %d checkpoints", res.Checkpoints)
+	}
+}
+
+func TestRestartRealMinerEquivalence(t *testing.T) {
+	// Kill a real data-mining run mid-level and restart it from a
+	// group-staggered checkpoint: the mined pattern set must be identical
+	// to the failure-free run's (and hence to the serial reference).
+	const n = 4
+	m := motif.Mine{Graphs: 32, Vertices: 12, Degree: 3, Labels: 4,
+		MinSup: 10, MaxLen: 3, Seed: 5}
+	w := motif.MineResumable{Mine: m, LevelCompute: 400 * sim.Millisecond}
+	cfg := smallCluster(n)
+	cfg.CR.GroupSize = 2
+	want := m.MineSerial()
+	fr, err := RunWithFailure(cfg, w, []sim.Time{600 * sim.Millisecond}, 1100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := fr.RestartInst.(*motif.ResumableInstance)
+	if len(inst.Frequent) != len(want) {
+		t.Fatalf("restarted miner found %d patterns, serial %d", len(inst.Frequent), len(want))
+	}
+	for pat, sup := range want {
+		if inst.Frequent[pat] != sup {
+			t.Fatalf("pattern %q: restarted %d, serial %d", pat, inst.Frequent[pat], sup)
+		}
+	}
+}
+
+func TestMeasureTracedRecordsTimeline(t *testing.T) {
+	cfg := smallCluster(4)
+	cfg.CR.GroupSize = 2
+	w := workload.CommGroups{N: 4, CommGroupSize: 2, Iters: 60,
+		Chunk: 100 * sim.Millisecond, FootprintMB: 20}
+	log := &trace.Log{}
+	res := MeasureTraced(cfg, w, 2*sim.Second, log)
+	if res.EffectiveDelay() <= 0 {
+		t.Fatalf("result: %v", res)
+	}
+	if log.Len() == 0 {
+		t.Fatal("trace log empty")
+	}
+	if s := res.String(); !strings.Contains(s, "effective=") {
+		t.Fatalf("String(): %q", s)
+	}
+	// Every rank appears in the timeline.
+	for r := 0; r < 4; r++ {
+		if len(log.ByRank(r)) == 0 {
+			t.Fatalf("rank %d missing from trace", r)
+		}
+	}
+}
+
+// Property: restart equivalence holds across random group sizes, checkpoint
+// times, failure times, and protocol options.
+func TestQuickRestartEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 2
+		iters := rng.Intn(40) + 40
+		cfg := smallCluster(n)
+		cfg.Seed = seed
+		cfg.CR.GroupSize = rng.Intn(n + 1)
+		cfg.CR.HelperEnabled = rng.Intn(3) != 0
+		cfg.CR.DefaultFootprint = int64(rng.Intn(15)+1) << 20
+		w := workload.Ring{N: n, Iters: iters,
+			Chunk: sim.Time(rng.Intn(40)+20) * sim.Millisecond, FootprintMB: 8}
+		ckptAt := sim.Time(rng.Intn(500)+300) * sim.Millisecond
+		// The failure must land after the cycle completes; the slowest
+		// configuration (singleton groups) takes well under 2.2 s here.
+		failAt := ckptAt + sim.Time(rng.Intn(500)+2200)*sim.Millisecond
+		fr, err := RunWithFailure(cfg, w, []sim.Time{ckptAt}, failAt)
+		if err != nil {
+			t.Logf("seed %d (n=%d gs=%d): %v", seed, n, cfg.CR.GroupSize, err)
+			return false
+		}
+		inst := fr.RestartInst.(*workload.RingInstance)
+		for me := 0; me < n; me++ {
+			if inst.Sums[me] != workload.ExpectedRingSum(n, iters, me) {
+				t.Logf("seed %d rank %d mismatch", seed, me)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,660 @@
+package ib
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gbcr/internal/sim"
+)
+
+// testPair builds a kernel, fabric, and two endpoints with immediate
+// progress (OnWork = Progress), the configuration used by most tests.
+func testPair(t *testing.T) (*sim.Kernel, *Fabric, *Endpoint, *Endpoint) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	f := New(k, PaperConfig())
+	a := f.AddEndpoint(0)
+	b := f.AddEndpoint(1)
+	a.OnWork = a.Progress
+	b.OnWork = b.Progress
+	return k, f, a, b
+}
+
+func TestConnectHandshake(t *testing.T) {
+	k, _, a, b := testPair(t)
+	var upA, upB sim.Time = -1, -1
+	a.OnConnUp = func(peer int) { upA = k.Now() }
+	b.OnConnUp = func(peer int) { upB = k.Now() }
+	a.Connect(1, 0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	oob := PaperConfig().OOBLatency
+	if upA != 2*oob {
+		t.Fatalf("active side up at %v, want %v (REQ+REP)", upA, 2*oob)
+	}
+	if upB != 3*oob {
+		t.Fatalf("passive side up at %v, want %v (REQ+REP+RTU)", upB, 3*oob)
+	}
+	if !a.Connected(1) || !b.Connected(0) {
+		t.Fatal("states not connected")
+	}
+}
+
+func TestSendRequiresConnection(t *testing.T) {
+	_, _, a, _ := testPair(t)
+	if err := a.Send(1, 100, "x"); err != ErrNotConnected {
+		t.Fatalf("Send without connection: %v, want ErrNotConnected", err)
+	}
+	a.Connect(1, 0)
+	if err := a.Send(1, 100, "x"); err != ErrNotConnected {
+		t.Fatalf("Send while connecting: %v, want ErrNotConnected", err)
+	}
+}
+
+func TestDataDeliveryTimingAndOrder(t *testing.T) {
+	k, f, a, b := testPair(t)
+	type rec struct {
+		at      sim.Time
+		payload any
+	}
+	var got []rec
+	b.OnMessage = func(src int, size int64, payload any) {
+		got = append(got, rec{k.Now(), payload})
+	}
+	a.Connect(1, 0)
+	cfg := f.Config()
+	const size = 14 * MB // 10ms at 1400 MB/s
+	k.At(sim.Millisecond, func() {
+		if err := a.Send(1, size, "first"); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		if err := a.Send(1, size, "second"); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].payload != "first" || got[1].payload != "second" {
+		t.Fatalf("delivery order wrong: %+v", got)
+	}
+	tx := sim.Time(float64(size) / cfg.LinkBW * float64(sim.Second))
+	want1 := sim.Millisecond + tx + cfg.Latency
+	want2 := sim.Millisecond + 2*tx + cfg.Latency
+	if got[0].at != want1 || got[1].at != want2 {
+		t.Fatalf("arrivals %v,%v want %v,%v (egress serialization)",
+			got[0].at, got[1].at, want1, want2)
+	}
+}
+
+func TestCrossingConnects(t *testing.T) {
+	k, _, a, b := testPair(t)
+	ups := 0
+	a.OnConnUp = func(int) { ups++ }
+	b.OnConnUp = func(int) { ups++ }
+	a.Connect(1, 0)
+	b.Connect(0, 0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ups != 2 {
+		t.Fatalf("OnConnUp fired %d times, want 2", ups)
+	}
+	if !a.Connected(1) || !b.Connected(0) {
+		t.Fatalf("crossing connects failed: a=%v b=%v", a.State(1), b.State(0))
+	}
+	// Data must flow both ways afterwards.
+	delivered := 0
+	a.OnMessage = func(int, int64, any) { delivered++ }
+	b.OnMessage = func(int, int64, any) { delivered++ }
+	k.At(k.Now()+sim.Millisecond, func() {
+		if err := a.Send(1, 64, "ab"); err != nil {
+			t.Errorf("a->b: %v", err)
+		}
+		if err := b.Send(0, 64, "ba"); err != nil {
+			t.Errorf("b->a: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d, want 2", delivered)
+	}
+}
+
+func TestAcceptConnDeferAndReexamine(t *testing.T) {
+	k, _, a, b := testPair(t)
+	allow := false
+	b.AcceptConn = func(peer int, meta int64) bool { return allow }
+	up := false
+	a.OnConnUp = func(int) { up = true }
+	a.Connect(1, 42)
+	if err := k.RunUntil(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if up {
+		t.Fatal("connection established despite deferred accept")
+	}
+	if b.DeferredConnects() != 1 {
+		t.Fatalf("DeferredConnects = %d, want 1", b.DeferredConnects())
+	}
+	var meta int64
+	b.AcceptConn = func(peer int, m int64) bool { meta = m; return true }
+	allow = true
+	k.At(k.Now(), b.Reexamine)
+	if err := k.RunUntil(20 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !up || !b.Connected(0) {
+		t.Fatal("connection not established after Reexamine")
+	}
+	if meta != 42 {
+		t.Fatalf("meta = %d, want 42 (preserved across deferral)", meta)
+	}
+}
+
+func TestDisconnectFlushesInFlight(t *testing.T) {
+	k, _, a, b := testPair(t)
+	var msgAt, downAt sim.Time = -1, -1
+	b.OnMessage = func(int, int64, any) { msgAt = k.Now() }
+	a.OnConnDown = func(int) {}
+	b.OnConnDown = func(int) { downAt = k.Now() }
+	a.Connect(1, 0)
+	k.At(sim.Millisecond, func() {
+		// Send a large message and immediately initiate disconnect: the
+		// flush marker queues behind the data on the egress.
+		if err := a.Send(1, 14*MB, "data"); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		a.Disconnect(1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if msgAt < 0 {
+		t.Fatal("in-flight message lost by disconnect")
+	}
+	if downAt <= msgAt {
+		t.Fatalf("connection down at %v before message delivery at %v", downAt, msgAt)
+	}
+	if a.State(1) != StateClosed || b.State(0) != StateClosed {
+		t.Fatalf("states after disconnect: %v, %v", a.State(1), b.State(0))
+	}
+}
+
+func TestDisconnectBothSidesNotified(t *testing.T) {
+	k, _, a, b := testPair(t)
+	downs := 0
+	a.OnConnDown = func(int) { downs++ }
+	b.OnConnDown = func(int) { downs++ }
+	a.Connect(1, 0)
+	k.At(sim.Millisecond, func() { a.Disconnect(1) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if downs != 2 {
+		t.Fatalf("OnConnDown fired %d times, want 2", downs)
+	}
+}
+
+func TestCrossingDisconnects(t *testing.T) {
+	k, _, a, b := testPair(t)
+	downsA, downsB := 0, 0
+	a.OnConnDown = func(int) { downsA++ }
+	b.OnConnDown = func(int) { downsB++ }
+	a.Connect(1, 0)
+	k.At(sim.Millisecond, func() {
+		a.Disconnect(1)
+		b.Disconnect(0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if downsA != 1 || downsB != 1 {
+		t.Fatalf("OnConnDown: a=%d b=%d, want 1 each", downsA, downsB)
+	}
+	if a.State(1) != StateClosed || b.State(0) != StateClosed {
+		t.Fatalf("states: %v, %v", a.State(1), b.State(0))
+	}
+}
+
+func TestSendWhileDrainingFails(t *testing.T) {
+	k, _, a, b := testPair(t)
+	a.Connect(1, 0)
+	var sendErrA, sendErrB error
+	k.At(sim.Millisecond, func() {
+		a.Disconnect(1)
+		sendErrA = a.Send(1, 64, "late")
+	})
+	// The passive side learns of the drain when the flush arrives.
+	k.At(2*sim.Millisecond, func() {
+		sendErrB = b.Send(0, 64, "late")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendErrA != ErrDraining {
+		t.Fatalf("initiator send while draining: %v", sendErrA)
+	}
+	// By 2ms the teardown completed, so the passive side sees no connection.
+	if sendErrB != ErrNotConnected {
+		t.Fatalf("passive send after teardown: %v", sendErrB)
+	}
+}
+
+func TestReconnectAfterDisconnect(t *testing.T) {
+	k, _, a, b := testPair(t)
+	delivered := 0
+	b.OnMessage = func(int, int64, any) { delivered++ }
+	a.Connect(1, 0)
+	k.At(sim.Millisecond, func() { a.Disconnect(1) })
+	k.At(10*sim.Millisecond, func() { b.Connect(0, 7) }) // other side initiates this time
+	k.At(20*sim.Millisecond, func() {
+		if err := a.Send(1, 64, "again"); err != nil {
+			t.Errorf("send after reconnect: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d after reconnect, want 1", delivered)
+	}
+}
+
+func TestCMProcessedWithoutProgress(t *testing.T) {
+	// Connection management runs on a dedicated asynchronous thread
+	// (MVAPICH2's CM thread): handshakes complete even when neither side
+	// ever calls Progress.
+	k := sim.NewKernel(1)
+	f := New(k, PaperConfig())
+	a := f.AddEndpoint(0)
+	b := f.AddEndpoint(1)
+	a.Connect(1, 0)
+	if err := k.RunUntil(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Connected(1) || !b.Connected(0) {
+		t.Fatalf("CM thread did not complete handshake: %v %v", a.State(1), b.State(0))
+	}
+}
+
+func TestProgressDeferralForData(t *testing.T) {
+	// In-band traffic queues until Progress — the model of a process busy
+	// in computation.
+	k := sim.NewKernel(1)
+	f := New(k, PaperConfig())
+	a := f.AddEndpoint(0)
+	b := f.AddEndpoint(1)
+	a.OnWork = a.Progress
+	delivered := false
+	b.OnMessage = func(int, int64, any) { delivered = true }
+	a.Connect(1, 0)
+	k.At(sim.Millisecond, func() {
+		if err := a.Send(1, 64, "payload"); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	if err := k.RunUntil(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if delivered || !b.PendingWork() {
+		t.Fatalf("data processed without progress: delivered=%v pending=%v",
+			delivered, b.PendingWork())
+	}
+	b.Progress()
+	if !delivered {
+		t.Fatal("data not delivered after explicit progress")
+	}
+}
+
+func TestOOBDelivery(t *testing.T) {
+	k, f, a, b := testPair(t)
+	var got any
+	var at sim.Time
+	b.OnOOB = func(src int, payload any) { got, at = payload, k.Now() }
+	a.SendOOB(1, "coordination")
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "coordination" || at != f.Config().OOBLatency {
+		t.Fatalf("OOB: got %v at %v", got, at)
+	}
+}
+
+func TestStats(t *testing.T) {
+	k, _, a, b := testPair(t)
+	b.OnMessage = func(int, int64, any) {}
+	a.Connect(1, 0)
+	k.At(sim.Millisecond, func() {
+		_ = a.Send(1, 1000, "x")
+	})
+	k.At(2*sim.Millisecond, func() { a.Disconnect(1) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.Stats(), b.Stats()
+	if as.ConnectsInitiated != 1 || bs.ConnectsAccepted != 1 {
+		t.Fatalf("connect stats: %+v %+v", as, bs)
+	}
+	if as.Disconnects != 1 || bs.Disconnects != 1 {
+		t.Fatalf("disconnect stats: %+v %+v", as, bs)
+	}
+	if bs.MessagesDelivered != 1 {
+		t.Fatalf("delivered: %+v", bs)
+	}
+	if as.BytesSent < 1000 {
+		t.Fatalf("bytes sent: %+v", as)
+	}
+}
+
+func TestSelfConnectPanics(t *testing.T) {
+	_, _, a, _ := testPair(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-connect did not panic")
+		}
+	}()
+	a.Connect(0, 0)
+}
+
+func TestDuplicateEndpointPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	f := New(k, PaperConfig())
+	f.AddEndpoint(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate endpoint did not panic")
+		}
+	}()
+	f.AddEndpoint(3)
+}
+
+func TestPeersSorted(t *testing.T) {
+	k := sim.NewKernel(1)
+	f := New(k, PaperConfig())
+	a := f.AddEndpoint(0)
+	a.OnWork = a.Progress
+	for _, id := range []int{5, 2, 9} {
+		ep := f.AddEndpoint(id)
+		ep.OnWork = ep.Progress
+		a.Connect(id, 0)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprint(a.Peers())
+	if got != "[2 5 9]" {
+		t.Fatalf("Peers() = %v", got)
+	}
+}
+
+// Property: on a random topology with random sends, every message is
+// delivered exactly once and per-pair FIFO order holds.
+func TestQuickDeliveryExactlyOnceFIFO(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel(seed)
+		fab := New(k, PaperConfig())
+		n := rng.Intn(5) + 2
+		eps := make([]*Endpoint, n)
+		type key struct{ src, dst int }
+		recv := make(map[key][]int)
+		for i := 0; i < n; i++ {
+			i := i
+			eps[i] = fab.AddEndpoint(i)
+			eps[i].OnWork = eps[i].Progress
+			eps[i].OnMessage = func(src int, size int64, payload any) {
+				recv[key{src, i}] = append(recv[key{src, i}], payload.(int))
+			}
+		}
+		// Full mesh.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				eps[i].Connect(j, 0)
+			}
+		}
+		// Random sends after the mesh settles. Send times increase
+		// monotonically so that per-pair sequence numbers match send order.
+		sent := make(map[key]int)
+		nmsg := rng.Intn(40)
+		at := 10 * sim.Millisecond
+		for m := 0; m < nmsg; m++ {
+			src := rng.Intn(n)
+			dst := rng.Intn(n)
+			if src == dst {
+				continue
+			}
+			at += sim.Time(rng.Intn(50)) * sim.Microsecond
+			kk := key{src, dst}
+			seqNum := sent[kk]
+			sent[kk]++
+			size := int64(rng.Intn(100000) + 1)
+			k.At(at, func() {
+				if err := eps[src].Send(dst, size, seqNum); err != nil {
+					panic(err)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for kk, cnt := range sent {
+			got := recv[kk]
+			if len(got) != cnt {
+				return false
+			}
+			for i, v := range got {
+				if v != i {
+					return false // FIFO violated
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random connect/disconnect churn never wedges the state machine:
+// after quiescing, every pair is either cleanly closed or cleanly connected
+// on both sides.
+func TestQuickConnChurnConverges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel(seed)
+		fab := New(k, PaperConfig())
+		const n = 4
+		eps := make([]*Endpoint, n)
+		for i := 0; i < n; i++ {
+			eps[i] = fab.AddEndpoint(i)
+			eps[i].OnWork = eps[i].Progress
+		}
+		for op := 0; op < 30; op++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			at := sim.Time(rng.Intn(20000)) * sim.Microsecond
+			if rng.Intn(2) == 0 {
+				k.At(at, func() { eps[i].Connect(j, 0) })
+			} else {
+				k.At(at, func() { eps[i].Disconnect(j) })
+			}
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				si, sj := eps[i].State(j), eps[j].State(i)
+				okClosed := si == StateClosed && sj == StateClosed
+				okOpen := si == StateConnected && sj == StateConnected
+				if !okClosed && !okOpen {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnStateString(t *testing.T) {
+	if StateConnected.String() != "connected" || StateDraining.String() != "draining" {
+		t.Fatal("state names")
+	}
+}
+
+func TestOnOOBImmediateConsumes(t *testing.T) {
+	k, _, a, b := testPair(t)
+	var immediate, queued []string
+	b.OnOOBImmediate = func(src int, payload any) bool {
+		s := payload.(string)
+		if strings.HasPrefix(s, "ctl:") {
+			immediate = append(immediate, s)
+			return true
+		}
+		return false
+	}
+	b.OnOOB = func(src int, payload any) { queued = append(queued, payload.(string)) }
+	a.SendOOB(1, "ctl:checkpoint")
+	a.SendOOB(1, "app:data")
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(immediate) != 1 || immediate[0] != "ctl:checkpoint" {
+		t.Fatalf("immediate: %v", immediate)
+	}
+	if len(queued) != 1 || queued[0] != "app:data" {
+		t.Fatalf("queued: %v", queued)
+	}
+}
+
+func TestEgressFreeTracksTransmit(t *testing.T) {
+	k, f, a, b := testPair(t)
+	a.Connect(1, 0)
+	var txEnd sim.Time
+	const size = 14 * MB // 10ms on the wire
+	k.At(sim.Millisecond, func() {
+		if err := a.Send(1, size, "x"); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		txEnd = a.EgressFree()
+	})
+	b.OnMessage = func(int, int64, any) {}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tx := sim.Time(float64(size) / f.Config().LinkBW * float64(sim.Second))
+	if txEnd != sim.Millisecond+tx {
+		t.Fatalf("EgressFree = %v, want %v", txEnd, sim.Millisecond+tx)
+	}
+}
+
+func TestDisconnectNonEstablishedIsNoop(t *testing.T) {
+	k, _, a, _ := testPair(t)
+	a.Disconnect(1) // no connection at all
+	a.Connect(1, 0)
+	a.Disconnect(1) // still connecting, not established
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The connect completed despite the premature disconnect attempt.
+	if !a.Connected(1) {
+		t.Fatalf("state: %v", a.State(1))
+	}
+}
+
+func TestStatsOOBCount(t *testing.T) {
+	k, _, a, b := testPair(t)
+	b.OnOOB = func(int, any) {}
+	a.SendOOB(1, "one")
+	a.SendOOB(1, "two")
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().OOBSent != 2 {
+		t.Fatalf("OOBSent = %d", a.Stats().OOBSent)
+	}
+}
+
+func TestFabricAccessorsAndValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	f := New(k, PaperConfig())
+	ep := f.AddEndpoint(5)
+	if f.Endpoint(5) != ep || ep.ID() != 5 {
+		t.Fatal("fabric accessors")
+	}
+	if f.Endpoint(99) != nil {
+		t.Fatal("unknown endpoint should be nil")
+	}
+	if ConnState(99).String() == "" {
+		t.Fatal("unknown state string")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero LinkBW accepted")
+		}
+	}()
+	New(k, Config{})
+}
+
+func TestStrayControlPacketsIgnored(t *testing.T) {
+	// Control packets for unknown or wrongly-stated connections must be
+	// ignored without corrupting state.
+	k, _, a, b := testPair(t)
+	a.Connect(1, 0)
+	k.At(5*sim.Millisecond, func() {
+		// Stray flush/ack toward an established connection's peer with no
+		// drain in progress: handleFlushAck must ignore it.
+		a.transmit(1, 64, ctlFlushAck{})
+		// Stray DiscRep with no disconnect in progress.
+		a.SendOOB(1, cmDiscRep{})
+	})
+	k.At(10*sim.Millisecond, func() {
+		if !a.Connected(1) || !b.Connected(0) {
+			t.Error("stray control packets damaged an established connection")
+		}
+		// The connection still carries data.
+		if err := a.Send(1, 64, "still works"); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	delivered := false
+	b.OnMessage = func(int, int64, any) { delivered = true }
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Fatal("data lost after stray control packets")
+	}
+}
+
+func TestDuplicateConnReqIgnored(t *testing.T) {
+	k, _, a, b := testPair(t)
+	a.Connect(1, 0)
+	// A duplicate REQ arriving after establishment must not reset the
+	// connection.
+	k.At(5*sim.Millisecond, func() { a.SendOOB(1, cmConnReq{meta: 9}) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Connected(1) || !b.Connected(0) {
+		t.Fatalf("duplicate REQ broke the connection: %v %v", a.State(1), b.State(0))
+	}
+	if b.Stats().ConnectsAccepted != 1 {
+		t.Fatalf("accepted %d times", b.Stats().ConnectsAccepted)
+	}
+}

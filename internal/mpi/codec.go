@@ -1,0 +1,48 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// F64ToBytes encodes a float64 slice for transmission.
+func F64ToBytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+// BytesToF64 decodes a float64 slice.
+func BytesToF64(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic("mpi: float64 payload not a multiple of 8 bytes")
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// I64ToBytes encodes an int64 slice for transmission.
+func I64ToBytes(v []int64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// BytesToI64 decodes an int64 slice.
+func BytesToI64(b []byte) []int64 {
+	if len(b)%8 != 0 {
+		panic("mpi: int64 payload not a multiple of 8 bytes")
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"gbcr/internal/sim"
+)
+
+// Op is a reduction operator over float64 elements.
+type Op func(a, b float64) float64
+
+// Predefined reduction operators.
+var (
+	OpSum Op = func(a, b float64) float64 { return a + b }
+	OpMax Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// checkMember panics if the calling rank is not in the communicator.
+func (e *Env) checkMember(c *Comm) {
+	if c.myRank < 0 {
+		panic(fmt.Sprintf("mpi: rank %d is not a member of comm %d", e.r.world, c.id))
+	}
+	e.r.stats.CollectivesRun++
+}
+
+// Barrier blocks until every member of the communicator has entered it
+// (dissemination algorithm, ceil(log2 n) rounds).
+func (e *Env) Barrier(c *Comm) {
+	e.checkMember(c)
+	e.enter()
+	defer e.exit()
+	tag := c.nextCollTag()
+	n, me := c.Size(), c.myRank
+	if n == 1 {
+		return
+	}
+	for k := 1; k < n; k <<= 1 {
+		dst := (me + k) % n
+		src := (me - k%n + n) % n
+		rreq := e.irecvInternal(c, src, tag)
+		sreq := e.isendInternal(c, dst, tag, nil)
+		e.waitInternal(sreq)
+		e.waitInternal(rreq)
+	}
+}
+
+// Bcast distributes root's data to all members (binomial tree). Every rank
+// returns the payload; only root's input is significant.
+func (e *Env) Bcast(c *Comm, root int, data []byte) []byte {
+	e.checkMember(c)
+	e.enter()
+	defer e.exit()
+	tag := c.nextCollTag()
+	n, me := c.Size(), c.myRank
+	if n == 1 {
+		return data
+	}
+	rel := (me - root + n) % n
+	// Receive from parent.
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (me - mask + n) % n
+			rreq := e.irecvInternal(c, src, tag)
+			e.waitInternal(rreq)
+			data = rreq.data
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := (me + mask) % n
+			sreq := e.isendInternal(c, dst, tag, data)
+			e.waitInternal(sreq)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// ReduceF64 combines equal-length vectors element-wise with op onto root
+// (binomial tree). Only root's return value is significant; other ranks
+// return nil.
+func (e *Env) ReduceF64(c *Comm, root int, in []float64, op Op) []float64 {
+	e.checkMember(c)
+	e.enter()
+	defer e.exit()
+	tag := c.nextCollTag()
+	n, me := c.Size(), c.myRank
+	acc := make([]float64, len(in))
+	copy(acc, in)
+	if n == 1 {
+		return acc
+	}
+	rel := (me - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			srcRel := rel | mask
+			if srcRel < n {
+				src := (srcRel + root) % n
+				rreq := e.irecvInternal(c, src, tag)
+				e.waitInternal(rreq)
+				part := BytesToF64(rreq.data)
+				if len(part) != len(acc) {
+					panic("mpi: ReduceF64 length mismatch across ranks")
+				}
+				for i := range acc {
+					acc[i] = op(acc[i], part[i])
+				}
+			}
+		} else {
+			dstRel := rel &^ mask
+			dst := (dstRel + root) % n
+			sreq := e.isendInternal(c, dst, tag, F64ToBytes(acc))
+			e.waitInternal(sreq)
+			break
+		}
+		mask <<= 1
+	}
+	if me == root {
+		return acc
+	}
+	return nil
+}
+
+// AllreduceF64 combines vectors element-wise with op and returns the result
+// on every rank (reduce to comm rank 0, then broadcast).
+func (e *Env) AllreduceF64(c *Comm, in []float64, op Op) []float64 {
+	red := e.ReduceF64(c, 0, in, op)
+	var payload []byte
+	if c.myRank == 0 {
+		payload = F64ToBytes(red)
+	}
+	return BytesToF64(e.Bcast(c, 0, payload))
+}
+
+// Allgather collects each member's payload on every member, indexed by comm
+// rank (ring algorithm, n-1 steps).
+func (e *Env) Allgather(c *Comm, data []byte) [][]byte {
+	e.checkMember(c)
+	e.enter()
+	defer e.exit()
+	tag := c.nextCollTag()
+	n, me := c.Size(), c.myRank
+	out := make([][]byte, n)
+	out[me] = data
+	if n == 1 {
+		return out
+	}
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	// In step s we forward the block that originated at (me - s + n) % n.
+	for s := 0; s < n-1; s++ {
+		blk := (me - s + n) % n
+		rreq := e.irecvInternal(c, left, tag)
+		sreq := e.isendInternal(c, right, tag, out[blk])
+		e.waitInternal(sreq)
+		e.waitInternal(rreq)
+		out[(me-s-1+n)%n] = rreq.data
+	}
+	return out
+}
+
+// Gather collects each member's payload on root, indexed by comm rank
+// (linear). Non-root ranks return nil.
+func (e *Env) Gather(c *Comm, root int, data []byte) [][]byte {
+	e.checkMember(c)
+	e.enter()
+	defer e.exit()
+	tag := c.nextCollTag()
+	n, me := c.Size(), c.myRank
+	if me != root {
+		sreq := e.isendInternal(c, root, tag, data)
+		e.waitInternal(sreq)
+		return nil
+	}
+	out := make([][]byte, n)
+	out[me] = data
+	reqs := make([]*Request, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != root {
+			reqs = append(reqs, e.irecvInternal(c, i, tag))
+		}
+	}
+	for _, rq := range reqs {
+		e.waitInternal(rq)
+		out[rq.status.Source] = rq.data
+	}
+	return out
+}
+
+// Scatter distributes blocks[i] from root to comm rank i (linear) and
+// returns the local block. Only root's blocks argument is significant.
+func (e *Env) Scatter(c *Comm, root int, blocks [][]byte) []byte {
+	e.checkMember(c)
+	e.enter()
+	defer e.exit()
+	tag := c.nextCollTag()
+	n, me := c.Size(), c.myRank
+	if me == root {
+		if len(blocks) != n {
+			panic("mpi: Scatter needs one block per member")
+		}
+		reqs := make([]*Request, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != root {
+				reqs = append(reqs, e.isendInternal(c, i, tag, blocks[i]))
+			}
+		}
+		for _, rq := range reqs {
+			e.waitInternal(rq)
+		}
+		return blocks[root]
+	}
+	rreq := e.irecvInternal(c, root, tag)
+	e.waitInternal(rreq)
+	return rreq.data
+}
+
+// CollectiveCheckpoint agrees collectively whether a checkpoint request is
+// pending on any member and, if so, serves the safe point here on every one
+// of them — the SCR-style application-level discipline that puts all ranks'
+// snapshots at the same logical boundary. Restartable workloads call it at
+// iteration boundaries instead of MaybeCheckpoint; it consumes two
+// collective tags (an allreduce) per call.
+func (e *Env) CollectiveCheckpoint(c *Comm) {
+	pending := 0.0
+	if e.r.pendingSP {
+		pending = 1
+	}
+	res := e.AllreduceF64(c, []float64{pending}, OpMax)
+	if res[0] == 0 {
+		return
+	}
+	// Another member saw the request; ours may still be in flight on the
+	// out-of-band channel. Wait for it before serving.
+	for !e.r.pendingSP {
+		e.p.Sleep(10 * sim.Microsecond)
+	}
+	e.MaybeCheckpoint()
+}
+
+// Alltoall exchanges blocks[i] with member i on every member (pairwise
+// exchange, n-1 steps) and returns the received blocks indexed by source.
+func (e *Env) Alltoall(c *Comm, blocks [][]byte) [][]byte {
+	e.checkMember(c)
+	e.enter()
+	defer e.exit()
+	tag := c.nextCollTag()
+	n, me := c.Size(), c.myRank
+	if len(blocks) != n {
+		panic("mpi: Alltoall needs one block per member")
+	}
+	out := make([][]byte, n)
+	out[me] = blocks[me]
+	for s := 1; s < n; s++ {
+		dst := (me + s) % n
+		src := (me - s + n) % n
+		rreq := e.irecvInternal(c, src, tag)
+		sreq := e.isendInternal(c, dst, tag, blocks[dst])
+		e.waitInternal(sreq)
+		e.waitInternal(rreq)
+		out[src] = rreq.data
+	}
+	return out
+}
+
+// Split partitions a communicator collectively, like MPI_Comm_split: every
+// member calls Split with a color and key; members with equal color form a
+// new communicator, ordered by (key, parent rank). A negative color returns
+// nil for that member (MPI_UNDEFINED). All members must call Split at the
+// same point.
+func (e *Env) Split(c *Comm, color, key int) *Comm {
+	e.checkMember(c)
+	// Gather every member's (color, key) via an allgather.
+	pairs := e.Allgather(c, I64ToBytes([]int64{int64(color), int64(key)}))
+	if color < 0 {
+		// Still burn a creation index so later comms stay aligned across
+		// members that did get a communicator.
+		e.r.commIndex++
+		return nil
+	}
+	type member struct {
+		key, parentRank int
+	}
+	var members []member
+	for rank, raw := range pairs {
+		v := BytesToI64(raw)
+		if int(v[0]) == color {
+			members = append(members, member{key: int(v[1]), parentRank: rank})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].parentRank < members[j].parentRank
+	})
+	worldRanks := make([]int, len(members))
+	for i, m := range members {
+		worldRanks[i] = c.World(m.parentRank)
+	}
+	return e.NewComm(worldRanks)
+}
+
+// ScanF64 computes an inclusive prefix reduction: member i receives
+// op(in_0, in_1, ..., in_i) element-wise (linear chain).
+func (e *Env) ScanF64(c *Comm, in []float64, op Op) []float64 {
+	e.checkMember(c)
+	e.enter()
+	defer e.exit()
+	tag := c.nextCollTag()
+	n, me := c.Size(), c.myRank
+	acc := make([]float64, len(in))
+	copy(acc, in)
+	if me > 0 {
+		rreq := e.irecvInternal(c, me-1, tag)
+		e.waitInternal(rreq)
+		prev := BytesToF64(rreq.data)
+		if len(prev) != len(acc) {
+			panic("mpi: ScanF64 length mismatch across ranks")
+		}
+		for i := range acc {
+			acc[i] = op(prev[i], acc[i])
+		}
+	}
+	if me < n-1 {
+		sreq := e.isendInternal(c, me+1, tag, F64ToBytes(acc))
+		e.waitInternal(sreq)
+	}
+	return acc
+}

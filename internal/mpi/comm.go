@@ -1,0 +1,77 @@
+package mpi
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// collTagBase separates internal collective tags from application tags.
+// Application tags must be smaller than this.
+const collTagBase = 1 << 30
+
+// Comm is a communicator handle: an ordered group of world ranks plus a
+// matching context. Like real MPI communicators, a Comm value is local to one
+// rank; all member ranks must create communicators over the same membership
+// at the same per-rank creation index so that their context ids agree (real
+// MPI guarantees this with a collective context-id allocation).
+type Comm struct {
+	id      int64
+	ranks   []int // comm rank -> world rank
+	myRank  int   // this rank's position in ranks, or -1 if not a member
+	collSeq int   // per-rank collective sequence; advances in lockstep
+}
+
+// nextCollTag allocates the internal tag for the next collective operation.
+// Member ranks call collectives on a communicator in the same order, so the
+// sequence — and thus the tag — agrees across ranks.
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return collTagBase + c.collSeq
+}
+
+// commID derives a context id from the creation index and the membership, so
+// mismatched creations fail to match (and surface as a simulation deadlock)
+// instead of silently crossing streams.
+func commID(index int, ranks []int) int64 {
+	h := fnv.New32a()
+	for _, r := range ranks {
+		fmt.Fprintf(h, "%d,", r)
+	}
+	return int64(index)<<32 | int64(h.Sum32())
+}
+
+// ID returns the communicator's context id.
+func (c *Comm) ID() int64 { return c.id }
+
+// Size returns the number of member ranks.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Rank returns the calling rank's position within the communicator, or -1 if
+// it is not a member.
+func (c *Comm) Rank() int { return c.myRank }
+
+// World translates a comm rank to a world rank.
+func (c *Comm) World(commRank int) int {
+	if commRank < 0 || commRank >= len(c.ranks) {
+		panic(fmt.Sprintf("mpi: comm rank %d out of range [0,%d)", commRank, len(c.ranks)))
+	}
+	return c.ranks[commRank]
+}
+
+// CommRankOf translates a world rank to its position in the communicator, or
+// -1 if the world rank is not a member.
+func (c *Comm) CommRankOf(world int) int {
+	for i, w := range c.ranks {
+		if w == world {
+			return i
+		}
+	}
+	return -1
+}
+
+// Ranks returns a copy of the comm-rank-to-world-rank mapping.
+func (c *Comm) Ranks() []int {
+	out := make([]int, len(c.ranks))
+	copy(out, c.ranks)
+	return out
+}

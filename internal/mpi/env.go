@@ -1,0 +1,382 @@
+package mpi
+
+import (
+	"fmt"
+
+	"gbcr/internal/sim"
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int // comm rank of the sender
+	Tag    int
+	Size   int64
+}
+
+// Request is a nonblocking operation handle.
+type Request struct {
+	r         *Rank
+	isSend    bool
+	comm      *Comm
+	peerComm  int // comm rank of peer (or ANY for receives)
+	peerWorld int // world rank of peer (send only)
+	tag       int
+	data      []byte
+	complete  bool
+	status    Status
+	recvID    uint64
+}
+
+// Done reports whether the operation has completed.
+func (req *Request) Done() bool { return req.complete }
+
+// Data returns a completed receive's payload.
+func (req *Request) Data() []byte { return req.data }
+
+// Status returns a completed receive's envelope.
+func (req *Request) Status() Status { return req.status }
+
+// matches reports whether an incoming message satisfies this posted receive.
+func (req *Request) matches(msg *inMsg) bool {
+	if req.isSend || req.comm.id != msg.comm {
+		return false
+	}
+	if req.peerComm != ANY && req.peerComm != msg.srcComm {
+		return false
+	}
+	if req.tag != ANY && req.tag != msg.tag {
+		return false
+	}
+	return true
+}
+
+// Env is the per-rank application environment: the MPI API surface bound to
+// one rank and its simulated process.
+type Env struct {
+	r *Rank
+	p *sim.Proc
+}
+
+// Rank returns the world rank.
+func (e *Env) Rank() int { return e.r.world }
+
+// Size returns the world size.
+func (e *Env) Size() int { return len(e.r.job.ranks) }
+
+// Now returns the current simulated time.
+func (e *Env) Now() sim.Time { return e.p.Now() }
+
+// Proc returns the underlying simulated process.
+func (e *Env) Proc() *sim.Proc { return e.p }
+
+// RankState returns the library-level Rank, for checkpoint-layer use.
+func (e *Env) RankState() *Rank { return e.r }
+
+// World returns a communicator over all ranks. Each call at the same
+// creation index yields the same context id on every rank.
+func (e *Env) World() *Comm {
+	n := e.Size()
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return e.NewComm(ranks)
+}
+
+// NewComm creates a communicator over the given world ranks. All member
+// ranks must call NewComm with identical membership at the same per-rank
+// creation index (the usual collective-creation discipline).
+func (e *Env) NewComm(worldRanks []int) *Comm {
+	e.r.commIndex++
+	ranks := make([]int, len(worldRanks))
+	copy(ranks, worldRanks)
+	c := &Comm{id: commID(e.r.commIndex, ranks), ranks: ranks, myRank: -1}
+	for i, w := range ranks {
+		if w == e.r.world {
+			c.myRank = i
+		}
+	}
+	return c
+}
+
+// enter marks the application as inside the library: pending (signal-mode)
+// safe points run and queued protocol work progresses. Polled requests wait
+// for an explicit MaybeCheckpoint boundary.
+func (e *Env) enter() {
+	e.r.inMPI = true
+	e.r.progressNow() // drain arrivals before any checkpoint work
+	if e.r.pendingSP && !e.r.spPolled {
+		e.runSafePoint()
+	}
+}
+
+// exit leaves the library after a final progress pass.
+func (e *Env) exit() {
+	e.r.progressNow()
+	e.r.inMPI = false
+}
+
+// runSafePoint hands control to the checkpoint layer in application context.
+func (e *Env) runSafePoint() {
+	e.r.pendingSP = false
+	if e.r.hooks != nil {
+		e.r.hooks.AtSafePoint(e)
+	}
+}
+
+// MaybeCheckpoint is an explicit safe point: if the checkpoint layer has
+// requested one, it runs here. Workloads that need well-defined state at
+// snapshot time (for functional restart) call this at iteration boundaries.
+func (e *Env) MaybeCheckpoint() {
+	if e.r.pendingSP {
+		e.r.inMPI = true
+		e.r.progressNow() // drain arrivals before the safe point
+		e.runSafePoint()
+		e.r.progressNow()
+		e.r.inMPI = false
+	}
+	// Consume any interrupt that raced with the flag check.
+	e.p.InterruptPending(true)
+}
+
+// Compute models application computation for duration d. It is a progress
+// point at entry and exit, and — like computation under BLCR — it can be
+// interrupted by a checkpoint signal, run the checkpoint, and resume the
+// remaining work.
+func (e *Env) Compute(d sim.Time) {
+	r := e.r
+	r.inMPI = true
+	r.progressNow()
+	if r.pendingSP && !r.spPolled {
+		e.runSafePoint()
+	}
+	r.inMPI = false
+	rem := d
+	for rem > 0 {
+		left, interrupted := e.p.SleepI(rem)
+		rem = left
+		if interrupted {
+			r.inMPI = true
+			r.progressNow() // drain arrivals before the safe point
+			if r.pendingSP && !r.spPolled {
+				e.runSafePoint()
+			}
+			r.inMPI = false
+		}
+	}
+	r.inMPI = true
+	r.progressNow()
+	r.inMPI = false
+}
+
+// Isend starts a nonblocking send of data to comm rank dst.
+func (e *Env) Isend(c *Comm, dst, tag int, data []byte) *Request {
+	if tag >= collTagBase || (tag < 0 && tag != ANY) {
+		panic(fmt.Sprintf("mpi: invalid application tag %d", tag))
+	}
+	e.enter()
+	defer e.exit()
+	return e.isendInternal(c, dst, tag, data)
+}
+
+// isendInternal posts a send without the library entry/exit bookkeeping;
+// collectives use it while already inside the library.
+func (e *Env) isendInternal(c *Comm, dst, tag int, data []byte) *Request {
+	r := e.r
+	world := c.World(dst)
+	if world == r.world {
+		panic(fmt.Sprintf("mpi: rank %d sending to itself", r.world))
+	}
+	req := &Request{r: r, isSend: true, comm: c, peerComm: dst, peerWorld: world, tag: tag}
+	r.trafficTo[world]++
+	if r.job.cfg.LogMessages {
+		// Sender-based logging: copy the payload into the log before it
+		// may leave, paying the copy on the critical path (this is why the
+		// paper prefers buffering: "the content of messages must always be
+		// fully logged", and zero-copy cannot be used).
+		bw := r.job.cfg.MemCopyBW
+		if bw <= 0 {
+			bw = 2 << 30
+		}
+		r.stats.MsgsLogged++
+		r.stats.BytesLogged += int64(len(data))
+		e.p.Sleep(sim.Time(float64(len(data)) / bw * float64(sim.Second)))
+	}
+	if int64(len(data)) <= r.job.cfg.EagerThreshold {
+		// Eager: copy into a communication buffer; the request completes
+		// immediately (buffered-send semantics). If the destination is
+		// gated this is the paper's *message buffering*.
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		req.complete = true
+		r.stats.EagerSent++
+		r.post(world, outItem{
+			kind:    outEager,
+			size:    eagerHdrSize + int64(len(buf)),
+			payload: wireEager{comm: c.id, srcComm: c.myRank, tag: tag, data: buf},
+		})
+		return req
+	}
+	// Rendezvous: zero-copy; the request holds the user buffer and stays
+	// incomplete until local transmit completion. If gated, this is the
+	// paper's *request buffering*.
+	r.stats.RendezvousSent++
+	r.reqSeq++
+	id := r.reqSeq
+	req.data = data
+	r.sendReqs[id] = req
+	r.post(world, outItem{
+		kind: outCtl,
+		size: ctlPktSize,
+		payload: wireRTS{comm: c.id, srcComm: c.myRank, tag: tag,
+			size: int64(len(data)), sendID: id},
+	})
+	return req
+}
+
+// Irecv posts a nonblocking receive from comm rank src (or ANY) with the
+// given tag (or ANY).
+func (e *Env) Irecv(c *Comm, src, tag int) *Request {
+	e.enter()
+	defer e.exit()
+	return e.irecvInternal(c, src, tag)
+}
+
+func (e *Env) irecvInternal(c *Comm, src, tag int) *Request {
+	r := e.r
+	req := &Request{r: r, comm: c, peerComm: src, tag: tag}
+	if msg := r.matchUnexpected(req); msg != nil {
+		if msg.eager {
+			r.deliver(req, msg)
+		} else {
+			r.grantRendezvous(req, msg)
+		}
+		return req
+	}
+	r.posted = append(r.posted, req)
+	return req
+}
+
+// Wait blocks until the request completes, returning its status. Checkpoint
+// safe points may run while waiting.
+func (e *Env) Wait(req *Request) Status {
+	e.enter()
+	defer e.exit()
+	e.waitInternal(req)
+	return req.status
+}
+
+func (e *Env) waitInternal(req *Request) {
+	for !req.complete {
+		if e.p.Park(fmt.Sprintf("MPI wait (rank %d)", e.r.world)) {
+			e.runSafePoint()
+		}
+	}
+}
+
+// Waitall blocks until every request completes.
+func (e *Env) Waitall(reqs ...*Request) {
+	e.enter()
+	defer e.exit()
+	for _, req := range reqs {
+		e.waitInternal(req)
+	}
+}
+
+// Test progresses the library and reports whether the request has
+// completed, without blocking.
+func (e *Env) Test(req *Request) bool {
+	e.enter()
+	defer e.exit()
+	return req.complete
+}
+
+// Waitany blocks until at least one of the requests completes and returns
+// its index (the lowest-indexed completed request).
+func (e *Env) Waitany(reqs ...*Request) int {
+	if len(reqs) == 0 {
+		panic("mpi: Waitany with no requests")
+	}
+	e.enter()
+	defer e.exit()
+	for {
+		for i, req := range reqs {
+			if req.complete {
+				return i
+			}
+		}
+		if e.p.Park(fmt.Sprintf("MPI waitany (rank %d)", e.r.world)) {
+			e.runSafePoint()
+		}
+	}
+}
+
+// Send is a blocking send: for eager messages it returns once the payload is
+// buffered; for rendezvous messages it returns at local completion.
+func (e *Env) Send(c *Comm, dst, tag int, data []byte) {
+	if tag >= collTagBase || (tag < 0 && tag != ANY) {
+		panic(fmt.Sprintf("mpi: invalid application tag %d", tag))
+	}
+	e.enter()
+	defer e.exit()
+	req := e.isendInternal(c, dst, tag, data)
+	e.waitInternal(req)
+}
+
+// Recv is a blocking receive returning the payload and its envelope.
+func (e *Env) Recv(c *Comm, src, tag int) ([]byte, Status) {
+	e.enter()
+	defer e.exit()
+	req := e.irecvInternal(c, src, tag)
+	e.waitInternal(req)
+	return req.data, req.status
+}
+
+// Iprobe reports, without blocking or consuming the message, whether a
+// matching message has arrived, along with its envelope.
+func (e *Env) Iprobe(c *Comm, src, tag int) (bool, Status) {
+	e.enter()
+	defer e.exit()
+	return e.iprobeInternal(c, src, tag)
+}
+
+func (e *Env) iprobeInternal(c *Comm, src, tag int) (bool, Status) {
+	probe := &Request{r: e.r, comm: c, peerComm: src, tag: tag}
+	for _, msg := range e.r.unexpected {
+		if probe.matches(msg) {
+			size := msg.size
+			if msg.eager {
+				size = int64(len(msg.data))
+			}
+			return true, Status{Source: msg.srcComm, Tag: msg.tag, Size: size}
+		}
+	}
+	return false, Status{}
+}
+
+// Probe blocks until a matching message is available and returns its
+// envelope without consuming it.
+func (e *Env) Probe(c *Comm, src, tag int) Status {
+	e.enter()
+	defer e.exit()
+	for {
+		if ok, st := e.iprobeInternal(c, src, tag); ok {
+			return st
+		}
+		if e.p.Park(fmt.Sprintf("MPI probe (rank %d)", e.r.world)) {
+			e.runSafePoint()
+		}
+	}
+}
+
+// Sendrecv exchanges messages with possibly different peers, avoiding the
+// deadlock of paired blocking calls.
+func (e *Env) Sendrecv(c *Comm, dst, sendTag int, data []byte, src, recvTag int) ([]byte, Status) {
+	e.enter()
+	defer e.exit()
+	rreq := e.irecvInternal(c, src, recvTag)
+	sreq := e.isendInternal(c, dst, sendTag, data)
+	e.waitInternal(sreq)
+	e.waitInternal(rreq)
+	return rreq.data, rreq.status
+}

@@ -1,0 +1,36 @@
+package mpi_test
+
+import (
+	"fmt"
+
+	"gbcr/internal/ib"
+	"gbcr/internal/mpi"
+	"gbcr/internal/sim"
+)
+
+// A two-rank job exchanges a message and reduces a value, the smallest
+// complete MPI program on the simulated stack.
+func Example() {
+	k := sim.NewKernel(1)
+	fabric := ib.New(k, ib.PaperConfig())
+	job := mpi.NewJob(k, fabric, mpi.DefaultConfig(), 2)
+	job.LaunchAll(func(e *mpi.Env) {
+		world := e.World()
+		if e.Rank() == 0 {
+			e.Send(world, 1, 0, []byte("hello rank 1"))
+		} else {
+			data, _ := e.Recv(world, 0, 0)
+			fmt.Printf("rank 1 got %q\n", data)
+		}
+		sum := e.AllreduceF64(world, []float64{float64(e.Rank() + 1)}, mpi.OpSum)
+		if e.Rank() == 0 {
+			fmt.Printf("allreduce sum = %v\n", sum[0])
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// rank 1 got "hello rank 1"
+	// allreduce sum = 3
+}

@@ -1,0 +1,374 @@
+// Package mpi implements an MPI-like message-passing library on top of the
+// simulated InfiniBand fabric: ranks, communicators, blocking and
+// nonblocking point-to-point with tag matching and non-overtaking order,
+// collectives, and a progress engine with the on-demand/helper-thread
+// discipline the checkpoint layer depends on (paper Section 4.4).
+//
+// The design mirrors MVAPICH2's structure where the paper's group-based
+// checkpointing hooks in: sends funnel through a per-destination outbox that
+// realizes on-demand connection management, *message buffering* (small
+// messages copied into communication buffers but not yet posted) and
+// *request buffering* (requests held in an incomplete state) when the
+// checkpoint layer gates a destination (paper Section 4.3).
+package mpi
+
+import (
+	"fmt"
+
+	"gbcr/internal/ib"
+	"gbcr/internal/sim"
+)
+
+// ANY is the wildcard for Recv source and tag matching (MPI_ANY_SOURCE /
+// MPI_ANY_TAG).
+const ANY = -1
+
+// Config parameterizes the MPI library.
+type Config struct {
+	// EagerThreshold is the largest payload sent eagerly (copied into a
+	// communication buffer and pushed); larger messages use the zero-copy
+	// rendezvous protocol. MVAPICH2's default is on the order of 8 KiB.
+	EagerThreshold int64
+	// HelperInterval bounds how long protocol processing can starve while
+	// the application computes and the helper thread is active (the paper
+	// uses 100 ms).
+	HelperInterval sim.Time
+	// LogMessages enables sender-based message logging — the alternative
+	// to deferral that Section 4.3 of the paper argues against. Every
+	// payload is copied into the log at send time (so zero-copy rendezvous
+	// is effectively disabled), charging the copy at MemCopyBW on the
+	// sender's critical path. Recovery from logs is not implemented; this
+	// exists to quantify the failure-free overhead the paper cites.
+	LogMessages bool
+	// MemCopyBW is the memory-copy bandwidth used for logging copies.
+	// Zero means 2 GB/s.
+	MemCopyBW float64
+}
+
+// DefaultConfig returns the library defaults used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		EagerThreshold: 8 << 10,
+		HelperInterval: 100 * sim.Millisecond,
+	}
+}
+
+// CRHooks is implemented by the checkpoint/restart layer to participate in
+// the library's control flow.
+type CRHooks interface {
+	// AtSafePoint runs checkpoint work in application-process context. The
+	// library calls it when a safe point is reached after
+	// Rank.RequestSafePoint (at MPI-call boundaries, inside blocking waits,
+	// or interrupting Compute — the BLCR-signal analogue).
+	AtSafePoint(e *Env)
+	// SendAllowed gates posting any packet toward a destination world
+	// rank. Returning false defers the packet in the outbox (message or
+	// request buffering) until Rank.ReleaseDst.
+	SendAllowed(dstWorld int) bool
+}
+
+// RankStats counts per-rank library activity.
+type RankStats struct {
+	EagerSent      int
+	RendezvousSent int
+	BytesSent      int64
+	MsgsBuffered   int   // paper: message buffering events
+	BytesBuffered  int64 // payload bytes held while buffered
+	ReqsBuffered   int   // paper: request buffering events
+	MsgsLogged     int   // sender-based logging events (LogMessages mode)
+	BytesLogged    int64 // payload bytes copied into the message log
+	Interrupts     int
+	HelperTicks    int
+	CollectivesRun int
+}
+
+// Job is one MPI job: a set of ranks on a shared fabric.
+type Job struct {
+	k      *sim.Kernel
+	fabric *ib.Fabric
+	cfg    Config
+	ranks  []*Rank
+}
+
+// NewJob creates a job with n ranks, registering endpoint i for rank i on
+// the fabric.
+func NewJob(k *sim.Kernel, fabric *ib.Fabric, cfg Config, n int) *Job {
+	if cfg.EagerThreshold <= 0 {
+		cfg.EagerThreshold = DefaultConfig().EagerThreshold
+	}
+	if cfg.HelperInterval <= 0 {
+		cfg.HelperInterval = DefaultConfig().HelperInterval
+	}
+	j := &Job{k: k, fabric: fabric, cfg: cfg}
+	for i := 0; i < n; i++ {
+		r := &Rank{
+			job:       j,
+			world:     i,
+			ep:        fabric.AddEndpoint(i),
+			sendReqs:  make(map[uint64]*Request),
+			recvReqs:  make(map[uint64]*Request),
+			outbox:    make(map[int][]outItem),
+			trafficTo: make(map[int]int64),
+		}
+		r.ep.OnWork = r.onWork
+		r.ep.OnMessage = r.onMessage
+		r.ep.OnConnUp = r.onConnUp
+		r.ep.OnConnDown = r.onConnDown
+		j.ranks = append(j.ranks, r)
+	}
+	return j
+}
+
+// K returns the kernel the job runs on.
+func (j *Job) K() *sim.Kernel { return j.k }
+
+// Fabric returns the interconnect the job's endpoints live on.
+func (j *Job) Fabric() *ib.Fabric { return j.fabric }
+
+// Size returns the number of ranks.
+func (j *Job) Size() int { return len(j.ranks) }
+
+// Config returns the library configuration.
+func (j *Job) Config() Config { return j.cfg }
+
+// Rank returns rank i.
+func (j *Job) Rank(i int) *Rank { return j.ranks[i] }
+
+// Launch starts rank i's application body as a simulated process. The
+// returned Env is also passed to body.
+func (j *Job) Launch(i int, body func(e *Env)) *Rank {
+	r := j.ranks[i]
+	if r.proc != nil {
+		panic(fmt.Sprintf("mpi: rank %d launched twice", i))
+	}
+	r.proc = j.k.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+		env := &Env{r: r, p: p}
+		r.env = env
+		body(env)
+		r.finished = true
+		r.finishedAt = p.Now()
+		// A finished rank sits in finalize: it keeps making progress so
+		// peers can complete transfers and handshakes against it.
+		r.inMPI = true
+		r.progressNow()
+	})
+	return r
+}
+
+// LaunchAll starts every rank with the same body.
+func (j *Job) LaunchAll(body func(e *Env)) {
+	for i := range j.ranks {
+		j.Launch(i, body)
+	}
+}
+
+// Finished reports whether all ranks' bodies have returned.
+func (j *Job) Finished() bool {
+	for _, r := range j.ranks {
+		if !r.finished {
+			return false
+		}
+	}
+	return true
+}
+
+// FinishTime returns the time the last rank finished. It panics if the job
+// has not finished.
+func (j *Job) FinishTime() sim.Time {
+	var t sim.Time
+	for _, r := range j.ranks {
+		if !r.finished {
+			panic("mpi: FinishTime on unfinished job")
+		}
+		if r.finishedAt > t {
+			t = r.finishedAt
+		}
+	}
+	return t
+}
+
+// Rank is one MPI process: the library state attached to one simulated
+// process and one fabric endpoint.
+type Rank struct {
+	job   *Job
+	world int
+	proc  *sim.Proc
+	ep    *ib.Endpoint
+	env   *Env
+
+	finished   bool
+	finishedAt sim.Time
+
+	// Progress engine state.
+	inMPI        bool
+	helperOn     bool
+	helperTick   *sim.Event
+	lastProgress sim.Time
+
+	// Matching state.
+	reqSeq     uint64
+	sendReqs   map[uint64]*Request // pending rendezvous sends by id
+	recvReqs   map[uint64]*Request // rendezvous receives awaiting data by id
+	posted     []*Request          // posted receive queue (FIFO)
+	unexpected []*inMsg            // unexpected message queue (FIFO)
+
+	// Send path.
+	outbox    map[int][]outItem // per-destination deferred packets
+	trafficTo map[int]int64     // per-destination message counts (group heuristic)
+
+	// Checkpoint integration.
+	hooks     CRHooks
+	pendingSP bool
+	spPolled  bool // pending request must wait for an explicit boundary
+	commIndex int
+
+	// Secondary connection observers (the checkpoint layer).
+	ConnUpHook   func(peer int)
+	ConnDownHook func(peer int)
+
+	// PostHook, if set, observes every in-band packet put on the wire
+	// (destination world rank). DeliverHook observes every in-band arrival
+	// as it is processed (source world rank). Per-pair FIFO order lets
+	// validators pair posts with deliveries — the consistency checker uses
+	// them to prove no message crosses the recovery line.
+	PostHook    func(dst int)
+	DeliverHook func(src int)
+
+	stats RankStats
+}
+
+// World returns the rank's world number.
+func (r *Rank) World() int { return r.world }
+
+// Job returns the owning job.
+func (r *Rank) Job() *Job { return r.job }
+
+// Proc returns the simulated process running the rank's application, or nil
+// before Launch.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Endpoint returns the rank's fabric endpoint.
+func (r *Rank) Endpoint() *ib.Endpoint { return r.ep }
+
+// Env returns the rank's application environment, or nil before the body has
+// started.
+func (r *Rank) Env() *Env { return r.env }
+
+// Stats returns a copy of the rank's counters.
+func (r *Rank) Stats() RankStats { return r.stats }
+
+// Finished reports whether the rank's body has returned.
+func (r *Rank) Finished() bool { return r.finished }
+
+// FinishedAt returns when the rank's body returned.
+func (r *Rank) FinishedAt() sim.Time { return r.finishedAt }
+
+// SetHooks installs the checkpoint layer's hooks.
+func (r *Rank) SetHooks(h CRHooks) { r.hooks = h }
+
+// RequestSafePoint asks the rank to run hooks.AtSafePoint at its next safe
+// point, interrupting computation or a blocking wait to get there — the
+// simulation analogue of BLCR's checkpoint signal.
+func (r *Rank) RequestSafePoint() {
+	r.pendingSP = true
+	r.spPolled = false
+	if r.proc != nil {
+		r.stats.Interrupts++
+		r.proc.Interrupt()
+	}
+}
+
+// SafePointPending reports whether a safe-point request is outstanding.
+func (r *Rank) SafePointPending() bool { return r.pendingSP }
+
+// SetHelper enables or disables the helper thread that bounds protocol
+// starvation while the application computes (paper Section 4.4: activated
+// only in the passive-coordination state).
+func (r *Rank) SetHelper(on bool) {
+	r.helperOn = on
+	if on && r.ep.PendingWork() {
+		r.ensureHelperTick()
+	}
+	if !on && r.helperTick != nil {
+		r.helperTick.Cancel()
+		r.helperTick = nil
+	}
+}
+
+// HelperOn reports whether the helper thread is active.
+func (r *Rank) HelperOn() bool { return r.helperOn }
+
+// onWork is the endpoint's packet-arrival notification. Processing follows
+// the MPI progress rule: immediate when the application is inside the
+// library, helper-bounded when the helper thread is on, otherwise deferred
+// to the next library call.
+func (r *Rank) onWork() {
+	if r.inMPI {
+		r.progressNow()
+		return
+	}
+	if r.helperOn {
+		r.ensureHelperTick()
+	}
+}
+
+// progressNow drains the endpoint's arrival queue.
+func (r *Rank) progressNow() {
+	r.lastProgress = r.job.k.Now()
+	r.ep.Progress()
+}
+
+// ensureHelperTick schedules a progress check no later than
+// lastProgress+HelperInterval.
+func (r *Rank) ensureHelperTick() {
+	if r.helperTick != nil && !r.helperTick.Fired() && !r.helperTick.Canceled() {
+		return
+	}
+	k := r.job.k
+	due := r.lastProgress + r.job.cfg.HelperInterval
+	if due < k.Now() {
+		due = k.Now()
+	}
+	r.helperTick = k.At(due, r.helperTickFire)
+}
+
+// helperTickFire is the helper thread's periodic progress check. When the
+// queue cannot be drained right now (the application holds the library), the
+// recheck is a full interval later — never at the current instant, which
+// would spin simulated time in place.
+func (r *Rank) helperTickFire() {
+	r.helperTick = nil
+	if !r.helperOn {
+		return
+	}
+	r.stats.HelperTicks++
+	if !r.inMPI {
+		r.progressNow()
+	}
+	if r.ep.PendingWork() {
+		r.helperTick = r.job.k.After(r.job.cfg.HelperInterval, r.helperTickFire)
+	}
+}
+
+// onConnUp drains deferred packets for the newly established connection and
+// notifies the checkpoint layer.
+func (r *Rank) onConnUp(peer int) {
+	r.drainOutbox(peer)
+	if r.ConnUpHook != nil {
+		r.ConnUpHook(peer)
+	}
+}
+
+func (r *Rank) onConnDown(peer int) {
+	if r.ConnDownHook != nil {
+		r.ConnDownHook(peer)
+	}
+}
+
+// ReleaseDst re-attempts deferred packets toward dst; the checkpoint layer
+// calls it when a gated destination becomes legal again (both endpoints past
+// the recovery line).
+func (r *Rank) ReleaseDst(dst int) { r.drainOutbox(dst) }
+
+// OutboxLen reports how many packets are deferred toward dst.
+func (r *Rank) OutboxLen(dst int) int { return len(r.outbox[dst]) }

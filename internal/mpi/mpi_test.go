@@ -1,0 +1,1119 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gbcr/internal/ib"
+	"gbcr/internal/sim"
+)
+
+// newTestJob builds a kernel, fabric, and n-rank job with default config.
+func newTestJob(n int) (*sim.Kernel, *Job) {
+	k := sim.NewKernel(1)
+	f := ib.New(k, ib.PaperConfig())
+	j := NewJob(k, f, DefaultConfig(), n)
+	return k, j
+}
+
+func run(t *testing.T, k *sim.Kernel) {
+	t.Helper()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	k, j := newTestJob(2)
+	payload := []byte("hello infiniband")
+	var got []byte
+	var st Status
+	j.Launch(0, func(e *Env) {
+		e.Send(e.World(), 1, 7, payload)
+	})
+	j.Launch(1, func(e *Env) {
+		got, st = e.Recv(e.World(), 0, 7)
+	})
+	run(t, k)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+	if st.Source != 0 || st.Tag != 7 || st.Size != int64(len(payload)) {
+		t.Fatalf("status = %+v", st)
+	}
+	if s := j.Rank(0).Stats(); s.EagerSent != 1 || s.RendezvousSent != 0 {
+		t.Fatalf("protocol selection wrong: %+v", s)
+	}
+}
+
+func TestRendezvousSendRecv(t *testing.T) {
+	k, j := newTestJob(2)
+	payload := make([]byte, 1<<20) // 1 MiB, far over the eager threshold
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	var got []byte
+	j.Launch(0, func(e *Env) {
+		e.Send(e.World(), 1, 0, payload)
+	})
+	j.Launch(1, func(e *Env) {
+		got, _ = e.Recv(e.World(), 0, 0)
+	})
+	run(t, k)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("rendezvous payload corrupted")
+	}
+	if s := j.Rank(0).Stats(); s.RendezvousSent != 1 {
+		t.Fatalf("expected rendezvous: %+v", s)
+	}
+}
+
+func TestSendBeforeRecvPosted(t *testing.T) {
+	k, j := newTestJob(2)
+	var got []byte
+	j.Launch(0, func(e *Env) {
+		e.Send(e.World(), 1, 3, []byte("early"))
+	})
+	j.Launch(1, func(e *Env) {
+		e.Compute(50 * sim.Millisecond) // the message arrives unexpected
+		got, _ = e.Recv(e.World(), 0, 3)
+	})
+	run(t, k)
+	if string(got) != "early" {
+		t.Fatalf("unexpected-queue path broken: %q", got)
+	}
+}
+
+func TestNonOvertakingMixedProtocols(t *testing.T) {
+	// A small eager message sent after a large rendezvous message on the
+	// same (source, tag) must match second, even though its data arrives
+	// first.
+	k, j := newTestJob(2)
+	big := make([]byte, 256<<10)
+	big[0] = 'B'
+	var first, second []byte
+	j.Launch(0, func(e *Env) {
+		w := e.World()
+		r1 := e.Isend(w, 1, 5, big)
+		r2 := e.Isend(w, 1, 5, []byte("small"))
+		e.Waitall(r1, r2)
+	})
+	j.Launch(1, func(e *Env) {
+		e.Compute(10 * sim.Millisecond)
+		w := e.World()
+		first, _ = e.Recv(w, 0, 5)
+		second, _ = e.Recv(w, 0, 5)
+	})
+	run(t, k)
+	if len(first) != len(big) || first[0] != 'B' {
+		t.Fatalf("first recv got %d bytes, want the big message", len(first))
+	}
+	if string(second) != "small" {
+		t.Fatalf("second recv got %q", second)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	k, j := newTestJob(3)
+	var got [2]Status
+	for i := 1; i <= 2; i++ {
+		i := i
+		j.Launch(i, func(e *Env) {
+			e.Compute(sim.Time(i) * sim.Millisecond)
+			e.Send(e.World(), 0, 10+i, []byte{byte(i)})
+		})
+	}
+	j.Launch(0, func(e *Env) {
+		w := e.World()
+		_, got[0] = e.Recv(w, ANY, ANY)
+		_, got[1] = e.Recv(w, ANY, ANY)
+	})
+	run(t, k)
+	if got[0].Source != 1 || got[0].Tag != 11 {
+		t.Fatalf("first wildcard recv: %+v", got[0])
+	}
+	if got[1].Source != 2 || got[1].Tag != 12 {
+		t.Fatalf("second wildcard recv: %+v", got[1])
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	k, j := newTestJob(2)
+	var tagged, other []byte
+	j.Launch(0, func(e *Env) {
+		w := e.World()
+		e.Send(w, 1, 1, []byte("one"))
+		e.Send(w, 1, 2, []byte("two"))
+	})
+	j.Launch(1, func(e *Env) {
+		w := e.World()
+		e.Compute(10 * sim.Millisecond)
+		tagged, _ = e.Recv(w, 0, 2) // match the second message first
+		other, _ = e.Recv(w, 0, 1)
+	})
+	run(t, k)
+	if string(tagged) != "two" || string(other) != "one" {
+		t.Fatalf("tag matching broken: %q %q", tagged, other)
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	const n = 5
+	k, j := newTestJob(n)
+	got := make([]int, n)
+	j.LaunchAll(func(e *Env) {
+		w := e.World()
+		me := e.Rank()
+		right := (me + 1) % n
+		left := (me - 1 + n) % n
+		data, _ := e.Sendrecv(w, right, 0, []byte{byte(me)}, left, 0)
+		got[me] = int(data[0])
+	})
+	run(t, k)
+	for me := 0; me < n; me++ {
+		if got[me] != (me-1+n)%n {
+			t.Fatalf("rank %d received %d", me, got[me])
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 4
+	k, j := newTestJob(n)
+	exit := make([]sim.Time, n)
+	j.LaunchAll(func(e *Env) {
+		me := e.Rank()
+		e.Compute(sim.Time(me+1) * 100 * sim.Millisecond)
+		e.Barrier(e.World())
+		exit[me] = e.Now()
+	})
+	run(t, k)
+	latest := sim.Time(n) * 100 * sim.Millisecond // slowest rank enters here
+	for me, x := range exit {
+		if x < latest {
+			t.Fatalf("rank %d left the barrier at %v before the last entry %v", me, x, latest)
+		}
+		if x > latest+10*sim.Millisecond {
+			t.Fatalf("rank %d barrier exit %v too long after last entry %v", me, x, latest)
+		}
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	const n = 6 // non-power-of-two
+	for _, size := range []int{10, 100 << 10} {
+		for root := 0; root < n; root++ {
+			k, j := newTestJob(n)
+			want := make([]byte, size)
+			for i := range want {
+				want[i] = byte(i ^ root)
+			}
+			got := make([][]byte, n)
+			j.LaunchAll(func(e *Env) {
+				var in []byte
+				if e.Rank() == root {
+					in = want
+				}
+				got[e.Rank()] = e.Bcast(e.World(), root, in)
+			})
+			run(t, k)
+			for me := 0; me < n; me++ {
+				if !bytes.Equal(got[me], want) {
+					t.Fatalf("size=%d root=%d rank=%d: bcast corrupted", size, root, me)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		k, j := newTestJob(n)
+		var got []float64
+		j.LaunchAll(func(e *Env) {
+			in := []float64{float64(e.Rank() + 1), 2}
+			out := e.ReduceF64(e.World(), 0, in, OpSum)
+			if e.Rank() == 0 {
+				got = out
+			} else if out != nil {
+				t.Errorf("non-root got non-nil reduce result")
+			}
+		})
+		run(t, k)
+		wantSum := float64(n*(n+1)) / 2
+		if got[0] != wantSum || got[1] != float64(2*n) {
+			t.Fatalf("n=%d: reduce = %v, want [%v %v]", n, got, wantSum, 2*n)
+		}
+	}
+}
+
+func TestAllreduceMaxEveryRank(t *testing.T) {
+	const n = 7
+	k, j := newTestJob(n)
+	got := make([][]float64, n)
+	j.LaunchAll(func(e *Env) {
+		got[e.Rank()] = e.AllreduceF64(e.World(), []float64{float64(e.Rank())}, OpMax)
+	})
+	run(t, k)
+	for me := 0; me < n; me++ {
+		if got[me][0] != float64(n-1) {
+			t.Fatalf("rank %d allreduce max = %v", me, got[me])
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 5
+	k, j := newTestJob(n)
+	got := make([][][]byte, n)
+	j.LaunchAll(func(e *Env) {
+		mine := []byte(fmt.Sprintf("block-from-%d", e.Rank()))
+		got[e.Rank()] = e.Allgather(e.World(), mine)
+	})
+	run(t, k)
+	for me := 0; me < n; me++ {
+		for src := 0; src < n; src++ {
+			want := fmt.Sprintf("block-from-%d", src)
+			if string(got[me][src]) != want {
+				t.Fatalf("rank %d block %d = %q, want %q", me, src, got[me][src], want)
+			}
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n = 4
+	k, j := newTestJob(n)
+	var gathered [][]byte
+	scattered := make([][]byte, n)
+	j.LaunchAll(func(e *Env) {
+		w := e.World()
+		g := e.Gather(w, 1, []byte{byte(e.Rank() * 10)})
+		if e.Rank() == 1 {
+			gathered = g
+		}
+		var blocks [][]byte
+		if e.Rank() == 2 {
+			blocks = make([][]byte, n)
+			for i := range blocks {
+				blocks[i] = []byte{byte(100 + i)}
+			}
+		}
+		scattered[e.Rank()] = e.Scatter(w, 2, blocks)
+	})
+	run(t, k)
+	for i := 0; i < n; i++ {
+		if gathered[i][0] != byte(i*10) {
+			t.Fatalf("gather block %d = %v", i, gathered[i])
+		}
+		if scattered[i][0] != byte(100+i) {
+			t.Fatalf("scatter block %d = %v", i, scattered[i])
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	k, j := newTestJob(n)
+	got := make([][][]byte, n)
+	j.LaunchAll(func(e *Env) {
+		blocks := make([][]byte, n)
+		for i := range blocks {
+			blocks[i] = []byte{byte(e.Rank()), byte(i)}
+		}
+		got[e.Rank()] = e.Alltoall(e.World(), blocks)
+	})
+	run(t, k)
+	for me := 0; me < n; me++ {
+		for src := 0; src < n; src++ {
+			b := got[me][src]
+			if b[0] != byte(src) || b[1] != byte(me) {
+				t.Fatalf("alltoall[%d][%d] = %v", me, src, b)
+			}
+		}
+	}
+}
+
+func TestComputeDuration(t *testing.T) {
+	k, j := newTestJob(1)
+	var end sim.Time
+	j.Launch(0, func(e *Env) {
+		e.Compute(3 * sim.Second)
+		end = e.Now()
+	})
+	run(t, k)
+	if end != 3*sim.Second {
+		t.Fatalf("compute ended at %v", end)
+	}
+}
+
+// spHooks is a test CRHooks recording safe-point invocations.
+type spHooks struct {
+	calls []sim.Time
+	gate  map[int]bool // dst -> blocked
+}
+
+func (h *spHooks) AtSafePoint(e *Env) { h.calls = append(h.calls, e.Now()) }
+func (h *spHooks) SendAllowed(dst int) bool {
+	if h.gate == nil {
+		return true
+	}
+	return !h.gate[dst]
+}
+
+func TestSafePointInterruptsCompute(t *testing.T) {
+	k, j := newTestJob(1)
+	h := &spHooks{}
+	j.Rank(0).SetHooks(h)
+	var end sim.Time
+	j.Launch(0, func(e *Env) {
+		e.Compute(2 * sim.Second)
+		end = e.Now()
+	})
+	k.At(500*sim.Millisecond, func() { j.Rank(0).RequestSafePoint() })
+	run(t, k)
+	if len(h.calls) != 1 || h.calls[0] != 500*sim.Millisecond {
+		t.Fatalf("safe point calls: %v", h.calls)
+	}
+	if end != 2*sim.Second {
+		t.Fatalf("compute lost time across safe point: ended %v", end)
+	}
+}
+
+func TestSafePointInterruptsBlockingWait(t *testing.T) {
+	k, j := newTestJob(2)
+	h := &spHooks{}
+	j.Rank(0).SetHooks(h)
+	var got []byte
+	j.Launch(0, func(e *Env) {
+		got, _ = e.Recv(e.World(), 1, 0)
+	})
+	j.Launch(1, func(e *Env) {
+		e.Compute(sim.Second)
+		e.Send(e.World(), 0, 0, []byte("late"))
+	})
+	k.At(300*sim.Millisecond, func() { j.Rank(0).RequestSafePoint() })
+	run(t, k)
+	if len(h.calls) != 1 || h.calls[0] != 300*sim.Millisecond {
+		t.Fatalf("safe point inside wait: %v", h.calls)
+	}
+	if string(got) != "late" {
+		t.Fatalf("recv corrupted by safe point: %q", got)
+	}
+}
+
+func TestMaybeCheckpointExplicitSafePoint(t *testing.T) {
+	k, j := newTestJob(1)
+	h := &spHooks{}
+	j.Rank(0).SetHooks(h)
+	j.Launch(0, func(e *Env) {
+		for i := 0; i < 4; i++ {
+			// Non-interruptible work: the request is only served at the
+			// explicit boundary.
+			e.Proc().Sleep(100 * sim.Millisecond)
+			e.MaybeCheckpoint()
+		}
+	})
+	k.At(250*sim.Millisecond, func() { j.Rank(0).RequestSafePoint() })
+	run(t, k)
+	if len(h.calls) != 1 || h.calls[0] != 300*sim.Millisecond {
+		t.Fatalf("explicit safe point at %v, want 300ms boundary", h.calls)
+	}
+}
+
+func TestProgressRuleWithoutHelper(t *testing.T) {
+	// Receiver posts a recv, then computes for 10s with no helper thread:
+	// the rendezvous cannot complete until it re-enters the library.
+	k, j := newTestJob(2)
+	var sendDone sim.Time
+	j.Launch(0, func(e *Env) {
+		e.Compute(100 * sim.Millisecond)
+		e.Send(e.World(), 1, 0, make([]byte, 1<<20))
+		sendDone = e.Now()
+	})
+	j.Launch(1, func(e *Env) {
+		req := e.Irecv(e.World(), 0, 0)
+		e.Compute(10 * sim.Second)
+		e.Wait(req)
+	})
+	run(t, k)
+	if sendDone < 10*sim.Second {
+		t.Fatalf("rendezvous completed at %v while receiver was computing (no progress source)", sendDone)
+	}
+}
+
+func TestHelperThreadBoundsProgress(t *testing.T) {
+	// Same scenario with the helper thread on: the RTS is served within the
+	// helper interval and the transfer completes while the receiver computes.
+	k, j := newTestJob(2)
+	j.Rank(1).SetHelper(true)
+	var sendDone sim.Time
+	j.Launch(0, func(e *Env) {
+		e.Compute(100 * sim.Millisecond)
+		e.Send(e.World(), 1, 0, make([]byte, 1<<20))
+		sendDone = e.Now()
+	})
+	j.Launch(1, func(e *Env) {
+		req := e.Irecv(e.World(), 0, 0)
+		e.Compute(10 * sim.Second)
+		e.Wait(req)
+	})
+	run(t, k)
+	limit := 100*sim.Millisecond + 3*j.Config().HelperInterval
+	if sendDone > limit {
+		t.Fatalf("helper thread did not bound progress: send done at %v, want < %v", sendDone, limit)
+	}
+	if j.Rank(1).Stats().HelperTicks == 0 {
+		t.Fatal("helper never ticked")
+	}
+}
+
+func TestGatedEagerIsMessageBuffered(t *testing.T) {
+	k, j := newTestJob(2)
+	h := &spHooks{gate: map[int]bool{1: true}}
+	j.Rank(0).SetHooks(h)
+	var recvAt sim.Time
+	j.Launch(0, func(e *Env) {
+		e.Send(e.World(), 1, 0, []byte("deferred")) // completes despite the gate
+	})
+	j.Launch(1, func(e *Env) {
+		e.Recv(e.World(), 0, 0)
+		recvAt = e.Now()
+	})
+	k.At(sim.Second, func() {
+		h.gate[1] = false
+		j.Rank(0).ReleaseDst(1)
+	})
+	run(t, k)
+	if recvAt < sim.Second {
+		t.Fatalf("gated message leaked at %v", recvAt)
+	}
+	s := j.Rank(0).Stats()
+	if s.MsgsBuffered != 1 || s.BytesBuffered != int64(len("deferred")) {
+		t.Fatalf("message buffering stats: %+v", s)
+	}
+}
+
+func TestGatedRendezvousIsRequestBuffered(t *testing.T) {
+	k, j := newTestJob(2)
+	h := &spHooks{gate: map[int]bool{1: true}}
+	j.Rank(0).SetHooks(h)
+	var sendDone sim.Time
+	j.Launch(0, func(e *Env) {
+		e.Send(e.World(), 1, 0, make([]byte, 1<<20)) // blocks on the gate
+		sendDone = e.Now()
+	})
+	j.Launch(1, func(e *Env) {
+		e.Recv(e.World(), 0, 0)
+	})
+	k.At(sim.Second, func() {
+		h.gate[1] = false
+		j.Rank(0).ReleaseDst(1)
+	})
+	run(t, k)
+	if sendDone < sim.Second {
+		t.Fatalf("gated rendezvous send completed at %v", sendDone)
+	}
+	if s := j.Rank(0).Stats(); s.ReqsBuffered == 0 {
+		t.Fatalf("request buffering stats: %+v", s)
+	}
+}
+
+func TestSubCommunicatorsIsolate(t *testing.T) {
+	// Two disjoint comms using identical tags must not cross-match.
+	const n = 4
+	k, j := newTestJob(n)
+	got := make([][]byte, n)
+	j.LaunchAll(func(e *Env) {
+		me := e.Rank()
+		var c *Comm
+		if me < 2 {
+			c = e.NewComm([]int{0, 1})
+		} else {
+			c = e.NewComm([]int{2, 3})
+		}
+		if c.Rank() == 0 {
+			e.Send(c, 1, 9, []byte{byte(me)})
+		} else {
+			got[me], _ = e.Recv(c, 0, 9)
+		}
+	})
+	run(t, k)
+	if got[1][0] != 0 || got[3][0] != 2 {
+		t.Fatalf("sub-communicator crosstalk: %v %v", got[1], got[3])
+	}
+}
+
+func TestCommTranslation(t *testing.T) {
+	k, j := newTestJob(4)
+	j.Launch(0, func(e *Env) {
+		c := e.NewComm([]int{3, 0, 2})
+		if c.Size() != 3 || c.Rank() != 1 {
+			t.Errorf("size=%d rank=%d", c.Size(), c.Rank())
+		}
+		if c.World(0) != 3 || c.World(2) != 2 {
+			t.Error("World translation")
+		}
+		if c.CommRankOf(2) != 2 || c.CommRankOf(1) != -1 {
+			t.Error("CommRankOf translation")
+		}
+	})
+	run(t, k)
+}
+
+func TestRowColumnGrid(t *testing.T) {
+	// The HPL pattern: a 2x2 grid with row and column communicators.
+	const p, q = 2, 2
+	k, j := newTestJob(p * q)
+	rowSums := make([][]float64, p*q)
+	colSums := make([][]float64, p*q)
+	j.LaunchAll(func(e *Env) {
+		me := e.Rank()
+		row, col := me/q, me%q
+		rowRanks := make([]int, q)
+		for c := 0; c < q; c++ {
+			rowRanks[c] = row*q + c
+		}
+		colRanks := make([]int, p)
+		for r := 0; r < p; r++ {
+			colRanks[r] = r*q + col
+		}
+		rowComm := e.NewComm(rowRanks)
+		colComm := e.NewComm(colRanks)
+		rowSums[me] = e.AllreduceF64(rowComm, []float64{float64(me)}, OpSum)
+		colSums[me] = e.AllreduceF64(colComm, []float64{float64(me)}, OpSum)
+	})
+	run(t, k)
+	for me := 0; me < p*q; me++ {
+		row, col := me/q, me%q
+		wantRow := float64(row*q*q) + float64(q*(q-1))/2
+		wantCol := float64(col*p) + float64(q)*float64(p*(p-1))/2
+		if rowSums[me][0] != wantRow || colSums[me][0] != wantCol {
+			t.Fatalf("rank %d: row=%v (want %v) col=%v (want %v)",
+				me, rowSums[me], wantRow, colSums[me], wantCol)
+		}
+	}
+}
+
+func TestDeadlockDiagnosis(t *testing.T) {
+	k, j := newTestJob(2)
+	j.Launch(0, func(e *Env) {
+		e.Recv(e.World(), 1, 0) // never sent
+	})
+	j.Launch(1, func(e *Env) {})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected deadlock")
+	}
+}
+
+func TestInvalidTagPanics(t *testing.T) {
+	k, j := newTestJob(2)
+	j.Launch(0, func(e *Env) {
+		e.Send(e.World(), 1, collTagBase, nil)
+	})
+	j.Launch(1, func(e *Env) {})
+	if err := k.Run(); err == nil {
+		t.Fatal("reserved tag accepted")
+	}
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	f := func(v []float64) bool {
+		got := BytesToF64(F64ToBytes(v))
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] && !(v[i] != v[i] && got[i] != got[i]) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(v []int64) bool {
+		got := BytesToI64(I64ToBytes(v))
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random point-to-point traffic is delivered intact, exactly once,
+// in order per (src,dst,tag).
+func TestQuickRandomP2P(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 2
+		k := sim.NewKernel(seed)
+		fab := ib.New(k, ib.PaperConfig())
+		j := NewJob(k, fab, DefaultConfig(), n)
+		// Plan: each rank sends a random number of messages to each higher
+		// rank; receivers drain with wildcard recvs and verify later.
+		plan := make([][]int, n) // plan[src][i] = dst for message i
+		expect := make(map[int]int)
+		for src := 0; src < n; src++ {
+			cnt := rng.Intn(6)
+			for i := 0; i < cnt; i++ {
+				dst := rng.Intn(n)
+				if dst == src {
+					continue
+				}
+				plan[src] = append(plan[src], dst)
+				expect[dst]++
+			}
+		}
+		type recvd struct{ src, seq int }
+		got := make([][]recvd, n)
+		j.LaunchAll(func(e *Env) {
+			me := e.Rank()
+			w := e.World()
+			var reqs []*Request
+			for seq, dst := range plan[me] {
+				sz := rng.Intn(64 << 10)
+				data := make([]byte, 8, 8+sz)
+				copy(data, I64ToBytes([]int64{int64(seq)}))
+				data = data[:8+sz]
+				reqs = append(reqs, e.Isend(w, dst, 1, data))
+			}
+			for r := 0; r < expect[me]; r++ {
+				data, st := e.Recv(w, ANY, 1)
+				seq := int(BytesToI64(data[:8])[0])
+				got[me] = append(got[me], recvd{st.Source, seq})
+			}
+			e.Waitall(reqs...)
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		// Per (src,dst) the sequence numbers must be increasing.
+		for dst := 0; dst < n; dst++ {
+			last := make(map[int]int)
+			for _, rc := range got[dst] {
+				if prev, ok := last[rc.src]; ok && rc.seq <= prev {
+					return false
+				}
+				last[rc.src] = rc.seq
+			}
+			if len(got[dst]) != expect[dst] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AllreduceF64 sum equals the serial sum for random sizes.
+func TestQuickAllreduceMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 1
+		vec := rng.Intn(5) + 1
+		k := sim.NewKernel(seed)
+		fab := ib.New(k, ib.PaperConfig())
+		j := NewJob(k, fab, DefaultConfig(), n)
+		inputs := make([][]float64, n)
+		for i := range inputs {
+			inputs[i] = make([]float64, vec)
+			for v := range inputs[i] {
+				inputs[i][v] = float64(rng.Intn(1000))
+			}
+		}
+		results := make([][]float64, n)
+		j.LaunchAll(func(e *Env) {
+			results[e.Rank()] = e.AllreduceF64(e.World(), inputs[e.Rank()], OpSum)
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for v := 0; v < vec; v++ {
+			var want float64
+			for i := 0; i < n; i++ {
+				want += inputs[i][v]
+			}
+			for i := 0; i < n; i++ {
+				if results[i][v] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	k, j := newTestJob(2)
+	var before, after bool
+	var st Status
+	j.Launch(0, func(e *Env) {
+		e.Compute(100 * sim.Millisecond)
+		e.Send(e.World(), 1, 9, []byte("probe me"))
+	})
+	j.Launch(1, func(e *Env) {
+		w := e.World()
+		before, _ = e.Iprobe(w, 0, 9)
+		e.Compute(200 * sim.Millisecond)
+		after, st = e.Iprobe(w, 0, 9)
+		// The message must still be consumable after probing.
+		data, _ := e.Recv(w, 0, 9)
+		if string(data) != "probe me" {
+			t.Errorf("probe consumed the message: %q", data)
+		}
+	})
+	run(t, k)
+	if before {
+		t.Fatal("Iprobe saw a message before it was sent")
+	}
+	if !after || st.Size != int64(len("probe me")) || st.Source != 0 || st.Tag != 9 {
+		t.Fatalf("Iprobe after arrival: ok=%v st=%+v", after, st)
+	}
+}
+
+func TestProbeBlocksUntilArrival(t *testing.T) {
+	k, j := newTestJob(2)
+	var probedAt sim.Time
+	var st Status
+	j.Launch(0, func(e *Env) {
+		e.Compute(300 * sim.Millisecond)
+		e.Send(e.World(), 1, 2, make([]byte, 64<<10)) // rendezvous-sized
+	})
+	j.Launch(1, func(e *Env) {
+		w := e.World()
+		st = e.Probe(w, 0, ANY)
+		probedAt = e.Now()
+		data, _ := e.Recv(w, 0, st.Tag)
+		if len(data) != 64<<10 {
+			t.Errorf("recv after probe: %d bytes", len(data))
+		}
+	})
+	run(t, k)
+	if probedAt < 300*sim.Millisecond {
+		t.Fatalf("probe returned at %v before the send", probedAt)
+	}
+	// Probe on a rendezvous reports the announced size.
+	if st.Size != 64<<10 || st.Tag != 2 {
+		t.Fatalf("probe status: %+v", st)
+	}
+}
+
+func TestTestNonblocking(t *testing.T) {
+	k, j := newTestJob(2)
+	var before, after bool
+	j.Launch(0, func(e *Env) {
+		req := e.Irecv(e.World(), 1, 0)
+		before = e.Test(req)
+		e.Compute(200 * sim.Millisecond)
+		after = e.Test(req)
+	})
+	j.Launch(1, func(e *Env) {
+		e.Compute(50 * sim.Millisecond)
+		e.Send(e.World(), 0, 0, []byte("x"))
+	})
+	run(t, k)
+	if before {
+		t.Fatal("Test true before the send")
+	}
+	if !after {
+		t.Fatal("Test false after the message arrived")
+	}
+}
+
+func TestWaitanyReturnsFirstDone(t *testing.T) {
+	k, j := newTestJob(3)
+	var idx int
+	var at sim.Time
+	j.Launch(0, func(e *Env) {
+		w := e.World()
+		slow := e.Irecv(w, 1, 0)
+		fast := e.Irecv(w, 2, 0)
+		idx = e.Waitany(slow, fast)
+		at = e.Now()
+		e.Waitall(slow, fast)
+	})
+	j.Launch(1, func(e *Env) {
+		e.Compute(500 * sim.Millisecond)
+		e.Send(e.World(), 0, 0, []byte("slow"))
+	})
+	j.Launch(2, func(e *Env) {
+		e.Compute(100 * sim.Millisecond)
+		e.Send(e.World(), 0, 0, []byte("fast"))
+	})
+	run(t, k)
+	if idx != 1 {
+		t.Fatalf("Waitany returned %d, want 1 (the fast request)", idx)
+	}
+	if at > 150*sim.Millisecond {
+		t.Fatalf("Waitany returned at %v, should not wait for the slow request", at)
+	}
+}
+
+func TestLoggingModeOverheadAndStats(t *testing.T) {
+	k := sim.NewKernel(1)
+	f := ib.New(k, ib.PaperConfig())
+	cfg := DefaultConfig()
+	cfg.LogMessages = true
+	cfg.MemCopyBW = 1 << 30 // 1 GB/s: a 1 MB copy costs ~1 ms
+	j := NewJob(k, f, cfg, 2)
+	var sendDone sim.Time
+	j.Launch(0, func(e *Env) {
+		e.Send(e.World(), 1, 0, make([]byte, 1<<20))
+		sendDone = e.Now()
+	})
+	j.Launch(1, func(e *Env) {
+		e.Recv(e.World(), 0, 0)
+	})
+	run(t, k)
+	s := j.Rank(0).Stats()
+	if s.MsgsLogged != 1 || s.BytesLogged != 1<<20 {
+		t.Fatalf("logging stats: %+v", s)
+	}
+	// The copy alone costs ~1 ms before anything hits the wire.
+	if sendDone < sim.Millisecond {
+		t.Fatalf("send completed at %v, logging copy not charged", sendDone)
+	}
+}
+
+func TestCaptureLibStateRejectsPendingState(t *testing.T) {
+	k, j := newTestJob(2)
+	var postedErr, rendezvousErr error
+	j.Launch(0, func(e *Env) {
+		e.Irecv(e.World(), 1, 0)
+		_, postedErr = e.RankState().CaptureLibState()
+		e.Recv(e.World(), 1, 0) // consume via a second recv? both match in order
+	})
+	j.Launch(1, func(e *Env) {
+		e.Compute(100 * sim.Millisecond)
+		e.Send(e.World(), 0, 0, []byte("a"))
+		e.Send(e.World(), 0, 0, []byte("b"))
+	})
+	run(t, k)
+	if postedErr == nil {
+		t.Fatal("capture with a posted receive must fail")
+	}
+	_ = rendezvousErr
+}
+
+func TestSplitByColor(t *testing.T) {
+	const n = 6
+	k, j := newTestJob(n)
+	sums := make([]float64, n)
+	sizes := make([]int, n)
+	j.LaunchAll(func(e *Env) {
+		w := e.World()
+		me := e.Rank()
+		// Even/odd split, keyed by reverse rank to exercise reordering.
+		sub := e.Split(w, me%2, -me)
+		sizes[me] = sub.Size()
+		// Members of each color sum their world ranks.
+		out := e.AllreduceF64(sub, []float64{float64(me)}, OpSum)
+		sums[me] = out[0]
+	})
+	run(t, k)
+	for me := 0; me < n; me++ {
+		if sizes[me] != 3 {
+			t.Fatalf("rank %d sub size %d", me, sizes[me])
+		}
+		want := 0.0 + 2 + 4
+		if me%2 == 1 {
+			want = 1 + 3 + 5
+		}
+		if sums[me] != want {
+			t.Fatalf("rank %d color sum %v, want %v", me, sums[me], want)
+		}
+	}
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	const n = 4
+	k, j := newTestJob(n)
+	orders := make([]int, n)
+	j.LaunchAll(func(e *Env) {
+		w := e.World()
+		me := e.Rank()
+		sub := e.Split(w, 0, -me) // one color, reverse-rank keys
+		orders[me] = sub.Rank()
+	})
+	run(t, k)
+	for me := 0; me < n; me++ {
+		if orders[me] != n-1-me {
+			t.Fatalf("rank %d got sub-rank %d, want %d", me, orders[me], n-1-me)
+		}
+	}
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	const n = 4
+	k, j := newTestJob(n)
+	var nilCount int
+	results := make([]float64, n)
+	j.LaunchAll(func(e *Env) {
+		w := e.World()
+		me := e.Rank()
+		color := 0
+		if me == 3 {
+			color = -1 // opts out
+		}
+		sub := e.Split(w, color, 0)
+		if sub == nil {
+			nilCount++
+			// The opted-out rank must still be able to create aligned
+			// communicators afterwards.
+			_ = e.NewComm([]int{3})
+			return
+		}
+		results[me] = e.AllreduceF64(sub, []float64{1}, OpSum)[0]
+	})
+	run(t, k)
+	if nilCount != 1 {
+		t.Fatalf("nil comms: %d", nilCount)
+	}
+	for me := 0; me < 3; me++ {
+		if results[me] != 3 {
+			t.Fatalf("rank %d subgroup size sum %v", me, results[me])
+		}
+	}
+}
+
+func TestScanPrefixSums(t *testing.T) {
+	const n = 6
+	k, j := newTestJob(n)
+	got := make([][]float64, n)
+	j.LaunchAll(func(e *Env) {
+		in := []float64{float64(e.Rank() + 1), 1}
+		got[e.Rank()] = e.ScanF64(e.World(), in, OpSum)
+	})
+	run(t, k)
+	for me := 0; me < n; me++ {
+		wantA := float64((me + 1) * (me + 2) / 2)
+		wantB := float64(me + 1)
+		if got[me][0] != wantA || got[me][1] != wantB {
+			t.Fatalf("rank %d scan = %v, want [%v %v]", me, got[me], wantA, wantB)
+		}
+	}
+}
+
+func TestAccessorsAndIntrospection(t *testing.T) {
+	k, j := newTestJob(2)
+	if j.K() != k || j.Size() != 2 || j.Fabric() == nil {
+		t.Fatal("job accessors")
+	}
+	var st Status
+	var reqDone bool
+	var data []byte
+	j.Launch(0, func(e *Env) {
+		if e.Size() != 2 || e.RankState() != j.Rank(0) || e.Proc() == nil {
+			t.Error("env accessors")
+		}
+		w := e.World()
+		if w.ID() == 0 || len(w.Ranks()) != 2 {
+			t.Error("comm accessors")
+		}
+		req := e.Irecv(w, 1, 0)
+		e.Wait(req)
+		reqDone = req.Done()
+		data = req.Data()
+		st = req.Status()
+	})
+	j.Launch(1, func(e *Env) {
+		e.Send(e.World(), 0, 0, []byte("acc"))
+	})
+	run(t, k)
+	if !reqDone || string(data) != "acc" || st.Source != 1 {
+		t.Fatalf("request introspection: done=%v data=%q st=%+v", reqDone, data, st)
+	}
+	if !j.Finished() || j.FinishTime() < 0 {
+		t.Fatal("finish accessors")
+	}
+	r := j.Rank(0)
+	if r.World() != 0 || r.Job() != j || r.Proc() == nil || r.Endpoint() == nil ||
+		r.Env() == nil || !r.Finished() || r.FinishedAt() < 0 {
+		t.Fatal("rank accessors")
+	}
+}
+
+func TestCollectiveCheckpointConsensus(t *testing.T) {
+	const n = 3
+	k, j := newTestJob(n)
+	h := &spHooks{}
+	served := make([]sim.Time, n)
+	for i := 0; i < n; i++ {
+		j.Rank(i).SetHooks(h)
+	}
+	j.LaunchAll(func(e *Env) {
+		w := e.World()
+		me := e.Rank()
+		for it := 0; it < 5; it++ {
+			e.CollectiveCheckpoint(w)
+			// Skewed compute keeps ranks at different wall-clock points
+			// within the same iteration.
+			e.Compute(sim.Time(100+10*me) * sim.Millisecond)
+		}
+		served[me] = e.Now()
+	})
+	// Request lands mid-iteration 2 on every rank (polled): all must serve
+	// at the same boundary.
+	k.At(250*sim.Millisecond, func() {
+		for i := 0; i < n; i++ {
+			j.Rank(i).RequestSafePointPolled()
+		}
+	})
+	run(t, k)
+	if len(h.calls) != n {
+		t.Fatalf("safe points served: %d, want %d (one per rank)", len(h.calls), n)
+	}
+	// All serve inside the same CollectiveCheckpoint call: the spread is the
+	// consensus allreduce latency, far below an iteration.
+	var lo, hi sim.Time = 1 << 62, 0
+	for _, at := range h.calls {
+		if at < lo {
+			lo = at
+		}
+		if at > hi {
+			hi = at
+		}
+	}
+	if hi-lo > 10*sim.Millisecond {
+		t.Fatalf("safe points spread %v across ranks; consensus broken", hi-lo)
+	}
+}
+
+func TestPolledRequestNotServedAtOrdinaryCalls(t *testing.T) {
+	k, j := newTestJob(2)
+	h := &spHooks{}
+	j.Rank(0).SetHooks(h)
+	j.Launch(0, func(e *Env) {
+		e.Compute(100 * sim.Millisecond)     // polled request arrives here
+		e.Send(e.World(), 1, 0, []byte("x")) // ordinary call: must NOT serve
+		e.Compute(100 * sim.Millisecond)
+		e.MaybeCheckpoint() // explicit boundary: serves
+	})
+	j.Launch(1, func(e *Env) {
+		e.Recv(e.World(), 0, 0)
+	})
+	k.At(50*sim.Millisecond, func() { j.Rank(0).RequestSafePointPolled() })
+	run(t, k)
+	if len(h.calls) != 1 || h.calls[0] < 200*sim.Millisecond {
+		t.Fatalf("polled safe point served at %v, want only at the explicit boundary", h.calls)
+	}
+}

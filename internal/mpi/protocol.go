@@ -1,0 +1,287 @@
+package mpi
+
+import (
+	"fmt"
+
+	"gbcr/internal/ib"
+	"gbcr/internal/sim"
+)
+
+// Wire-level header sizes (bytes), roughly matching MVAPICH2 packet headers.
+const (
+	eagerHdrSize = 48
+	ctlPktSize   = 64
+	dataHdrSize  = 32
+)
+
+// Wire payload types carried by the fabric.
+type (
+	// wireEager carries a small message's payload with its match envelope.
+	wireEager struct {
+		comm    int64
+		srcComm int // sender's comm rank
+		tag     int
+		data    []byte
+	}
+	// wireRTS announces a rendezvous send.
+	wireRTS struct {
+		comm    int64
+		srcComm int
+		tag     int
+		size    int64
+		sendID  uint64
+	}
+	// wireCTS grants a rendezvous transfer.
+	wireCTS struct {
+		sendID uint64
+		recvID uint64
+	}
+	// wireData is the zero-copy bulk transfer (the RDMA write).
+	wireData struct {
+		recvID uint64
+		data   []byte
+	}
+)
+
+// inMsg is an arrived-but-unmatched message envelope in the unexpected queue.
+type inMsg struct {
+	comm     int64
+	srcComm  int
+	srcWorld int
+	tag      int
+	eager    bool
+	data     []byte // eager payload
+	size     int64  // rendezvous announced size
+	sendID   uint64 // rendezvous sender request id
+}
+
+// outKind classifies a deferred packet for buffering statistics.
+type outKind int
+
+const (
+	outEager outKind = iota // message buffering: payload already copied
+	outCtl                  // request buffering: RTS/CTS held incomplete
+	outData                 // request buffering: bulk data held at sender
+)
+
+// outItem is a packet bound for dst, possibly deferred by connection state
+// or a checkpoint gate.
+type outItem struct {
+	kind    outKind
+	size    int64
+	payload any
+	onTx    func(txEnd sim.Time) // sender-side completion for zero-copy data
+}
+
+// post sends a packet toward world rank dst, deferring it in the outbox when
+// the checkpoint layer gates the destination or no connection is available.
+// Per-destination FIFO order is preserved across deferrals.
+func (r *Rank) post(dst int, it outItem) {
+	if len(r.outbox[dst]) > 0 {
+		// Keep order behind already-deferred packets.
+		r.deferItem(dst, it)
+		return
+	}
+	if !r.trySend(dst, it) {
+		r.deferItem(dst, it)
+	}
+}
+
+// trySend attempts to put the packet on the wire now. It reports success.
+func (r *Rank) trySend(dst int, it outItem) bool {
+	if r.hooks != nil && !r.hooks.SendAllowed(dst) {
+		return false
+	}
+	err := r.ep.Send(dst, it.size, it.payload)
+	switch err {
+	case nil:
+		if it.onTx != nil {
+			it.onTx(r.ep.EgressFree())
+		}
+		if r.PostHook != nil {
+			r.PostHook(dst)
+		}
+		r.stats.BytesSent += it.size
+		return true
+	case ib.ErrNotConnected:
+		if r.ep.State(dst) == ib.StateClosed {
+			// On-demand connection establishment (MVAPICH2 default).
+			r.ep.Connect(dst, r.connMeta())
+		}
+		return false
+	case ib.ErrDraining:
+		return false
+	default:
+		panic(fmt.Sprintf("mpi: unexpected send error: %v", err))
+	}
+}
+
+// connMeta is the opaque value presented to the peer's AcceptConn hook; the
+// checkpoint layer overrides it with the rank's epoch.
+func (r *Rank) connMeta() int64 {
+	if m, ok := r.hooks.(interface{ ConnMeta() int64 }); ok && r.hooks != nil {
+		return m.ConnMeta()
+	}
+	return 0
+}
+
+func (r *Rank) deferItem(dst int, it outItem) {
+	r.outbox[dst] = append(r.outbox[dst], it)
+	switch it.kind {
+	case outEager:
+		r.stats.MsgsBuffered++
+		r.stats.BytesBuffered += int64(len(it.payload.(wireEager).data))
+	default:
+		r.stats.ReqsBuffered++
+	}
+}
+
+// drainOutbox re-attempts deferred packets toward dst in order, stopping at
+// the first that still cannot be sent.
+func (r *Rank) drainOutbox(dst int) {
+	q := r.outbox[dst]
+	for len(q) > 0 {
+		if !r.trySend(dst, q[0]) {
+			break
+		}
+		q = q[1:]
+	}
+	if len(q) == 0 {
+		delete(r.outbox, dst)
+	} else {
+		r.outbox[dst] = q
+	}
+}
+
+// onMessage dispatches an in-band arrival. It runs during Progress, i.e.
+// under the library's progress discipline.
+func (r *Rank) onMessage(src int, size int64, payload any) {
+	if r.DeliverHook != nil {
+		r.DeliverHook(src)
+	}
+	switch m := payload.(type) {
+	case wireEager:
+		r.arriveEager(src, m)
+	case wireRTS:
+		r.arriveRTS(src, m)
+	case wireCTS:
+		r.arriveCTS(m)
+	case wireData:
+		r.arriveData(m)
+	default:
+		panic(fmt.Sprintf("mpi: rank %d received unknown payload %T", r.world, payload))
+	}
+}
+
+func (r *Rank) arriveEager(srcWorld int, m wireEager) {
+	msg := &inMsg{comm: m.comm, srcComm: m.srcComm, srcWorld: srcWorld,
+		tag: m.tag, eager: true, data: m.data}
+	if req := r.matchPosted(msg); req != nil {
+		r.deliver(req, msg)
+		return
+	}
+	r.addUnexpected(msg)
+}
+
+func (r *Rank) arriveRTS(srcWorld int, m wireRTS) {
+	msg := &inMsg{comm: m.comm, srcComm: m.srcComm, srcWorld: srcWorld,
+		tag: m.tag, size: m.size, sendID: m.sendID}
+	if req := r.matchPosted(msg); req != nil {
+		r.grantRendezvous(req, msg)
+		return
+	}
+	r.addUnexpected(msg)
+}
+
+// addUnexpected queues an unmatched arrival and wakes the application in
+// case it is blocked in a Probe.
+func (r *Rank) addUnexpected(msg *inMsg) {
+	r.unexpected = append(r.unexpected, msg)
+	if r.proc != nil {
+		r.proc.Unpark()
+	}
+}
+
+// grantRendezvous registers the receive and sends CTS back to the sender.
+func (r *Rank) grantRendezvous(req *Request, msg *inMsg) {
+	req.status = Status{Source: msg.srcComm, Tag: msg.tag, Size: msg.size}
+	r.reqSeq++
+	id := r.reqSeq
+	req.recvID = id
+	r.recvReqs[id] = req
+	r.post(msg.srcWorld, outItem{
+		kind:    outCtl,
+		size:    ctlPktSize,
+		payload: wireCTS{sendID: msg.sendID, recvID: id},
+	})
+}
+
+// arriveCTS starts the bulk transfer for a granted rendezvous send.
+func (r *Rank) arriveCTS(m wireCTS) {
+	req := r.sendReqs[m.sendID]
+	if req == nil {
+		panic(fmt.Sprintf("mpi: rank %d got CTS for unknown send %d", r.world, m.sendID))
+	}
+	delete(r.sendReqs, m.sendID)
+	r.post(req.peerWorld, outItem{
+		kind:    outData,
+		size:    dataHdrSize + int64(len(req.data)),
+		payload: wireData{recvID: m.recvID, data: req.data},
+		// Zero-copy: the sender's buffer is reusable at local transmit
+		// completion.
+		onTx: func(txEnd sim.Time) {
+			r.job.k.At(txEnd, func() { r.completeReq(req) })
+		},
+	})
+}
+
+// arriveData completes a rendezvous receive.
+func (r *Rank) arriveData(m wireData) {
+	req := r.recvReqs[m.recvID]
+	if req == nil {
+		panic(fmt.Sprintf("mpi: rank %d got data for unknown recv %d", r.world, m.recvID))
+	}
+	delete(r.recvReqs, m.recvID)
+	req.data = m.data
+	r.completeReq(req)
+}
+
+// matchPosted finds and removes the first posted receive matching the
+// message (MPI matching: FIFO over posting order, with wildcards).
+func (r *Rank) matchPosted(msg *inMsg) *Request {
+	for i, req := range r.posted {
+		if req.matches(msg) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			return req
+		}
+	}
+	return nil
+}
+
+// matchUnexpected finds and removes the first unexpected message matching a
+// newly posted receive (FIFO over arrival order).
+func (r *Rank) matchUnexpected(req *Request) *inMsg {
+	for i, msg := range r.unexpected {
+		if req.matches(msg) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			return msg
+		}
+	}
+	return nil
+}
+
+// deliver completes a receive with an eager payload.
+func (r *Rank) deliver(req *Request, msg *inMsg) {
+	req.data = msg.data
+	req.status = Status{Source: msg.srcComm, Tag: msg.tag, Size: int64(len(msg.data))}
+	r.completeReq(req)
+}
+
+// completeReq marks a request complete and wakes the application if it is
+// blocked in a wait.
+func (r *Rank) completeReq(req *Request) {
+	req.complete = true
+	if r.proc != nil {
+		r.proc.Unpark()
+	}
+}

@@ -1,0 +1,126 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// RequestSafePointPolled asks for a safe point without interrupting the
+// application; the request is served only at an explicit MaybeCheckpoint (or
+// CollectiveCheckpoint) boundary, never inside ordinary library calls.
+// Functional-restart runs use this mode so that snapshots land only at
+// points the application can resume from.
+func (r *Rank) RequestSafePointPolled() {
+	r.pendingSP = true
+	r.spPolled = true
+}
+
+// Traffic returns a copy of the per-destination message counts, the
+// communication-pattern heuristic used by dynamic group formation.
+func (r *Rank) Traffic() map[int]int64 {
+	out := make(map[int]int64, len(r.trafficTo))
+	for d, n := range r.trafficTo {
+		out[d] = n
+	}
+	return out
+}
+
+// AdvanceCollSeq fast-forwards the collective sequence counter after a
+// restart, so that re-created communicators resume tag allocation where the
+// checkpointed execution left off.
+func (c *Comm) AdvanceCollSeq(n int) { c.collSeq = n }
+
+// CollSeq reports the number of collectives issued on this communicator.
+func (c *Comm) CollSeq() int { return c.collSeq }
+
+// Serializable mirrors of internal queue entries (gob requires exported
+// fields).
+type savedMsg struct {
+	Comm     int64
+	SrcComm  int
+	SrcWorld int
+	Tag      int
+	Data     []byte
+}
+
+type savedOut struct {
+	Dst     int
+	Comm    int64
+	SrcComm int
+	Tag     int
+	Data    []byte
+}
+
+type libState struct {
+	Unexpected []savedMsg
+	Outbox     []savedOut
+	CommIndex  int
+}
+
+// CaptureLibState serializes the rank's library state for a snapshot: the
+// unexpected-message queue and the deferred-send outbox. It must be called
+// at a quiesced boundary: no posted receives, no pending rendezvous
+// transfers, and only eager traffic in the queues — the discipline
+// functional-restart workloads follow (timing-only runs never call it).
+func (r *Rank) CaptureLibState() ([]byte, error) {
+	if len(r.posted) > 0 {
+		return nil, fmt.Errorf("mpi: rank %d has %d posted receives at capture", r.world, len(r.posted))
+	}
+	if len(r.sendReqs) > 0 || len(r.recvReqs) > 0 {
+		return nil, fmt.Errorf("mpi: rank %d has pending rendezvous at capture", r.world)
+	}
+	st := libState{CommIndex: r.commIndex}
+	for _, m := range r.unexpected {
+		if !m.eager {
+			return nil, fmt.Errorf("mpi: rank %d has an unexpected rendezvous at capture", r.world)
+		}
+		st.Unexpected = append(st.Unexpected, savedMsg{
+			Comm: m.comm, SrcComm: m.srcComm, SrcWorld: m.srcWorld, Tag: m.tag, Data: m.data,
+		})
+	}
+	for dst, q := range r.outbox {
+		for _, it := range q {
+			we, ok := it.payload.(wireEager)
+			if !ok {
+				return nil, fmt.Errorf("mpi: rank %d has a deferred non-eager packet at capture", r.world)
+			}
+			st.Outbox = append(st.Outbox, savedOut{
+				Dst: dst, Comm: we.comm, SrcComm: we.srcComm, Tag: we.tag, Data: we.data,
+			})
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreLibState reconstructs queues captured by CaptureLibState on a fresh
+// rank (before its body is launched). Deferred sends are re-posted; they
+// re-establish connections on demand as the restarted job runs.
+func (r *Rank) RestoreLibState(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var st libState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	r.commIndex = 0 // the restarted body re-creates its communicators
+	for _, m := range st.Unexpected {
+		r.unexpected = append(r.unexpected, &inMsg{
+			comm: m.Comm, srcComm: m.SrcComm, srcWorld: m.SrcWorld,
+			tag: m.Tag, eager: true, data: m.Data,
+		})
+	}
+	for _, o := range st.Outbox {
+		r.post(o.Dst, outItem{
+			kind:    outEager,
+			size:    eagerHdrSize + int64(len(o.Data)),
+			payload: wireEager{comm: o.Comm, srcComm: o.SrcComm, tag: o.Tag, data: o.Data},
+		})
+	}
+	return nil
+}

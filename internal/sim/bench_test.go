@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw kernel event dispatch.
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel(1)
+	var t Time
+	fired := 0
+	var self func()
+	self = func() {
+		fired++
+		if fired < b.N {
+			t += 10
+			k.At(t, self)
+		}
+	}
+	k.At(0, self)
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(fired), "events")
+}
+
+// BenchmarkProcSwitch measures the coroutine hand-off cost (sleep-wake
+// cycles between kernel and process goroutines).
+func BenchmarkProcSwitch(b *testing.B) {
+	k := NewKernel(1)
+	n := b.N
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(10)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+// Cond is a condition variable for simulated processes. As with sync.Cond,
+// waiters must re-check their predicate in a loop because wake-ups may be
+// spurious and Broadcast wakes everyone.
+//
+// The zero value is ready to use.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait parks the calling process on the condition. It reports whether the
+// wait ended because of an interrupt rather than a Signal/Broadcast.
+func (c *Cond) Wait(p *Proc, reason string) (interrupted bool) {
+	c.waiters = append(c.waiters, p)
+	intr := p.Park(reason)
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			break
+		}
+	}
+	return intr
+}
+
+// Signal wakes one waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.Unpark()
+}
+
+// Broadcast wakes all current waiters.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w.Unpark()
+	}
+}
+
+// Len reports the number of parked waiters.
+func (c *Cond) Len() int { return len(c.waiters) }
+
+// WaitGroup counts outstanding work items for simulated processes.
+// The zero value is ready to use.
+type WaitGroup struct {
+	n    int
+	cond Cond
+}
+
+// Add adds delta to the counter. It panics if the counter goes negative.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait parks p until the counter reaches zero. Interrupts received while
+// waiting are re-posted as pending once the wait completes.
+func (wg *WaitGroup) Wait(p *Proc) {
+	interrupted := false
+	for wg.n > 0 {
+		if wg.cond.Wait(p, "waitgroup") {
+			interrupted = true
+		}
+	}
+	if interrupted {
+		p.intPend = true
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events are created with Kernel.At or
+// Kernel.After and may be canceled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+}
+
+// Time reports when the event is scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an event that has already
+// fired or was already canceled is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
+
+// eventHeap is a min-heap ordered by (at, seq). The seq tie-break makes event
+// ordering — and therefore the whole simulation — deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func (h *eventHeap) push(e *Event) { heap.Push(h, e) }
+
+// popLive removes and returns the earliest non-canceled event, or nil if the
+// heap holds only canceled events (or is empty).
+func (h *eventHeap) popLive() *Event {
+	for h.Len() > 0 {
+		e := heap.Pop(h).(*Event)
+		if !e.canceled {
+			return e
+		}
+	}
+	return nil
+}
+
+// peekLive returns the earliest non-canceled event without removing it,
+// discarding canceled events as it goes.
+func (h *eventHeap) peekLive() *Event {
+	for h.Len() > 0 {
+		e := (*h)[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(h)
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"gbcr/internal/sim"
+)
+
+// Two processes compute and hand off through park/unpark, driven by the
+// deterministic event kernel.
+func Example() {
+	k := sim.NewKernel(1)
+	var consumer *sim.Proc
+	ready := false
+	consumer = k.Spawn("consumer", func(p *sim.Proc) {
+		for !ready {
+			p.Park("waiting for the producer")
+		}
+		fmt.Printf("consumed at %v\n", p.Now())
+	})
+	k.Spawn("producer", func(p *sim.Proc) {
+		p.Sleep(250 * sim.Millisecond)
+		ready = true
+		consumer.Unpark()
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// consumed at 250ms
+}

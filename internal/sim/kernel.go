@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Kernel is the discrete-event simulation engine. It owns the virtual clock,
+// the event queue, and all processes. A Kernel is not safe for use from
+// multiple OS threads; all interaction happens either before Run or from
+// within event callbacks and process bodies, which the kernel serializes.
+type Kernel struct {
+	now       Time
+	seq       uint64
+	processed uint64
+	events    eventHeap
+	yielded   chan struct{}
+	procs     []*Proc
+	live      int
+	failure   error
+	rng       *rand.Rand
+	tracer    Tracer
+	running   *Proc
+}
+
+// NewKernel returns a kernel with the clock at zero and a deterministic
+// random source derived from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		yielded: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// EventsProcessed reports how many events have fired, a measure of
+// simulation work done.
+func (k *Kernel) EventsProcessed() uint64 { return k.processed }
+
+// SetTracer installs a tracer that observes kernel activity. A nil tracer
+// disables tracing.
+func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the simulation logic and panics.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.events.push(e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Fail aborts the simulation with err at the next opportunity. It is used by
+// process wrappers on panic and may be used by models to signal fatal
+// conditions.
+func (k *Kernel) Fail(err error) {
+	if k.failure == nil {
+		k.failure = err
+	}
+}
+
+// Run executes events until the queue drains or the simulation fails.
+// It returns an error if a process panicked, Fail was called, or live
+// processes remain blocked with no pending events (deadlock).
+func (k *Kernel) Run() error { return k.RunUntil(-1) }
+
+// RunUntil executes events with timestamps <= limit (limit < 0 means no
+// limit). When it returns because of the limit, the clock is advanced to
+// limit and remaining events stay queued; a subsequent call resumes.
+func (k *Kernel) RunUntil(limit Time) error {
+	for k.failure == nil {
+		e := k.events.peekLive()
+		if e == nil {
+			break
+		}
+		if limit >= 0 && e.at > limit {
+			k.now = limit
+			return k.failure
+		}
+		k.events.popLive()
+		k.now = e.at
+		e.fired = true
+		k.processed++
+		if k.tracer != nil {
+			k.tracer.Event(k.now)
+		}
+		e.fn()
+	}
+	if k.failure != nil {
+		return k.failure
+	}
+	if limit >= 0 {
+		// Bounded runs may legitimately leave processes parked awaiting
+		// events the caller will inject later; only advance the clock.
+		if k.now < limit {
+			k.now = limit
+		}
+		return nil
+	}
+	if k.live > 0 {
+		return k.deadlockError()
+	}
+	return nil
+}
+
+// Shutdown terminates every live process so their goroutines exit. Call it
+// when abandoning a simulation mid-run (e.g. after injecting a failure);
+// using the kernel afterwards is invalid. It must not be called from inside
+// Run, an event callback, or a process body.
+func (k *Kernel) Shutdown() {
+	if k.failure == nil {
+		k.failure = fmt.Errorf("sim: kernel shut down")
+	}
+	for _, p := range k.procs {
+		if p.state == procDone {
+			continue
+		}
+		p.killed = true
+		switch p.state {
+		case procParked:
+			p.token = nil
+			if p.timer != nil {
+				p.timer.Cancel()
+				p.timer = nil
+			}
+			p.state = procReady
+			k.switchTo(p) // the park point panics with the kill sentinel
+		case procReady:
+			k.switchTo(p) // the wrapper observes killed before the body runs
+		}
+	}
+}
+
+// deadlockError builds a diagnostic listing every live process and why it is
+// blocked.
+func (k *Kernel) deadlockError() error {
+	var blocked []string
+	for _, p := range k.procs {
+		if p.state != procDone {
+			blocked = append(blocked, fmt.Sprintf("%s: %s", p.name, p.blockReason))
+		}
+	}
+	sort.Strings(blocked)
+	return fmt.Errorf("sim: deadlock with %d live process(es):\n  %s",
+		len(blocked), strings.Join(blocked, "\n  "))
+}
+
+// switchTo transfers control to p and blocks until p yields back.
+func (k *Kernel) switchTo(p *Proc) {
+	prev := k.running
+	k.running = p
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-k.yielded
+	k.running = prev
+}
+
+// Running returns the currently executing process, or nil when the kernel is
+// running an event callback that is not a process wake-up.
+func (k *Kernel) Running() *Proc { return k.running }
+
+// Tracer observes kernel activity. Implementations must not re-enter the
+// kernel.
+type Tracer interface {
+	// Event is called before each event callback fires, with the new clock.
+	Event(now Time)
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+type procState int
+
+const (
+	procReady procState = iota
+	procRunning
+	procParked
+	procDone
+)
+
+// wakeKind records why a parked process was woken.
+type wakeKind int
+
+const (
+	wakeTimer wakeKind = iota
+	wakeUnpark
+	wakeInterrupt
+)
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by the
+// kernel. Process bodies may only call Proc and Kernel methods from their own
+// goroutine while they hold control.
+//
+// Blocking follows permit semantics similar to runtime parkers: Unpark on a
+// non-parked process stores a permit that makes the next Park return
+// immediately, so wake-ups are never lost. Park may also return spuriously;
+// callers must re-check their condition in a loop.
+type Proc struct {
+	k           *Kernel
+	id          int
+	name        string
+	resume      chan struct{}
+	state       procState
+	blockReason string
+
+	token    *struct{} // identity of the current park, for stale-wake detection
+	timer    *Event    // pending timed wake, if any
+	kind     wakeKind  // why the last park ended
+	permit   bool      // stored unpark permit
+	intPend  bool      // interrupt delivered while not interruptibly parked
+	killed   bool      // Shutdown in progress: unwind at the next park point
+	exitHook []func()
+}
+
+// killSentinel is the panic value used to unwind a process during Shutdown.
+type killSentinel struct{}
+
+// Spawn creates a process that will start running at the current simulated
+// time (once the kernel reaches the start event).
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:           k,
+		id:          len(k.procs),
+		name:        name,
+		resume:      make(chan struct{}),
+		blockReason: "not started",
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isKill := r.(killSentinel); !isKill {
+					k.Fail(fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack()))
+				}
+			}
+			p.state = procDone
+			k.live--
+			for _, fn := range p.exitHook {
+				fn()
+			}
+			k.yielded <- struct{}{}
+		}()
+		if p.killed {
+			return
+		}
+		body(p)
+	}()
+	k.At(k.now, func() {
+		if p.state == procReady {
+			k.switchTo(p)
+		}
+	})
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's kernel-assigned index.
+func (p *Proc) ID() int { return p.id }
+
+// K returns the owning kernel.
+func (p *Proc) K() *Kernel { return p.k }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.state == procDone }
+
+// OnExit registers fn to run (in simulation context) when the process body
+// returns.
+func (p *Proc) OnExit(fn func()) { p.exitHook = append(p.exitHook, fn) }
+
+// yield hands control back to the kernel and blocks until resumed.
+func (p *Proc) yield() {
+	p.k.yielded <- struct{}{}
+	<-p.resume
+}
+
+// checkContext panics if the calling goroutine is not the running process.
+func (p *Proc) checkContext(op string) {
+	if p.k.running != p {
+		panic(fmt.Sprintf("sim: %s called on %q while it is not the running process", op, p.name))
+	}
+}
+
+// parkInternal blocks the process until woken. until >= 0 arms a timer wake
+// at that absolute time. Returns the reason the process was woken.
+func (p *Proc) parkInternal(reason string, until Time) wakeKind {
+	p.checkContext("park")
+	tok := new(struct{})
+	p.token = tok
+	p.state = procParked
+	p.blockReason = reason
+	if until >= 0 {
+		p.timer = p.k.At(until, func() { p.tryWake(tok, wakeTimer) })
+	}
+	p.yield()
+	if p.killed {
+		panic(killSentinel{})
+	}
+	return p.kind
+}
+
+// tryWake transitions a parked process to running. It must be called from
+// kernel (event-callback) context. Stale wake-ups — the park they targeted
+// already ended — are converted to a permit (unpark) or pending interrupt so
+// they are not lost.
+func (p *Proc) tryWake(tok *struct{}, kind wakeKind) {
+	if p.token != tok || p.state != procParked {
+		switch kind {
+		case wakeUnpark:
+			p.permit = true
+		case wakeInterrupt:
+			p.intPend = true
+		}
+		return
+	}
+	p.token = nil
+	if p.timer != nil && kind != wakeTimer {
+		p.timer.Cancel()
+	}
+	p.timer = nil
+	p.kind = kind
+	p.blockReason = ""
+	p.state = procReady
+	p.k.switchTo(p)
+}
+
+// Park blocks until Unpark or Interrupt, or returns immediately when a permit
+// or pending interrupt is stored. It reports whether the process was woken by
+// an interrupt. Park may return spuriously; callers must loop on their
+// condition.
+func (p *Proc) Park(reason string) (interrupted bool) {
+	p.checkContext("Park")
+	if p.intPend {
+		p.intPend = false
+		return true
+	}
+	if p.permit {
+		p.permit = false
+		return false
+	}
+	return p.parkInternal(reason, -1) == wakeInterrupt
+}
+
+// Unpark wakes p if it is parked, or stores a permit so its next Park returns
+// immediately. It may be called from event callbacks or from other processes.
+func (p *Proc) Unpark() {
+	if p.state == procParked {
+		tok := p.token
+		p.k.At(p.k.now, func() { p.tryWake(tok, wakeUnpark) })
+		return
+	}
+	p.permit = true
+}
+
+// Interrupt wakes p if it is parked (Park and SleepI report the interrupt;
+// Sleep keeps it pending), or marks an interrupt pending so the next
+// interruptible blocking point observes it.
+func (p *Proc) Interrupt() {
+	if p.state == procParked {
+		tok := p.token
+		p.k.At(p.k.now, func() { p.tryWake(tok, wakeInterrupt) })
+		return
+	}
+	p.intPend = true
+}
+
+// InterruptPending reports whether an interrupt is waiting to be delivered,
+// consuming it if consume is true.
+func (p *Proc) InterruptPending(consume bool) bool {
+	was := p.intPend
+	if consume {
+		p.intPend = false
+	}
+	return was
+}
+
+// Sleep blocks for d simulated time. It is not interruptible: interrupts and
+// unparks received while sleeping are stored (as pending interrupt / permit)
+// and the sleep continues to its deadline.
+func (p *Proc) Sleep(d Time) {
+	p.checkContext("Sleep")
+	deadline := p.k.now + d
+	for p.k.now < deadline {
+		switch p.parkInternal("sleep", deadline) {
+		case wakeInterrupt:
+			p.intPend = true
+		case wakeUnpark:
+			p.permit = true
+		}
+	}
+}
+
+// SleepI blocks for d simulated time or until interrupted, whichever comes
+// first. It returns the unslept remainder and whether an interrupt cut the
+// sleep short. A pending interrupt makes it return immediately.
+func (p *Proc) SleepI(d Time) (remaining Time, interrupted bool) {
+	p.checkContext("SleepI")
+	if p.intPend {
+		p.intPend = false
+		return d, true
+	}
+	deadline := p.k.now + d
+	for p.k.now < deadline {
+		switch p.parkInternal("sleepI", deadline) {
+		case wakeInterrupt:
+			return deadline - p.k.now, true
+		case wakeUnpark:
+			p.permit = true
+		}
+	}
+	return 0, false
+}

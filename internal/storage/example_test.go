@@ -1,0 +1,28 @@
+package storage_test
+
+import (
+	"fmt"
+
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+)
+
+// Two concurrent writers share the aggregate bandwidth max-min fairly: each
+// gets half, so both 100-byte writes take 2 s at 100 B/s total.
+func Example() {
+	k := sim.NewKernel(1)
+	st := storage.New(k, storage.Config{AggregateBW: 100, ClientBW: 100})
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("writer%d", i), func(p *sim.Proc) {
+			el := st.Write(p, 100)
+			fmt.Printf("writer%d finished in %v\n", i, el)
+		})
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// writer0 finished in 2s
+	// writer1 finished in 2s
+}

@@ -1,0 +1,309 @@
+// Package storage models a shared central storage system (the paper's PVFS2
+// deployment: 4 servers, ~140 MB/s aggregate throughput, reached over IPoIB).
+//
+// The model is fluid-flow: every active transfer proceeds at a rate set by
+// max-min fair sharing of the aggregate server throughput, additionally
+// capped by the client's own link bandwidth. Whenever a transfer starts or
+// finishes, the rates of all active transfers are recomputed and their
+// completion events rescheduled. This directly reproduces the paper's
+// "storage bottleneck" (Figure 1): with N concurrent writers each client
+// obtains roughly min(clientBW, aggregateBW/N).
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"gbcr/internal/sim"
+)
+
+// MB is one mebibyte in bytes, matching the paper's MB/s reporting.
+const MB = 1 << 20
+
+// Config parameterizes a storage system.
+type Config struct {
+	// AggregateBW is the total server-side throughput in bytes/second
+	// shared by all clients (the paper's testbed: ~140 MB/s).
+	AggregateBW float64
+	// ClientBW caps the rate of any single client in bytes/second (the
+	// paper's testbed: a single writer obtains ~115 MB/s over IPoIB).
+	ClientBW float64
+	// Servers is the number of storage servers, used for reporting only;
+	// striping is implicit in AggregateBW.
+	Servers int
+	// OpenLatency is a fixed per-transfer setup cost (file create/open,
+	// metadata round trip).
+	OpenLatency sim.Time
+	// Efficiency optionally scales AggregateBW as a function of the number
+	// of concurrent clients, modelling congestion and unbalanced sharing at
+	// high client counts. Nil means a constant 1.0.
+	Efficiency func(clients int) float64
+	// ShareJitter models the noise of Section 3.1 ("system noise, network
+	// congestion, and unbalanced share of throughput... can significantly
+	// increase the delay"): each transfer draws a capability factor from
+	// [1-j, 1+j] that scales both its share weight and its achievable
+	// client rate — a degraded client cannot use bandwidth reassigned to
+	// it, so stragglers extend the makespan. Zero means a perfectly
+	// uniform, noise-free system. Factors come from the kernel's
+	// deterministic random source.
+	ShareJitter float64
+}
+
+// PaperConfig returns the configuration matching the evaluation testbed in
+// Section 6: four PVFS2 servers with about 140 MB/s aggregate throughput and
+// about 115 MB/s from a single client.
+func PaperConfig() Config {
+	return Config{
+		AggregateBW: 140 * MB,
+		ClientBW:    116 * MB,
+		Servers:     4,
+		OpenLatency: 2 * sim.Millisecond,
+		// Mild congestion droop at high client counts, as observed in
+		// Figure 1 where aggregate throughput sags slightly at 32 clients.
+		Efficiency: func(clients int) float64 {
+			if clients <= 4 {
+				return 1.0
+			}
+			// Lose ~1% of aggregate throughput per doubling beyond 4.
+			return 1.0 - 0.01*math.Log2(float64(clients)/4)
+		},
+	}
+}
+
+// System is a shared storage service inside one simulation.
+type System struct {
+	k      *sim.Kernel
+	cfg    Config
+	active []*Transfer // insertion order: keeps same-time completions deterministic
+
+	// accounting
+	totalBytes    float64
+	transfers     int
+	maxConcurrent int
+}
+
+// New creates a storage system on the given kernel.
+func New(k *sim.Kernel, cfg Config) *System {
+	if cfg.AggregateBW <= 0 {
+		panic("storage: AggregateBW must be positive")
+	}
+	if cfg.ClientBW <= 0 {
+		cfg.ClientBW = cfg.AggregateBW
+	}
+	return &System{k: k, cfg: cfg}
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// ActiveClients reports how many transfers are currently in progress.
+func (s *System) ActiveClients() int { return len(s.active) }
+
+// TotalBytes reports the total bytes moved by completed and in-progress
+// transfers.
+func (s *System) TotalBytes() float64 { return s.totalBytes }
+
+// Transfers reports how many transfers have been started.
+func (s *System) Transfers() int { return s.transfers }
+
+// MaxConcurrent reports the peak number of simultaneous transfers observed.
+func (s *System) MaxConcurrent() int { return s.maxConcurrent }
+
+// Transfer is one in-progress or completed storage access.
+type Transfer struct {
+	sys       *System
+	total     float64
+	remaining float64
+	rate      float64
+	weight    float64
+	last      sim.Time
+	done      *sim.Event
+	completed bool
+	started   sim.Time
+	finished  sim.Time
+	waiters   sim.Cond
+	onDone    []func()
+}
+
+// Start begins a transfer of n bytes (read or write: the pool is shared) and
+// returns immediately. Use Wait to block until completion.
+func (s *System) Start(n int64) *Transfer {
+	if n < 0 {
+		panic("storage: negative transfer size")
+	}
+	t := &Transfer{
+		sys:       s,
+		total:     float64(n),
+		remaining: float64(n),
+		weight:    1,
+		last:      s.k.Now(),
+		started:   s.k.Now(),
+	}
+	if j := s.cfg.ShareJitter; j > 0 {
+		t.weight = 1 + j*(2*s.k.Rand().Float64()-1)
+	}
+	s.transfers++
+	s.totalBytes += float64(n)
+	start := func() {
+		if t.remaining <= 0 {
+			t.complete()
+			return
+		}
+		s.settle()
+		s.active = append(s.active, t)
+		if len(s.active) > s.maxConcurrent {
+			s.maxConcurrent = len(s.active)
+		}
+		s.reschedule()
+	}
+	if s.cfg.OpenLatency > 0 {
+		s.k.After(s.cfg.OpenLatency, start)
+	} else {
+		start()
+	}
+	return t
+}
+
+// Write performs a blocking write of n bytes on behalf of p and returns the
+// elapsed transfer time.
+func (s *System) Write(p *sim.Proc, n int64) sim.Time {
+	t := s.Start(n)
+	t.Wait(p)
+	return t.Elapsed()
+}
+
+// Read performs a blocking read of n bytes on behalf of p. Reads share the
+// same bandwidth pool as writes.
+func (s *System) Read(p *sim.Proc, n int64) sim.Time { return s.Write(p, n) }
+
+// Wait parks p until the transfer completes. Interrupts received while
+// waiting are re-posted as pending once the wait completes.
+func (t *Transfer) Wait(p *sim.Proc) {
+	interrupted := false
+	for !t.completed {
+		if t.waiters.Wait(p, "storage transfer") {
+			interrupted = true
+		}
+	}
+	if interrupted {
+		p.Interrupt()
+	}
+}
+
+// Done reports whether the transfer has completed.
+func (t *Transfer) Done() bool { return t.completed }
+
+// Elapsed returns the wall time the transfer took (including open latency),
+// or the time spent so far if it is still running.
+func (t *Transfer) Elapsed() sim.Time {
+	if t.completed {
+		return t.finished - t.started
+	}
+	return t.sys.k.Now() - t.started
+}
+
+// Bandwidth reports the effective bandwidth of a completed transfer in
+// bytes/second.
+func (t *Transfer) Bandwidth() float64 {
+	el := t.Elapsed()
+	if el <= 0 {
+		return 0
+	}
+	return t.total / el.Seconds()
+}
+
+// settle charges elapsed time against every active transfer's remaining
+// bytes at its current rate.
+func (s *System) settle() {
+	now := s.k.Now()
+	for _, t := range s.active {
+		dt := (now - t.last).Seconds()
+		if dt > 0 {
+			t.remaining -= t.rate * dt
+			if t.remaining < 0 {
+				t.remaining = 0
+			}
+		}
+		t.last = now
+	}
+}
+
+// fairRate computes the per-client rate under max-min sharing with n active
+// clients.
+func (s *System) fairRate(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	agg := s.cfg.AggregateBW
+	if s.cfg.Efficiency != nil {
+		agg *= s.cfg.Efficiency(n)
+	}
+	return math.Min(s.cfg.ClientBW, agg/float64(n))
+}
+
+// reschedule assigns fresh rates and completion events to all active
+// transfers. Must be called with settled state. Under ShareJitter the
+// aggregate is divided weight-proportionally instead of evenly.
+func (s *System) reschedule() {
+	n := len(s.active)
+	if n == 0 {
+		return
+	}
+	agg := s.cfg.AggregateBW
+	if s.cfg.Efficiency != nil {
+		agg *= s.cfg.Efficiency(n)
+	}
+	var sumW float64
+	for _, t := range s.active {
+		sumW += t.weight
+	}
+	for _, t := range s.active {
+		rate := math.Min(s.cfg.ClientBW*t.weight, agg*t.weight/sumW)
+		t.rate = rate
+		if t.done != nil {
+			t.done.Cancel()
+		}
+		dur := sim.Time(math.Ceil(t.remaining / rate * float64(sim.Second)))
+		tt := t
+		t.done = s.k.After(dur, func() { tt.finish() })
+	}
+}
+
+// finish handles a completion event for t.
+func (t *Transfer) finish() {
+	s := t.sys
+	s.settle()
+	// Tolerate sub-byte residue from fixed-point event rounding.
+	if t.remaining > 1 {
+		panic(fmt.Sprintf("storage: completion fired with %.1f bytes left", t.remaining))
+	}
+	for i, a := range s.active {
+		if a == t {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	t.complete()
+	s.reschedule()
+}
+
+// OnDone registers fn to run when the transfer completes (immediately if it
+// already has). Event-driven callers use it instead of Wait.
+func (t *Transfer) OnDone(fn func()) {
+	if t.completed {
+		fn()
+		return
+	}
+	t.onDone = append(t.onDone, fn)
+}
+
+func (t *Transfer) complete() {
+	t.remaining = 0
+	t.completed = true
+	t.finished = t.sys.k.Now()
+	t.waiters.Broadcast()
+	for _, fn := range t.onDone {
+		fn()
+	}
+	t.onDone = nil
+}

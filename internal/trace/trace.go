@@ -1,0 +1,148 @@
+// Package trace records structured timelines of checkpoint-protocol
+// activity — phase transitions, connection management, storage writes —
+// for debugging and for the ckptsim -trace view.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gbcr/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	KindCycle   Kind = iota // coordinator cycle steps
+	KindPhase               // controller phase transitions
+	KindConn                // connection teardown/rebuild
+	KindStorage             // snapshot writes and drains
+	KindDefer               // gated traffic deferred/released
+)
+
+var kindNames = [...]string{"cycle", "phase", "conn", "storage", "defer"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one timeline entry. Rank is -1 for coordinator events.
+type Event struct {
+	At     sim.Time
+	Rank   int
+	Kind   Kind
+	What   string
+	Detail string
+}
+
+func (e Event) String() string {
+	who := "coord"
+	if e.Rank >= 0 {
+		who = fmt.Sprintf("rank%-3d", e.Rank)
+	}
+	s := fmt.Sprintf("%-12v %-7s %-7s %s", e.At, who, e.Kind, e.What)
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// Log collects events in arrival order (which, under the deterministic
+// kernel, is chronological). The zero value is ready to use; a nil *Log
+// ignores all additions, so instrumented code needs no nil checks.
+type Log struct {
+	events []Event
+}
+
+// Add records an event. Safe on a nil log.
+func (l *Log) Add(at sim.Time, rank int, kind Kind, what, detail string) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, Event{At: at, Rank: rank, Kind: kind, What: what, Detail: detail})
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Filter returns the events matching pred, in order.
+func (l *Log) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByRank returns the events for one rank (-1 for the coordinator).
+func (l *Log) ByRank(rank int) []Event {
+	return l.Filter(func(e Event) bool { return e.Rank == rank })
+}
+
+// ByKind returns the events of one kind.
+func (l *Log) ByKind(kind Kind) []Event {
+	return l.Filter(func(e Event) bool { return e.Kind == kind })
+}
+
+// Render writes the chronological timeline.
+func (l *Log) Render(w io.Writer) {
+	for _, e := range l.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// Summary renders per-rank event counts by kind, a quick sanity view.
+func (l *Log) Summary() string {
+	type key struct {
+		rank int
+		kind Kind
+	}
+	counts := make(map[key]int)
+	ranks := make(map[int]bool)
+	for _, e := range l.Events() {
+		counts[key{e.Rank, e.Kind}]++
+		ranks[e.Rank] = true
+	}
+	var ids []int
+	for r := range ranks {
+		ids = append(ids, r)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, r := range ids {
+		who := "coord"
+		if r >= 0 {
+			who = fmt.Sprintf("rank %d", r)
+		}
+		fmt.Fprintf(&b, "%-8s:", who)
+		for k := KindCycle; k <= KindDefer; k++ {
+			if n := counts[key{r, k}]; n > 0 {
+				fmt.Fprintf(&b, " %s=%d", k, n)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gbcr/internal/sim"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, 0, KindPhase, "x", "")
+	if l.Len() != 0 || l.Events() != nil {
+		t.Fatal("nil log must ignore everything")
+	}
+	if l.ByRank(0) != nil || l.Summary() != "" {
+		t.Fatal("nil log queries")
+	}
+}
+
+func TestAddAndFilter(t *testing.T) {
+	l := &Log{}
+	l.Add(1*sim.Second, -1, KindCycle, "request", "cycle 1")
+	l.Add(2*sim.Second, 0, KindPhase, "safe-point", "")
+	l.Add(3*sim.Second, 0, KindStorage, "write-start", "100 MB")
+	l.Add(4*sim.Second, 1, KindPhase, "safe-point", "")
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := len(l.ByRank(0)); got != 2 {
+		t.Fatalf("ByRank(0) = %d events", got)
+	}
+	if got := len(l.ByKind(KindPhase)); got != 2 {
+		t.Fatalf("ByKind(phase) = %d events", got)
+	}
+	if got := len(l.ByRank(-1)); got != 1 {
+		t.Fatalf("ByRank(-1) = %d events", got)
+	}
+}
+
+func TestRenderAndString(t *testing.T) {
+	l := &Log{}
+	l.Add(1500*sim.Millisecond, 3, KindConn, "teardown-done", "4 peers")
+	var b strings.Builder
+	l.Render(&b)
+	out := b.String()
+	for _, want := range []string{"1.5s", "rank3", "conn", "teardown-done", "4 peers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered %q missing %q", out, want)
+		}
+	}
+}
+
+func TestSummaryCounts(t *testing.T) {
+	l := &Log{}
+	l.Add(0, -1, KindCycle, "request", "")
+	l.Add(0, 2, KindPhase, "a", "")
+	l.Add(0, 2, KindPhase, "b", "")
+	l.Add(0, 2, KindStorage, "c", "")
+	s := l.Summary()
+	if !strings.Contains(s, "coord") || !strings.Contains(s, "rank 2") {
+		t.Fatalf("summary: %q", s)
+	}
+	if !strings.Contains(s, "phase=2") || !strings.Contains(s, "storage=1") {
+		t.Fatalf("summary counts: %q", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindCycle.String() != "cycle" || KindDefer.String() != "defer" {
+		t.Fatal("kind names")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind")
+	}
+}

@@ -1,0 +1,171 @@
+package motif
+
+import (
+	"fmt"
+	"testing"
+
+	"gbcr/internal/ib"
+	"gbcr/internal/mpi"
+	"gbcr/internal/sim"
+)
+
+func newJob(n int) (*sim.Kernel, *mpi.Job) {
+	k := sim.NewKernel(1)
+	f := ib.New(k, ib.PaperConfig())
+	return k, mpi.NewJob(k, f, mpi.DefaultConfig(), n)
+}
+
+func testMine() Mine {
+	return Mine{Graphs: 24, Vertices: 12, Degree: 3, Labels: 4, MinSup: 8, MaxLen: 3, Seed: 11}
+}
+
+func TestSerialMineFindsPatterns(t *testing.T) {
+	freq := testMine().MineSerial()
+	if len(freq) == 0 {
+		t.Fatal("no frequent patterns on the synthetic dataset")
+	}
+	// Single labels must dominate longer patterns in support.
+	for pat, sup := range freq {
+		if sup < 8 || sup > 24 {
+			t.Fatalf("pattern %q support %d out of range", pat, sup)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	want := testMine().MineSerial()
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		k, j := newJob(n)
+		inst := testMine().Launch(j).(*MineInstance)
+		if err := k.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(inst.Frequent) != len(want) {
+			t.Fatalf("n=%d: %d patterns, serial found %d", n, len(inst.Frequent), len(want))
+		}
+		for pat, sup := range want {
+			if inst.Frequent[pat] != sup {
+				t.Fatalf("n=%d: pattern %q support %d, serial %d", n, pat, inst.Frequent[pat], sup)
+			}
+		}
+	}
+}
+
+func TestMineDeterministicAcrossSeeds(t *testing.T) {
+	a := testMine().MineSerial()
+	b := testMine().MineSerial()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different pattern sets")
+	}
+	diff := testMine()
+	diff.Seed = 99
+	c := diff.MineSerial()
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical pattern sets (suspicious)")
+	}
+}
+
+func TestContains(t *testing.T) {
+	// Path graph 0-1-2 with labels a,b,c.
+	g := graph{
+		labels: []int{0, 1, 2},
+		adj:    [][]int{{1}, {0, 2}, {1}},
+	}
+	cases := []struct {
+		pat  []int
+		want bool
+	}{
+		{[]int{0}, true},
+		{[]int{3}, false},
+		{[]int{0, 1, 2}, true},
+		{[]int{2, 1, 0}, true},
+		{[]int{0, 2}, false},    // not adjacent
+		{[]int{1, 0, 1}, false}, // would revisit vertex 1
+		{[]int{1, 2}, true},
+	}
+	for _, c := range cases {
+		if got := g.contains(c.pat); got != c.want {
+			t.Errorf("contains(%v) = %v, want %v", c.pat, got, c.want)
+		}
+	}
+}
+
+func TestSortedPatterns(t *testing.T) {
+	inst := &MineInstance{Frequent: map[string]int{"b0.": 1, "a0.": 2, "c0.": 3}}
+	got := fmt.Sprint(inst.SortedPatterns())
+	if got != "[a0. b0. c0.]" {
+		t.Fatalf("SortedPatterns = %v", got)
+	}
+}
+
+func TestTimedModelRuntime(t *testing.T) {
+	w := Timed{N: 4, Chunks: []sim.Time{sim.Second, sim.Second, 2 * sim.Second, sim.Second}, ExchangeKB: 16, FootprintMB: 50}
+	k, j := newJob(4)
+	inst := w.Launch(j)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := j.FinishTime().Seconds()
+	if got < 5 || got > 5.5 {
+		t.Fatalf("runtime %.2fs, want ~5s", got)
+	}
+	if inst.Footprint(2) != 50<<20 {
+		t.Fatal("footprint")
+	}
+}
+
+func TestPaperTimedShape(t *testing.T) {
+	w := PaperTimed()
+	if w.N != 32 {
+		t.Fatal("paper runs 32 processes")
+	}
+	var total float64
+	for _, c := range w.Chunks {
+		total += c.Seconds()
+	}
+	if total < 120 || total > 200 {
+		t.Fatalf("paper MotifMiner runtime ~%.0fs, want ~160s (points at 30-120s)", total)
+	}
+}
+
+func TestResumableMatchesSerial(t *testing.T) {
+	want := testMine().MineSerial()
+	for _, n := range []int{1, 3, 4} {
+		k, j := newJob(n)
+		w := MineResumable{Mine: testMine(), LevelCompute: 50 * sim.Millisecond}
+		inst := w.Launch(j).(*ResumableInstance)
+		if err := k.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if fmt.Sprint(len(inst.Frequent)) != fmt.Sprint(len(want)) {
+			t.Fatalf("n=%d: %d patterns vs serial %d", n, len(inst.Frequent), len(want))
+		}
+		for pat, sup := range want {
+			if inst.Frequent[pat] != sup {
+				t.Fatalf("n=%d: %q support %d vs serial %d", n, pat, inst.Frequent[pat], sup)
+			}
+		}
+	}
+}
+
+func TestResumableCaptureRoundtrip(t *testing.T) {
+	const n = 2
+	k, j := newJob(n)
+	w := MineResumable{Mine: testMine(), LevelCompute: 10 * sim.Millisecond}
+	inst := w.Launch(j).(*ResumableInstance)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	states := make([][]byte, n)
+	for i := range states {
+		states[i] = inst.Capture(i)
+	}
+	k2, j2 := newJob(n)
+	inst2 := w.LaunchFrom(j2, states).(*ResumableInstance)
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(inst2.Frequent) != fmt.Sprint(inst.Frequent) {
+		t.Fatal("restored run changed the pattern set")
+	}
+}

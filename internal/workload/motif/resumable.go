@@ -1,0 +1,159 @@
+package motif
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"gbcr/internal/mpi"
+	"gbcr/internal/sim"
+	"gbcr/internal/workload"
+)
+
+// MineResumable is the restart-capable form of the real miner: the
+// level-wise loop takes collective checkpoints at level boundaries,
+// capturing the full mining state (current candidates, frequent set,
+// frequent labels), so a killed run resumes mid-mining and produces the
+// same pattern set.
+type MineResumable struct {
+	Mine
+	// LevelCompute models the per-level computation beyond the actual DFS
+	// counting (the paper calls MotifMiner "very computation intensive").
+	LevelCompute sim.Time
+}
+
+// mineState is one rank's resumable mining position. Completed is set when
+// the level-wise loop has finished.
+type mineState struct {
+	Rounds     int // completed loop rounds, for collective-tag restoration
+	Level      int
+	FreqLabels []int
+	Frequent   map[string]int
+	Cands      [][]int
+	Completed  bool
+}
+
+// ResumableInstance is one run of MineResumable.
+type ResumableInstance struct {
+	w      MineResumable
+	states []*mineState
+	// Frequent is rank 0's final pattern set (valid after the run).
+	Frequent map[string]int
+	bytes    []int64
+}
+
+// Name implements the workload interface.
+func (m MineResumable) Name() string {
+	return fmt.Sprintf("motif-resumable(g=%d,v=%d)", m.Graphs, m.Vertices)
+}
+
+// Launch implements the workload interface.
+func (m MineResumable) Launch(j *mpi.Job) workload.Instance { return m.LaunchFrom(j, nil) }
+
+// LaunchFrom implements workload.Restartable.
+func (m MineResumable) LaunchFrom(j *mpi.Job, appStates [][]byte) workload.Instance {
+	n := j.Size()
+	inst := &ResumableInstance{
+		w:      m,
+		states: make([]*mineState, n),
+		bytes:  make([]int64, n),
+	}
+	for r := 0; r < n; r++ {
+		st := &mineState{Level: 1, Frequent: make(map[string]int)}
+		// Level-1 candidates: all single labels.
+		for l := 0; l < m.Labels; l++ {
+			st.Cands = append(st.Cands, []int{l})
+		}
+		if appStates != nil && appStates[r] != nil {
+			st = &mineState{}
+			if err := gob.NewDecoder(bytes.NewReader(appStates[r])).Decode(st); err != nil {
+				panic(fmt.Sprintf("motif: state for rank %d: %v", r, err))
+			}
+		}
+		inst.states[r] = st
+		r := r
+		j.Launch(r, func(e *mpi.Env) { inst.run(e, st) })
+	}
+	return inst
+}
+
+// run is one rank's resumable level-wise loop. Each round consumes four
+// collective tags: the CollectiveCheckpoint allreduce (2) and the support
+// allreduce (2).
+func (inst *ResumableInstance) run(e *mpi.Env, st *mineState) {
+	m := inst.w
+	n := e.Size()
+	r := e.Rank()
+	world := e.World()
+	world.AdvanceCollSeq(4 * st.Rounds)
+	// Regenerate the local dataset block (it is not part of the snapshot:
+	// input data is re-readable after restart).
+	lo := r * m.Graphs / n
+	hi := (r + 1) * m.Graphs / n
+	graphs := make([]graph, 0, hi-lo)
+	for g := lo; g < hi; g++ {
+		graphs = append(graphs, m.genGraph(g))
+	}
+	inst.bytes[r] = int64(hi-lo) * int64(m.Vertices) * 64
+
+	for !st.Completed {
+		e.CollectiveCheckpoint(world)
+		if m.LevelCompute > 0 {
+			e.Compute(m.LevelCompute)
+		}
+		// Count local supports and combine.
+		local := make([]float64, len(st.Cands))
+		for ci, c := range st.Cands {
+			for _, gr := range graphs {
+				if gr.contains(c) {
+					local[ci]++
+				}
+			}
+		}
+		global := e.AllreduceF64(world, local, mpi.OpSum)
+		// Prune and extend, exactly as the serial levelwise loop does.
+		var next [][]int
+		for ci, c := range st.Cands {
+			if int(global[ci]) < m.MinSup {
+				continue
+			}
+			st.Frequent[patKey(c)] = int(global[ci])
+			if st.Level == 1 {
+				st.FreqLabels = append(st.FreqLabels, c[0])
+			}
+			if st.Level > 1 && st.Level < m.MaxLen {
+				for _, l := range st.FreqLabels {
+					next = append(next, append(append([]int{}, c...), l))
+				}
+			}
+		}
+		if st.Level == 1 && st.Level < m.MaxLen {
+			for _, a := range st.FreqLabels {
+				for _, b := range st.FreqLabels {
+					next = append(next, []int{a, b})
+				}
+			}
+		}
+		st.Cands = next
+		st.Level++
+		st.Rounds++
+		if st.Level > m.MaxLen || len(st.Cands) == 0 {
+			st.Completed = true
+		}
+	}
+	if r == 0 {
+		inst.Frequent = st.Frequent
+	}
+}
+
+// Footprint implements the workload Instance interface.
+func (inst *ResumableInstance) Footprint(rank int) int64 { return inst.bytes[rank] }
+
+// Capture implements workload.RestartableInstance.
+func (inst *ResumableInstance) Capture(rank int) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(inst.states[rank]); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}

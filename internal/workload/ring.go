@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"gbcr/internal/mpi"
+	"gbcr/internal/sim"
+)
+
+// RestartableInstance extends Instance with application-state capture for
+// functional restart.
+type RestartableInstance interface {
+	Instance
+	// Capture serializes the rank's application state; the checkpoint layer
+	// calls it at snapshot time (always at an iteration boundary in polled
+	// mode).
+	Capture(rank int) []byte
+}
+
+// Restartable extends Workload with relaunch-from-snapshot.
+type Restartable interface {
+	Workload
+	// LaunchFrom launches the workload resuming from per-rank application
+	// states (entries may be nil for ranks that start fresh).
+	LaunchFrom(j *mpi.Job, appStates [][]byte) Instance
+}
+
+// Ring is a restart-capable iterative kernel: each iteration computes, then
+// exchanges an eager message around a ring, accumulating a checksum of
+// received values. Snapshots are taken at iteration boundaries
+// (MaybeCheckpoint), so the captured state is exactly {iteration, sum}.
+type Ring struct {
+	N           int
+	Iters       int
+	Chunk       sim.Time
+	FootprintMB int64
+}
+
+type ringState struct {
+	Iter int
+	Sum  int64
+}
+
+// RingInstance is one run of Ring.
+type RingInstance struct {
+	w      Ring
+	states []*ringState
+	Sums   []int64 // per-rank final checksums (valid after the run)
+}
+
+// Name implements Workload.
+func (w Ring) Name() string { return fmt.Sprintf("ring(n=%d)", w.N) }
+
+// Launch implements Workload.
+func (w Ring) Launch(j *mpi.Job) Instance { return w.LaunchFrom(j, nil) }
+
+// LaunchFrom implements Restartable.
+func (w Ring) LaunchFrom(j *mpi.Job, appStates [][]byte) Instance {
+	inst := &RingInstance{w: w, states: make([]*ringState, w.N), Sums: make([]int64, w.N)}
+	for i := 0; i < w.N; i++ {
+		st := &ringState{}
+		if appStates != nil && appStates[i] != nil {
+			if err := gob.NewDecoder(bytes.NewReader(appStates[i])).Decode(st); err != nil {
+				panic(fmt.Sprintf("workload: ring state for rank %d: %v", i, err))
+			}
+		}
+		inst.states[i] = st
+		i := i
+		j.Launch(i, func(e *mpi.Env) {
+			world := e.World()
+			// Each completed iteration consumed one CollectiveCheckpoint
+			// allreduce (two collective tags).
+			world.AdvanceCollSeq(2 * st.Iter)
+			me := e.Rank()
+			right, left := (me+1)%w.N, (me-1+w.N)%w.N
+			for ; st.Iter < w.Iters; st.Iter++ {
+				e.CollectiveCheckpoint(world)
+				e.Compute(w.Chunk)
+				out := mpi.I64ToBytes([]int64{int64(me)*1_000_000 + int64(st.Iter)})
+				data, _ := e.Sendrecv(world, right, 1, out, left, 1)
+				st.Sum += mpi.BytesToI64(data)[0]
+			}
+			inst.Sums[me] = st.Sum
+		})
+	}
+	return inst
+}
+
+// Footprint implements Instance.
+func (inst *RingInstance) Footprint(rank int) int64 { return inst.w.FootprintMB << 20 }
+
+// Capture implements RestartableInstance.
+func (inst *RingInstance) Capture(rank int) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(inst.states[rank]); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// ExpectedRingSum returns the failure-free checksum for a rank.
+func ExpectedRingSum(n, iters, me int) int64 {
+	left := (me - 1 + n) % n
+	var sum int64
+	for i := 0; i < iters; i++ {
+		sum += int64(left)*1_000_000 + int64(i)
+	}
+	return sum
+}
+
+// AllgatherLoop is a restart-capable collective kernel modeled on the
+// MotifMiner pattern: compute, then MPI_Allgather each iteration. It
+// additionally exercises collective-sequence restoration across restart.
+type AllgatherLoop struct {
+	N           int
+	Iters       int
+	Chunk       sim.Time
+	FootprintMB int64
+}
+
+type agState struct {
+	Iter int
+	Hash uint64
+}
+
+// AllgatherInstance is one run of AllgatherLoop.
+type AllgatherInstance struct {
+	w      AllgatherLoop
+	states []*agState
+	Hashes []uint64
+}
+
+// Name implements Workload.
+func (w AllgatherLoop) Name() string { return fmt.Sprintf("allgatherloop(n=%d)", w.N) }
+
+// Launch implements Workload.
+func (w AllgatherLoop) Launch(j *mpi.Job) Instance { return w.LaunchFrom(j, nil) }
+
+// LaunchFrom implements Restartable.
+func (w AllgatherLoop) LaunchFrom(j *mpi.Job, appStates [][]byte) Instance {
+	inst := &AllgatherInstance{w: w, states: make([]*agState, w.N), Hashes: make([]uint64, w.N)}
+	for i := 0; i < w.N; i++ {
+		st := &agState{}
+		if appStates != nil && appStates[i] != nil {
+			if err := gob.NewDecoder(bytes.NewReader(appStates[i])).Decode(st); err != nil {
+				panic(fmt.Sprintf("workload: allgather state for rank %d: %v", i, err))
+			}
+		}
+		inst.states[i] = st
+		i := i
+		j.Launch(i, func(e *mpi.Env) {
+			world := e.World()
+			// Each completed iteration consumed one CollectiveCheckpoint
+			// allreduce (two tags) plus one Allgather (one tag).
+			world.AdvanceCollSeq(3 * st.Iter)
+			me := e.Rank()
+			for ; st.Iter < w.Iters; st.Iter++ {
+				e.CollectiveCheckpoint(world)
+				e.Compute(w.Chunk)
+				blocks := e.Allgather(world, mpi.I64ToBytes([]int64{int64(me)*1_000_000 + int64(st.Iter)}))
+				for _, b := range blocks {
+					st.Hash = st.Hash*1099511628211 + uint64(mpi.BytesToI64(b)[0])
+				}
+			}
+			inst.Hashes[me] = st.Hash
+		})
+	}
+	return inst
+}
+
+// Footprint implements Instance.
+func (inst *AllgatherInstance) Footprint(rank int) int64 { return inst.w.FootprintMB << 20 }
+
+// Capture implements RestartableInstance.
+func (inst *AllgatherInstance) Capture(rank int) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(inst.states[rank]); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}

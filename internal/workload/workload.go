@@ -1,0 +1,48 @@
+// Package workload provides the applications used in the paper's
+// evaluation: the communication-group micro-benchmark (Figure 3), the
+// barrier-synchronized placement benchmark (Figure 4), and a
+// restart-capable ring kernel used by the functional-recovery tests. The
+// HPL and MotifMiner applications live in subpackages.
+package workload
+
+import "gbcr/internal/mpi"
+
+// Workload is a launchable application. Launch installs every rank's body
+// on the job and returns the per-run instance; it must be callable on
+// multiple clusters (fresh state per call).
+type Workload interface {
+	Name() string
+	Launch(j *mpi.Job) Instance
+}
+
+// Instance is one run of a workload.
+type Instance interface {
+	// Footprint reports the rank's current memory footprint in bytes; the
+	// checkpoint layer calls it at snapshot time.
+	Footprint(rank int) int64
+}
+
+// ConstFootprint is a fixed-footprint Instance for workloads whose image
+// size does not vary over the run.
+type ConstFootprint int64
+
+// Footprint implements Instance.
+func (f ConstFootprint) Footprint(rank int) int64 { return int64(f) }
+
+// GroupRanks returns the consecutive-rank communication group containing
+// rank me when n ranks are partitioned into groups of the given size.
+func GroupRanks(n, size, me int) []int {
+	if size <= 0 || size > n {
+		size = n
+	}
+	lo := (me / size) * size
+	hi := lo + size
+	if hi > n {
+		hi = n
+	}
+	out := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		out = append(out, r)
+	}
+	return out
+}

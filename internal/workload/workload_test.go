@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"testing"
+
+	"gbcr/internal/ib"
+	"gbcr/internal/mpi"
+	"gbcr/internal/sim"
+)
+
+func newJob(n int) (*sim.Kernel, *mpi.Job) {
+	k := sim.NewKernel(1)
+	f := ib.New(k, ib.PaperConfig())
+	return k, mpi.NewJob(k, f, mpi.DefaultConfig(), n)
+}
+
+func TestGroupRanks(t *testing.T) {
+	cases := []struct {
+		n, size, me int
+		want        string
+	}{
+		{8, 4, 0, "[0 1 2 3]"},
+		{8, 4, 5, "[4 5 6 7]"},
+		{8, 0, 3, "[0 1 2 3 4 5 6 7]"},
+		{7, 3, 6, "[6]"},
+		{8, 1, 2, "[2]"},
+	}
+	for _, c := range cases {
+		if got := sprint(GroupRanks(c.n, c.size, c.me)); got != c.want {
+			t.Errorf("GroupRanks(%d,%d,%d) = %v, want %v", c.n, c.size, c.me, got, c.want)
+		}
+	}
+}
+
+func sprint(v []int) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += itoa(x)
+	}
+	return s + "]"
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var b []byte
+	for x > 0 {
+		b = append([]byte{byte('0' + x%10)}, b...)
+		x /= 10
+	}
+	return string(b)
+}
+
+func TestCommGroupsCompletes(t *testing.T) {
+	k, j := newJob(8)
+	w := CommGroups{N: 8, CommGroupSize: 4, Iters: 20, Chunk: 50 * sim.Millisecond, FootprintMB: 16}
+	inst := w.Launch(j)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Completion is dominated by compute: 20 * 50ms = 1s plus exchanges.
+	ft := j.FinishTime()
+	if ft < sim.Second || ft > 1200*sim.Millisecond {
+		t.Fatalf("finish time %v, want ~1s", ft)
+	}
+	if inst.Footprint(3) != 16<<20 {
+		t.Fatalf("footprint %d", inst.Footprint(3))
+	}
+	// Members of a communication group finish within a whisker of each
+	// other (continuous blocking exchange synchronizes them).
+	for g := 0; g < 2; g++ {
+		var lo, hi sim.Time = 1 << 62, 0
+		for r := g * 4; r < g*4+4; r++ {
+			at := j.Rank(r).FinishedAt()
+			if at < lo {
+				lo = at
+			}
+			if at > hi {
+				hi = at
+			}
+		}
+		if hi-lo > 10*sim.Millisecond {
+			t.Fatalf("group %d finish skew %v", g, hi-lo)
+		}
+	}
+}
+
+func TestCommGroupsEmbarrassinglyParallel(t *testing.T) {
+	k, j := newJob(4)
+	w := CommGroups{N: 4, CommGroupSize: 1, Iters: 10, Chunk: 100 * sim.Millisecond, FootprintMB: 16}
+	w.Launch(j)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ft := j.FinishTime(); ft != sim.Second {
+		t.Fatalf("pure compute should finish at exactly 1s, got %v", ft)
+	}
+	// No messages at all.
+	for i := 0; i < 4; i++ {
+		if s := j.Rank(i).Stats(); s.EagerSent+s.RendezvousSent != 0 {
+			t.Fatalf("rank %d sent messages in EP mode: %+v", i, s)
+		}
+	}
+}
+
+func TestBarrierPhasesStructure(t *testing.T) {
+	k, j := newJob(4)
+	w := BarrierPhases{N: 4, CommGroupSize: 2, Chunk: 100 * sim.Millisecond,
+		BarrierEvery: 500 * sim.Millisecond, Phases: 3, FootprintMB: 16}
+	w.Launch(j)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ft := j.FinishTime()
+	if ft < 1500*sim.Millisecond || ft > 1700*sim.Millisecond {
+		t.Fatalf("3 phases of 500ms: finish %v", ft)
+	}
+	// Barriers ran: collectives counter is nonzero.
+	if j.Rank(0).Stats().CollectivesRun < 3 {
+		t.Fatalf("barriers missing: %+v", j.Rank(0).Stats())
+	}
+}
+
+func TestRingSums(t *testing.T) {
+	const n, iters = 5, 30
+	k, j := newJob(n)
+	w := Ring{N: n, Iters: iters, Chunk: 20 * sim.Millisecond, FootprintMB: 8}
+	inst := w.Launch(j).(*RingInstance)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for me := 0; me < n; me++ {
+		if inst.Sums[me] != ExpectedRingSum(n, iters, me) {
+			t.Fatalf("rank %d sum %d, want %d", me, inst.Sums[me], ExpectedRingSum(n, iters, me))
+		}
+	}
+}
+
+func TestRingCaptureRoundtrip(t *testing.T) {
+	const n = 3
+	k, j := newJob(n)
+	w := Ring{N: n, Iters: 10, Chunk: 10 * sim.Millisecond, FootprintMB: 8}
+	inst := w.Launch(j).(*RingInstance)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Relaunch from the final state: bodies see Iter == Iters and exit
+	// immediately with the same sums.
+	states := make([][]byte, n)
+	for i := range states {
+		states[i] = inst.Capture(i)
+	}
+	k2, j2 := newJob(n)
+	inst2 := w.LaunchFrom(j2, states).(*RingInstance)
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for me := 0; me < n; me++ {
+		if inst2.Sums[me] != inst.Sums[me] {
+			t.Fatalf("restored sums differ at rank %d", me)
+		}
+	}
+	if j2.FinishTime() != 0 {
+		t.Fatalf("restored-at-end run should finish instantly, took %v", j2.FinishTime())
+	}
+}
+
+func TestAllgatherLoopHashes(t *testing.T) {
+	const n, iters = 4, 15
+	k, j := newJob(n)
+	w := AllgatherLoop{N: n, Iters: iters, Chunk: 20 * sim.Millisecond, FootprintMB: 8}
+	inst := w.Launch(j).(*AllgatherInstance)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Every rank folds the same blocks in the same (comm-rank) order, so
+	// all hashes agree — and match a serial recomputation.
+	var want uint64
+	for it := 0; it < iters; it++ {
+		for me := 0; me < n; me++ {
+			want = want*1099511628211 + uint64(me*1_000_000+it)
+		}
+	}
+	for me := 0; me < n; me++ {
+		if inst.Hashes[me] != want {
+			t.Fatalf("rank %d hash %x, want %x", me, inst.Hashes[me], want)
+		}
+	}
+}
+
+// serialStencil computes the expected per-rank checksums with a plain
+// serial implementation of the same relaxation.
+func serialStencil(w Stencil) []float64 {
+	// Global field with per-rank strips (halos are just neighbours' cells).
+	strips := make([][]float64, w.N)
+	for me := 0; me < w.N; me++ {
+		strips[me] = w.initField(me)
+	}
+	for it := 0; it < w.Iters; it++ {
+		// Halo exchange.
+		for me := 0; me < w.N; me++ {
+			if me > 0 {
+				strips[me][0] = strips[me-1][w.Cells]
+			}
+			if me < w.N-1 {
+				strips[me][w.Cells+1] = strips[me+1][1]
+			}
+		}
+		// Sweep.
+		next := make([][]float64, w.N)
+		for me := 0; me < w.N; me++ {
+			next[me] = append([]float64{}, strips[me]...)
+			for c := 1; c <= w.Cells; c++ {
+				if (me == 0 && c == 1) || (me == w.N-1 && c == w.Cells) {
+					continue
+				}
+				next[me][c] = 0.5*strips[me][c] + 0.25*(strips[me][c-1]+strips[me][c+1])
+			}
+		}
+		strips = next
+	}
+	sums := make([]float64, w.N)
+	for me := 0; me < w.N; me++ {
+		for _, v := range strips[me][1 : w.Cells+1] {
+			sums[me] += v
+		}
+	}
+	return sums
+}
+
+func TestStencilMatchesSerial(t *testing.T) {
+	w := Stencil{N: 5, Cells: 8, Iters: 20, Chunk: 10 * sim.Millisecond, FootprintMB: 8}
+	k, j := newJob(w.N)
+	inst := w.Launch(j).(*StencilInstance)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := serialStencil(w)
+	for me := 0; me < w.N; me++ {
+		if inst.Checksums[me] != want[me] {
+			t.Fatalf("rank %d checksum %v, serial %v", me, inst.Checksums[me], want[me])
+		}
+	}
+}
+
+func TestStencilCaptureRestoresMidway(t *testing.T) {
+	w := Stencil{N: 3, Cells: 4, Iters: 10, Chunk: 10 * sim.Millisecond, FootprintMB: 8}
+	// Full run for reference.
+	k1, j1 := newJob(w.N)
+	ref := w.Launch(j1).(*StencilInstance)
+	if err := k1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Run the same thing but capture everyone at the natural end, restore,
+	// and confirm identical checksums with zero extra work.
+	states := make([][]byte, w.N)
+	for i := range states {
+		states[i] = ref.Capture(i)
+	}
+	k2, j2 := newJob(w.N)
+	inst := w.LaunchFrom(j2, states).(*StencilInstance)
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for me := 0; me < w.N; me++ {
+		if inst.Checksums[me] != ref.Checksums[me] {
+			t.Fatalf("rank %d restore mismatch", me)
+		}
+	}
+}
+
+func TestWorkloadNamesAndFootprints(t *testing.T) {
+	names := []struct {
+		got, want string
+	}{
+		{CommGroups{N: 32, CommGroupSize: 8}.Name(), "commgroups(n=32,comm=8)"},
+		{BarrierPhases{N: 32, CommGroupSize: 8, BarrierEvery: sim.Minute}.Name(), "barrier(n=32,comm=8,every=60s)"},
+		{Ring{N: 6}.Name(), "ring(n=6)"},
+		{AllgatherLoop{N: 6}.Name(), "allgatherloop(n=6)"},
+		{Stencil{N: 6, Cells: 4}.Name(), "stencil(n=6,cells=4)"},
+	}
+	for _, c := range names {
+		if c.got != c.want {
+			t.Errorf("Name() = %q, want %q", c.got, c.want)
+		}
+	}
+	ring := (&RingInstance{w: Ring{FootprintMB: 7}})
+	if ring.Footprint(0) != 7<<20 {
+		t.Fatal("ring footprint")
+	}
+	st := (&StencilInstance{w: Stencil{FootprintMB: 3}})
+	if st.Footprint(0) != 3<<20 {
+		t.Fatal("stencil footprint")
+	}
+	ag := (&AllgatherInstance{w: AllgatherLoop{FootprintMB: 5}})
+	if ag.Footprint(0) != 5<<20 {
+		t.Fatal("allgather footprint")
+	}
+}
+
+func TestAllgatherLoopCaptureRoundtrip(t *testing.T) {
+	const n = 3
+	k, j := newJob(n)
+	w := AllgatherLoop{N: n, Iters: 8, Chunk: 10 * sim.Millisecond, FootprintMB: 4}
+	inst := w.Launch(j).(*AllgatherInstance)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	states := make([][]byte, n)
+	for i := range states {
+		states[i] = inst.Capture(i)
+	}
+	k2, j2 := newJob(n)
+	inst2 := w.LaunchFrom(j2, states).(*AllgatherInstance)
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for me := 0; me < n; me++ {
+		if inst2.Hashes[me] != inst.Hashes[me] {
+			t.Fatalf("rank %d hash mismatch after restore", me)
+		}
+	}
+}

@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures examples cover clean
+.PHONY: all check build test vet race bench figures examples cover clean
 
-all: build vet test
+all: check
+
+# Full gate: compile, vet, tests, and the race detector over the concurrent
+# experiment Runner.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,6 +18,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The figure sweeps fan out on the Runner's worker pool; run the whole tree
+# under the race detector.
+race:
+	$(GO) test -race ./...
 
 # Regenerate every paper figure once as benchmarks.
 bench:

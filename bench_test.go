@@ -16,18 +16,42 @@ import (
 //
 //	go test -bench=. -benchmem
 //
-// The same data is printed as tables by `go run ./cmd/figures`.
+// The same data is printed as tables by `go run ./cmd/figures`. Each
+// iteration uses a fresh figures.Generator so the baseline cache never
+// carries over between iterations and the measured cost stays the full
+// regeneration cost.
+
+// gen runs one generator method on a fresh Generator and fails the
+// benchmark on error.
+func gen(b *testing.B, fn func(*figures.Generator) (*figures.Table, error)) *figures.Table {
+	b.Helper()
+	t, err := fn(figures.NewGenerator(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// metric reads a labeled cell and fails the benchmark on a bad label.
+func metric(b *testing.B, t *figures.Table, row, col string) float64 {
+	b.Helper()
+	v, err := t.Cell(row, col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
 
 // BenchmarkFig1StorageBandwidth regenerates Figure 1: bandwidth per client
 // against the number of concurrent clients on the 4-server PVFS2 model.
 func BenchmarkFig1StorageBandwidth(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.Fig1()
+		t = gen(b, (*figures.Generator).Fig1)
 	}
-	b.ReportMetric(t.Cell("Bandwidth per Client", "1"), "MB/s/1client")
-	b.ReportMetric(t.Cell("Bandwidth per Client", "32"), "MB/s/32clients")
-	b.ReportMetric(t.Cell("Aggregated Throughput", "32"), "MB/s-aggregate")
+	b.ReportMetric(metric(b, t, "Bandwidth per Client", "1"), "MB/s/1client")
+	b.ReportMetric(metric(b, t, "Bandwidth per Client", "32"), "MB/s/32clients")
+	b.ReportMetric(metric(b, t, "Aggregated Throughput", "32"), "MB/s-aggregate")
 }
 
 // BenchmarkFig3GroupSize regenerates Figure 3: the communication-group
@@ -35,10 +59,22 @@ func BenchmarkFig1StorageBandwidth(b *testing.B) {
 func BenchmarkFig3GroupSize(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.Fig3()
+		t = gen(b, (*figures.Generator).Fig3)
 	}
-	b.ReportMetric(t.Cell("Comm 8", "All(32)"), "s-delay-all")
-	b.ReportMetric(t.Cell("Comm 8", "8"), "s-delay-group8")
+	b.ReportMetric(metric(b, t, "Comm 8", "All(32)"), "s-delay-all")
+	b.ReportMetric(metric(b, t, "Comm 8", "8"), "s-delay-group8")
+}
+
+// BenchmarkFig3GroupSizeSerial regenerates Figure 3 with the worker pool
+// forced to a single worker. Comparing it against BenchmarkFig3GroupSize
+// (GOMAXPROCS workers) shows the wall-clock gain of the concurrent Runner
+// on multi-core machines; the tables are bit-identical either way.
+func BenchmarkFig3GroupSizeSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.NewGenerator(1).Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFig4Placement regenerates Figure 4: effective delay against the
@@ -46,10 +82,10 @@ func BenchmarkFig3GroupSize(b *testing.B) {
 func BenchmarkFig4Placement(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.Fig4()
+		t = gen(b, (*figures.Generator).Fig4)
 	}
-	b.ReportMetric(t.Cell("Effective Ckpt Delay", "15"), "s-far-from-barrier")
-	b.ReportMetric(t.Cell("Effective Ckpt Delay", "55"), "s-near-barrier")
+	b.ReportMetric(metric(b, t, "Effective Ckpt Delay", "15"), "s-far-from-barrier")
+	b.ReportMetric(metric(b, t, "Effective Ckpt Delay", "55"), "s-near-barrier")
 }
 
 // BenchmarkFig5HPLDelay regenerates Figure 5: HPL effective delays at eight
@@ -57,10 +93,21 @@ func BenchmarkFig4Placement(b *testing.B) {
 func BenchmarkFig5HPLDelay(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.Fig5()
+		t = gen(b, (*figures.Generator).Fig5)
 	}
-	b.ReportMetric(t.Cell("All(32)", "50"), "s-all-at-50s")
-	b.ReportMetric(t.Cell("Group(4)", "50"), "s-group4-at-50s")
+	b.ReportMetric(metric(b, t, "All(32)", "50"), "s-all-at-50s")
+	b.ReportMetric(metric(b, t, "Group(4)", "50"), "s-group4-at-50s")
+}
+
+// BenchmarkFig5HPLDelaySerial is the single-worker twin of
+// BenchmarkFig5HPLDelay, for measuring the Runner's sweep speedup on the
+// paper's largest matrix (6 group sizes x 8 issuance times).
+func BenchmarkFig5HPLDelaySerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.NewGenerator(1).Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFig6HPLSummary regenerates Figure 6: per-group-size mean/min/max
@@ -68,11 +115,16 @@ func BenchmarkFig5HPLDelay(b *testing.B) {
 func BenchmarkFig6HPLSummary(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.Fig6(figures.Fig5())
+		g := figures.NewGenerator(0)
+		f5, err := g.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		t = g.Fig6(f5)
 	}
-	b.ReportMetric(t.Cell("All(32)", "mean"), "s-mean-all")
-	b.ReportMetric(t.Cell("Group(4)", "mean"), "s-mean-group4")
-	b.ReportMetric(t.Cell("Individual(1)", "mean"), "s-mean-individual")
+	b.ReportMetric(metric(b, t, "All(32)", "mean"), "s-mean-all")
+	b.ReportMetric(metric(b, t, "Group(4)", "mean"), "s-mean-group4")
+	b.ReportMetric(metric(b, t, "Individual(1)", "mean"), "s-mean-individual")
 }
 
 // BenchmarkFig7MotifMiner regenerates Figure 7: MotifMiner effective delays
@@ -80,10 +132,10 @@ func BenchmarkFig6HPLSummary(b *testing.B) {
 func BenchmarkFig7MotifMiner(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.Fig7()
+		t = gen(b, (*figures.Generator).Fig7)
 	}
-	b.ReportMetric(t.Cell("All(32)", "30"), "s-all-at-30s")
-	b.ReportMetric(t.Cell("Group(4)", "30"), "s-group4-at-30s")
+	b.ReportMetric(metric(b, t, "All(32)", "30"), "s-all-at-30s")
+	b.ReportMetric(metric(b, t, "Group(4)", "30"), "s-group4-at-30s")
 }
 
 // BenchmarkPhaseBreakdown regenerates the Section 3.1 observation that
@@ -91,9 +143,9 @@ func BenchmarkFig7MotifMiner(b *testing.B) {
 func BenchmarkPhaseBreakdown(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.PhaseBreakdown()
+		t = gen(b, (*figures.Generator).PhaseBreakdown)
 	}
-	b.ReportMetric(t.Cell("storage share", "All(32)"), "storage-share-regular")
+	b.ReportMetric(metric(b, t, "storage share", "All(32)"), "storage-share-regular")
 }
 
 // BenchmarkAblationHelper measures the Section 4.4 asynchronous-progress
@@ -101,7 +153,7 @@ func BenchmarkPhaseBreakdown(b *testing.B) {
 func BenchmarkAblationHelper(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.AblationHelper()
+		t = gen(b, (*figures.Generator).AblationHelper)
 	}
 	b.ReportMetric(t.Cells[0][1], "s-teardown-helper-on")
 	b.ReportMetric(t.Cells[1][1], "s-teardown-helper-off")
@@ -112,7 +164,7 @@ func BenchmarkAblationHelper(b *testing.B) {
 func BenchmarkAblationGroupFormation(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.AblationGroupFormation()
+		t = gen(b, (*figures.Generator).AblationGroupFormation)
 	}
 	b.ReportMetric(t.Cells[0][0], "s-delay-static")
 	b.ReportMetric(t.Cells[1][0], "s-delay-dynamic")
@@ -123,7 +175,7 @@ func BenchmarkAblationGroupFormation(b *testing.B) {
 func BenchmarkAblationConnCost(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.AblationConnCost()
+		t = gen(b, (*figures.Generator).AblationConnCost)
 	}
 	b.ReportMetric(t.Cells[1][0], "s-coordination-50us")
 	b.ReportMetric(t.Cells[1][len(t.Cols)-1], "s-coordination-10ms")
@@ -140,7 +192,10 @@ func BenchmarkModelVsSim(b *testing.B) {
 		cfg.CR.LocalSetup = 0
 		w := workload.CommGroups{N: 32, CommGroupSize: 8, Iters: 600,
 			Chunk: 100 * sim.Millisecond, FootprintMB: 180}
-		res := harness.Measure(cfg, w, 10*sim.Second)
+		res, err := harness.Measure(cfg, w, 10*sim.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
 		meas = res.Report.MeanIndividual().Seconds()
 		p := model.Params{
 			Procs: 32, GroupSize: 8, Footprint: 180 << 20,
@@ -159,7 +214,7 @@ func BenchmarkModelVsSim(b *testing.B) {
 func BenchmarkExtensionLogging(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.ExtensionLogging()
+		t = gen(b, (*figures.Generator).ExtensionLogging)
 	}
 	b.ReportMetric(t.Cells[1][1], "pct-logging-overhead")
 	b.ReportMetric(t.Cells[1][2], "GB-logged")
@@ -170,7 +225,7 @@ func BenchmarkExtensionLogging(b *testing.B) {
 func BenchmarkExtensionIncremental(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.ExtensionIncremental()
+		t = gen(b, (*figures.Generator).ExtensionIncremental)
 	}
 	b.ReportMetric(t.Cells[0][0], "s-cumulative-all-full")
 	b.ReportMetric(t.Cells[3][0], "s-cumulative-group-incremental")
@@ -181,7 +236,7 @@ func BenchmarkExtensionIncremental(b *testing.B) {
 func BenchmarkExtensionStaging(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.ExtensionStaging()
+		t = gen(b, (*figures.Generator).ExtensionStaging)
 	}
 	b.ReportMetric(t.Cells[2][0], "s-staged-delay")
 	b.ReportMetric(t.Cells[2][2], "s-vulnerability-window")
@@ -192,7 +247,7 @@ func BenchmarkExtensionStaging(b *testing.B) {
 func BenchmarkExtensionFaultRecovery(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.ExtensionFaultRecovery()
+		t = gen(b, (*figures.Generator).ExtensionFaultRecovery)
 	}
 	b.ReportMetric(t.Cells[1][0], "s-wall-interval5")
 	b.ReportMetric(t.Cells[1][2], "s-wall-interval20")
@@ -203,7 +258,7 @@ func BenchmarkExtensionFaultRecovery(b *testing.B) {
 func BenchmarkExtensionScalability(b *testing.B) {
 	var t *figures.Table
 	for i := 0; i < b.N; i++ {
-		t = figures.ExtensionScalability()
+		t = gen(b, (*figures.Generator).ExtensionScalability)
 	}
 	b.ReportMetric(t.Cells[0][len(t.Cols)-1], "s-delay-all-256ranks")
 	b.ReportMetric(t.Cells[1][len(t.Cols)-1], "s-delay-group4-256ranks")

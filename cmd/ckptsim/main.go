@@ -8,6 +8,8 @@
 //	ckptsim -workload motif -group 0 -at 30        # regular protocol
 //	ckptsim -workload barrier -group 8 -at 55      # near the barrier
 //	ckptsim -workload commgroups -group 4 -dynamic # dynamic group formation
+//
+// Invalid flags and failed runs exit with status 1 and a one-line message.
 package main
 
 import (
@@ -22,6 +24,12 @@ import (
 	"gbcr/internal/workload/hpl"
 	"gbcr/internal/workload/motif"
 )
+
+// fail prints a one-line message and exits with status 1.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ckptsim: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -41,6 +49,31 @@ func main() {
 		seed      = flag.Int64("seed", 1, "failure-injection seed (with -mtbf)")
 	)
 	flag.Parse()
+
+	if *n <= 0 {
+		fail("-n must be positive, got %d", *n)
+	}
+	if *comm <= 0 {
+		fail("-comm must be positive, got %d", *comm)
+	}
+	if *at < 0 {
+		fail("-at must not be negative, got %v", *at)
+	}
+	if *group < 0 {
+		fail("-group must not be negative, got %d", *group)
+	}
+	if *foot < 0 {
+		fail("-footprint must not be negative, got %d", *foot)
+	}
+	if *iters <= 0 {
+		fail("-iters must be positive, got %d", *iters)
+	}
+	if *mtbf < 0 {
+		fail("-mtbf must not be negative, got %v", *mtbf)
+	}
+	if *interval < 0 {
+		fail("-interval must not be negative, got %v", *interval)
+	}
 
 	var w workload.Workload
 	ranks := *n
@@ -64,8 +97,10 @@ func main() {
 		w = workload.Ring{N: *n, Iters: *iters,
 			Chunk: 50 * sim.Millisecond, FootprintMB: *foot}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
-		os.Exit(2)
+		fail("unknown workload %q (want commgroups, barrier, hpl, motif, or ring)", *name)
+	}
+	if *group > ranks {
+		fail("-group %d exceeds the job size %d", *group, ranks)
 	}
 
 	cfg := harness.PaperCluster(ranks)
@@ -76,8 +111,7 @@ func main() {
 	if *mtbf > 0 {
 		rw, ok := w.(workload.Restartable)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "-mtbf requires a restartable workload (ring)\n")
-			os.Exit(2)
+			fail("-mtbf requires a restartable workload (ring)")
 		}
 		iv := sim.Seconds(*interval)
 		if iv <= 0 {
@@ -85,8 +119,7 @@ func main() {
 		}
 		fr, err := harness.RunWithPeriodicCheckpoints(cfg, rw, iv, sim.Seconds(*mtbf), *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
 		fmt.Printf("protocol:              %s\n", protocolName(*group, ranks, *dynamic))
@@ -101,7 +134,10 @@ func main() {
 	if *showTrace {
 		log = &trace.Log{}
 	}
-	res := harness.MeasureTraced(cfg, w, sim.Seconds(*at), log)
+	res, err := harness.MeasureTraced(cfg, w, sim.Seconds(*at), log)
+	if err != nil {
+		fail("%v", err)
+	}
 	fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
 	fmt.Printf("protocol:              %s\n", protocolName(*group, ranks, *dynamic))
 	fmt.Printf("checkpoint issued at:  %v\n", res.IssuedAt)

@@ -1,12 +1,19 @@
 // Command figures regenerates every figure in the paper's evaluation
-// section from the simulation and prints the data series as text tables.
+// section from the simulation and prints the data series as text tables or,
+// with -json, as machine-readable JSON.
 //
 // Usage:
 //
-//	figures [-only fig1,fig3,fig4,fig5,fig6,fig7,ablations]
+//	figures [-only fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions] [-json] [-workers N]
+//
+// Sweep matrices run concurrently on a worker pool bounded by GOMAXPROCS;
+// -workers overrides the bound (1 forces serial execution). Results are
+// bit-identical at any worker count. Errors exit with status 1 and a
+// one-line message.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,39 +23,117 @@ import (
 	"gbcr/internal/figures"
 )
 
+// figureJSON is one named figure in the -json output; multi-table entries
+// (ablations, extensions) carry all their tables.
+type figureJSON struct {
+	Name   string           `json:"name"`
+	Tables []*figures.Table `json:"tables"`
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+	os.Exit(1)
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated subset: fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions (default: all)")
+	asJSON := flag.Bool("json", false, "emit every figure's data series as JSON on stdout")
+	workers := flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	if *workers < 0 {
+		fail(fmt.Errorf("-workers must not be negative, got %d", *workers))
+	}
+	known := []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablations", "extensions"}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, f := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(f)] = true
+			name := strings.TrimSpace(f)
+			ok := false
+			for _, k := range known {
+				if name == k {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				fail(fmt.Errorf("unknown figure %q in -only (want %s)", name, strings.Join(known, ", ")))
+			}
+			want[name] = true
 		}
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
-	run := func(name string, fn func() fmt.Stringer) {
+	g := figures.NewGenerator(*workers)
+	out := []figureJSON{}
+
+	run := func(name string, fn func() ([]*figures.Table, error)) {
 		if !sel(name) {
 			return
 		}
 		start := time.Now()
-		out := fn()
-		fmt.Println(out)
-		fmt.Fprintf(os.Stderr, "[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		tables, err := fn()
+		if err != nil {
+			fail(err)
+		}
+		if *asJSON {
+			out = append(out, figureJSON{Name: name, Tables: tables})
+		} else {
+			for _, t := range tables {
+				fmt.Println(t)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s regenerated in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	one := func(fn func() (*figures.Table, error)) func() ([]*figures.Table, error) {
+		return func() ([]*figures.Table, error) {
+			t, err := fn()
+			if err != nil {
+				return nil, err
+			}
+			return []*figures.Table{t}, nil
+		}
 	}
 
-	run("fig1", func() fmt.Stringer { return figures.Fig1() })
-	run("fig3", func() fmt.Stringer { return figures.Fig3() })
-	run("fig4", func() fmt.Stringer { return figures.Fig4() })
+	run("fig1", one(g.Fig1))
+	run("fig3", one(g.Fig3))
+	run("fig4", one(g.Fig4))
 	var fig5 *figures.Table
-	run("fig5", func() fmt.Stringer { fig5 = figures.Fig5(); return fig5 })
-	run("fig6", func() fmt.Stringer {
+	run("fig5", one(func() (*figures.Table, error) {
+		var err error
+		fig5, err = g.Fig5()
+		return fig5, err
+	}))
+	run("fig6", one(func() (*figures.Table, error) {
 		if fig5 == nil {
-			fig5 = figures.Fig5()
+			var err error
+			fig5, err = g.Fig5()
+			if err != nil {
+				return nil, err
+			}
 		}
-		return figures.Fig6(fig5)
+		return g.Fig6(fig5), nil
+	}))
+	run("fig7", one(g.Fig7))
+	run("ablations", func() ([]*figures.Table, error) {
+		rep, err := g.Ablations()
+		if err != nil {
+			return nil, err
+		}
+		return rep.Tables, nil
 	})
-	run("fig7", func() fmt.Stringer { return figures.Fig7() })
-	run("ablations", func() fmt.Stringer { return figures.Ablations() })
-	run("extensions", func() fmt.Stringer { return figures.Extensions() })
+	run("extensions", func() ([]*figures.Table, error) {
+		rep, err := g.Extensions()
+		if err != nil {
+			return nil, err
+		}
+		return rep.Tables, nil
+	})
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+	}
 }

@@ -15,7 +15,10 @@ import (
 func main() {
 	// Part 1: a real LU solve through the full simulated stack.
 	solve := hpl.Solve{N: 64, NB: 8, P: 2, Q: 2, Seed: 42}
-	c := harness.NewCluster(harness.PaperCluster(4))
+	c, err := harness.NewCluster(harness.PaperCluster(4))
+	if err != nil {
+		panic(err)
+	}
 	inst := solve.Launch(c.Job).(*hpl.SolveInstance)
 	if err := c.K.Run(); err != nil {
 		panic(err)
@@ -27,13 +30,19 @@ func main() {
 	// different group sizes.
 	w := hpl.PaperTimed()
 	cfg := harness.PaperCluster(w.P * w.Q)
-	base := harness.Baseline(cfg, w)
+	base, err := harness.Baseline(cfg, w)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\ntimed HPL (%s), baseline completion %v\n", w.Name(), base)
 	fmt.Println("checkpoint at t=50s:")
 	for _, gs := range []int{0, 16, 8, 4, 2, 1} {
 		run := cfg
 		run.CR.GroupSize = gs
-		res := harness.MeasureWithBaseline(run, w, 50*sim.Second, base)
+		res, err := harness.MeasureWithBaseline(run, w, 50*sim.Second, base)
+		if err != nil {
+			panic(err)
+		}
 		label := "All(32)   "
 		if gs > 0 {
 			label = fmt.Sprintf("Group(%-2d) ", gs)

@@ -16,7 +16,10 @@ func main() {
 	// Part 1: real mining across 8 ranks, validated against a serial run.
 	mine := motif.Mine{Graphs: 48, Vertices: 14, Degree: 3, Labels: 5,
 		MinSup: 16, MaxLen: 3, Seed: 7}
-	c := harness.NewCluster(harness.PaperCluster(8))
+	c, err := harness.NewCluster(harness.PaperCluster(8))
+	if err != nil {
+		panic(err)
+	}
 	inst := mine.Launch(c.Job).(*motif.MineInstance)
 	if err := c.K.Run(); err != nil {
 		panic(err)
@@ -38,13 +41,19 @@ func main() {
 	// the paper's headline 70% reduction for group size 4).
 	w := motif.PaperTimed()
 	cfg := harness.PaperCluster(w.N)
-	base := harness.Baseline(cfg, w)
+	base, err := harness.Baseline(cfg, w)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\ntimed MotifMiner (%s), baseline completion %v\n", w.Name(), base)
 	fmt.Println("checkpoint at t=30s:")
 	for _, gs := range []int{0, 16, 8, 4, 2, 1} {
 		run := cfg
 		run.CR.GroupSize = gs
-		res := harness.MeasureWithBaseline(run, w, 30*sim.Second, base)
+		res, err := harness.MeasureWithBaseline(run, w, 30*sim.Second, base)
+		if err != nil {
+			panic(err)
+		}
 		label := "All(32)   "
 		if gs > 0 {
 			label = fmt.Sprintf("Group(%-2d) ", gs)

@@ -14,11 +14,23 @@ import (
 )
 
 func main() {
-	t := figures.Fig4()
+	t, err := figures.NewGenerator(0).Fig4()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(t)
-	eff := t.Row("Effective Ckpt Delay")
-	ind := t.Row("Individual Ckpt Time")
-	tot := t.Row("Total Ckpt Time")
+	eff, err := t.Row("Effective Ckpt Delay")
+	if err != nil {
+		panic(err)
+	}
+	ind, err := t.Row("Individual Ckpt Time")
+	if err != nil {
+		panic(err)
+	}
+	tot, err := t.Row("Total Ckpt Time")
+	if err != nil {
+		panic(err)
+	}
 	best, worst := eff[0], eff[0]
 	for _, v := range eff {
 		if v < best {

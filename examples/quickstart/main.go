@@ -21,7 +21,10 @@ func main() {
 		DefaultFootprint: 100 << 20, LocalSetup: 100 * sim.Millisecond}
 
 	runOnce := func(checkpoint bool) (sim.Time, *cr.CycleReport) {
-		c := harness.NewCluster(cfg)
+		c, err := harness.NewCluster(cfg)
+		if err != nil {
+			panic(err)
+		}
 		// Each rank: 60 iterations of 100 ms compute followed by an
 		// exchange with its partner (pairs align with the checkpoint
 		// groups, so other pairs keep computing during each group's
@@ -45,7 +48,11 @@ func main() {
 		}
 		var rep *cr.CycleReport
 		if checkpoint {
-			rep = c.Coord.Reports()[0]
+			reps, err := c.Coord.Reports()
+			if err != nil {
+				panic(err)
+			}
+			rep = reps[0]
 		}
 		return c.Job.FinishTime(), rep
 	}

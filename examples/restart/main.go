@@ -21,7 +21,10 @@ func main() {
 	w := workload.Ring{N: n, Iters: iters, Chunk: 50 * sim.Millisecond, FootprintMB: 16}
 
 	// Failure-free reference.
-	ref := harness.NewCluster(cfg)
+	ref, err := harness.NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
 	refInst := w.Launch(ref.Job).(*workload.RingInstance)
 	if err := ref.K.Run(); err != nil {
 		panic(err)

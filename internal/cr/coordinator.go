@@ -79,36 +79,41 @@ func (co *Coordinator) Snapshots() *blcr.Store { return co.snaps }
 
 // Reports returns the completed cycle reports with per-rank records filled
 // in. Call it after the simulation has quiesced: the last group's resume
-// records land shortly after the cycle completes.
-func (co *Coordinator) Reports() []*CycleReport {
+// records land shortly after the cycle completes; reading earlier returns
+// an error.
+func (co *Coordinator) Reports() ([]*CycleReport, error) {
 	for _, rep := range co.reports {
-		co.fillRecords(rep)
+		if err := co.fillRecords(rep); err != nil {
+			return nil, err
+		}
 	}
-	return co.reports
+	return co.reports, nil
 }
 
-func (co *Coordinator) fillRecords(rep *CycleReport) {
+func (co *Coordinator) fillRecords(rep *CycleReport) error {
 	if rep.Records != nil {
-		return
+		return nil
 	}
-	rep.Records = make([]CkptRecord, co.job.Size())
+	records := make([]CkptRecord, co.job.Size())
 	for i, ctl := range co.ctls {
 		found := false
 		for _, rec := range ctl.records {
 			if rec.Cycle == rep.Cycle {
-				rep.Records[i] = rec
+				records[i] = rec
 				if d, ok := ctl.bufByCycle[rep.Cycle]; ok {
-					rep.Records[i].BufferedMsgs = d.msgs
-					rep.Records[i].BufferedReqs = d.reqs
-					rep.Records[i].BufferedBytes = d.bytes
+					records[i].BufferedMsgs = d.msgs
+					records[i].BufferedReqs = d.reqs
+					records[i].BufferedBytes = d.bytes
 				}
 				found = true
 			}
 		}
 		if !found {
-			panic(fmt.Sprintf("cr: rank %d has no record for cycle %d (report read too early?)", i, rep.Cycle))
+			return fmt.Errorf("cr: rank %d has no record for cycle %d (report read too early?)", i, rep.Cycle)
 		}
 	}
+	rep.Records = records
+	return nil
 }
 
 // Active reports whether a checkpoint cycle is in progress.

@@ -46,6 +46,17 @@ func computeLoop(iters int, chunk sim.Time) func(*mpi.Env) {
 	}
 }
 
+// reports fetches the coordinator's completed cycle reports, failing the
+// test if a report is read before its cycle finished.
+func (c *testCluster) reports(t *testing.T) []*CycleReport {
+	t.Helper()
+	reps, err := c.co.Reports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reps
+}
+
 func runSim(t *testing.T, k *sim.Kernel) {
 	t.Helper()
 	if err := k.Run(); err != nil {
@@ -62,7 +73,7 @@ func TestRegularProtocolBasics(t *testing.T) {
 	c.co.ScheduleCheckpoint(2 * sim.Second)
 	runSim(t, c.k)
 
-	reps := c.co.Reports()
+	reps := c.reports(t)
 	if len(reps) != 1 {
 		t.Fatalf("reports: %d", len(reps))
 	}
@@ -106,7 +117,7 @@ func TestGroupBasedScheduling(t *testing.T) {
 	c.co.ScheduleCheckpoint(sim.Second)
 	runSim(t, c.k)
 
-	rep := c.co.Reports()[0]
+	rep := c.reports(t)[0]
 	if len(rep.Groups) != n/g {
 		t.Fatalf("groups: %v", rep.Groups)
 	}
@@ -231,7 +242,7 @@ func TestApplicationCorrectAcrossCheckpoint(t *testing.T) {
 					gs, me, sums[me], ringExpected(n, iters, me))
 			}
 		}
-		if len(c.co.Reports()) != 1 {
+		if len(c.reports(t)) != 1 {
 			t.Fatalf("groupsize=%d: cycle did not complete", gs)
 		}
 	}
@@ -265,7 +276,7 @@ func TestCrossGroupTrafficDeferred(t *testing.T) {
 	if c.j.Rank(1).Stats().MsgsBuffered == 0 {
 		t.Fatal("cross-group eager message was not buffered")
 	}
-	rep := c.co.Reports()[0]
+	rep := c.reports(t)[0]
 	// Rank 1's message was sent at ~600 ms, while rank 0 was checkpointing
 	// (from ~100 ms to ~1.1 s); delivery must happen after rank 1 also
 	// saved (both sides of the recovery line).
@@ -361,7 +372,7 @@ func TestHelperThreadAblation(t *testing.T) {
 		})
 		c.co.ScheduleCheckpoint(500 * sim.Millisecond)
 		runSim(t, c.k)
-		rec := c.co.Reports()[0].Records[0]
+		rec := c.reports(t)[0].Records[0]
 		return rec.TeardownDone - rec.GoAt
 	}
 	with := teardown(true)
@@ -386,7 +397,7 @@ func TestFinishedRankCheckpoints(t *testing.T) {
 	c.j.Launch(2, computeLoop(30, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	runSim(t, c.k)
-	if len(c.co.Reports()) != 1 {
+	if len(c.reports(t)) != 1 {
 		t.Fatal("cycle did not complete with a finished rank")
 	}
 	if !c.co.Snapshots().Complete(1) {
@@ -405,8 +416,8 @@ func TestTwoSequentialCheckpoints(t *testing.T) {
 	c.co.ScheduleCheckpoint(300 * sim.Millisecond)
 	c.co.ScheduleCheckpoint(2 * sim.Second)
 	runSim(t, c.k)
-	if len(c.co.Reports()) != 2 {
-		t.Fatalf("cycles completed: %d", len(c.co.Reports()))
+	if len(c.reports(t)) != 2 {
+		t.Fatalf("cycles completed: %d", len(c.reports(t)))
 	}
 	for me := 0; me < n; me++ {
 		if sums[me] != ringExpected(n, 60, me) {
@@ -549,7 +560,7 @@ func TestDynamicGroupsEndToEnd(t *testing.T) {
 	})
 	c.co.ScheduleCheckpoint(800 * sim.Millisecond)
 	runSim(t, c.k)
-	rep := c.co.Reports()[0]
+	rep := c.reports(t)[0]
 	if len(rep.Groups) != 3 {
 		t.Fatalf("dynamic groups: %v", rep.Groups)
 	}
@@ -600,7 +611,8 @@ func TestQuickProtocolConsistency(t *testing.T) {
 				return false
 			}
 		}
-		return len(co.Reports()) == 1 && co.Snapshots().Complete(1)
+		reps, err := co.Reports()
+		return err == nil && len(reps) == 1 && co.Snapshots().Complete(1)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -713,7 +725,7 @@ func TestStagedCheckpointing(t *testing.T) {
 	c.j.LaunchAll(computeLoop(80, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	runSim(t, c.k)
-	rep := c.co.Reports()[0]
+	rep := c.reports(t)[0]
 	// Each rank's downtime is the local write (~1 s), independent of the
 	// group size; the shared-storage contention moves to the drains.
 	for i, rec := range rep.Records {
@@ -834,7 +846,7 @@ func TestIncrementalSnapshotSizing(t *testing.T) {
 	c.co.ScheduleCheckpoint(sim.Second)
 	c.co.ScheduleCheckpoint(7 * sim.Second) // ~4s after the first completes
 	runSim(t, c.k)
-	reps := c.co.Reports()
+	reps := c.reports(t)
 	if len(reps) != 2 {
 		t.Fatalf("cycles: %d", len(reps))
 	}
@@ -865,7 +877,7 @@ func TestIncrementalCapsAtFullFootprint(t *testing.T) {
 	c.co.ScheduleCheckpoint(sim.Second)
 	c.co.ScheduleCheckpoint(5 * sim.Second)
 	runSim(t, c.k)
-	reps := c.co.Reports()
+	reps := c.reports(t)
 	if got := reps[1].Records[0].Footprint; got != 10*testMB {
 		t.Fatalf("incremental image %d exceeded or undershot the full footprint", got)
 	}
@@ -885,7 +897,7 @@ func TestReportAndControllerAccessors(t *testing.T) {
 		t.Fatal("config accessor")
 	}
 	runSim(t, c.k)
-	rep := c.co.Reports()[0]
+	rep := c.reports(t)[0]
 	if rep.MaxIndividual() < rep.MeanIndividual() {
 		t.Fatal("max below mean")
 	}
@@ -914,7 +926,7 @@ func TestGanttShowsStaggering(t *testing.T) {
 	c.j.LaunchAll(computeLoop(60, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	runSim(t, c.k)
-	g := c.co.Reports()[0].Gantt(60)
+	g := c.reports(t)[0].Gantt(60)
 	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
 	if len(lines) != n+1 {
 		t.Fatalf("gantt lines: %d\n%s", len(lines), g)
@@ -992,7 +1004,8 @@ func TestQuickCollectivesAcrossCheckpoint(t *testing.T) {
 				return false
 			}
 		}
-		return len(co.Reports()) == 1
+		reps, err := co.Reports()
+		return err == nil && len(reps) == 1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
@@ -1020,7 +1033,7 @@ func TestCycleBufferingAccountingReal(t *testing.T) {
 	})
 	c.co.ScheduleCheckpoint(100 * sim.Millisecond)
 	runSim(t, c.k)
-	rep := c.co.Reports()[0]
+	rep := c.reports(t)[0]
 	msgs, _, bytes := rep.BufferedTotals()
 	if msgs < 3 || bytes < 3*int64(len("deferred payload")) {
 		t.Fatalf("buffering not attributed: msgs=%d bytes=%d", msgs, bytes)
@@ -1064,10 +1077,10 @@ func TestStagedPolledWithFinishedRank(t *testing.T) {
 	}
 	c.co.ScheduleCheckpoint(600 * sim.Millisecond)
 	runSim(t, c.k)
-	if len(c.co.Reports()) != 1 {
+	if len(c.reports(t)) != 1 {
 		t.Fatal("cycle incomplete")
 	}
-	rep := c.co.Reports()[0]
+	rep := c.reports(t)[0]
 	if rep.VulnerabilityWindow() <= 0 {
 		t.Fatal("staged cycle must report a vulnerability window")
 	}

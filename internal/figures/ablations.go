@@ -29,21 +29,29 @@ func (a *AblationReport) String() string {
 // thread (Section 4.4), static vs dynamic group formation (Section 4.1),
 // connection-management cost sensitivity (Section 4.2), and the phase
 // breakdown backing the paper's ">95% storage time" claim (Section 3.1).
-func Ablations() *AblationReport {
-	return &AblationReport{Tables: []*Table{
-		AblationHelper(),
-		AblationGroupFormation(),
-		AblationConnCost(),
-		AblationNoise(),
-		PhaseBreakdown(),
-	}}
+func (g *Generator) Ablations() (*AblationReport, error) {
+	rep := &AblationReport{}
+	for _, gen := range []func() (*Table, error){
+		g.AblationHelper,
+		g.AblationGroupFormation,
+		g.AblationConnCost,
+		g.AblationNoise,
+		g.PhaseBreakdown,
+	} {
+		t, err := gen()
+		if err != nil {
+			return nil, err
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+	return rep, nil
 }
 
 // AblationHelper measures the effective delay with and without the
 // passive-coordination helper thread, on a workload with long compute
 // chunks (where passive peers would otherwise starve the inter-group
 // coordination).
-func AblationHelper() *Table {
+func (g *Generator) AblationHelper() (*Table, error) {
 	t := &Table{
 		Title:     "Ablation (S4.4): asynchronous progress helper thread (comm group 8, ckpt group 4)",
 		Unit:      "s",
@@ -58,31 +66,38 @@ func AblationHelper() *Table {
 		N: microN, CommGroupSize: 8, Iters: 40,
 		Chunk: 2 * sim.Second, FootprintMB: microFootprint,
 	}
+	var cells []harness.Cell
 	for _, helper := range []bool{true, false} {
 		cfg := harness.PaperCluster(microN)
 		cfg.CR.GroupSize = 4
 		cfg.CR.HelperEnabled = helper
-		res := harness.Measure(cfg, w, 10*sim.Second)
-		var teardown sim.Time
-		for _, rec := range res.Report.Records {
-			teardown += rec.TeardownDone - rec.GoAt
-		}
-		teardown /= sim.Time(len(res.Report.Records))
+		cells = append(cells, harness.Cell{Config: cfg, Workload: w, IssuedAt: 10 * sim.Second})
 		label := "helper on (100ms)"
 		if !helper {
 			label = "helper off"
 		}
 		t.Rows = append(t.Rows, label)
+	}
+	results, err := g.R.Run(cells)
+	if err != nil {
+		return nil, fmt.Errorf("figures: helper ablation: %w", err)
+	}
+	for _, res := range results {
+		var teardown sim.Time
+		for _, rec := range res.Report.Records {
+			teardown += rec.TeardownDone - rec.GoAt
+		}
+		teardown /= sim.Time(len(res.Report.Records))
 		t.Cells = append(t.Cells, []float64{secs(res.EffectiveDelay()), secs(teardown)})
 	}
-	return t
+	return t, nil
 }
 
 // AblationGroupFormation compares static rank-order groups against dynamic
 // communication-pattern groups on a workload whose communication cliques are
 // NOT contiguous in rank order (rank i pairs with rank i+N/2), where static
 // formation splits every clique and dynamic formation recovers them.
-func AblationGroupFormation() *Table {
+func (g *Generator) AblationGroupFormation() (*Table, error) {
 	t := &Table{
 		Title:     "Ablation (S4.1): static vs dynamic group formation (strided pair workload)",
 		Unit:      "s",
@@ -92,19 +107,26 @@ func AblationGroupFormation() *Table {
 	}
 	const n = microN
 	w := stridedPairs{n: n, iters: 500, chunk: microChunk, footprintMB: microFootprint}
+	var cells []harness.Cell
 	for _, dynamic := range []bool{false, true} {
 		cfg := harness.PaperCluster(n)
 		cfg.CR.GroupSize = 2
 		cfg.CR.Dynamic = dynamic
-		res := harness.Measure(cfg, w, 10*sim.Second)
+		cells = append(cells, harness.Cell{Config: cfg, Workload: w, IssuedAt: 10 * sim.Second})
 		label := "static (rank order)"
 		if dynamic {
 			label = "dynamic (comm pattern)"
 		}
 		t.Rows = append(t.Rows, label)
+	}
+	results, err := g.R.Run(cells)
+	if err != nil {
+		return nil, fmt.Errorf("figures: group-formation ablation: %w", err)
+	}
+	for _, res := range results {
 		t.Cells = append(t.Cells, []float64{secs(res.EffectiveDelay())})
 	}
-	return t
+	return t, nil
 }
 
 // stridedPairs is a pair-exchange workload whose partners are rank i and
@@ -135,7 +157,7 @@ func (w stridedPairs) Launch(j *mpi.Job) workload.Instance {
 // AblationConnCost sweeps the out-of-band connection-management latency to
 // show the coordination share of the delay stays small (the paper's premise
 // that storage dominates).
-func AblationConnCost() *Table {
+func (g *Generator) AblationConnCost() (*Table, error) {
 	t := &Table{
 		Title:     "Ablation (S4.2): connection management cost sensitivity (comm group 8, ckpt group 8)",
 		Unit:      "s",
@@ -148,12 +170,19 @@ func AblationConnCost() *Table {
 		N: microN, CommGroupSize: 8, Iters: 900,
 		Chunk: microChunk, FootprintMB: microFootprint,
 	}
+	var cells []harness.Cell
 	for _, oob := range []sim.Time{50 * sim.Microsecond, 150 * sim.Microsecond, 1 * sim.Millisecond, 10 * sim.Millisecond} {
 		t.Cols = append(t.Cols, oob.String())
 		cfg := harness.PaperCluster(microN)
 		cfg.CR.GroupSize = 8
 		cfg.Fabric.OOBLatency = oob
-		res := harness.Measure(cfg, w, 10*sim.Second)
+		cells = append(cells, harness.Cell{Config: cfg, Workload: w, IssuedAt: 10 * sim.Second})
+	}
+	results, err := g.R.Run(cells)
+	if err != nil {
+		return nil, fmt.Errorf("figures: connection-cost ablation: %w", err)
+	}
+	for _, res := range results {
 		var coord sim.Time
 		for _, rec := range res.Report.Records {
 			coord += rec.CoordinationTime()
@@ -162,13 +191,13 @@ func AblationConnCost() *Table {
 		t.Cells[0] = append(t.Cells[0], secs(res.EffectiveDelay()))
 		t.Cells[1] = append(t.Cells[1], secs(coord))
 	}
-	return t
+	return t, nil
 }
 
 // PhaseBreakdown reproduces the Section 3.1 observation: storage access time
 // is the dominant part of the checkpoint delay (over 95% in the paper's
 // measurements).
-func PhaseBreakdown() *Table {
+func (g *Generator) PhaseBreakdown() (*Table, error) {
 	t := &Table{
 		Title:     "Phase breakdown (S3.1): share of downtime spent writing to storage",
 		Unit:      "fraction",
@@ -181,14 +210,21 @@ func PhaseBreakdown() *Table {
 		N: microN, CommGroupSize: 8, Iters: 900,
 		Chunk: microChunk, FootprintMB: microFootprint,
 	}
+	var cells []harness.Cell
 	for _, gs := range []int{0, 8, 2} {
 		t.Cols = append(t.Cols, groupLabel(microN, gs))
 		cfg := harness.PaperCluster(microN)
 		cfg.CR.GroupSize = gs
-		res := harness.Measure(cfg, w, 10*sim.Second)
+		cells = append(cells, harness.Cell{Config: cfg, Workload: w, IssuedAt: 10 * sim.Second})
+	}
+	results, err := g.R.Run(cells)
+	if err != nil {
+		return nil, fmt.Errorf("figures: phase breakdown: %w", err)
+	}
+	for _, res := range results {
 		t.Cells[0] = append(t.Cells[0], res.Report.StorageShare())
 	}
-	return t
+	return t, nil
 }
 
 // AblationNoise probes the Section 3.1 remark that "system noise, network
@@ -200,7 +236,7 @@ func PhaseBreakdown() *Table {
 // fraction of the total. The paper's concern therefore points at
 // NON-work-conserving effects (congestion collapse, server imbalance),
 // which degrade AggregateBW itself (the Efficiency hook).
-func AblationNoise() *Table {
+func (g *Generator) AblationNoise() (*Table, error) {
 	t := &Table{
 		Title:     "Ablation (S3.1): unbalanced storage sharing (straggler noise)",
 		Unit:      "s",
@@ -215,20 +251,29 @@ func AblationNoise() *Table {
 	for _, j := range jitters {
 		t.Cols = append(t.Cols, fmt.Sprintf("%.0f%%", 100*j))
 	}
+	var cells []harness.Cell
 	for _, gs := range []int{0, 8} {
 		t.Rows = append(t.Rows, groupLabel(microN, gs))
-		var row []float64
 		for _, j := range jitters {
 			cfg := harness.PaperCluster(microN)
 			cfg.CR.GroupSize = gs
 			cfg.Storage.ShareJitter = j
-			res := harness.Measure(cfg, w, 10*sim.Second)
-			row = append(row, secs(res.EffectiveDelay()))
+			cells = append(cells, harness.Cell{Config: cfg, Workload: w, IssuedAt: 10 * sim.Second})
+		}
+	}
+	results, err := g.R.Run(cells)
+	if err != nil {
+		return nil, fmt.Errorf("figures: noise ablation: %w", err)
+	}
+	for ri := 0; ri < len(t.Rows); ri++ {
+		row := make([]float64, len(jitters))
+		for ci := range jitters {
+			row[ci] = secs(results[ri*len(jitters)+ci].EffectiveDelay())
 		}
 		t.Cells = append(t.Cells, row)
 	}
 	t.Notes = append(t.Notes,
 		"finding: a work-conserving server absorbs share imbalance; only non-work-conserving",
 		"degradation (the Efficiency hook) reproduces the paper's 'significantly increase' concern")
-	return t
+	return t, nil
 }

@@ -11,21 +11,30 @@ import (
 // Extensions runs the studies beyond the paper's figures: the message
 // logging alternative it argues against (Section 4.3 / related work) and
 // the incremental-checkpointing combination it names as future work.
-func Extensions() *AblationReport {
-	return &AblationReport{Tables: []*Table{
-		ExtensionLogging(),
-		ExtensionIncremental(),
-		ExtensionStaging(),
-		ExtensionFaultRecovery(),
-		ExtensionScalability(),
-	}}
+func (g *Generator) Extensions() (*AblationReport, error) {
+	rep := &AblationReport{}
+	for _, gen := range []func() (*Table, error){
+		g.ExtensionLogging,
+		g.ExtensionIncremental,
+		g.ExtensionStaging,
+		g.ExtensionFaultRecovery,
+		g.ExtensionScalability,
+	} {
+		t, err := gen()
+		if err != nil {
+			return nil, err
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+	return rep, nil
 }
 
 // ExtensionLogging quantifies the failure-free cost of sender-based message
 // logging on a communication-intensive workload — the overhead that makes
 // uncoordinated/logging protocols unattractive on high-speed interconnects
-// (Sections 1 and 4.3).
-func ExtensionLogging() *Table {
+// (Sections 1 and 4.3). The logging row's overhead is relative to the
+// buffering row, so the two runs stay sequential.
+func (g *Generator) ExtensionLogging() (*Table, error) {
 	t := &Table{
 		Title:     "Extension (S4.3): message buffering vs sender-based logging, failure-free cost",
 		Unit:      "(mixed)",
@@ -42,13 +51,16 @@ func ExtensionLogging() *Table {
 		cfg := harness.PaperCluster(microN)
 		cfg.MPI.LogMessages = logging
 		cfg.CR.GroupSize = 8
-		c := harness.NewCluster(cfg)
+		c, err := harness.NewCluster(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figures: logging extension: %w", err)
+		}
 		w.Launch(c.Job)
 		// One group-based checkpoint mid-run, so the buffering row shows
 		// how little the deferral approach actually copies.
 		c.Coord.ScheduleCheckpoint(2 * sim.Second)
 		if err := c.K.Run(); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("figures: logging extension (logging=%v): %w", logging, err)
 		}
 		runtime := c.Job.FinishTime()
 		var copied int64
@@ -57,7 +69,11 @@ func ExtensionLogging() *Table {
 				copied += c.Job.Rank(i).Stats().BytesLogged
 			}
 		} else {
-			_, _, copied = c.Coord.Reports()[0].BufferedTotals()
+			reps, err := c.Coord.Reports()
+			if err != nil {
+				return nil, fmt.Errorf("figures: logging extension: %w", err)
+			}
+			_, _, copied = reps[0].BufferedTotals()
 		}
 		label := "buffering (deferral)"
 		overhead := 0.0
@@ -75,14 +91,14 @@ func ExtensionLogging() *Table {
 	t.Notes = append(t.Notes,
 		"'copied': payload bytes held by each scheme across the run (one group checkpoint included)",
 		"logging copies every payload always; buffering holds only cross-group traffic during the cycle")
-	return t
+	return t, nil
 }
 
 // ExtensionIncremental combines group-based checkpointing with incremental
 // checkpointing (future work in Section 8, cf. TICK): three periodic
 // checkpoints, comparing the cumulative effective delay of the four
-// protocol combinations.
-func ExtensionIncremental() *Table {
+// protocol combinations, scheduled concurrently.
+func (g *Generator) ExtensionIncremental() (*Table, error) {
 	t := &Table{
 		Title:     "Extension (S8): group-based x incremental checkpointing, 3 checkpoints",
 		Unit:      "s",
@@ -94,38 +110,56 @@ func ExtensionIncremental() *Table {
 		N: microN, CommGroupSize: 8, Iters: 1800,
 		Chunk: 100 * sim.Millisecond, FootprintMB: microFootprint,
 	}
-	baseline := harness.Baseline(harness.PaperCluster(microN), w)
-	for _, incr := range []bool{false, true} {
-		for _, gs := range []int{0, 8} {
-			cfg := harness.PaperCluster(microN)
-			cfg.CR.GroupSize = gs
-			cfg.CR.DefaultFootprint = microFootprint << 20
-			cfg.CR.Incremental = incr
-			cfg.CR.DirtyBW = 1 << 20 // 1 MB/s: ~50 MB re-dirtied per 40 s interval
-			c := harness.NewCluster(cfg)
-			w.Launch(c.Job)
-			for _, at := range []sim.Time{10 * sim.Second, 60 * sim.Second, 110 * sim.Second} {
-				c.Coord.ScheduleCheckpoint(at)
-			}
-			if err := c.K.Run(); err != nil {
-				panic(err)
-			}
-			reps := c.Coord.Reports()
-			last := reps[len(reps)-1]
-			mode := "full"
-			if incr {
-				mode = "incremental"
-			}
-			t.Rows = append(t.Rows, fmt.Sprintf("%s, %s", groupLabel(microN, gs), mode))
-			t.Cells = append(t.Cells, []float64{
-				(c.Job.FinishTime() - baseline).Seconds(),
-				last.MeanIndividual().Seconds(),
-			})
+	baseline, err := g.R.Baseline(harness.PaperCluster(microN), w)
+	if err != nil {
+		return nil, fmt.Errorf("figures: incremental extension: %w", err)
+	}
+	modes := []struct {
+		incr bool
+		gs   int
+	}{{false, 0}, {false, 8}, {true, 0}, {true, 8}}
+	t.Rows = make([]string, len(modes))
+	t.Cells = make([][]float64, len(modes))
+	err = g.R.ForEach(len(modes), func(i int) error {
+		mode := modes[i]
+		cfg := harness.PaperCluster(microN)
+		cfg.CR.GroupSize = mode.gs
+		cfg.CR.DefaultFootprint = microFootprint << 20
+		cfg.CR.Incremental = mode.incr
+		cfg.CR.DirtyBW = 1 << 20 // 1 MB/s: ~50 MB re-dirtied per 40 s interval
+		c, err := harness.NewCluster(cfg)
+		if err != nil {
+			return err
 		}
+		w.Launch(c.Job)
+		for _, at := range []sim.Time{10 * sim.Second, 60 * sim.Second, 110 * sim.Second} {
+			c.Coord.ScheduleCheckpoint(at)
+		}
+		if err := c.K.Run(); err != nil {
+			return err
+		}
+		reps, err := c.Coord.Reports()
+		if err != nil {
+			return err
+		}
+		last := reps[len(reps)-1]
+		label := "full"
+		if mode.incr {
+			label = "incremental"
+		}
+		t.Rows[i] = fmt.Sprintf("%s, %s", groupLabel(microN, mode.gs), label)
+		t.Cells[i] = []float64{
+			(c.Job.FinishTime() - baseline).Seconds(),
+			last.MeanIndividual().Seconds(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figures: incremental extension: %w", err)
 	}
 	t.Notes = append(t.Notes,
 		"incremental snapshots write only memory dirtied since the last checkpoint (1 MB/s dirty rate)")
-	return t
+	return t, nil
 }
 
 // ExtensionStaging quantifies the local-disk staging alternative the paper
@@ -133,7 +167,7 @@ func ExtensionIncremental() *Table {
 // the checkpoint stays non-durable until the background drains finish — a
 // node crash in that window loses it (and diskless nodes cannot stage at
 // all).
-func ExtensionStaging() *Table {
+func (g *Generator) ExtensionStaging() (*Table, error) {
 	t := &Table{
 		Title:     "Extension (S2.1): direct central writes vs local-disk staging (60 MB/s SATA)",
 		Unit:      "s",
@@ -145,6 +179,7 @@ func ExtensionStaging() *Table {
 		N: microN, CommGroupSize: 8, Iters: 900,
 		Chunk: microChunk, FootprintMB: microFootprint,
 	}
+	var cells []harness.Cell
 	for _, mode := range []struct {
 		label  string
 		gs     int
@@ -158,8 +193,14 @@ func ExtensionStaging() *Table {
 		cfg := harness.PaperCluster(microN)
 		cfg.CR.GroupSize = mode.gs
 		cfg.CR.Staged = mode.staged
-		res := harness.Measure(cfg, w, 10*sim.Second)
+		cells = append(cells, harness.Cell{Config: cfg, Workload: w, IssuedAt: 10 * sim.Second})
 		t.Rows = append(t.Rows, mode.label)
+	}
+	results, err := g.R.Run(cells)
+	if err != nil {
+		return nil, fmt.Errorf("figures: staging extension: %w", err)
+	}
+	for _, res := range results {
 		t.Cells = append(t.Cells, []float64{
 			secs(res.EffectiveDelay()),
 			secs(res.Total()),
@@ -168,7 +209,7 @@ func ExtensionStaging() *Table {
 	}
 	t.Notes = append(t.Notes,
 		"staging trades a shorter stall for a durability gap; the paper's diskless clusters cannot use it at all")
-	return t
+	return t, nil
 }
 
 // ExtensionFaultRecovery is the end-to-end payoff experiment: run a job to
@@ -176,8 +217,9 @@ func ExtensionStaging() *Table {
 // interval, and compare total wall time across intervals for the regular and
 // group-based protocols. Cheaper checkpoints (group-based) both lower the
 // curve and move its optimum toward shorter intervals — the system-level
-// consequence Young's formula predicts from the delay reduction.
-func ExtensionFaultRecovery() *Table {
+// consequence Young's formula predicts from the delay reduction. The 2×4
+// grid of fault-injection runs is scheduled concurrently.
+func (g *Generator) ExtensionFaultRecovery() (*Table, error) {
 	t := &Table{
 		Title:     "Extension: wall time to completion under failures (MTBF 60s) vs checkpoint interval",
 		Unit:      "s",
@@ -189,20 +231,28 @@ func ExtensionFaultRecovery() *Table {
 	for _, iv := range intervals {
 		t.Cols = append(t.Cols, fmt.Sprintf("%.0f", iv.Seconds()))
 	}
-	for _, gs := range []int{0, 4} {
+	groupSizes := []int{0, 4}
+	t.Cells = make([][]float64, len(groupSizes))
+	for _, gs := range groupSizes {
 		t.Rows = append(t.Rows, groupLabel(microN, gs))
-		var row []float64
-		for _, iv := range intervals {
-			cfg := harness.PaperCluster(microN)
-			cfg.CR.GroupSize = gs
-			cfg.CR.LocalSetup = 100 * sim.Millisecond
-			res, err := harness.RunWithPeriodicCheckpoints(cfg, w, iv, sim.Minute, 11)
-			if err != nil {
-				panic(err)
-			}
-			row = append(row, res.Wall.Seconds())
+	}
+	for ri := range groupSizes {
+		t.Cells[ri] = make([]float64, len(intervals))
+	}
+	err := g.R.ForEach(len(groupSizes)*len(intervals), func(i int) error {
+		ri, ci := i/len(intervals), i%len(intervals)
+		cfg := harness.PaperCluster(microN)
+		cfg.CR.GroupSize = groupSizes[ri]
+		cfg.CR.LocalSetup = 100 * sim.Millisecond
+		res, err := harness.RunWithPeriodicCheckpoints(cfg, w, intervals[ci], sim.Minute, 11)
+		if err != nil {
+			return err
 		}
-		t.Cells = append(t.Cells, row)
+		t.Cells[ri][ci] = res.Wall.Seconds()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figures: fault-recovery extension: %w", err)
 	}
 	t.Notes = append(t.Notes,
 		"failure-free baseline ~45s; failures are exponential with identical seeds per cell",
@@ -210,15 +260,17 @@ func ExtensionFaultRecovery() *Table {
 		"the protocols tie here because restartable runs use the polled (SCR-style) discipline,",
 		"which quiesces all ranks before any group writes and so forfeits the pre-turn compute",
 		"overlap; the overlap benefit is what Figures 3-7 measure under the signal protocol")
-	return t
+	return t, nil
 }
 
 // ExtensionScalability projects the paper's future-work question — behaviour
 // on larger platforms — by sweeping the job size at fixed storage
 // throughput: the regular protocol's delay grows linearly with N (the
 // storage bottleneck), while a fixed checkpoint group size keeps each
-// process's delay constant on overlap-friendly workloads.
-func ExtensionScalability() *Table {
+// process's delay constant on overlap-friendly workloads. The 32–256 rank
+// cells run concurrently; this sweep is the package's heaviest and gains
+// the most from the worker pool.
+func (g *Generator) ExtensionScalability() (*Table, error) {
 	t := &Table{
 		Title:     "Extension (S8): effective delay vs job size (fixed 140 MB/s storage, comm group 4)",
 		Unit:      "s",
@@ -229,12 +281,12 @@ func ExtensionScalability() *Table {
 	for _, n := range sizes {
 		t.Cols = append(t.Cols, fmt.Sprint(n))
 	}
+	var cells []harness.Cell
 	for _, mode := range []struct {
 		label string
 		gs    int
 	}{{"All(N)", 0}, {"Group(4)", 4}} {
 		t.Rows = append(t.Rows, mode.label)
-		var row []float64
 		for _, n := range sizes {
 			// Runtime must exceed the largest delay: N*180MB/140MBps.
 			iters := 40 + 14*n
@@ -244,13 +296,22 @@ func ExtensionScalability() *Table {
 			}
 			cfg := harness.PaperCluster(n)
 			cfg.CR.GroupSize = mode.gs
-			res := harness.Measure(cfg, w, 10*sim.Second)
-			row = append(row, secs(res.EffectiveDelay()))
+			cells = append(cells, harness.Cell{Config: cfg, Workload: w, IssuedAt: 10 * sim.Second})
+		}
+	}
+	results, err := g.R.Run(cells)
+	if err != nil {
+		return nil, fmt.Errorf("figures: scalability extension: %w", err)
+	}
+	for ri := 0; ri < len(t.Rows); ri++ {
+		row := make([]float64, len(sizes))
+		for ci := range sizes {
+			row[ci] = secs(results[ri*len(sizes)+ci].EffectiveDelay())
 		}
 		t.Cells = append(t.Cells, row)
 	}
 	t.Notes = append(t.Notes,
 		"the regular protocol scales O(N) with the job size; group-based stays flat",
 		"(each group of 4 still writes at full aggregate bandwidth while others compute)")
-	return t
+	return t, nil
 }

@@ -9,8 +9,9 @@ import (
 
 // Fig1 reproduces Figure 1: bandwidth per client and aggregated throughput
 // with 1–32 clients writing checkpoint files concurrently to the 4-server
-// PVFS2 storage system.
-func Fig1() *Table {
+// PVFS2 storage system. Each client-count point is an independent
+// simulation, scheduled on the generator's worker pool.
+func (g *Generator) Fig1() (*Table, error) {
 	clients := []int{1, 2, 4, 8, 16, 32}
 	t := &Table{
 		Title:     "Figure 1: Bandwidth to Storage vs Number of Clients",
@@ -18,11 +19,14 @@ func Fig1() *Table {
 		ColHeader: "clients",
 		RowHeader: "metric",
 		Rows:      []string{"Bandwidth per Client", "Aggregated Throughput"},
-		Cells:     make([][]float64, 2),
+		Cells:     [][]float64{make([]float64, len(clients)), make([]float64, len(clients))},
 	}
 	const size = 256 * storage.MB
 	for _, n := range clients {
 		t.Cols = append(t.Cols, fmt.Sprint(n))
+	}
+	err := g.R.ForEach(len(clients), func(pt int) error {
+		n := clients[pt]
 		k := sim.NewKernel(1)
 		st := storage.New(k, storage.PaperConfig())
 		var makespan sim.Time
@@ -35,11 +39,15 @@ func Fig1() *Table {
 			})
 		}
 		if err := k.Run(); err != nil {
-			panic(err)
+			return fmt.Errorf("figures: fig1 with %d clients: %w", n, err)
 		}
 		per := float64(size) / makespan.Seconds() / storage.MB
-		t.Cells[0] = append(t.Cells[0], per)
-		t.Cells[1] = append(t.Cells[1], per*float64(n))
+		t.Cells[0][pt] = per
+		t.Cells[1][pt] = per * float64(n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return t
+	return t, nil
 }

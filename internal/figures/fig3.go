@@ -18,8 +18,10 @@ const (
 
 // Fig3 reproduces Figure 3: Effective Checkpoint Delay for communication
 // group sizes 16/8/4/2/1 (1 = embarrassingly parallel) across checkpoint
-// group sizes All(32)/16/8/4/2.
-func Fig3() *Table {
+// group sizes All(32)/16/8/4/2. The full matrix (five workloads × five
+// checkpoint group sizes) is scheduled concurrently; each workload's
+// baseline is memoized, so it runs once however the cells interleave.
+func (g *Generator) Fig3() (*Table, error) {
 	commSizes := []int{16, 8, 4, 2, 1}
 	ckptSizes := []int{0, 16, 8, 4, 2}
 	t := &Table{
@@ -36,6 +38,7 @@ func Fig3() *Table {
 		t.Cols = append(t.Cols, label)
 	}
 	issued := 10 * sim.Second
+	var cells []harness.Cell
 	for _, cg := range commSizes {
 		label := fmt.Sprintf("Comm %d", cg)
 		if cg == 1 {
@@ -47,17 +50,24 @@ func Fig3() *Table {
 			Chunk: microChunk, FootprintMB: microFootprint,
 		}
 		cfg := harness.PaperCluster(microN)
-		base := harness.Baseline(cfg, w)
-		var row []float64
 		for _, gs := range ckptSizes {
 			c := cfg
 			c.CR.GroupSize = gs
-			res := harness.MeasureWithBaseline(c, w, issued, base)
-			row = append(row, secs(res.EffectiveDelay()))
+			cells = append(cells, harness.Cell{Config: c, Workload: w, IssuedAt: issued})
+		}
+	}
+	results, err := g.R.Run(cells)
+	if err != nil {
+		return nil, fmt.Errorf("figures: fig3: %w", err)
+	}
+	for ri := range commSizes {
+		row := make([]float64, len(ckptSizes))
+		for ci := range ckptSizes {
+			row[ci] = secs(results[ri*len(ckptSizes)+ci].EffectiveDelay())
 		}
 		t.Cells = append(t.Cells, row)
 	}
-	return t
+	return t, nil
 }
 
 // Fig4 reproduces Figure 4: checkpoint placement. Communication and
@@ -65,7 +75,7 @@ func Fig3() *Table {
 // the checkpoint is issued at 15–115 s. The effective delay lies between the
 // Individual and Total checkpoint times, approaching the total when the
 // request lands close to the synchronization line at 60 s.
-func Fig4() *Table {
+func (g *Generator) Fig4() (*Table, error) {
 	times := []sim.Time{}
 	for s := 15; s <= 115; s += 10 {
 		times = append(times, sim.Time(s)*sim.Second)
@@ -76,7 +86,11 @@ func Fig4() *Table {
 		ColHeader: "issuance time (s)",
 		RowHeader: "metric",
 		Rows:      []string{"Effective Ckpt Delay", "Individual Ckpt Time", "Total Ckpt Time"},
-		Cells:     make([][]float64, 3),
+		Cells: [][]float64{
+			make([]float64, len(times)),
+			make([]float64, len(times)),
+			make([]float64, len(times)),
+		},
 	}
 	w := workload.BarrierPhases{
 		N: microN, CommGroupSize: 8, Chunk: microChunk,
@@ -84,13 +98,19 @@ func Fig4() *Table {
 	}
 	cfg := harness.PaperCluster(microN)
 	cfg.CR.GroupSize = 8
-	base := harness.Baseline(cfg, w)
-	for _, at := range times {
+	cells := make([]harness.Cell, len(times))
+	for i, at := range times {
 		t.Cols = append(t.Cols, fmt.Sprint(int(at.Seconds())))
-		res := harness.MeasureWithBaseline(cfg, w, at, base)
-		t.Cells[0] = append(t.Cells[0], secs(res.EffectiveDelay()))
-		t.Cells[1] = append(t.Cells[1], secs(res.Report.MeanIndividual()))
-		t.Cells[2] = append(t.Cells[2], secs(res.Total()))
+		cells[i] = harness.Cell{Config: cfg, Workload: w, IssuedAt: at}
 	}
-	return t
+	results, err := g.R.Run(cells)
+	if err != nil {
+		return nil, fmt.Errorf("figures: fig4: %w", err)
+	}
+	for i, res := range results {
+		t.Cells[0][i] = secs(res.EffectiveDelay())
+		t.Cells[1][i] = secs(res.Report.MeanIndividual())
+		t.Cells[2][i] = secs(res.Total())
+	}
+	return t, nil
 }

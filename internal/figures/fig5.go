@@ -16,7 +16,8 @@ var hplGroupSizes = []int{0, 16, 8, 4, 2, 1}
 
 // Fig5 reproduces Figure 5: Effective Checkpoint Delay for HPL on the 8×4
 // grid at eight issuance points (50–400 s) across checkpoint group sizes.
-func Fig5() *Table {
+// The 6×8 matrix runs as one concurrent sweep with a shared baseline.
+func (g *Generator) Fig5() (*Table, error) {
 	w := hpl.PaperTimed()
 	n := w.P * w.Q
 	t := &Table{
@@ -31,15 +32,15 @@ func Fig5() *Table {
 		t.Cols = append(t.Cols, fmt.Sprint(s))
 	}
 	cfg := harness.PaperCluster(n)
-	base := harness.Baseline(cfg, w)
-	for _, gs := range hplGroupSizes {
+	sweep, err := g.R.Sweep(cfg, w, hplGroupSizes, times)
+	if err != nil {
+		return nil, fmt.Errorf("figures: fig5: %w", err)
+	}
+	for gi, gs := range hplGroupSizes {
 		t.Rows = append(t.Rows, groupLabel(n, gs))
-		var row []float64
-		for _, at := range times {
-			c := cfg
-			c.CR.GroupSize = gs
-			res := harness.MeasureWithBaseline(c, w, at, base)
-			row = append(row, secs(res.EffectiveDelay()))
+		row := make([]float64, len(times))
+		for ti := range times {
+			row[ti] = secs(sweep[gi][ti].EffectiveDelay())
 		}
 		t.Cells = append(t.Cells, row)
 	}
@@ -50,12 +51,13 @@ func Fig5() *Table {
 		r := reductions(t)[groupLabel(n, gs)]
 		t.Notes = append(t.Notes, fmt.Sprintf("average reduction, group %d: %.0f%%", gs, r))
 	}
-	return t
+	return t, nil
 }
 
 // Fig6 summarizes Fig5 the way Figure 6 does: average effective delay per
-// checkpoint group size with min and max.
-func Fig6(fig5 *Table) *Table {
+// checkpoint group size with min and max. It is a pure reduction of the
+// Fig5 table and cannot fail.
+func (g *Generator) Fig6(fig5 *Table) *Table {
 	t := &Table{
 		Title:     "Figure 6: Effective Checkpoint Delay vs Checkpoint Group Size for HPL",
 		Unit:      "s",
@@ -88,8 +90,9 @@ func Fig6(fig5 *Table) *Table {
 }
 
 // Fig7 reproduces Figure 7: Effective Checkpoint Delay for MotifMiner at
-// four issuance points (30–120 s) across checkpoint group sizes.
-func Fig7() *Table {
+// four issuance points (30–120 s) across checkpoint group sizes, as one
+// concurrent sweep.
+func (g *Generator) Fig7() (*Table, error) {
 	w := motif.PaperTimed()
 	t := &Table{
 		Title:     "Figure 7: Effective Checkpoint Delay for MotifMiner (32 ranks)",
@@ -103,15 +106,15 @@ func Fig7() *Table {
 		t.Cols = append(t.Cols, fmt.Sprint(s))
 	}
 	cfg := harness.PaperCluster(w.N)
-	base := harness.Baseline(cfg, w)
-	for _, gs := range hplGroupSizes {
+	sweep, err := g.R.Sweep(cfg, w, hplGroupSizes, times)
+	if err != nil {
+		return nil, fmt.Errorf("figures: fig7: %w", err)
+	}
+	for gi, gs := range hplGroupSizes {
 		t.Rows = append(t.Rows, groupLabel(w.N, gs))
-		var row []float64
-		for _, at := range times {
-			c := cfg
-			c.CR.GroupSize = gs
-			res := harness.MeasureWithBaseline(c, w, at, base)
-			row = append(row, secs(res.EffectiveDelay()))
+		row := make([]float64, len(times))
+		for ti := range times {
+			row[ti] = secs(sweep[gi][ti].EffectiveDelay())
 		}
 		t.Cells = append(t.Cells, row)
 	}
@@ -124,5 +127,5 @@ func Fig7() *Table {
 			fmt.Sprintf("average reduction, group %d: %.0f%% (paper: %d%%)", gs, r,
 				map[int]int{16: 28, 8: 32, 4: 27, 2: 14}[gs]))
 	}
-	return t
+	return t, nil
 }

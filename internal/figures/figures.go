@@ -4,29 +4,49 @@
 // Figures 5 and 6 (HPL), and Figure 7 (MotifMiner), plus the ablation
 // studies for the design choices in Section 4. Both cmd/figures and the
 // bench harness drive it.
+//
+// All generators hang off a Generator, which owns a harness.Runner: every
+// sweep matrix is scheduled concurrently on its worker pool and baselines
+// are memoized across figures, with results bit-identical to serial
+// execution. Generators return errors instead of panicking.
 package figures
 
 import (
 	"fmt"
 	"strings"
 
+	"gbcr/internal/harness"
 	"gbcr/internal/sim"
 )
 
-// Table is a labeled grid of measurements.
+// Generator regenerates figures on a shared concurrent Runner. Reusing one
+// Generator across figures shares its baseline cache, so regenerating the
+// whole evaluation section never re-runs an identical baseline.
+type Generator struct {
+	R *harness.Runner
+}
+
+// NewGenerator returns a Generator whose Runner is bounded by workers
+// (workers <= 0 selects GOMAXPROCS).
+func NewGenerator(workers int) *Generator {
+	return &Generator{R: harness.NewRunner(workers)}
+}
+
+// Table is a labeled grid of measurements. The JSON tags define the
+// machine-readable series format emitted by cmd/figures -json.
 type Table struct {
-	Title     string
-	Unit      string
-	ColHeader string
-	Cols      []string
-	RowHeader string
-	Rows      []string
-	Cells     [][]float64 // [row][col]
-	Notes     []string
+	Title     string      `json:"title"`
+	Unit      string      `json:"unit"`
+	ColHeader string      `json:"col_header"`
+	Cols      []string    `json:"cols"`
+	RowHeader string      `json:"row_header"`
+	Rows      []string    `json:"rows"`
+	Cells     [][]float64 `json:"cells"` // [row][col]
+	Notes     []string    `json:"notes,omitempty"`
 }
 
 // Cell returns the value at (row, col) by label.
-func (t *Table) Cell(row, col string) float64 {
+func (t *Table) Cell(row, col string) (float64, error) {
 	ri, ci := -1, -1
 	for i, r := range t.Rows {
 		if r == row {
@@ -39,19 +59,19 @@ func (t *Table) Cell(row, col string) float64 {
 		}
 	}
 	if ri < 0 || ci < 0 {
-		panic(fmt.Sprintf("figures: no cell (%q, %q) in %q", row, col, t.Title))
+		return 0, fmt.Errorf("figures: no cell (%q, %q) in %q", row, col, t.Title)
 	}
-	return t.Cells[ri][ci]
+	return t.Cells[ri][ci], nil
 }
 
 // Row returns a row's values by label.
-func (t *Table) Row(row string) []float64 {
+func (t *Table) Row(row string) ([]float64, error) {
 	for i, r := range t.Rows {
 		if r == row {
-			return t.Cells[i]
+			return t.Cells[i], nil
 		}
 	}
-	panic(fmt.Sprintf("figures: no row %q in %q", row, t.Title))
+	return nil, fmt.Errorf("figures: no row %q in %q", row, t.Title)
 }
 
 // String renders the table as aligned text.

@@ -13,10 +13,41 @@ import (
 // wins, by roughly what factor, and where the crossovers fall. Absolute
 // values are the simulation's, not the authors' testbed's.
 
+// tg is shared across the shape tests so baselines memoized by one figure
+// are reused by the next, exactly as cmd/figures does.
+var tg = NewGenerator(0)
+
+func mustT(t *testing.T, fn func() (*Table, error)) *Table {
+	t.Helper()
+	tb, err := fn()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return tb
+}
+
+func mustRow(t *testing.T, tb *Table, name string) []float64 {
+	t.Helper()
+	v, err := tb.Row(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func mustCell(t *testing.T, tb *Table, row, col string) float64 {
+	t.Helper()
+	v, err := tb.Cell(row, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
 func TestFig1Shape(t *testing.T) {
-	f := Fig1()
-	per := f.Row("Bandwidth per Client")
-	agg := f.Row("Aggregated Throughput")
+	f := mustT(t, tg.Fig1)
+	per := mustRow(t, f, "Bandwidth per Client")
+	agg := mustRow(t, f, "Aggregated Throughput")
 	// Single client is link-limited near 115 MB/s (paper Figure 1).
 	if per[0] < 110 || per[0] > 120 {
 		t.Fatalf("1 client: %.1f MB/s", per[0])
@@ -34,16 +65,16 @@ func TestFig1Shape(t *testing.T) {
 		}
 	}
 	// The paper's 32-client figure: ~4.38 MB/s per client.
-	if got := f.Cell("Bandwidth per Client", "32"); got < 3.9 || got > 4.8 {
+	if got := mustCell(t, f, "Bandwidth per Client", "32"); got < 3.9 || got > 4.8 {
 		t.Fatalf("32 clients: %.2f MB/s per client, paper ~4.38", got)
 	}
 }
 
 func TestFig3Shape(t *testing.T) {
-	f := Fig3()
+	f := mustT(t, tg.Fig3)
 	// Halving the checkpoint group halves the delay while it covers the
 	// communication group (embarrassingly parallel row shows it cleanly).
-	ep := f.Row("Embar. Parallel")
+	ep := mustRow(t, f, "Embar. Parallel")
 	for i := 1; i < len(ep); i++ {
 		ratio := ep[i-1] / ep[i]
 		if ratio < 1.7 || ratio > 2.4 {
@@ -52,7 +83,7 @@ func TestFig3Shape(t *testing.T) {
 	}
 	// Below the communication group size the delay flattens (comm 16 row
 	// at checkpoint groups 8 and 4).
-	c16 := f.Row("Comm 16")
+	c16 := mustRow(t, f, "Comm 16")
 	if c16[2] > c16[1]*1.15 || c16[3] > c16[1]*1.25 {
 		t.Fatalf("comm-16 row should flatten below group 16: %v", c16)
 	}
@@ -62,16 +93,16 @@ func TestFig3Shape(t *testing.T) {
 		t.Fatalf("comm-16 row should rise at group 2: %v", c16)
 	}
 	// Regular checkpointing matches eq(2a): 32*180MB/140MB/s ~ 41s.
-	if all := f.Cell("Comm 8", "All(32)"); all < 40 || all > 46 {
+	if all := mustCell(t, f, "Comm 8", "All(32)"); all < 40 || all > 46 {
 		t.Fatalf("All(32) delay %.1f, want ~41-43s", all)
 	}
 }
 
 func TestFig4Shape(t *testing.T) {
-	f := Fig4()
-	eff := f.Row("Effective Ckpt Delay")
-	ind := f.Row("Individual Ckpt Time")
-	tot := f.Row("Total Ckpt Time")
+	f := mustT(t, tg.Fig4)
+	eff := mustRow(t, f, "Effective Ckpt Delay")
+	ind := mustRow(t, f, "Individual Ckpt Time")
+	tot := mustRow(t, f, "Total Ckpt Time")
 	for i := range eff {
 		// Section 5: individual <= effective <= total (small slack for
 		// coordination noise).
@@ -91,10 +122,10 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5And6Shape(t *testing.T) {
-	f5 := Fig5()
-	all := f5.Row("All(32)")
-	g4 := f5.Row("Group(4)")
-	g1 := f5.Row("Individual(1)")
+	f5 := mustT(t, tg.Fig5)
+	all := mustRow(t, f5, "All(32)")
+	g4 := mustRow(t, f5, "Group(4)")
+	g1 := mustRow(t, f5, "Individual(1)")
 	// Group(4) wins at every time point; Individual(1) never beats it.
 	for i := range all {
 		if g4[i] >= all[i] {
@@ -118,16 +149,16 @@ func TestFig5And6Shape(t *testing.T) {
 		}
 	}
 	// Figure 6: groups 4 or 8 have the best mean, as in the paper.
-	f6 := Fig6(f5)
+	f6 := tg.Fig6(f5)
 	if !strings.Contains(f6.Notes[0], "Group(4)") && !strings.Contains(f6.Notes[0], "Group(8)") {
 		t.Fatalf("best group size: %v", f6.Notes[0])
 	}
 }
 
 func TestFig7Shape(t *testing.T) {
-	f := Fig7()
-	all := f.Row("All(32)")
-	g4 := f.Row("Group(4)")
+	f := mustT(t, tg.Fig7)
+	all := mustRow(t, f, "All(32)")
+	g4 := mustRow(t, f, "Group(4)")
 	for i := range all {
 		if g4[i] >= all[i] {
 			t.Fatalf("point %d: group 4 (%.1f) not below All (%.1f)", i, g4[i], all[i])
@@ -148,8 +179,8 @@ func TestFig7Shape(t *testing.T) {
 		t.Fatalf("group 8 average reduction %.0f%% out of band", red["Group(8)"])
 	}
 	// Individual(1) is the worst grouped configuration.
-	g1 := f.Row("Individual(1)")
-	g16 := f.Row("Group(16)")
+	g1 := mustRow(t, f, "Individual(1)")
+	g16 := mustRow(t, f, "Group(16)")
 	for i := range g1 {
 		if g1[i] < g16[i] {
 			t.Fatalf("point %d: Individual(1) should not beat Group(16)", i)
@@ -158,20 +189,20 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestPhaseBreakdownStorageDominates(t *testing.T) {
-	pb := PhaseBreakdown()
+	pb := mustT(t, tg.PhaseBreakdown)
 	// Paper Section 3.1: storage is >95% of the delay for the regular
 	// protocol.
-	if got := pb.Cell("storage share", "All(32)"); got < 0.95 {
+	if got := mustCell(t, pb, "storage share", "All(32)"); got < 0.95 {
 		t.Fatalf("regular-protocol storage share %.3f, paper >0.95", got)
 	}
 	// For small groups the fixed setup costs eat a larger share.
-	if gAll, g2 := pb.Cell("storage share", "All(32)"), pb.Cell("storage share", "Group(2)"); g2 >= gAll {
+	if gAll, g2 := mustCell(t, pb, "storage share", "All(32)"), mustCell(t, pb, "storage share", "Group(2)"); g2 >= gAll {
 		t.Fatalf("storage share should fall for small groups: all=%.3f g2=%.3f", gAll, g2)
 	}
 }
 
 func TestAblationHelperEffect(t *testing.T) {
-	a := AblationHelper()
+	a := mustT(t, tg.AblationHelper)
 	on := a.Cells[0]
 	off := a.Cells[1]
 	// Without the helper thread, teardown against computing peers stalls
@@ -185,7 +216,7 @@ func TestAblationHelperEffect(t *testing.T) {
 }
 
 func TestAblationGroupFormationEffect(t *testing.T) {
-	a := AblationGroupFormation()
+	a := mustT(t, tg.AblationGroupFormation)
 	static := a.Cells[0][0]
 	dynamic := a.Cells[1][0]
 	// Static rank-order groups split every strided pair, so the pairs
@@ -199,7 +230,7 @@ func TestAblationGroupFormationEffect(t *testing.T) {
 }
 
 func TestAblationConnCostSmall(t *testing.T) {
-	a := AblationConnCost()
+	a := mustT(t, tg.AblationConnCost)
 	// Coordination stays a small share of the delay across OOB latencies up
 	// to 1 ms (the paper's premise that storage dominates).
 	for i, col := range a.Cols[:3] {
@@ -216,21 +247,24 @@ func TestTableHelpers(t *testing.T) {
 		Title: "t", Cols: []string{"a", "b"}, Rows: []string{"x"},
 		Cells: [][]float64{{1, 2}},
 	}
-	if tb.Cell("x", "b") != 2 {
+	if mustCell(t, tb, "x", "b") != 2 {
 		t.Fatal("Cell")
 	}
-	if got := tb.Row("x"); got[0] != 1 {
+	if got := mustRow(t, tb, "x"); got[0] != 1 {
 		t.Fatal("Row")
 	}
 	if s := tb.String(); !strings.Contains(s, "t") || !strings.Contains(s, "2.00") {
 		t.Fatalf("render: %q", s)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("missing cell should panic")
-		}
-	}()
-	tb.Cell("nope", "a")
+	if _, err := tb.Cell("nope", "a"); err == nil {
+		t.Fatal("missing cell should return an error")
+	}
+	if _, err := tb.Cell("x", "nope"); err == nil {
+		t.Fatal("missing column should return an error")
+	}
+	if _, err := tb.Row("nope"); err == nil {
+		t.Fatal("missing row should return an error")
+	}
 }
 
 func TestGroupLabel(t *testing.T) {
@@ -246,7 +280,7 @@ func TestGroupLabel(t *testing.T) {
 }
 
 func TestExtensionLoggingOverhead(t *testing.T) {
-	e := ExtensionLogging()
+	e := mustT(t, tg.ExtensionLogging)
 	buffering := e.Cells[0]
 	logging := e.Cells[1]
 	// Buffering logs nothing; logging pays measurable runtime overhead and
@@ -263,7 +297,7 @@ func TestExtensionLoggingOverhead(t *testing.T) {
 }
 
 func TestExtensionIncrementalCombines(t *testing.T) {
-	e := ExtensionIncremental()
+	e := mustT(t, tg.ExtensionIncremental)
 	get := func(row string, col int) float64 {
 		for i, r := range e.Rows {
 			if r == row {
@@ -292,7 +326,7 @@ func TestExtensionIncrementalCombines(t *testing.T) {
 }
 
 func TestExtensionStagingTradeoff(t *testing.T) {
-	e := ExtensionStaging()
+	e := mustT(t, tg.ExtensionStaging)
 	get := func(row string, col int) float64 {
 		for i, r := range e.Rows {
 			if r == row {
@@ -316,7 +350,7 @@ func TestExtensionStagingTradeoff(t *testing.T) {
 }
 
 func TestExtensionFaultRecoveryUCurve(t *testing.T) {
-	e := ExtensionFaultRecovery()
+	e := mustT(t, tg.ExtensionFaultRecovery)
 	for ri, row := range e.Rows {
 		vals := e.Cells[ri]
 		// Young's U-curve: an interior interval beats both extremes.
@@ -341,7 +375,7 @@ func TestExtensionFaultRecoveryUCurve(t *testing.T) {
 }
 
 func TestAblationNoiseWorkConservation(t *testing.T) {
-	a := AblationNoise()
+	a := mustT(t, tg.AblationNoise)
 	// The recorded finding: share imbalance alone moves the delay by only a
 	// few percent at either protocol, because the server stays
 	// work-conserving.
@@ -359,20 +393,20 @@ func TestAblationNoiseWorkConservation(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	// The whole stack is deterministic: regenerating a figure twice yields
 	// byte-identical tables.
-	a := Fig1().String()
-	b := Fig1().String()
+	a := mustT(t, tg.Fig1).String()
+	b := mustT(t, tg.Fig1).String()
 	if a != b {
 		t.Fatal("Fig1 not deterministic")
 	}
-	c := AblationNoise().String() // exercises the seeded RNG paths too
-	d := AblationNoise().String()
+	c := mustT(t, tg.AblationNoise).String() // exercises the seeded RNG paths too
+	d := mustT(t, tg.AblationNoise).String()
 	if c != d {
 		t.Fatal("noise ablation not deterministic")
 	}
 }
 
 func TestExtensionScalability(t *testing.T) {
-	e := ExtensionScalability()
+	e := mustT(t, tg.ExtensionScalability)
 	all := e.Cells[0]
 	grp := e.Cells[1]
 	// Regular delay roughly doubles with the rank count.
@@ -403,7 +437,10 @@ func TestDynamicFormationRecoversHPLRows(t *testing.T) {
 	cfg := harness.PaperCluster(w.P * w.Q)
 	cfg.CR.GroupSize = 4
 	cfg.CR.Dynamic = true
-	res := harness.Measure(cfg, w, 100*sim.Second)
+	res, err := harness.Measure(cfg, w, 100*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 	groups := res.Report.Groups
 	if len(groups) != w.P {
 		t.Fatalf("dynamic formation produced %d groups, want %d rows: %v",
@@ -418,6 +455,27 @@ func TestDynamicFormationRecoversHPLRows(t *testing.T) {
 			if r/w.Q != row {
 				t.Fatalf("group %d mixes grid rows: %v", gi, groups)
 			}
+		}
+	}
+}
+
+func TestSerialParallelBitIdentical(t *testing.T) {
+	// The concurrent Runner must be invisible in the results: the Fig 3 and
+	// Fig 5 matrices rendered from a serial generator (workers=1) and a
+	// parallel one (workers=8) are byte-identical.
+	serial := NewGenerator(1)
+	parallel := NewGenerator(8)
+	for _, tc := range []struct {
+		name string
+		fn   func(*Generator) (*Table, error)
+	}{
+		{"Fig3", (*Generator).Fig3},
+		{"Fig5", (*Generator).Fig5},
+	} {
+		a := mustT(t, func() (*Table, error) { return tc.fn(serial) }).String()
+		b := mustT(t, func() (*Table, error) { return tc.fn(parallel) }).String()
+		if a != b {
+			t.Fatalf("%s differs between serial and parallel generation:\n%s\nvs\n%s", tc.name, a, b)
 		}
 	}
 }

@@ -21,7 +21,11 @@ func Example() {
 		N: 8, CommGroupSize: 2, Iters: 100,
 		Chunk: 100 * sim.Millisecond, FootprintMB: 100,
 	}
-	res := harness.Measure(cfg, w, 2*sim.Second)
+	res, err := harness.Measure(cfg, w, 2*sim.Second)
+	if err != nil {
+		fmt.Println("measure failed:", err)
+		return
+	}
 	fmt.Printf("baseline %.1fs, effective delay %.1fs, total ckpt %.1fs\n",
 		res.Baseline.Seconds(), res.EffectiveDelay().Seconds(), res.Total().Seconds())
 	// Output:

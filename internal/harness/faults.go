@@ -41,7 +41,10 @@ func RunWithPeriodicCheckpoints(cfg ClusterConfig, w workload.Restartable,
 	var libStates [][]byte
 	const maxAttempts = 1000
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		c := NewCluster(cfg)
+		c, err := NewCluster(cfg)
+		if err != nil {
+			return res, err
+		}
 		inst := w.LaunchFrom(c.Job, appStates)
 		ri, ok := inst.(workload.RestartableInstance)
 		if !ok {
@@ -71,16 +74,20 @@ func RunWithPeriodicCheckpoints(cfg ClusterConfig, w workload.Restartable,
 		if err := c.K.RunUntil(failAt); err != nil {
 			return res, err
 		}
+		reps, err := c.Coord.Reports()
+		if err != nil {
+			return res, err
+		}
 		if c.Job.Finished() {
 			res.Wall += c.Job.FinishTime()
-			res.Checkpoints += len(c.Coord.Reports())
+			res.Checkpoints += len(reps)
 			return res, nil
 		}
 		// The job was lost at failAt. Fall back to the latest durable
 		// checkpoint (or the attempt's starting state if none completed).
 		res.Wall += failAt
 		res.Failures++
-		res.Checkpoints += len(c.Coord.Reports())
+		res.Checkpoints += len(reps)
 		if _, snaps := c.Coord.Snapshots().Latest(); snaps != nil {
 			appStates = make([][]byte, cfg.N)
 			libStates = make([][]byte, cfg.N)

@@ -3,6 +3,13 @@
 // (baseline) and once with a checkpoint issued at a chosen time, and reports
 // the Effective Checkpoint Delay (Section 5) along with the Individual and
 // Total Checkpoint Times from the cycle report.
+//
+// Two execution engines are provided. The free functions (Baseline, Measure,
+// Sweep) run serially and are the reference implementation; Runner schedules
+// independent measurement cells on a worker pool and memoizes baselines, so
+// large sweep matrices regenerate in parallel with results bit-identical to
+// the serial path. All entry points return errors instead of panicking, so
+// the stack is usable as an embedded service component.
 package harness
 
 import (
@@ -25,6 +32,31 @@ type ClusterConfig struct {
 	Fabric  ib.Config
 	MPI     mpi.Config
 	CR      cr.Config
+}
+
+// Validate reports whether the configuration can be assembled into a
+// cluster. It front-runs the constructor invariants of the storage and
+// fabric layers so callers get an error instead of a panic.
+func (cfg ClusterConfig) Validate() error {
+	if cfg.N <= 0 {
+		return fmt.Errorf("harness: cluster needs at least one rank, got N=%d", cfg.N)
+	}
+	if cfg.Storage.AggregateBW <= 0 {
+		return fmt.Errorf("harness: storage AggregateBW must be positive, got %v", cfg.Storage.AggregateBW)
+	}
+	if cfg.Storage.ClientBW <= 0 {
+		return fmt.Errorf("harness: storage ClientBW must be positive, got %v", cfg.Storage.ClientBW)
+	}
+	if cfg.Fabric.LinkBW <= 0 {
+		return fmt.Errorf("harness: fabric LinkBW must be positive, got %v", cfg.Fabric.LinkBW)
+	}
+	if cfg.CR.GroupSize < 0 {
+		return fmt.Errorf("harness: checkpoint group size must be >= 0, got %d", cfg.CR.GroupSize)
+	}
+	if cfg.CR.GroupSize > cfg.N {
+		return fmt.Errorf("harness: checkpoint group size %d exceeds job size %d", cfg.CR.GroupSize, cfg.N)
+	}
+	return nil
 }
 
 // PaperCluster returns the evaluation testbed configuration: 32 compute
@@ -54,14 +86,17 @@ type Cluster struct {
 	Coord   *cr.Coordinator
 }
 
-// NewCluster builds the stack.
-func NewCluster(cfg ClusterConfig) *Cluster {
+// NewCluster validates the configuration and builds the stack.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	k := sim.NewKernel(cfg.Seed)
 	st := storage.New(k, cfg.Storage)
 	f := ib.New(k, cfg.Fabric)
 	j := mpi.NewJob(k, f, cfg.MPI, cfg.N)
 	co := cr.New(k, j, st, cfg.CR)
-	return &Cluster{K: k, Storage: st, Fabric: f, Job: j, Coord: co}
+	return &Cluster{K: k, Storage: st, Fabric: f, Job: j, Coord: co}, nil
 }
 
 // launch wires a workload instance into the cluster's controllers.
@@ -72,6 +107,17 @@ func (c *Cluster) launch(w workload.Workload) workload.Instance {
 		c.Coord.Controller(i).FootprintFn = func() int64 { return inst.Footprint(i) }
 	}
 	return inst
+}
+
+// run drives the kernel to completion and checks the job finished.
+func (c *Cluster) run(what string) error {
+	if err := c.K.Run(); err != nil {
+		return fmt.Errorf("harness: %s run failed: %w", what, err)
+	}
+	if !c.Job.Finished() {
+		return fmt.Errorf("harness: %s run ended with unfinished ranks", what)
+	}
+	return nil
 }
 
 // Result reports one Effective Checkpoint Delay measurement.
@@ -101,27 +147,40 @@ func (r Result) String() string {
 
 // Baseline runs the workload with no checkpoint and returns its completion
 // time.
-func Baseline(cfg ClusterConfig, w workload.Workload) sim.Time {
-	c := NewCluster(cfg)
-	c.launch(w)
-	if err := c.K.Run(); err != nil {
-		panic(fmt.Sprintf("harness: baseline run failed: %v", err))
+func Baseline(cfg ClusterConfig, w workload.Workload) (sim.Time, error) {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return 0, err
 	}
-	return c.Job.FinishTime()
+	c.launch(w)
+	if err := c.run("baseline"); err != nil {
+		return 0, err
+	}
+	return c.Job.FinishTime(), nil
 }
 
 // MeasureWithBaseline runs the workload with one checkpoint at issuedAt,
 // using a previously measured baseline (so sweeps don't re-run it).
-func MeasureWithBaseline(cfg ClusterConfig, w workload.Workload, issuedAt, baseline sim.Time) Result {
-	c := NewCluster(cfg)
+func MeasureWithBaseline(cfg ClusterConfig, w workload.Workload, issuedAt, baseline sim.Time) (Result, error) {
+	if issuedAt < 0 {
+		return Result{}, fmt.Errorf("harness: checkpoint issuance time %v is negative", issuedAt)
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	c.launch(w)
 	c.Coord.ScheduleCheckpoint(issuedAt)
-	if err := c.K.Run(); err != nil {
-		panic(fmt.Sprintf("harness: checkpointed run failed: %v", err))
+	if err := c.run("checkpointed"); err != nil {
+		return Result{}, err
 	}
-	reps := c.Coord.Reports()
+	reps, err := c.Coord.Reports()
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: checkpointed run: %w", err)
+	}
 	if len(reps) != 1 {
-		panic(fmt.Sprintf("harness: expected 1 checkpoint cycle, got %d", len(reps)))
+		return Result{}, fmt.Errorf("harness: expected 1 checkpoint cycle, got %d (issued at %v, job finished at %v)",
+			len(reps), issuedAt, c.Job.FinishTime())
 	}
 	return Result{
 		Workload:  w.Name(),
@@ -130,25 +189,45 @@ func MeasureWithBaseline(cfg ClusterConfig, w workload.Workload, issuedAt, basel
 		Baseline:  baseline,
 		WithCkpt:  c.Job.FinishTime(),
 		Report:    reps[0],
-	}
+	}, nil
 }
 
 // Measure runs baseline and checkpointed executions and reports the delay
 // metrics.
-func Measure(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time) Result {
-	return MeasureWithBaseline(cfg, w, issuedAt, Baseline(cfg, w))
+func Measure(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time) (Result, error) {
+	base, err := Baseline(cfg, w)
+	if err != nil {
+		return Result{}, err
+	}
+	return MeasureWithBaseline(cfg, w, issuedAt, base)
 }
 
 // MeasureTraced is Measure with a protocol trace log attached to the
 // checkpointed run (log may be nil).
-func MeasureTraced(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time, log *trace.Log) Result {
-	base := Baseline(cfg, w)
-	c := NewCluster(cfg)
+func MeasureTraced(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time, log *trace.Log) (Result, error) {
+	if issuedAt < 0 {
+		return Result{}, fmt.Errorf("harness: checkpoint issuance time %v is negative", issuedAt)
+	}
+	base, err := Baseline(cfg, w)
+	if err != nil {
+		return Result{}, err
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	c.Coord.Trace = log
 	c.launch(w)
 	c.Coord.ScheduleCheckpoint(issuedAt)
-	if err := c.K.Run(); err != nil {
-		panic(fmt.Sprintf("harness: traced run failed: %v", err))
+	if err := c.run("traced"); err != nil {
+		return Result{}, err
+	}
+	reps, err := c.Coord.Reports()
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: traced run: %w", err)
+	}
+	if len(reps) != 1 {
+		return Result{}, fmt.Errorf("harness: expected 1 checkpoint cycle, got %d", len(reps))
 	}
 	return Result{
 		Workload:  w.Name(),
@@ -156,23 +235,32 @@ func MeasureTraced(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time, lo
 		IssuedAt:  issuedAt,
 		Baseline:  base,
 		WithCkpt:  c.Job.FinishTime(),
-		Report:    c.Coord.Reports()[0],
-	}
+		Report:    reps[0],
+	}, nil
 }
 
-// Sweep measures the effective delay across group sizes and issuance times.
-// groupSizes uses 0 for the regular protocol ("All"). The result is indexed
-// [groupSize][issuedAt] in the given orders.
-func Sweep(cfg ClusterConfig, w workload.Workload, groupSizes []int, times []sim.Time) [][]Result {
-	base := Baseline(cfg, w)
+// Sweep measures the effective delay across group sizes and issuance times,
+// serially and on the calling goroutine. groupSizes uses 0 for the regular
+// protocol ("All"). The result is indexed [groupSize][issuedAt] in the given
+// orders. It is the reference implementation for Runner.Sweep, which runs
+// the same matrix concurrently with bit-identical results.
+func Sweep(cfg ClusterConfig, w workload.Workload, groupSizes []int, times []sim.Time) ([][]Result, error) {
+	base, err := Baseline(cfg, w)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]Result, len(groupSizes))
 	for gi, gs := range groupSizes {
 		out[gi] = make([]Result, len(times))
 		for ti, at := range times {
 			c := cfg
 			c.CR.GroupSize = gs
-			out[gi][ti] = MeasureWithBaseline(c, w, at, base)
+			res, err := MeasureWithBaseline(c, w, at, base)
+			if err != nil {
+				return nil, fmt.Errorf("harness: sweep cell group=%d at=%v: %w", gs, at, err)
+			}
+			out[gi][ti] = res
 		}
 	}
-	return out
+	return out, nil
 }

@@ -26,7 +26,10 @@ func TestMeasureCommGroups(t *testing.T) {
 	cfg := smallCluster(8)
 	w := workload.CommGroups{N: 8, CommGroupSize: 4, Iters: 100,
 		Chunk: 100 * sim.Millisecond, FootprintMB: 50}
-	res := Measure(cfg, w, 2*sim.Second)
+	res, err := Measure(cfg, w, 2*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Baseline <= 0 || res.WithCkpt <= res.Baseline {
 		t.Fatalf("times: %+v", res)
 	}
@@ -46,7 +49,10 @@ func TestSweepGroupSizeHalving(t *testing.T) {
 	cfg := smallCluster(8)
 	w := workload.CommGroups{N: 8, CommGroupSize: 2, Iters: 120,
 		Chunk: 100 * sim.Millisecond, FootprintMB: 100}
-	res := Sweep(cfg, w, []int{0, 4, 2}, []sim.Time{3 * sim.Second})
+	res, err := Sweep(cfg, w, []int{0, 4, 2}, []sim.Time{3 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	all := res[0][0].EffectiveDelay()
 	g4 := res[1][0].EffectiveDelay()
 	g2 := res[2][0].EffectiveDelay()
@@ -97,7 +103,10 @@ func TestRestartAllgatherEquivalence(t *testing.T) {
 	cfg.CR.GroupSize = 2
 	w := workload.AllgatherLoop{N: n, Iters: iters, Chunk: 50 * sim.Millisecond, FootprintMB: 10}
 	// Failure-free reference.
-	ref := NewCluster(cfg)
+	ref, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	refInst := w.Launch(ref.Job).(*workload.AllgatherInstance)
 	if err := ref.K.Run(); err != nil {
 		t.Fatal(err)
@@ -151,7 +160,10 @@ func TestPaperClusterDefaults(t *testing.T) {
 	if cfg.N != 32 || cfg.Storage.Servers != 4 {
 		t.Fatalf("paper cluster: %+v", cfg)
 	}
-	c := NewCluster(cfg)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Job.Size() != 32 {
 		t.Fatal("job size")
 	}
@@ -163,7 +175,10 @@ func TestRestartStencilEquivalence(t *testing.T) {
 	cfg := smallCluster(n)
 	cfg.CR.GroupSize = 2
 	// Failure-free reference.
-	ref := NewCluster(cfg)
+	ref, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	refInst := w.Launch(ref.Job).(*workload.StencilInstance)
 	if err := ref.K.Run(); err != nil {
 		t.Fatal(err)
@@ -188,7 +203,10 @@ func TestRunWithPeriodicCheckpointsUnderFailures(t *testing.T) {
 	cfg.CR.DefaultFootprint = 5 << 20
 	w := workload.Ring{N: n, Iters: 150, Chunk: 20 * sim.Millisecond, FootprintMB: 5}
 	// Baseline without failures for reference.
-	base := Baseline(cfg, w)
+	base, err := Baseline(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := RunWithPeriodicCheckpoints(cfg, w, 600*sim.Millisecond, 1500*sim.Millisecond, 7)
 	if err != nil {
 		t.Fatal(err)
@@ -262,7 +280,10 @@ func TestMeasureTracedRecordsTimeline(t *testing.T) {
 	w := workload.CommGroups{N: 4, CommGroupSize: 2, Iters: 60,
 		Chunk: 100 * sim.Millisecond, FootprintMB: 20}
 	log := &trace.Log{}
-	res := MeasureTraced(cfg, w, 2*sim.Second, log)
+	res, err := MeasureTraced(cfg, w, 2*sim.Second, log)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.EffectiveDelay() <= 0 {
 		t.Fatalf("result: %v", res)
 	}

@@ -30,7 +30,10 @@ func RunWithFailure(cfg ClusterConfig, w workload.Restartable, ckptAt []sim.Time
 	cfg.CR.Polled = true
 	cfg.CR.CaptureState = true
 
-	c := NewCluster(cfg)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return FailureResult{}, err
+	}
 	inst := c.launch(w)
 	ri, ok := inst.(workload.RestartableInstance)
 	if !ok {
@@ -55,7 +58,10 @@ func RunWithFailure(cfg ClusterConfig, w workload.Restartable, ckptAt []sim.Time
 	}
 
 	// Restart: a fresh cluster restores every rank from its snapshot.
-	c2 := NewCluster(cfg)
+	c2, err := NewCluster(cfg)
+	if err != nil {
+		return FailureResult{}, err
+	}
 	appStates := make([][]byte, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		s := snaps[i]

@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gbcr/internal/cr"
+	"gbcr/internal/sim"
+	"gbcr/internal/workload"
+)
+
+// Runner is the concurrent experiment engine. Every measurement cell —
+// one (config, workload, issuance time) simulation — is an independent,
+// deterministic, single-threaded run, so a sweep matrix can be scheduled
+// across a bounded worker pool with results bit-identical to the serial
+// Sweep. The Runner also memoizes baselines: a failure-free run never
+// schedules a checkpoint, so its completion time depends only on the
+// canonicalized cluster configuration and the workload identity, and sweeps
+// or figure regeneration never re-run an identical baseline.
+//
+// A Runner is safe for concurrent use by multiple goroutines.
+type Runner struct {
+	workers int
+
+	mu        sync.Mutex
+	baselines map[string]*baselineEntry
+	hits      int
+	misses    int
+}
+
+// baselineEntry memoizes one baseline run. The sync.Once dedups in-flight
+// computation: concurrent cells needing the same baseline run it once and
+// share the result.
+type baselineEntry struct {
+	once sync.Once
+	t    sim.Time
+	err  error
+}
+
+// NewRunner returns a Runner with the given worker-pool bound; workers <= 0
+// selects GOMAXPROCS, the default.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, baselines: make(map[string]*baselineEntry)}
+}
+
+// Workers reports the worker-pool bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// CacheStats reports baseline-cache hits and misses so far. A hit includes
+// waiting on an in-flight computation of the same key.
+func (r *Runner) CacheStats() (hits, misses int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits, r.misses
+}
+
+// BaselineKey canonicalizes a cell into its baseline-cache key. A baseline
+// run never starts a checkpoint cycle, so no cr.Config field can influence
+// its completion time; the whole CR section is therefore normalized to the
+// zero value, which is what lets a sweep over checkpoint group sizes share
+// one baseline. Every other ClusterConfig field (topology, seed, storage,
+// fabric, MPI) and every exported workload parameter is part of the key.
+func BaselineKey(cfg ClusterConfig, w workload.Workload) string {
+	c := cfg
+	c.CR = cr.Config{}
+	return fmt.Sprintf("%+v|%s|%#v", c, w.Name(), w)
+}
+
+// Baseline returns the workload's failure-free completion time, memoized by
+// BaselineKey.
+func (r *Runner) Baseline(cfg ClusterConfig, w workload.Workload) (sim.Time, error) {
+	key := BaselineKey(cfg, w)
+	r.mu.Lock()
+	e, ok := r.baselines[key]
+	if ok {
+		r.hits++
+	} else {
+		r.misses++
+		e = &baselineEntry{}
+		r.baselines[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.t, e.err = Baseline(cfg, w) })
+	return e.t, e.err
+}
+
+// Measure runs one checkpointed cell, taking the baseline from the cache.
+func (r *Runner) Measure(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time) (Result, error) {
+	base, err := r.Baseline(cfg, w)
+	if err != nil {
+		return Result{}, err
+	}
+	return MeasureWithBaseline(cfg, w, issuedAt, base)
+}
+
+// Cell is one schedulable measurement: a cluster configuration (whose
+// CR.GroupSize selects the protocol), a workload, and a checkpoint issuance
+// time.
+type Cell struct {
+	Config   ClusterConfig
+	Workload workload.Workload
+	IssuedAt sim.Time
+}
+
+// Run measures every cell on the worker pool and returns the results in
+// cell order. Cells are independent simulations, so the schedule cannot
+// change any result — only the wall-clock time. On failure the first error
+// in cell order is returned along with the results computed so far.
+func (r *Runner) Run(cells []Cell) ([]Result, error) {
+	out := make([]Result, len(cells))
+	err := r.ForEach(len(cells), func(i int) error {
+		res, err := r.Measure(cells[i].Config, cells[i].Workload, cells[i].IssuedAt)
+		if err != nil {
+			return fmt.Errorf("cell %d (%s group=%d at=%v): %w",
+				i, cells[i].Workload.Name(), cells[i].Config.CR.GroupSize, cells[i].IssuedAt, err)
+		}
+		out[i] = res
+		return nil
+	})
+	return out, err
+}
+
+// ForEach runs fn(0..n-1) on the worker pool and waits for all of them.
+// It is the generic scheduling primitive under Run for experiment grids
+// that are not Measure-shaped (fault-injection runs, client scaling, ...).
+// Panics in fn are captured as errors so a misbehaving cell cannot take
+// down an embedding service. The first error in index order is returned.
+func (r *Runner) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = protect(i, fn)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// protect runs fn(i), converting a panic into an error.
+func protect(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("harness: cell %d panicked: %v", i, p)
+		}
+	}()
+	return fn(i)
+}
+
+// Sweep measures the effective delay across group sizes and issuance times
+// concurrently. It is the parallel equivalent of the serial Sweep: same
+// matrix shape, bit-identical results, indexed [groupSize][issuedAt]. The
+// baseline is computed once up front so the fan-out starts with a warm
+// cache.
+func (r *Runner) Sweep(cfg ClusterConfig, w workload.Workload, groupSizes []int, times []sim.Time) ([][]Result, error) {
+	if _, err := r.Baseline(cfg, w); err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, len(groupSizes)*len(times))
+	for _, gs := range groupSizes {
+		for _, at := range times {
+			c := cfg
+			c.CR.GroupSize = gs
+			cells = append(cells, Cell{Config: c, Workload: w, IssuedAt: at})
+		}
+	}
+	flat, err := r.Run(cells)
+	if err != nil {
+		return nil, fmt.Errorf("harness: sweep: %w", err)
+	}
+	out := make([][]Result, len(groupSizes))
+	for gi := range groupSizes {
+		out[gi] = flat[gi*len(times) : (gi+1)*len(times) : (gi+1)*len(times)]
+	}
+	return out, nil
+}

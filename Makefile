@@ -2,19 +2,26 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race bench figures examples cover clean
+.PHONY: all check build test vet lint race bench figures examples cover clean
 
 all: check
 
-# Full gate: compile, vet, tests, and the race detector over the concurrent
-# experiment Runner.
-check: build vet test race
+# Full gate: compile, vet, the project analyzers, tests, and the race
+# detector over the concurrent experiment Runner.
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project analyzers (simdeterminism, nopanic, guardedby, errpropagation).
+# gbcrlint speaks the vet-tool protocol, so the same binary also works as
+# `go vet -vettool=$$(which gbcrlint) ./...`.
+lint:
+	$(GO) build -o bin/gbcrlint ./cmd/gbcrlint
+	./bin/gbcrlint ./...
 
 test:
 	$(GO) test ./...
@@ -48,3 +55,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

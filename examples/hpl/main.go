@@ -19,7 +19,11 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	inst := solve.Launch(c.Job).(*hpl.SolveInstance)
+	launched, err := solve.Launch(c.Job)
+	if err != nil {
+		panic(err)
+	}
+	inst := launched.(*hpl.SolveInstance)
 	if err := c.K.Run(); err != nil {
 		panic(err)
 	}

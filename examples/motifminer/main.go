@@ -20,7 +20,11 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	inst := mine.Launch(c.Job).(*motif.MineInstance)
+	launched, err := mine.Launch(c.Job)
+	if err != nil {
+		panic(err)
+	}
+	inst := launched.(*motif.MineInstance)
 	if err := c.K.Run(); err != nil {
 		panic(err)
 	}

@@ -25,7 +25,11 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	refInst := w.Launch(ref.Job).(*workload.RingInstance)
+	launched, err := w.Launch(ref.Job)
+	if err != nil {
+		panic(err)
+	}
+	refInst := launched.(*workload.RingInstance)
 	if err := ref.K.Run(); err != nil {
 		panic(err)
 	}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gbcr/internal/analysis"
+	"gbcr/internal/analysis/analysistest"
+)
+
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.SimDeterminism, "simdet")
+}
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.NoPanic, "panicky")
+}
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.GuardedBy, "guarded")
+}
+
+func TestErrPropagation(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.ErrPropagation, "droppy")
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrPropagation reports silently dropped errors from first-party APIs: a
+// call to a function in this module whose results include an error, used as
+// a bare statement (or go/defer), or with the error position assigned to
+// the blank identifier. After the panic→error migration every constructor
+// and invariant failure surfaces as an error value; dropping one turns a
+// hard failure into silent corruption of the measurement.
+var ErrPropagation = &Analyzer{
+	Name: "errpropagation",
+	Doc: "report module-internal calls whose error result is discarded " +
+		"(bare call statements and assignments to _)",
+	Run: runErrPropagation,
+}
+
+func runErrPropagation(pass *Pass) error {
+	errorType := types.Universe.Lookup("error").Type()
+
+	// errIndices returns the result positions of fn that are of type error,
+	// or nil if fn is not a first-party function.
+	errIndices := func(fun ast.Expr) (fn *types.Func, idx []int) {
+		fn = calleeFunc(pass.TypesInfo, fun)
+		if fn == nil || fn.Pkg() == nil {
+			return nil, nil
+		}
+		path := fn.Pkg().Path()
+		if fn.Pkg() != pass.Pkg && path != ModulePath && !strings.HasPrefix(path, ModulePath+"/") {
+			return nil, nil
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return nil, nil
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if types.Identical(sig.Results().At(i).Type(), errorType) {
+				idx = append(idx, i)
+			}
+		}
+		return fn, idx
+	}
+
+	checkBareCall := func(x ast.Expr) {
+		call, ok := ast.Unparen(x).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn, idx := errIndices(call.Fun)
+		if len(idx) == 0 {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"error returned by %s is silently discarded; handle or propagate it", fn.Name())
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				checkBareCall(stmt.X)
+			case *ast.GoStmt:
+				checkBareCall(stmt.Call)
+			case *ast.DeferStmt:
+				checkBareCall(stmt.Call)
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, idx := errIndices(call.Fun)
+				if len(idx) == 0 {
+					return true
+				}
+				for _, i := range idx {
+					if i >= len(stmt.Lhs) {
+						continue
+					}
+					if id, ok := stmt.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						pass.Reportf(id.Pos(),
+							"error returned by %s is assigned to _; handle or propagate it", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

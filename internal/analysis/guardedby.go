@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// GuardedBy checks mutex annotations: a struct field whose comment says
+// "guarded by <mu>" may only be read or written inside functions that
+// acquire a mutex of that name (a call to <mu>.Lock or <mu>.RLock somewhere
+// in the same function body). The check is intra-procedural and
+// name-based — it does not prove the lock is held at the access — but it
+// catches the common concurrency slip: a new method touching pool state
+// without taking the lock at all.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "report accesses to fields annotated \"guarded by <mu>\" from functions " +
+		"that never acquire the named mutex",
+	Run: runGuardedBy,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func runGuardedBy(pass *Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			held := mutexesAcquired(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pass.TypesInfo.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, ok := guarded[field]
+				if !ok || held[mu] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"%s is guarded by %s, but the enclosing function never acquires %s",
+					field.Name(), mu, mu)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields finds every struct field in the package annotated
+// "guarded by <mu>" (in its doc or trailing comment) and maps the field's
+// object to the mutex name.
+func collectGuardedFields(pass *Pass) map[*types.Var]string {
+	guarded := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := annotationIn(field.Doc)
+				if mu == "" {
+					mu = annotationIn(field.Comment)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func annotationIn(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// mutexesAcquired returns the set of mutex field/variable names on which the
+// body calls Lock or RLock.
+func mutexesAcquired(body *ast.BlockStmt) map[string]bool {
+	held := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			held[recv.Sel.Name] = true
+		case *ast.Ident:
+			held[recv.Name] = true
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic forbids panic in library code: a bad configuration or a duplicate
+// snapshot must surface as a returned error, never kill a Runner worker.
+// The only sanctioned panics are genuine can't-happen invariants inside the
+// sim kernel's scheduling internals and the MPI protocol decoder, and each
+// of those must carry a "//lint:allow-panic <reason>" directive explaining
+// why the condition is unreachable from any caller input.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "report panic calls in library code; invariants reachable from caller input " +
+		"must return errors (annotate unreachable ones with //lint:allow-panic <reason>)",
+	Directive: "allow-panic",
+	Run:       runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Tests may panic to abort; the policy targets library code.
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || ident.Name != "panic" {
+				return true
+			}
+			if _, ok := pass.TypesInfo.Uses[ident].(*types.Builtin); !ok {
+				return true // a local function shadowing the builtin
+			}
+			pass.Reportf(call.Pos(),
+				"panic in library code; return an error (or annotate a true invariant with //lint:allow-panic <reason>)")
+			return true
+		})
+	}
+	return nil
+}

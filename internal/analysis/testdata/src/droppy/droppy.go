@@ -1,0 +1,44 @@
+// Package droppy is a fixture for the errpropagation analyzer: bare calls,
+// go/defer statements, and blank assignments that discard a first-party
+// error are flagged; handled errors and annotated best-effort calls pass.
+package droppy
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func bareCall() {
+	fallible() // want `silently discarded`
+}
+
+func blank() {
+	_ = fallible() // want `assigned to _`
+}
+
+func pairBlank() {
+	n, _ := pair() // want `assigned to _`
+	use(n)
+}
+
+func goAndDefer() {
+	defer fallible() // want `silently discarded`
+	go fallible()    // want `silently discarded`
+}
+
+func handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	n, err := pair()
+	use(n)
+	return err
+}
+
+func bestEffort() {
+	//lint:allow-errpropagation best-effort flush on shutdown
+	fallible()
+}
+
+func use(int) {}

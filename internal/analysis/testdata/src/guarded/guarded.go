@@ -1,0 +1,43 @@
+// Package guarded is a fixture for the guardedby analyzer: fields annotated
+// "guarded by mu" may only be touched from functions that acquire mu.
+package guarded
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+
+	// guarded by mu
+	items map[string]int
+	hits  int // guarded by mu
+
+	name string // unguarded: no annotation
+}
+
+func newPool(name string) *pool {
+	return &pool{name: name, items: make(map[string]int)}
+}
+
+func (p *pool) get(k string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hits++
+	return p.items[k]
+}
+
+func (p *pool) getUnlocked(k string) int {
+	return p.items[k] // want `items is guarded by mu`
+}
+
+func (p *pool) countUnlocked() int {
+	return p.hits // want `hits is guarded by mu`
+}
+
+func (p *pool) label() string {
+	return p.name
+}
+
+func (p *pool) rebuildLocked() {
+	//lint:allow-guardedby caller holds mu for the whole rebuild
+	p.items = make(map[string]int)
+}

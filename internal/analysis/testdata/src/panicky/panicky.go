@@ -1,0 +1,32 @@
+// Package panicky is a fixture for the nopanic analyzer: bare panics are
+// flagged, a directive with a reason suppresses, a directive without a
+// reason does not, and a shadowed panic identifier is left alone.
+package panicky
+
+import "fmt"
+
+func Validate(n int) error {
+	if n < 0 {
+		panic("n must be non-negative") // want `panic in library code`
+	}
+	return nil
+}
+
+func formatted(kind string) {
+	panic(fmt.Sprintf("unknown kind %q", kind)) // want `panic in library code`
+}
+
+func invariant() {
+	//lint:allow-panic unreachable: every caller validates n first
+	panic("broken invariant")
+}
+
+func bareDirective() {
+	//lint:allow-panic
+	panic("a directive without a reason does not suppress") // want `panic in library code`
+}
+
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,61 @@
+// Package simdet is a fixture for the simdeterminism analyzer: wall-clock
+// reads, global math/rand draws, and unsorted map iteration are flagged;
+// seeded sources, pure conversions, and sorted walks are not.
+package simdet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `reads the wall clock`
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want `reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global random source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global random source`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func sumMap(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+func sortedWalk(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	//lint:allow-simdeterminism keys are sorted before any order-sensitive use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func toDuration(ms int) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}

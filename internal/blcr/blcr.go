@@ -63,12 +63,12 @@ func (s *Snapshot) Verify() error {
 // WriteTo writes the snapshot image to storage on behalf of p, blocking for
 // the transfer, and returns the elapsed write time. The image size is the
 // memory footprint plus the state blobs.
-func (s *Snapshot) WriteTo(p *sim.Proc, st *storage.System) sim.Time {
+func (s *Snapshot) WriteTo(p *sim.Proc, st *storage.System) (sim.Time, error) {
 	return st.Write(p, s.Size())
 }
 
 // ReadFrom reads the snapshot image back from storage (restart path).
-func (s *Snapshot) ReadFrom(p *sim.Proc, st *storage.System) sim.Time {
+func (s *Snapshot) ReadFrom(p *sim.Proc, st *storage.System) (sim.Time, error) {
 	return st.Read(p, s.Size())
 }
 
@@ -95,27 +95,30 @@ func NewStore(n int) *Store {
 	}
 }
 
-// Put archives a snapshot.
-func (st *Store) Put(s *Snapshot) {
+// Put archives a snapshot. A duplicate (rank, epoch) means the protocol
+// double-checkpointed a member and is reported as an error.
+func (st *Store) Put(s *Snapshot) error {
 	m := st.epochs[s.Epoch]
 	if m == nil {
 		m = make(map[int]*Snapshot)
 		st.epochs[s.Epoch] = m
 	}
 	if m[s.Rank] != nil {
-		panic(fmt.Sprintf("blcr: duplicate snapshot rank %d epoch %d", s.Rank, s.Epoch))
+		return fmt.Errorf("blcr: duplicate snapshot rank %d epoch %d", s.Rank, s.Epoch)
 	}
 	m[s.Rank] = s
+	return nil
 }
 
-// MarkComplete records that epoch's global checkpoint as complete. It panics
-// if snapshots are missing.
-func (st *Store) MarkComplete(epoch int) {
+// MarkComplete records that epoch's global checkpoint as complete. It is an
+// error if any rank's snapshot is missing.
+func (st *Store) MarkComplete(epoch int) error {
 	if len(st.epochs[epoch]) != st.n {
-		panic(fmt.Sprintf("blcr: epoch %d marked complete with %d/%d snapshots",
-			epoch, len(st.epochs[epoch]), st.n))
+		return fmt.Errorf("blcr: epoch %d marked complete with %d/%d snapshots",
+			epoch, len(st.epochs[epoch]), st.n)
 	}
 	st.complete[epoch] = true
+	return nil
 }
 
 // Complete reports whether the epoch's global checkpoint is complete.
@@ -125,6 +128,7 @@ func (st *Store) Complete(epoch int) bool { return st.complete[epoch] }
 // snapshot), or (0, nil) if none is complete.
 func (st *Store) Latest() (int, map[int]*Snapshot) {
 	best := 0
+	//lint:allow-simdeterminism taking the maximum key is order-independent
 	for e, ok := range st.complete {
 		if ok && e > best {
 			best = e

@@ -7,6 +7,14 @@ import (
 	"gbcr/internal/storage"
 )
 
+// put stores a snapshot, failing the test on a duplicate.
+func put(t testing.TB, st *Store, s *Snapshot) {
+	t.Helper()
+	if err := st.Put(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSnapshotVerify(t *testing.T) {
 	s := New(3, 1, 5*sim.Second, 100<<20, []byte("app"), []byte("lib"))
 	if err := s.Verify(); err != nil {
@@ -27,12 +35,19 @@ func TestSnapshotSize(t *testing.T) {
 
 func TestSnapshotWriteReadTiming(t *testing.T) {
 	k := sim.NewKernel(1)
-	st := storage.New(k, storage.Config{AggregateBW: 1000, ClientBW: 1000})
+	st, err := storage.New(k, storage.Config{AggregateBW: 1000, ClientBW: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := New(0, 1, 0, 1000, nil, nil)
 	var wrote, read sim.Time
 	k.Spawn("p", func(p *sim.Proc) {
-		wrote = s.WriteTo(p, st)
-		read = s.ReadFrom(p, st)
+		var werr, rerr error
+		wrote, werr = s.WriteTo(p, st)
+		read, rerr = s.ReadFrom(p, st)
+		if werr != nil || rerr != nil {
+			t.Errorf("write err %v, read err %v", werr, rerr)
+		}
 	})
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -45,9 +60,11 @@ func TestSnapshotWriteReadTiming(t *testing.T) {
 func TestStoreCompleteness(t *testing.T) {
 	st := NewStore(3)
 	for r := 0; r < 3; r++ {
-		st.Put(New(r, 1, 0, 100, nil, nil))
+		put(t, st, New(r, 1, 0, 100, nil, nil))
 	}
-	st.MarkComplete(1)
+	if err := st.MarkComplete(1); err != nil {
+		t.Fatal(err)
+	}
 	if !st.Complete(1) || st.Complete(2) {
 		t.Fatal("completeness flags wrong")
 	}
@@ -64,9 +81,11 @@ func TestStoreLatestPrefersNewest(t *testing.T) {
 	st := NewStore(2)
 	for epoch := 1; epoch <= 3; epoch++ {
 		for r := 0; r < 2; r++ {
-			st.Put(New(r, epoch, 0, 100, nil, nil))
+			put(t, st, New(r, epoch, 0, 100, nil, nil))
 		}
-		st.MarkComplete(epoch)
+		if err := st.MarkComplete(epoch); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if e, _ := st.Latest(); e != 3 {
 		t.Fatalf("Latest epoch %d, want 3", e)
@@ -80,24 +99,18 @@ func TestStoreLatestEmpty(t *testing.T) {
 	}
 }
 
-func TestStoreDuplicatePanics(t *testing.T) {
+func TestStoreDuplicateError(t *testing.T) {
 	st := NewStore(2)
-	st.Put(New(0, 1, 0, 100, nil, nil))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate snapshot accepted")
-		}
-	}()
-	st.Put(New(0, 1, 0, 100, nil, nil))
+	put(t, st, New(0, 1, 0, 100, nil, nil))
+	if err := st.Put(New(0, 1, 0, 100, nil, nil)); err == nil {
+		t.Fatal("duplicate snapshot accepted")
+	}
 }
 
-func TestStoreIncompleteMarkPanics(t *testing.T) {
+func TestStoreIncompleteMarkError(t *testing.T) {
 	st := NewStore(2)
-	st.Put(New(0, 1, 0, 100, nil, nil))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("incomplete epoch marked complete")
-		}
-	}()
-	st.MarkComplete(1)
+	put(t, st, New(0, 1, 0, 100, nil, nil))
+	if err := st.MarkComplete(1); err == nil {
+		t.Fatal("incomplete epoch marked complete")
+	}
 }

@@ -23,7 +23,7 @@ type Controller struct {
 	// means Config.DefaultFootprint.
 	FootprintFn func() int64
 	// CaptureFn serializes application state for functional restart.
-	CaptureFn func() []byte
+	CaptureFn func() ([]byte, error)
 
 	epoch      int      // completed checkpoints
 	lastCkptAt sim.Time // when the previous snapshot was taken (incremental)
@@ -298,7 +298,11 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 	if c.co.cfg.LocalSetup > 0 {
 		p.Sleep(c.co.cfg.LocalSetup)
 	}
-	snap := c.takeSnapshot()
+	snap, err := c.takeSnapshot()
+	if err != nil {
+		k.Fail(fmt.Errorf("cr: rank %d: %w", world, err))
+		return
+	}
 	rec.Footprint = snap.Footprint
 	rec.WriteStart = k.Now()
 	c.co.Trace.Add(k.Now(), world, trace.KindStorage, "write-start",
@@ -308,14 +312,15 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 		// drain to central storage after.
 		p.Sleep(c.localWriteTime(snap.Size()))
 		c.startDrain(snap.Size())
-	} else {
-		snap.WriteTo(p, c.co.store)
+	} else if _, err := snap.WriteTo(p, c.co.store); err != nil {
+		k.Fail(fmt.Errorf("cr: rank %d writing snapshot: %w", world, err))
+		return
 	}
 	rec.WriteEnd = k.Now()
 	c.co.Trace.Add(k.Now(), world, trace.KindStorage, "write-end", "")
 	c.epoch++
 	c.mySaved = true
-	c.co.snaps.Put(snap)
+	c.putSnapshot(snap)
 	c.sendCo(msgSaved{cycle: c.cycle, rank: c.rank.World()})
 
 	// Phase 4: Post-checkpoint Coordination — wait for the group to finish;
@@ -354,16 +359,20 @@ func (c *Controller) teardownConnections(p *sim.Proc) {
 }
 
 // takeSnapshot captures the process image.
-func (c *Controller) takeSnapshot() *blcr.Snapshot {
+func (c *Controller) takeSnapshot() (*blcr.Snapshot, error) {
 	var app, lib []byte
 	if c.co.cfg.CaptureState {
 		if c.CaptureFn != nil {
-			app = c.CaptureFn()
+			var err error
+			app, err = c.CaptureFn()
+			if err != nil {
+				return nil, fmt.Errorf("capturing application state: %w", err)
+			}
 		}
 		var err error
 		lib, err = c.rank.CaptureLibState()
 		if err != nil {
-			panic(fmt.Sprintf("cr: rank %d: %v", c.rank.World(), err))
+			return nil, err
 		}
 	}
 	fp := c.co.cfg.DefaultFootprint
@@ -374,7 +383,15 @@ func (c *Controller) takeSnapshot() *blcr.Snapshot {
 		fp = c.incrementalSize(fp)
 	}
 	c.lastCkptAt = c.co.k.Now()
-	return blcr.New(c.rank.World(), c.epoch+1, c.co.k.Now(), fp, app, lib)
+	return blcr.New(c.rank.World(), c.epoch+1, c.co.k.Now(), fp, app, lib), nil
+}
+
+// putSnapshot archives a snapshot; a duplicate means the protocol
+// double-checkpointed this rank and the run is aborted.
+func (c *Controller) putSnapshot(snap *blcr.Snapshot) {
+	if err := c.co.snaps.Put(snap); err != nil {
+		c.co.k.Fail(err)
+	}
 }
 
 // incrementalSize models the dirty-page image written by an incremental
@@ -445,14 +462,18 @@ func (c *Controller) checkpointFinishedRank() {
 // writeFinishedSnapshot completes a finished rank's inline checkpoint.
 func (c *Controller) writeFinishedSnapshot(rec *CkptRecord) {
 	k := c.co.k
-	snap := c.takeSnapshot()
+	snap, err := c.takeSnapshot()
+	if err != nil {
+		k.Fail(fmt.Errorf("cr: rank %d: %w", c.rank.World(), err))
+		return
+	}
 	rec.Footprint = snap.Footprint
 	rec.WriteStart = k.Now()
 	done := func() {
 		rec.WriteEnd = k.Now()
 		c.epoch++
 		c.mySaved = true
-		c.co.snaps.Put(snap)
+		c.putSnapshot(snap)
 		c.sendCo(msgSaved{cycle: c.cycle, rank: c.rank.World()})
 		c.inCkpt = false
 		rec.ResumeAt = k.Now()
@@ -466,7 +487,11 @@ func (c *Controller) writeFinishedSnapshot(rec *CkptRecord) {
 		})
 		return
 	}
-	tr := c.co.store.Start(snap.Size())
+	tr, err := c.co.store.Start(snap.Size())
+	if err != nil {
+		k.Fail(fmt.Errorf("cr: rank %d starting snapshot write: %w", c.rank.World(), err))
+		return
+	}
 	tr.OnDone(done)
 }
 
@@ -486,15 +511,23 @@ func (c *Controller) startDrain(size int64) {
 	rank := c.rank.World()
 	c.co.Trace.Add(c.co.k.Now(), rank, trace.KindStorage, "drain-start",
 		fmt.Sprintf("%.0f MB to central storage", float64(size)/(1<<20)))
-	tr := c.co.store.Start(size)
+	tr, err := c.co.store.Start(size)
+	if err != nil {
+		c.co.k.Fail(fmt.Errorf("cr: rank %d starting drain: %w", rank, err))
+		return
+	}
 	tr.OnDone(func() {
 		c.co.Trace.Add(c.co.k.Now(), rank, trace.KindStorage, "drain-end", "")
 		c.sendCo(msgDrained{cycle: cycle, rank: rank})
 	})
 }
 
+// sendCo reports to the coordinator. The coordinator endpoint is created
+// with the job, so a send failure is a simulator invariant violation.
 func (c *Controller) sendCo(payload any) {
-	c.rank.Endpoint().SendOOB(CoordinatorID, payload)
+	if err := c.rank.Endpoint().SendOOB(CoordinatorID, payload); err != nil {
+		c.co.k.Fail(fmt.Errorf("cr: rank %d reporting to coordinator: %w", c.rank.World(), err))
+	}
 }
 
 // waitFlag parks the application process until the flag is set by a

@@ -47,16 +47,20 @@ type Coordinator struct {
 
 // New attaches a coordinator and per-rank controllers to a job. It must be
 // called before ranks are launched so the hooks observe all activity.
-func New(k *sim.Kernel, job *mpi.Job, store *storage.System, cfg Config) *Coordinator {
+func New(k *sim.Kernel, job *mpi.Job, store *storage.System, cfg Config) (*Coordinator, error) {
 	if cfg.DefaultFootprint <= 0 {
 		cfg.DefaultFootprint = DefaultConfig().DefaultFootprint
+	}
+	ep, err := job.Fabric().AddEndpoint(CoordinatorID)
+	if err != nil {
+		return nil, fmt.Errorf("cr: registering coordinator endpoint: %w", err)
 	}
 	co := &Coordinator{
 		k:          k,
 		job:        job,
 		store:      store,
 		cfg:        cfg,
-		ep:         job.Fabric().AddEndpoint(CoordinatorID),
+		ep:         ep,
 		snaps:      blcr.NewStore(job.Size()),
 		drains:     make(map[int]map[int]bool),
 		repByCycle: make(map[int]*CycleReport),
@@ -68,7 +72,7 @@ func New(k *sim.Kernel, job *mpi.Job, store *storage.System, cfg Config) *Coordi
 	for i := 0; i < job.Size(); i++ {
 		co.ctls = append(co.ctls, newController(co, job.Rank(i)))
 	}
-	return co
+	return co, nil
 }
 
 // Controller returns the controller attached to a rank.
@@ -132,7 +136,8 @@ func (co *Coordinator) ScheduleCheckpoint(t sim.Time) {
 // broadcast, and the first group's turn begins.
 func (co *Coordinator) RequestCheckpoint() {
 	if co.active {
-		panic("cr: overlapping checkpoint cycles")
+		co.k.Fail(fmt.Errorf("cr: overlapping checkpoint cycles"))
+		return
 	}
 	co.active = true
 	co.cycle++
@@ -165,13 +170,22 @@ func (co *Coordinator) RequestCheckpoint() {
 
 func (co *Coordinator) broadcast(payload any) {
 	for i := 0; i < co.job.Size(); i++ {
-		co.ep.SendOOB(i, payload)
+		co.send(i, payload)
 	}
 }
 
 func (co *Coordinator) sendGroup(group int, payload any) {
 	for _, r := range co.groups[group] {
-		co.ep.SendOOB(r, payload)
+		co.send(r, payload)
+	}
+}
+
+// send delivers a control message to a rank's endpoint. The rank set is
+// fixed at job creation, so a send failure is a simulator invariant
+// violation and aborts the run.
+func (co *Coordinator) send(rank int, payload any) {
+	if err := co.ep.SendOOB(rank, payload); err != nil {
+		co.k.Fail(fmt.Errorf("cr: coordinator sending to rank %d: %w", rank, err))
 	}
 }
 
@@ -220,13 +234,13 @@ func (co *Coordinator) onMsg(src int, payload any) {
 		if rep != nil && len(set) == co.job.Size() {
 			co.Trace.Add(co.k.Now(), -1, trace.KindStorage, "all-drained",
 				fmt.Sprintf("cycle %d durable", m.cycle))
-			co.snaps.MarkComplete(m.cycle)
+			co.markComplete(m.cycle)
 			rep.DrainedAt = co.k.Now()
 			delete(co.drains, m.cycle)
 			delete(co.repByCycle, m.cycle)
 		}
 	default:
-		panic(fmt.Sprintf("cr: coordinator got unexpected message %T from %d", payload, src))
+		co.k.Fail(fmt.Errorf("cr: coordinator got unexpected message %T from %d", payload, src))
 	}
 }
 
@@ -238,6 +252,14 @@ func (co *Coordinator) startTurn(turn int) {
 	co.broadcast(msgTurn{cycle: co.cycle, group: turn})
 	if co.cfg.Polled {
 		co.sendGroup(turn, msgGo{cycle: co.cycle, group: turn})
+	}
+}
+
+// markComplete archives the cycle's global checkpoint; a failure means the
+// protocol lost a snapshot and the simulation result would be wrong.
+func (co *Coordinator) markComplete(cycle int) {
+	if err := co.snaps.MarkComplete(cycle); err != nil {
+		co.k.Fail(err)
 	}
 }
 
@@ -265,13 +287,13 @@ func (co *Coordinator) finishCycle() {
 		// when every background drain finishes.
 		co.repByCycle[co.cycle] = rep
 		if set := co.drains[co.cycle]; len(set) == co.job.Size() {
-			co.snaps.MarkComplete(co.cycle)
+			co.markComplete(co.cycle)
 			rep.DrainedAt = co.k.Now()
 			delete(co.drains, co.cycle)
 			delete(co.repByCycle, co.cycle)
 		}
 	} else {
-		co.snaps.MarkComplete(co.cycle)
+		co.markComplete(co.cycle)
 	}
 	co.reports = append(co.reports, rep)
 	co.active = false

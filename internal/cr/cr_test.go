@@ -25,15 +25,36 @@ type testCluster struct {
 	co *Coordinator
 }
 
+// buildCluster wires storage, fabric, job, and coordinator on k.
+func buildCluster(k *sim.Kernel, n int, cfg Config) (*testCluster, error) {
+	st, err := storage.New(k, storage.Config{AggregateBW: 100 * testMB, ClientBW: 100 * testMB})
+	if err != nil {
+		return nil, err
+	}
+	f, err := ib.New(k, ib.PaperConfig())
+	if err != nil {
+		return nil, err
+	}
+	j, err := mpi.NewJob(k, f, mpi.DefaultConfig(), n)
+	if err != nil {
+		return nil, err
+	}
+	co, err := New(k, j, st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &testCluster{k: k, st: st, j: j, co: co}, nil
+}
+
 // newCluster builds an n-rank cluster with 100 MB/s aggregate storage (no
 // per-client cap below that) and the given C/R config.
-func newCluster(n int, cfg Config) *testCluster {
-	k := sim.NewKernel(1)
-	st := storage.New(k, storage.Config{AggregateBW: 100 * testMB, ClientBW: 100 * testMB})
-	f := ib.New(k, ib.PaperConfig())
-	j := mpi.NewJob(k, f, mpi.DefaultConfig(), n)
-	co := New(k, j, st, cfg)
-	return &testCluster{k: k, st: st, j: j, co: co}
+func newCluster(t testing.TB, n int, cfg Config) *testCluster {
+	t.Helper()
+	c, err := buildCluster(sim.NewKernel(1), n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 // computeLoop is a pure-compute workload body: iters chunks of the given
@@ -68,7 +89,7 @@ func TestRegularProtocolBasics(t *testing.T) {
 	const n = 4
 	cfg := DefaultConfig()
 	cfg.DefaultFootprint = 100 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	c.j.LaunchAll(computeLoop(50, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(2 * sim.Second)
 	runSim(t, c.k)
@@ -112,7 +133,7 @@ func TestGroupBasedScheduling(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.GroupSize = g
 	cfg.DefaultFootprint = 50 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	c.j.LaunchAll(computeLoop(80, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	runSim(t, c.k)
@@ -167,7 +188,7 @@ func TestEffectiveDelayReduction(t *testing.T) {
 	const n = 8
 	const iters, chunk = 100, 100 * sim.Millisecond
 	baseline := func() sim.Time {
-		c := newCluster(n, DefaultConfig())
+		c := newCluster(t, n, DefaultConfig())
 		c.j.LaunchAll(computeLoop(iters, chunk))
 		runSim(t, c.k)
 		return c.j.FinishTime()
@@ -177,7 +198,7 @@ func TestEffectiveDelayReduction(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.GroupSize = groupSize
 		cfg.DefaultFootprint = 100 * testMB
-		c := newCluster(n, cfg)
+		c := newCluster(t, n, cfg)
 		c.j.LaunchAll(computeLoop(iters, chunk))
 		c.co.ScheduleCheckpoint(2 * sim.Second)
 		runSim(t, c.k)
@@ -231,7 +252,7 @@ func TestApplicationCorrectAcrossCheckpoint(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.GroupSize = gs
 		cfg.DefaultFootprint = 20 * testMB
-		c := newCluster(n, cfg)
+		c := newCluster(t, n, cfg)
 		sums := make([]int64, n)
 		c.j.LaunchAll(ringWorkload(n, iters, 50*sim.Millisecond, sums))
 		c.co.ScheduleCheckpoint(500 * sim.Millisecond)
@@ -256,7 +277,7 @@ func TestCrossGroupTrafficDeferred(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.GroupSize = 1
 	cfg.DefaultFootprint = 100 * testMB // 1 s write each
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	var got []byte
 	c.j.Launch(0, func(e *mpi.Env) {
 		e.Compute(500 * sim.Millisecond)
@@ -291,7 +312,7 @@ func TestConnectionsRebuiltAfterCycle(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.GroupSize = 2
 	cfg.DefaultFootprint = 10 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	sums := make([]int64, n)
 	c.j.LaunchAll(ringWorkload(n, 30, 50*sim.Millisecond, sums))
 	c.co.ScheduleCheckpoint(300 * sim.Millisecond)
@@ -318,7 +339,7 @@ func TestConnectionsClosedAtSnapshot(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.GroupSize = 2
 	cfg.DefaultFootprint = 10 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	violations := 0
 	for i := 0; i < n; i++ {
 		i := i
@@ -360,7 +381,7 @@ func TestHelperThreadAblation(t *testing.T) {
 		cfg.GroupSize = 1
 		cfg.HelperEnabled = helper
 		cfg.DefaultFootprint = 1 * testMB
-		c := newCluster(2, cfg)
+		c := newCluster(t, 2, cfg)
 		// Establish a connection, then rank 1 computes one long chunk.
 		c.j.Launch(0, func(e *mpi.Env) {
 			e.Send(e.World(), 1, 0, []byte("warm"))
@@ -389,7 +410,7 @@ func TestFinishedRankCheckpoints(t *testing.T) {
 	const n = 3
 	cfg := DefaultConfig()
 	cfg.DefaultFootprint = 10 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	c.j.Launch(0, func(e *mpi.Env) {
 		e.Compute(100 * sim.Millisecond) // finishes before the checkpoint
 	})
@@ -410,7 +431,7 @@ func TestTwoSequentialCheckpoints(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.GroupSize = 2
 	cfg.DefaultFootprint = 10 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	sums := make([]int64, n)
 	c.j.LaunchAll(ringWorkload(n, 60, 50*sim.Millisecond, sums))
 	c.co.ScheduleCheckpoint(300 * sim.Millisecond)
@@ -432,20 +453,17 @@ func TestTwoSequentialCheckpoints(t *testing.T) {
 	}
 }
 
-func TestOverlappingCheckpointPanics(t *testing.T) {
+func TestOverlappingCheckpointFailsRun(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.DefaultFootprint = 100 * testMB
-	c := newCluster(2, cfg)
+	c := newCluster(t, 2, cfg)
 	c.j.LaunchAll(computeLoop(50, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	c.co.ScheduleCheckpoint(sim.Second + sim.Millisecond) // overlaps
-	defer func() {
-		if recover() == nil {
-			t.Error("overlapping cycles not rejected")
-		}
-	}()
-	_ = c.k.Run()
-	t.Fatal("expected panic from overlapping checkpoint request")
+	err := c.k.Run()
+	if err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Fatalf("overlapping cycles not rejected: %v", err)
+	}
 }
 
 func TestStaticGroupFormation(t *testing.T) {
@@ -544,7 +562,7 @@ func TestDynamicGroupsEndToEnd(t *testing.T) {
 	cfg.Dynamic = true
 	cfg.GroupSize = 2
 	cfg.DefaultFootprint = 10 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	results := make([]int64, n)
 	c.j.LaunchAll(func(e *mpi.Env) {
 		w := e.World()
@@ -595,10 +613,11 @@ func TestQuickProtocolConsistency(t *testing.T) {
 		cfg.DefaultFootprint = int64(rng.Intn(20)+1) * testMB
 		cfg.HelperEnabled = rng.Intn(4) != 0
 		k := sim.NewKernel(seed)
-		st := storage.New(k, storage.Config{AggregateBW: 100 * testMB, ClientBW: 100 * testMB})
-		f := ib.New(k, ib.PaperConfig())
-		j := mpi.NewJob(k, f, mpi.DefaultConfig(), n)
-		co := New(k, j, st, cfg)
+		c, err := buildCluster(k, n, cfg)
+		if err != nil {
+			return false
+		}
+		j, co := c.j, c.co
 		sums := make([]int64, n)
 		j.LaunchAll(ringWorkload(n, iters, sim.Time(rng.Intn(80)+20)*sim.Millisecond, sums))
 		co.ScheduleCheckpoint(sim.Time(rng.Intn(900)+100) * sim.Millisecond)
@@ -666,7 +685,7 @@ func TestEpochInvariantSignalMode(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.GroupSize = gs
 		cfg.DefaultFootprint = 30 * testMB
-		c := newCluster(n, cfg)
+		c := newCluster(t, n, cfg)
 		tr := installEpochTracer(c)
 		sums := make([]int64, n)
 		c.j.LaunchAll(ringWorkload(n, iters, 50*sim.Millisecond, sums))
@@ -695,11 +714,11 @@ func TestQuickEpochInvariant(t *testing.T) {
 		cfg.DefaultFootprint = int64(rng.Intn(30)+1) * testMB
 		cfg.HelperEnabled = rng.Intn(3) != 0
 		k := sim.NewKernel(seed)
-		st := storage.New(k, storage.Config{AggregateBW: 100 * testMB, ClientBW: 100 * testMB})
-		fab := ib.New(k, ib.PaperConfig())
-		j := mpi.NewJob(k, fab, mpi.DefaultConfig(), n)
-		co := New(k, j, st, cfg)
-		c := &testCluster{k: k, st: st, j: j, co: co}
+		c, err := buildCluster(k, n, cfg)
+		if err != nil {
+			return false
+		}
+		j, co := c.j, c.co
 		tr := installEpochTracer(c)
 		sums := make([]int64, n)
 		j.LaunchAll(ringWorkload(n, rng.Intn(25)+10, sim.Time(rng.Intn(80)+20)*sim.Millisecond, sums))
@@ -721,7 +740,7 @@ func TestStagedCheckpointing(t *testing.T) {
 	cfg.DefaultFootprint = 60 * testMB
 	cfg.Staged = true
 	cfg.LocalDiskBW = 60 * testMB // 1 s local write per rank
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	c.j.LaunchAll(computeLoop(80, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	runSim(t, c.k)
@@ -755,7 +774,7 @@ func TestStagedDrainGatesRestartEpoch(t *testing.T) {
 	cfg.DefaultFootprint = 100 * testMB
 	cfg.Staged = true
 	cfg.LocalDiskBW = 1000 * testMB // local write nearly instant
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	c.j.LaunchAll(computeLoop(100, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	// Probe completeness mid-drain: drains need 2x100MB/100MBps = 2 s.
@@ -778,7 +797,7 @@ func TestFailureMidCycleFallsBackToPreviousEpoch(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.GroupSize = 2
 	cfg.DefaultFootprint = 50 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	c.j.LaunchAll(computeLoop(100, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)     // completes ~2s
 	c.co.ScheduleCheckpoint(5 * sim.Second) // in flight at the failure
@@ -792,6 +811,7 @@ func TestFailureMidCycleFallsBackToPreviousEpoch(t *testing.T) {
 	if epoch != 1 || len(snaps) != n {
 		t.Fatalf("mid-cycle failure: Latest() = epoch %d with %d snaps, want epoch 1", epoch, len(snaps))
 	}
+	//lint:allow-simdeterminism order-independent verification; every entry is checked
 	for _, s := range snaps {
 		if err := s.Verify(); err != nil {
 			t.Fatal(err)
@@ -804,7 +824,7 @@ func TestTraceTimeline(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.GroupSize = 2
 	cfg.DefaultFootprint = 20 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	log := &trace.Log{}
 	c.co.Trace = log
 	c.j.LaunchAll(computeLoop(40, 100*sim.Millisecond))
@@ -841,7 +861,7 @@ func TestIncrementalSnapshotSizing(t *testing.T) {
 	cfg.DefaultFootprint = 100 * testMB
 	cfg.Incremental = true
 	cfg.DirtyBW = 1 * testMB // 1 MB/s of dirtied memory
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	c.j.LaunchAll(computeLoop(120, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	c.co.ScheduleCheckpoint(7 * sim.Second) // ~4s after the first completes
@@ -872,7 +892,7 @@ func TestIncrementalCapsAtFullFootprint(t *testing.T) {
 	cfg.DefaultFootprint = 10 * testMB
 	cfg.Incremental = true
 	cfg.DirtyBW = 100 * testMB // dirties everything between checkpoints
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	c.j.LaunchAll(computeLoop(80, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	c.co.ScheduleCheckpoint(5 * sim.Second)
@@ -887,7 +907,7 @@ func TestReportAndControllerAccessors(t *testing.T) {
 	const n = 2
 	cfg := DefaultConfig()
 	cfg.DefaultFootprint = 10 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	c.j.LaunchAll(computeLoop(30, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	if c.co.Active() {
@@ -922,7 +942,7 @@ func TestGanttShowsStaggering(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.GroupSize = 2
 	cfg.DefaultFootprint = 50 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	c.j.LaunchAll(computeLoop(60, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	runSim(t, c.k)
@@ -955,10 +975,11 @@ func TestQuickCollectivesAcrossCheckpoint(t *testing.T) {
 		cfg.GroupSize = gs
 		cfg.DefaultFootprint = int64(rng.Intn(20)+1) * testMB
 		k := sim.NewKernel(seed)
-		st := storage.New(k, storage.Config{AggregateBW: 100 * testMB, ClientBW: 100 * testMB})
-		fab := ib.New(k, ib.PaperConfig())
-		j := mpi.NewJob(k, fab, mpi.DefaultConfig(), n)
-		co := New(k, j, st, cfg)
+		c, err := buildCluster(k, n, cfg)
+		if err != nil {
+			return false
+		}
+		j, co := c.j, c.co
 		ok := make([]bool, n)
 		j.LaunchAll(func(e *mpi.Env) {
 			w := e.World()
@@ -1017,7 +1038,7 @@ func TestCycleBufferingAccountingReal(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.GroupSize = 1
 	cfg.DefaultFootprint = 100 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	c.j.Launch(0, func(e *mpi.Env) {
 		for i := 0; i < 3; i++ {
 			e.Recv(e.World(), 1, 0)
@@ -1053,7 +1074,7 @@ func TestStagedPolledWithFinishedRank(t *testing.T) {
 	cfg.Staged = true
 	cfg.LocalDiskBW = 100 * testMB
 	cfg.DefaultFootprint = 20 * testMB
-	c := newCluster(n, cfg)
+	c := newCluster(t, n, cfg)
 	sums := make([]int64, n)
 	c.j.Launch(0, func(e *mpi.Env) {
 		e.Compute(200 * sim.Millisecond) // finishes before the checkpoint

@@ -41,6 +41,7 @@ func FormDynamicGroups(n, maxSize int, traffic []map[int]int64) [][]int {
 	weight := make(map[[2]int]int64)
 	var maxW int64
 	for i := 0; i < n && i < len(traffic); i++ {
+		//lint:allow-simdeterminism commutative accumulation and max are order-independent
 		for j, w := range traffic[i] {
 			if j < 0 || j >= n || j == i {
 				continue
@@ -81,6 +82,7 @@ func FormDynamicGroups(n, maxSize int, traffic []map[int]int64) [][]int {
 			parent[rb] = ra
 		}
 	}
+	//lint:allow-simdeterminism union-by-minimum-root yields the same forest in any edge order
 	for key, w := range weight {
 		if w >= threshold {
 			union(key[0], key[1])
@@ -93,6 +95,7 @@ func FormDynamicGroups(n, maxSize int, traffic []map[int]int64) [][]int {
 	}
 	// "If the application mainly does global communication, fall back to
 	// static formation to limit the analysis cost."
+	//lint:allow-simdeterminism pure existence test; the same component triggers in any order
 	for _, c := range comps {
 		if len(c) > (n*4)/5 && len(c) > maxSize {
 			return FormStaticGroups(n, maxSize)
@@ -100,6 +103,7 @@ func FormDynamicGroups(n, maxSize int, traffic []map[int]int64) [][]int {
 	}
 	// Deterministic component order by smallest member.
 	roots := make([]int, 0, len(comps))
+	//lint:allow-simdeterminism keys are sorted below before use
 	for root := range comps {
 		roots = append(roots, root)
 	}

@@ -139,7 +139,7 @@ type stridedPairs struct {
 
 func (w stridedPairs) Name() string { return fmt.Sprintf("stridedpairs(n=%d)", w.n) }
 
-func (w stridedPairs) Launch(j *mpi.Job) workload.Instance {
+func (w stridedPairs) Launch(j *mpi.Job) (workload.Instance, error) {
 	payload := make([]byte, 1024)
 	for i := 0; i < w.n; i++ {
 		j.Launch(i, func(e *mpi.Env) {
@@ -151,7 +151,7 @@ func (w stridedPairs) Launch(j *mpi.Job) workload.Instance {
 			}
 		})
 	}
-	return workload.ConstFootprint(w.footprintMB << 20)
+	return workload.ConstFootprint(w.footprintMB << 20), nil
 }
 
 // AblationConnCost sweeps the out-of-band connection-management latency to

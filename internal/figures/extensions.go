@@ -55,7 +55,9 @@ func (g *Generator) ExtensionLogging() (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("figures: logging extension: %w", err)
 		}
-		w.Launch(c.Job)
+		if _, err := w.Launch(c.Job); err != nil {
+			return nil, fmt.Errorf("figures: logging extension: %w", err)
+		}
 		// One group-based checkpoint mid-run, so the buffering row shows
 		// how little the deferral approach actually copies.
 		c.Coord.ScheduleCheckpoint(2 * sim.Second)
@@ -131,7 +133,9 @@ func (g *Generator) ExtensionIncremental() (*Table, error) {
 		if err != nil {
 			return err
 		}
-		w.Launch(c.Job)
+		if _, err := w.Launch(c.Job); err != nil {
+			return err
+		}
 		for _, at := range []sim.Time{10 * sim.Second, 60 * sim.Second, 110 * sim.Second} {
 			c.Coord.ScheduleCheckpoint(at)
 		}

@@ -28,11 +28,17 @@ func (g *Generator) Fig1() (*Table, error) {
 	err := g.R.ForEach(len(clients), func(pt int) error {
 		n := clients[pt]
 		k := sim.NewKernel(1)
-		st := storage.New(k, storage.PaperConfig())
+		st, err := storage.New(k, storage.PaperConfig())
+		if err != nil {
+			return fmt.Errorf("figures: fig1 storage: %w", err)
+		}
 		var makespan sim.Time
 		for i := 0; i < n; i++ {
 			k.Spawn(fmt.Sprintf("client%d", i), func(p *sim.Proc) {
-				st.Write(p, size)
+				if _, err := st.Write(p, size); err != nil {
+					k.Fail(fmt.Errorf("figures: fig1 write: %w", err))
+					return
+				}
 				if p.Now() > makespan {
 					makespan = p.Now()
 				}

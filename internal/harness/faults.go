@@ -45,7 +45,10 @@ func RunWithPeriodicCheckpoints(cfg ClusterConfig, w workload.Restartable,
 		if err != nil {
 			return res, err
 		}
-		inst := w.LaunchFrom(c.Job, appStates)
+		inst, err := w.LaunchFrom(c.Job, appStates)
+		if err != nil {
+			return res, err
+		}
 		ri, ok := inst.(workload.RestartableInstance)
 		if !ok {
 			return res, fmt.Errorf("harness: %s is not restartable", w.Name())
@@ -57,7 +60,7 @@ func RunWithPeriodicCheckpoints(cfg ClusterConfig, w workload.Restartable,
 					return res, err
 				}
 			}
-			c.Coord.Controller(i).CaptureFn = func() []byte { return ri.Capture(i) }
+			c.Coord.Controller(i).CaptureFn = func() ([]byte, error) { return ri.Capture(i) }
 			c.Coord.Controller(i).FootprintFn = func() int64 { return inst.Footprint(i) }
 		}
 		// Periodic checkpoints: the next request is scheduled when the

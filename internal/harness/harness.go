@@ -92,21 +92,36 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	k := sim.NewKernel(cfg.Seed)
-	st := storage.New(k, cfg.Storage)
-	f := ib.New(k, cfg.Fabric)
-	j := mpi.NewJob(k, f, cfg.MPI, cfg.N)
-	co := cr.New(k, j, st, cfg.CR)
+	st, err := storage.New(k, cfg.Storage)
+	if err != nil {
+		return nil, err
+	}
+	f, err := ib.New(k, cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	j, err := mpi.NewJob(k, f, cfg.MPI, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	co, err := cr.New(k, j, st, cfg.CR)
+	if err != nil {
+		return nil, err
+	}
 	return &Cluster{K: k, Storage: st, Fabric: f, Job: j, Coord: co}, nil
 }
 
 // launch wires a workload instance into the cluster's controllers.
-func (c *Cluster) launch(w workload.Workload) workload.Instance {
-	inst := w.Launch(c.Job)
+func (c *Cluster) launch(w workload.Workload) (workload.Instance, error) {
+	inst, err := w.Launch(c.Job)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < c.Job.Size(); i++ {
 		i := i
 		c.Coord.Controller(i).FootprintFn = func() int64 { return inst.Footprint(i) }
 	}
-	return inst
+	return inst, nil
 }
 
 // run drives the kernel to completion and checks the job finished.
@@ -152,7 +167,9 @@ func Baseline(cfg ClusterConfig, w workload.Workload) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.launch(w)
+	if _, err := c.launch(w); err != nil {
+		return 0, err
+	}
 	if err := c.run("baseline"); err != nil {
 		return 0, err
 	}
@@ -169,7 +186,9 @@ func MeasureWithBaseline(cfg ClusterConfig, w workload.Workload, issuedAt, basel
 	if err != nil {
 		return Result{}, err
 	}
-	c.launch(w)
+	if _, err := c.launch(w); err != nil {
+		return Result{}, err
+	}
 	c.Coord.ScheduleCheckpoint(issuedAt)
 	if err := c.run("checkpointed"); err != nil {
 		return Result{}, err
@@ -217,7 +236,9 @@ func MeasureTraced(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time, lo
 		return Result{}, err
 	}
 	c.Coord.Trace = log
-	c.launch(w)
+	if _, err := c.launch(w); err != nil {
+		return Result{}, err
+	}
 	c.Coord.ScheduleCheckpoint(issuedAt)
 	if err := c.run("traced"); err != nil {
 		return Result{}, err

@@ -107,7 +107,11 @@ func TestRestartAllgatherEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refInst := w.Launch(ref.Job).(*workload.AllgatherInstance)
+	launched, err := w.Launch(ref.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refInst := launched.(*workload.AllgatherInstance)
 	if err := ref.K.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +183,11 @@ func TestRestartStencilEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refInst := w.Launch(ref.Job).(*workload.StencilInstance)
+	launched, err := w.Launch(ref.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refInst := launched.(*workload.StencilInstance)
 	if err := ref.K.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -267,6 +275,7 @@ func TestRestartRealMinerEquivalence(t *testing.T) {
 	if len(inst.Frequent) != len(want) {
 		t.Fatalf("restarted miner found %d patterns, serial %d", len(inst.Frequent), len(want))
 	}
+	//lint:allow-simdeterminism order-independent verification; every entry is checked
 	for pat, sup := range want {
 		if inst.Frequent[pat] != sup {
 			t.Fatalf("pattern %q: restarted %d, serial %d", pat, inst.Frequent[pat], sup)

@@ -34,14 +34,17 @@ func RunWithFailure(cfg ClusterConfig, w workload.Restartable, ckptAt []sim.Time
 	if err != nil {
 		return FailureResult{}, err
 	}
-	inst := c.launch(w)
+	inst, err := c.launch(w)
+	if err != nil {
+		return FailureResult{}, err
+	}
 	ri, ok := inst.(workload.RestartableInstance)
 	if !ok {
 		return FailureResult{}, fmt.Errorf("harness: %s's instance is not restartable", w.Name())
 	}
 	for i := 0; i < c.Job.Size(); i++ {
 		i := i
-		c.Coord.Controller(i).CaptureFn = func() []byte { return ri.Capture(i) }
+		c.Coord.Controller(i).CaptureFn = func() ([]byte, error) { return ri.Capture(i) }
 	}
 	for _, at := range ckptAt {
 		c.Coord.ScheduleCheckpoint(at)
@@ -73,7 +76,10 @@ func RunWithFailure(cfg ClusterConfig, w workload.Restartable, ckptAt []sim.Time
 		}
 		appStates[i] = s.AppState
 	}
-	inst2 := w.LaunchFrom(c2.Job, appStates)
+	inst2, err := w.LaunchFrom(c2.Job, appStates)
+	if err != nil {
+		return FailureResult{}, fmt.Errorf("harness: relaunch: %w", err)
+	}
 	for i := 0; i < cfg.N; i++ {
 		if err := c2.Job.Rank(i).RestoreLibState(snaps[i].LibState); err != nil {
 			return FailureResult{}, fmt.Errorf("harness: restore rank %d: %w", i, err)
@@ -85,7 +91,10 @@ func RunWithFailure(cfg ClusterConfig, w workload.Restartable, ckptAt []sim.Time
 	// processes resume (all ranks read concurrently).
 	var readback sim.Time
 	for i := 0; i < cfg.N; i++ {
-		tr := c2.Storage.Start(snaps[i].Size())
+		tr, err := c2.Storage.Start(snaps[i].Size())
+		if err != nil {
+			return FailureResult{}, fmt.Errorf("harness: readback rank %d: %w", i, err)
+		}
 		tr.OnDone(func() {
 			if t := tr.Elapsed(); t > readback {
 				readback = t

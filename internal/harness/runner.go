@@ -24,9 +24,9 @@ type Runner struct {
 	workers int
 
 	mu        sync.Mutex
-	baselines map[string]*baselineEntry
-	hits      int
-	misses    int
+	baselines map[string]*baselineEntry // guarded by mu
+	hits      int                       // guarded by mu
+	misses    int                       // guarded by mu
 }
 
 // baselineEntry memoizes one baseline run. The sync.Once dedups in-flight

@@ -65,11 +65,11 @@ type Fabric struct {
 }
 
 // New creates an empty fabric.
-func New(k *sim.Kernel, cfg Config) *Fabric {
+func New(k *sim.Kernel, cfg Config) (*Fabric, error) {
 	if cfg.LinkBW <= 0 {
-		panic("ib: LinkBW must be positive")
+		return nil, fmt.Errorf("ib: LinkBW must be positive, got %v", cfg.LinkBW)
 	}
-	return &Fabric{k: k, cfg: cfg, eps: make(map[int]*Endpoint)}
+	return &Fabric{k: k, cfg: cfg, eps: make(map[int]*Endpoint)}, nil
 }
 
 // Config returns the fabric configuration.
@@ -183,13 +183,13 @@ type Endpoint struct {
 
 // AddEndpoint registers a new endpoint with the given id (ids need not be
 // contiguous; the checkpoint coordinator uses a negative id).
-func (f *Fabric) AddEndpoint(id int) *Endpoint {
+func (f *Fabric) AddEndpoint(id int) (*Endpoint, error) {
 	if _, dup := f.eps[id]; dup {
-		panic(fmt.Sprintf("ib: duplicate endpoint id %d", id))
+		return nil, fmt.Errorf("ib: duplicate endpoint id %d", id)
 	}
 	ep := &Endpoint{f: f, id: id, conns: make(map[int]*conn)}
 	f.eps[id] = ep
-	return ep
+	return ep, nil
 }
 
 // ID returns the endpoint id.
@@ -218,6 +218,7 @@ func (ep *Endpoint) Connected(peer int) bool { return ep.State(peer) == StateCon
 // Peers returns the ids of all peers with a non-closed connection, sorted.
 func (ep *Endpoint) Peers() []int {
 	out := make([]int, 0, len(ep.conns))
+	//lint:allow-simdeterminism keys are sorted below before the slice is returned
 	for p := range ep.conns {
 		out = append(out, p)
 	}
@@ -228,10 +229,10 @@ func (ep *Endpoint) Peers() []int {
 // transmit sends a packet in-band: the NIC serializes egress at LinkBW, then
 // the packet arrives after the wire latency. Per-destination FIFO order is
 // guaranteed (serial egress + constant latency).
-func (ep *Endpoint) transmit(dst int, size int64, payload any) {
+func (ep *Endpoint) transmit(dst int, size int64, payload any) error {
 	peer := ep.f.eps[dst]
 	if peer == nil {
-		panic(fmt.Sprintf("ib: endpoint %d sending to unknown endpoint %d", ep.id, dst))
+		return fmt.Errorf("ib: endpoint %d sending to unknown endpoint %d", ep.id, dst)
 	}
 	k := ep.f.k
 	start := k.Now()
@@ -245,20 +246,40 @@ func (ep *Endpoint) transmit(dst int, size int64, payload any) {
 	k.At(arrival, func() { peer.receive(workItem{src: src, size: size, payload: payload}) })
 	ep.stats.MessagesSent++
 	ep.stats.BytesSent += size
+	return nil
 }
 
 // SendOOB sends a payload over the out-of-band management channel. It does
 // not require a connection and does not consume link bandwidth.
-func (ep *Endpoint) SendOOB(dst int, payload any) {
+func (ep *Endpoint) SendOOB(dst int, payload any) error {
 	peer := ep.f.eps[dst]
 	if peer == nil {
-		panic(fmt.Sprintf("ib: endpoint %d sending OOB to unknown endpoint %d", ep.id, dst))
+		return fmt.Errorf("ib: endpoint %d sending OOB to unknown endpoint %d", ep.id, dst)
 	}
 	src := ep.id
 	ep.stats.OOBSent++
 	ep.f.k.After(ep.f.cfg.OOBLatency, func() {
 		peer.receive(workItem{src: src, oob: true, payload: payload})
 	})
+	return nil
+}
+
+// sendCM sends an internal connection-management or control payload over the
+// out-of-band channel. The peer was validated when the connection was
+// created, so a lookup failure here is a fabric invariant violation and
+// aborts the simulation.
+func (ep *Endpoint) sendCM(dst int, payload any) {
+	if err := ep.SendOOB(dst, payload); err != nil {
+		ep.f.k.Fail(err)
+	}
+}
+
+// sendCtl transmits an internal in-band control packet (flush protocol),
+// failing the simulation on a fabric invariant violation like sendCM.
+func (ep *Endpoint) sendCtl(dst int, size int64, payload any) {
+	if err := ep.transmit(dst, size, payload); err != nil {
+		ep.f.k.Fail(err)
+	}
 }
 
 // Send transmits an application payload of the given wire size to dst over
@@ -271,8 +292,7 @@ func (ep *Endpoint) Send(dst int, size int64, payload any) error {
 	case c.state == StateDraining || c.state == StateDisconnecting:
 		return ErrDraining
 	}
-	ep.transmit(dst, size, payload)
-	return nil
+	return ep.transmit(dst, size, payload)
 }
 
 // receive handles an arrived packet. Connection-management packets are
@@ -381,16 +401,20 @@ func (ep *Endpoint) promoteOnInband(peer int) {
 // Connect initiates connection establishment toward peer. meta is an opaque
 // value shown to the peer's AcceptConn hook. Calling Connect on a connection
 // that exists in any state is a no-op.
-func (ep *Endpoint) Connect(peer int, meta int64) {
+func (ep *Endpoint) Connect(peer int, meta int64) error {
 	if peer == ep.id {
-		panic("ib: self-connection")
+		return fmt.Errorf("ib: endpoint %d connecting to itself", ep.id)
+	}
+	if ep.f.eps[peer] == nil {
+		return fmt.Errorf("ib: endpoint %d connecting to unknown endpoint %d", ep.id, peer)
 	}
 	if ep.conns[peer] != nil {
-		return
+		return nil
 	}
 	ep.conns[peer] = &conn{peer: peer, state: StateConnecting, meta: meta}
 	ep.stats.ConnectsInitiated++
-	ep.SendOOB(peer, cmConnReq{meta: meta})
+	ep.sendCM(peer, cmConnReq{meta: meta})
+	return nil
 }
 
 func (ep *Endpoint) handleConnReq(it workItem, req cmConnReq) {
@@ -405,7 +429,7 @@ func (ep *Endpoint) handleConnReq(it workItem, req cmConnReq) {
 				c.state = StateAccepting
 				c.meta = req.meta
 				ep.stats.ConnectsAccepted++
-				ep.SendOOB(peer, cmConnRep{})
+				ep.sendCM(peer, cmConnRep{})
 			}
 			// Lower id: ignore; the peer will abandon its REQ.
 			return
@@ -420,7 +444,7 @@ func (ep *Endpoint) handleConnReq(it workItem, req cmConnReq) {
 	}
 	ep.conns[peer] = &conn{peer: peer, state: StateAccepting, meta: req.meta}
 	ep.stats.ConnectsAccepted++
-	ep.SendOOB(peer, cmConnRep{})
+	ep.sendCM(peer, cmConnRep{})
 }
 
 func (ep *Endpoint) handleConnRep(peer int) {
@@ -429,7 +453,7 @@ func (ep *Endpoint) handleConnRep(peer int) {
 		return
 	}
 	c.state = StateConnected
-	ep.SendOOB(peer, cmConnRtu{})
+	ep.sendCM(peer, cmConnRtu{})
 	if ep.OnConnUp != nil {
 		ep.OnConnUp(peer)
 	}
@@ -458,7 +482,7 @@ func (ep *Endpoint) Disconnect(peer int) {
 	c.state = StateDraining
 	c.initiator = true
 	c.sentFlush = true
-	ep.transmit(peer, ep.f.cfg.CtlSize, ctlFlush{})
+	ep.sendCtl(peer, ep.f.cfg.CtlSize, ctlFlush{})
 }
 
 func (ep *Endpoint) handleFlush(peer int) {
@@ -477,7 +501,7 @@ func (ep *Endpoint) handleFlush(peer int) {
 	default:
 		return
 	}
-	ep.transmit(peer, ep.f.cfg.CtlSize, ctlFlushAck{})
+	ep.sendCtl(peer, ep.f.cfg.CtlSize, ctlFlushAck{})
 }
 
 func (ep *Endpoint) handleFlushAck(peer int) {
@@ -487,19 +511,19 @@ func (ep *Endpoint) handleFlushAck(peer int) {
 	}
 	c.gotFlushAck = true
 	c.state = StateDisconnecting
-	ep.SendOOB(peer, cmDiscReq{})
+	ep.sendCM(peer, cmDiscReq{})
 }
 
 func (ep *Endpoint) handleDiscReq(peer int) {
 	c := ep.conns[peer]
 	if c == nil {
 		// Already closed (crossing disconnects); stay idempotent.
-		ep.SendOOB(peer, cmDiscRep{})
+		ep.sendCM(peer, cmDiscRep{})
 		return
 	}
 	switch c.state {
 	case StateDraining, StateDisconnecting:
-		ep.SendOOB(peer, cmDiscRep{})
+		ep.sendCM(peer, cmDiscRep{})
 		ep.closeConn(peer)
 	}
 }

@@ -10,14 +10,42 @@ import (
 	"gbcr/internal/sim"
 )
 
+// newFabric builds a Fabric, failing the test on a config error.
+func newFabric(t testing.TB, k *sim.Kernel, cfg Config) *Fabric {
+	t.Helper()
+	f, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// addEP registers an endpoint, failing the test on a duplicate id.
+func addEP(t testing.TB, f *Fabric, id int) *Endpoint {
+	t.Helper()
+	ep, err := f.AddEndpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+// connect initiates a connection and reports any immediate error on t.
+func connect(t testing.TB, ep *Endpoint, peer int, meta int64) {
+	t.Helper()
+	if err := ep.Connect(peer, meta); err != nil {
+		t.Error(err)
+	}
+}
+
 // testPair builds a kernel, fabric, and two endpoints with immediate
 // progress (OnWork = Progress), the configuration used by most tests.
 func testPair(t *testing.T) (*sim.Kernel, *Fabric, *Endpoint, *Endpoint) {
 	t.Helper()
 	k := sim.NewKernel(1)
-	f := New(k, PaperConfig())
-	a := f.AddEndpoint(0)
-	b := f.AddEndpoint(1)
+	f := newFabric(t, k, PaperConfig())
+	a := addEP(t, f, 0)
+	b := addEP(t, f, 1)
 	a.OnWork = a.Progress
 	b.OnWork = b.Progress
 	return k, f, a, b
@@ -28,7 +56,7 @@ func TestConnectHandshake(t *testing.T) {
 	var upA, upB sim.Time = -1, -1
 	a.OnConnUp = func(peer int) { upA = k.Now() }
 	b.OnConnUp = func(peer int) { upB = k.Now() }
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +77,7 @@ func TestSendRequiresConnection(t *testing.T) {
 	if err := a.Send(1, 100, "x"); err != ErrNotConnected {
 		t.Fatalf("Send without connection: %v, want ErrNotConnected", err)
 	}
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	if err := a.Send(1, 100, "x"); err != ErrNotConnected {
 		t.Fatalf("Send while connecting: %v, want ErrNotConnected", err)
 	}
@@ -65,7 +93,7 @@ func TestDataDeliveryTimingAndOrder(t *testing.T) {
 	b.OnMessage = func(src int, size int64, payload any) {
 		got = append(got, rec{k.Now(), payload})
 	}
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	cfg := f.Config()
 	const size = 14 * MB // 10ms at 1400 MB/s
 	k.At(sim.Millisecond, func() {
@@ -96,8 +124,8 @@ func TestCrossingConnects(t *testing.T) {
 	ups := 0
 	a.OnConnUp = func(int) { ups++ }
 	b.OnConnUp = func(int) { ups++ }
-	a.Connect(1, 0)
-	b.Connect(0, 0)
+	connect(t, a, 1, 0)
+	connect(t, b, 0, 0)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +161,7 @@ func TestAcceptConnDeferAndReexamine(t *testing.T) {
 	b.AcceptConn = func(peer int, meta int64) bool { return allow }
 	up := false
 	a.OnConnUp = func(int) { up = true }
-	a.Connect(1, 42)
+	connect(t, a, 1, 42)
 	if err := k.RunUntil(10 * sim.Millisecond); err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +192,7 @@ func TestDisconnectFlushesInFlight(t *testing.T) {
 	b.OnMessage = func(int, int64, any) { msgAt = k.Now() }
 	a.OnConnDown = func(int) {}
 	b.OnConnDown = func(int) { downAt = k.Now() }
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	k.At(sim.Millisecond, func() {
 		// Send a large message and immediately initiate disconnect: the
 		// flush marker queues behind the data on the egress.
@@ -192,7 +220,7 @@ func TestDisconnectBothSidesNotified(t *testing.T) {
 	downs := 0
 	a.OnConnDown = func(int) { downs++ }
 	b.OnConnDown = func(int) { downs++ }
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	k.At(sim.Millisecond, func() { a.Disconnect(1) })
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -207,7 +235,7 @@ func TestCrossingDisconnects(t *testing.T) {
 	downsA, downsB := 0, 0
 	a.OnConnDown = func(int) { downsA++ }
 	b.OnConnDown = func(int) { downsB++ }
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	k.At(sim.Millisecond, func() {
 		a.Disconnect(1)
 		b.Disconnect(0)
@@ -225,7 +253,7 @@ func TestCrossingDisconnects(t *testing.T) {
 
 func TestSendWhileDrainingFails(t *testing.T) {
 	k, _, a, b := testPair(t)
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	var sendErrA, sendErrB error
 	k.At(sim.Millisecond, func() {
 		a.Disconnect(1)
@@ -251,9 +279,9 @@ func TestReconnectAfterDisconnect(t *testing.T) {
 	k, _, a, b := testPair(t)
 	delivered := 0
 	b.OnMessage = func(int, int64, any) { delivered++ }
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	k.At(sim.Millisecond, func() { a.Disconnect(1) })
-	k.At(10*sim.Millisecond, func() { b.Connect(0, 7) }) // other side initiates this time
+	k.At(10*sim.Millisecond, func() { connect(t, b, 0, 7) }) // other side initiates this time
 	k.At(20*sim.Millisecond, func() {
 		if err := a.Send(1, 64, "again"); err != nil {
 			t.Errorf("send after reconnect: %v", err)
@@ -272,10 +300,10 @@ func TestCMProcessedWithoutProgress(t *testing.T) {
 	// (MVAPICH2's CM thread): handshakes complete even when neither side
 	// ever calls Progress.
 	k := sim.NewKernel(1)
-	f := New(k, PaperConfig())
-	a := f.AddEndpoint(0)
-	b := f.AddEndpoint(1)
-	a.Connect(1, 0)
+	f := newFabric(t, k, PaperConfig())
+	a := addEP(t, f, 0)
+	b := addEP(t, f, 1)
+	connect(t, a, 1, 0)
 	if err := k.RunUntil(50 * sim.Millisecond); err != nil {
 		t.Fatal(err)
 	}
@@ -288,13 +316,13 @@ func TestProgressDeferralForData(t *testing.T) {
 	// In-band traffic queues until Progress — the model of a process busy
 	// in computation.
 	k := sim.NewKernel(1)
-	f := New(k, PaperConfig())
-	a := f.AddEndpoint(0)
-	b := f.AddEndpoint(1)
+	f := newFabric(t, k, PaperConfig())
+	a := addEP(t, f, 0)
+	b := addEP(t, f, 1)
 	a.OnWork = a.Progress
 	delivered := false
 	b.OnMessage = func(int, int64, any) { delivered = true }
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	k.At(sim.Millisecond, func() {
 		if err := a.Send(1, 64, "payload"); err != nil {
 			t.Errorf("send: %v", err)
@@ -318,7 +346,9 @@ func TestOOBDelivery(t *testing.T) {
 	var got any
 	var at sim.Time
 	b.OnOOB = func(src int, payload any) { got, at = payload, k.Now() }
-	a.SendOOB(1, "coordination")
+	if err := a.SendOOB(1, "coordination"); err != nil {
+		t.Fatal(err)
+	}
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -330,9 +360,11 @@ func TestOOBDelivery(t *testing.T) {
 func TestStats(t *testing.T) {
 	k, _, a, b := testPair(t)
 	b.OnMessage = func(int, int64, any) {}
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	k.At(sim.Millisecond, func() {
-		_ = a.Send(1, 1000, "x")
+		if err := a.Send(1, 1000, "x"); err != nil {
+			t.Errorf("send: %v", err)
+		}
 	})
 	k.At(2*sim.Millisecond, func() { a.Disconnect(1) })
 	if err := k.Run(); err != nil {
@@ -353,37 +385,31 @@ func TestStats(t *testing.T) {
 	}
 }
 
-func TestSelfConnectPanics(t *testing.T) {
+func TestSelfConnectError(t *testing.T) {
 	_, _, a, _ := testPair(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("self-connect did not panic")
-		}
-	}()
-	a.Connect(0, 0)
+	if err := a.Connect(0, 0); err == nil {
+		t.Fatal("self-connect did not error")
+	}
 }
 
-func TestDuplicateEndpointPanics(t *testing.T) {
+func TestDuplicateEndpointError(t *testing.T) {
 	k := sim.NewKernel(1)
-	f := New(k, PaperConfig())
-	f.AddEndpoint(3)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate endpoint did not panic")
-		}
-	}()
-	f.AddEndpoint(3)
+	f := newFabric(t, k, PaperConfig())
+	addEP(t, f, 3)
+	if _, err := f.AddEndpoint(3); err == nil {
+		t.Fatal("duplicate endpoint did not error")
+	}
 }
 
 func TestPeersSorted(t *testing.T) {
 	k := sim.NewKernel(1)
-	f := New(k, PaperConfig())
-	a := f.AddEndpoint(0)
+	f := newFabric(t, k, PaperConfig())
+	a := addEP(t, f, 0)
 	a.OnWork = a.Progress
 	for _, id := range []int{5, 2, 9} {
-		ep := f.AddEndpoint(id)
+		ep := addEP(t, f, id)
 		ep.OnWork = ep.Progress
-		a.Connect(id, 0)
+		connect(t, a, id, 0)
 	}
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -400,14 +426,14 @@ func TestQuickDeliveryExactlyOnceFIFO(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		k := sim.NewKernel(seed)
-		fab := New(k, PaperConfig())
+		fab := newFabric(t, k, PaperConfig())
 		n := rng.Intn(5) + 2
 		eps := make([]*Endpoint, n)
 		type key struct{ src, dst int }
 		recv := make(map[key][]int)
 		for i := 0; i < n; i++ {
 			i := i
-			eps[i] = fab.AddEndpoint(i)
+			eps[i] = addEP(t, fab, i)
 			eps[i].OnWork = eps[i].Progress
 			eps[i].OnMessage = func(src int, size int64, payload any) {
 				recv[key{src, i}] = append(recv[key{src, i}], payload.(int))
@@ -416,7 +442,9 @@ func TestQuickDeliveryExactlyOnceFIFO(t *testing.T) {
 		// Full mesh.
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				eps[i].Connect(j, 0)
+				if err := eps[i].Connect(j, 0); err != nil {
+					return false
+				}
 			}
 		}
 		// Random sends after the mesh settles. Send times increase
@@ -444,6 +472,7 @@ func TestQuickDeliveryExactlyOnceFIFO(t *testing.T) {
 		if err := k.Run(); err != nil {
 			return false
 		}
+		//lint:allow-simdeterminism order-independent verification; every entry is checked
 		for kk, cnt := range sent {
 			got := recv[kk]
 			if len(got) != cnt {
@@ -469,11 +498,11 @@ func TestQuickConnChurnConverges(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		k := sim.NewKernel(seed)
-		fab := New(k, PaperConfig())
+		fab := newFabric(t, k, PaperConfig())
 		const n = 4
 		eps := make([]*Endpoint, n)
 		for i := 0; i < n; i++ {
-			eps[i] = fab.AddEndpoint(i)
+			eps[i] = addEP(t, fab, i)
 			eps[i].OnWork = eps[i].Progress
 		}
 		for op := 0; op < 30; op++ {
@@ -483,7 +512,7 @@ func TestQuickConnChurnConverges(t *testing.T) {
 			}
 			at := sim.Time(rng.Intn(20000)) * sim.Microsecond
 			if rng.Intn(2) == 0 {
-				k.At(at, func() { eps[i].Connect(j, 0) })
+				k.At(at, func() { connect(t, eps[i], j, 0) })
 			} else {
 				k.At(at, func() { eps[i].Disconnect(j) })
 			}
@@ -529,8 +558,12 @@ func TestOnOOBImmediateConsumes(t *testing.T) {
 		return false
 	}
 	b.OnOOB = func(src int, payload any) { queued = append(queued, payload.(string)) }
-	a.SendOOB(1, "ctl:checkpoint")
-	a.SendOOB(1, "app:data")
+	if err := a.SendOOB(1, "ctl:checkpoint"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendOOB(1, "app:data"); err != nil {
+		t.Fatal(err)
+	}
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -544,7 +577,7 @@ func TestOnOOBImmediateConsumes(t *testing.T) {
 
 func TestEgressFreeTracksTransmit(t *testing.T) {
 	k, f, a, b := testPair(t)
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	var txEnd sim.Time
 	const size = 14 * MB // 10ms on the wire
 	k.At(sim.Millisecond, func() {
@@ -566,7 +599,7 @@ func TestEgressFreeTracksTransmit(t *testing.T) {
 func TestDisconnectNonEstablishedIsNoop(t *testing.T) {
 	k, _, a, _ := testPair(t)
 	a.Disconnect(1) // no connection at all
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	a.Disconnect(1) // still connecting, not established
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -580,8 +613,12 @@ func TestDisconnectNonEstablishedIsNoop(t *testing.T) {
 func TestStatsOOBCount(t *testing.T) {
 	k, _, a, b := testPair(t)
 	b.OnOOB = func(int, any) {}
-	a.SendOOB(1, "one")
-	a.SendOOB(1, "two")
+	if err := a.SendOOB(1, "one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendOOB(1, "two"); err != nil {
+		t.Fatal(err)
+	}
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -592,8 +629,8 @@ func TestStatsOOBCount(t *testing.T) {
 
 func TestFabricAccessorsAndValidation(t *testing.T) {
 	k := sim.NewKernel(1)
-	f := New(k, PaperConfig())
-	ep := f.AddEndpoint(5)
+	f := newFabric(t, k, PaperConfig())
+	ep := addEP(t, f, 5)
 	if f.Endpoint(5) != ep || ep.ID() != 5 {
 		t.Fatal("fabric accessors")
 	}
@@ -603,25 +640,26 @@ func TestFabricAccessorsAndValidation(t *testing.T) {
 	if ConnState(99).String() == "" {
 		t.Fatal("unknown state string")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero LinkBW accepted")
-		}
-	}()
-	New(k, Config{})
+	if _, err := New(k, Config{}); err == nil {
+		t.Fatal("zero LinkBW accepted")
+	}
 }
 
 func TestStrayControlPacketsIgnored(t *testing.T) {
 	// Control packets for unknown or wrongly-stated connections must be
 	// ignored without corrupting state.
 	k, _, a, b := testPair(t)
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	k.At(5*sim.Millisecond, func() {
 		// Stray flush/ack toward an established connection's peer with no
 		// drain in progress: handleFlushAck must ignore it.
-		a.transmit(1, 64, ctlFlushAck{})
+		if err := a.transmit(1, 64, ctlFlushAck{}); err != nil {
+			t.Errorf("stray flush-ack: %v", err)
+		}
 		// Stray DiscRep with no disconnect in progress.
-		a.SendOOB(1, cmDiscRep{})
+		if err := a.SendOOB(1, cmDiscRep{}); err != nil {
+			t.Errorf("stray disc-rep: %v", err)
+		}
 	})
 	k.At(10*sim.Millisecond, func() {
 		if !a.Connected(1) || !b.Connected(0) {
@@ -644,10 +682,14 @@ func TestStrayControlPacketsIgnored(t *testing.T) {
 
 func TestDuplicateConnReqIgnored(t *testing.T) {
 	k, _, a, b := testPair(t)
-	a.Connect(1, 0)
+	connect(t, a, 1, 0)
 	// A duplicate REQ arriving after establishment must not reset the
 	// connection.
-	k.At(5*sim.Millisecond, func() { a.SendOOB(1, cmConnReq{meta: 9}) })
+	k.At(5*sim.Millisecond, func() {
+		if err := a.SendOOB(1, cmConnReq{meta: 9}); err != nil {
+			t.Errorf("duplicate REQ: %v", err)
+		}
+	})
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}

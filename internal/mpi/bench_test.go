@@ -11,8 +11,14 @@ import (
 // stack (matching, protocol, fabric events) in wall-clock terms.
 func BenchmarkPingPong(b *testing.B) {
 	k := sim.NewKernel(1)
-	f := ib.New(k, ib.PaperConfig())
-	j := NewJob(k, f, DefaultConfig(), 2)
+	f, err := ib.New(k, ib.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := NewJob(k, f, DefaultConfig(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
 	n := b.N
 	payload := make([]byte, 256)
 	j.Launch(0, func(e *Env) {
@@ -39,8 +45,14 @@ func BenchmarkPingPong(b *testing.B) {
 // BenchmarkAllreduce32 measures a 32-rank allreduce through the stack.
 func BenchmarkAllreduce32(b *testing.B) {
 	k := sim.NewKernel(1)
-	f := ib.New(k, ib.PaperConfig())
-	j := NewJob(k, f, DefaultConfig(), 32)
+	f, err := ib.New(k, ib.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := NewJob(k, f, DefaultConfig(), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
 	n := b.N
 	j.LaunchAll(func(e *Env) {
 		w := e.World()

@@ -17,6 +17,7 @@ func F64ToBytes(v []float64) []byte {
 // BytesToF64 decodes a float64 slice.
 func BytesToF64(b []byte) []float64 {
 	if len(b)%8 != 0 {
+		//lint:allow-panic MPI would abort the job on a malformed datatype; this models an application bug
 		panic("mpi: float64 payload not a multiple of 8 bytes")
 	}
 	out := make([]float64, len(b)/8)
@@ -38,6 +39,7 @@ func I64ToBytes(v []int64) []byte {
 // BytesToI64 decodes an int64 slice.
 func BytesToI64(b []byte) []int64 {
 	if len(b)%8 != 0 {
+		//lint:allow-panic MPI would abort the job on a malformed datatype; this models an application bug
 		panic("mpi: int64 payload not a multiple of 8 bytes")
 	}
 	out := make([]int64, len(b)/8)

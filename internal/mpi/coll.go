@@ -30,6 +30,7 @@ var (
 // checkMember panics if the calling rank is not in the communicator.
 func (e *Env) checkMember(c *Comm) {
 	if c.myRank < 0 {
+		//lint:allow-panic a collective on a communicator the rank is not in is an application bug; real MPI aborts
 		panic(fmt.Sprintf("mpi: rank %d is not a member of comm %d", e.r.world, c.id))
 	}
 	e.r.stats.CollectivesRun++
@@ -118,6 +119,7 @@ func (e *Env) ReduceF64(c *Comm, root int, in []float64, op Op) []float64 {
 				e.waitInternal(rreq)
 				part := BytesToF64(rreq.data)
 				if len(part) != len(acc) {
+					//lint:allow-panic mismatched reduce buffers are an application bug; real MPI aborts
 					panic("mpi: ReduceF64 length mismatch across ranks")
 				}
 				for i := range acc {
@@ -215,6 +217,7 @@ func (e *Env) Scatter(c *Comm, root int, blocks [][]byte) []byte {
 	n, me := c.Size(), c.myRank
 	if me == root {
 		if len(blocks) != n {
+			//lint:allow-panic malformed scatter buffers are an application bug; real MPI aborts
 			panic("mpi: Scatter needs one block per member")
 		}
 		reqs := make([]*Request, 0, n-1)
@@ -265,6 +268,7 @@ func (e *Env) Alltoall(c *Comm, blocks [][]byte) [][]byte {
 	tag := c.nextCollTag()
 	n, me := c.Size(), c.myRank
 	if len(blocks) != n {
+		//lint:allow-panic malformed alltoall buffers are an application bug; real MPI aborts
 		panic("mpi: Alltoall needs one block per member")
 	}
 	out := make([][]byte, n)
@@ -334,6 +338,7 @@ func (e *Env) ScanF64(c *Comm, in []float64, op Op) []float64 {
 		e.waitInternal(rreq)
 		prev := BytesToF64(rreq.data)
 		if len(prev) != len(acc) {
+			//lint:allow-panic mismatched scan buffers are an application bug; real MPI aborts
 			panic("mpi: ScanF64 length mismatch across ranks")
 		}
 		for i := range acc {

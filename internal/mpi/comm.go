@@ -53,6 +53,7 @@ func (c *Comm) Rank() int { return c.myRank }
 // World translates a comm rank to a world rank.
 func (c *Comm) World(commRank int) int {
 	if commRank < 0 || commRank >= len(c.ranks) {
+		//lint:allow-panic an out-of-range rank is an application bug; real MPI aborts
 		panic(fmt.Sprintf("mpi: comm rank %d out of range [0,%d)", commRank, len(c.ranks)))
 	}
 	return c.ranks[commRank]

@@ -172,6 +172,7 @@ func (e *Env) Compute(d sim.Time) {
 // Isend starts a nonblocking send of data to comm rank dst.
 func (e *Env) Isend(c *Comm, dst, tag int, data []byte) *Request {
 	if tag >= collTagBase || (tag < 0 && tag != ANY) {
+		//lint:allow-panic an invalid tag is an application bug; real MPI aborts
 		panic(fmt.Sprintf("mpi: invalid application tag %d", tag))
 	}
 	e.enter()
@@ -185,6 +186,7 @@ func (e *Env) isendInternal(c *Comm, dst, tag int, data []byte) *Request {
 	r := e.r
 	world := c.World(dst)
 	if world == r.world {
+		//lint:allow-panic self-send is unsupported by this model and is an application bug
 		panic(fmt.Sprintf("mpi: rank %d sending to itself", r.world))
 	}
 	req := &Request{r: r, isSend: true, comm: c, peerComm: dst, peerWorld: world, tag: tag}
@@ -295,6 +297,7 @@ func (e *Env) Test(req *Request) bool {
 // its index (the lowest-indexed completed request).
 func (e *Env) Waitany(reqs ...*Request) int {
 	if len(reqs) == 0 {
+		//lint:allow-panic waiting on an empty request set is an application bug; real MPI aborts
 		panic("mpi: Waitany with no requests")
 	}
 	e.enter()
@@ -315,6 +318,7 @@ func (e *Env) Waitany(reqs ...*Request) int {
 // buffered; for rendezvous messages it returns at local completion.
 func (e *Env) Send(c *Comm, dst, tag int, data []byte) {
 	if tag >= collTagBase || (tag < 0 && tag != ANY) {
+		//lint:allow-panic an invalid tag is an application bug; real MPI aborts
 		panic(fmt.Sprintf("mpi: invalid application tag %d", tag))
 	}
 	e.enter()

@@ -12,8 +12,14 @@ import (
 // complete MPI program on the simulated stack.
 func Example() {
 	k := sim.NewKernel(1)
-	fabric := ib.New(k, ib.PaperConfig())
-	job := mpi.NewJob(k, fabric, mpi.DefaultConfig(), 2)
+	fabric, err := ib.New(k, ib.PaperConfig())
+	if err != nil {
+		panic(err)
+	}
+	job, err := mpi.NewJob(k, fabric, mpi.DefaultConfig(), 2)
+	if err != nil {
+		panic(err)
+	}
 	job.LaunchAll(func(e *mpi.Env) {
 		world := e.World()
 		if e.Rank() == 0 {

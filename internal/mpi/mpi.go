@@ -92,7 +92,7 @@ type Job struct {
 
 // NewJob creates a job with n ranks, registering endpoint i for rank i on
 // the fabric.
-func NewJob(k *sim.Kernel, fabric *ib.Fabric, cfg Config, n int) *Job {
+func NewJob(k *sim.Kernel, fabric *ib.Fabric, cfg Config, n int) (*Job, error) {
 	if cfg.EagerThreshold <= 0 {
 		cfg.EagerThreshold = DefaultConfig().EagerThreshold
 	}
@@ -101,10 +101,14 @@ func NewJob(k *sim.Kernel, fabric *ib.Fabric, cfg Config, n int) *Job {
 	}
 	j := &Job{k: k, fabric: fabric, cfg: cfg}
 	for i := 0; i < n; i++ {
+		ep, err := fabric.AddEndpoint(i)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: registering rank %d: %w", i, err)
+		}
 		r := &Rank{
 			job:       j,
 			world:     i,
-			ep:        fabric.AddEndpoint(i),
+			ep:        ep,
 			sendReqs:  make(map[uint64]*Request),
 			recvReqs:  make(map[uint64]*Request),
 			outbox:    make(map[int][]outItem),
@@ -116,7 +120,7 @@ func NewJob(k *sim.Kernel, fabric *ib.Fabric, cfg Config, n int) *Job {
 		r.ep.OnConnDown = r.onConnDown
 		j.ranks = append(j.ranks, r)
 	}
-	return j
+	return j, nil
 }
 
 // K returns the kernel the job runs on.
@@ -139,6 +143,7 @@ func (j *Job) Rank(i int) *Rank { return j.ranks[i] }
 func (j *Job) Launch(i int, body func(e *Env)) *Rank {
 	r := j.ranks[i]
 	if r.proc != nil {
+		//lint:allow-panic launching a rank twice is a harness bug, not a runtime condition
 		panic(fmt.Sprintf("mpi: rank %d launched twice", i))
 	}
 	r.proc = j.k.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
@@ -178,6 +183,7 @@ func (j *Job) FinishTime() sim.Time {
 	var t sim.Time
 	for _, r := range j.ranks {
 		if !r.finished {
+			//lint:allow-panic documented precondition: callers must check Finished first
 			panic("mpi: FinishTime on unfinished job")
 		}
 		if r.finishedAt > t {

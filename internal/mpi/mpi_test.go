@@ -12,10 +12,17 @@ import (
 )
 
 // newTestJob builds a kernel, fabric, and n-rank job with default config.
-func newTestJob(n int) (*sim.Kernel, *Job) {
+func newTestJob(t testing.TB, n int) (*sim.Kernel, *Job) {
+	t.Helper()
 	k := sim.NewKernel(1)
-	f := ib.New(k, ib.PaperConfig())
-	j := NewJob(k, f, DefaultConfig(), n)
+	f, err := ib.New(k, ib.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJob(k, f, DefaultConfig(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return k, j
 }
 
@@ -27,7 +34,7 @@ func run(t *testing.T, k *sim.Kernel) {
 }
 
 func TestEagerSendRecv(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	payload := []byte("hello infiniband")
 	var got []byte
 	var st Status
@@ -50,7 +57,7 @@ func TestEagerSendRecv(t *testing.T) {
 }
 
 func TestRendezvousSendRecv(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	payload := make([]byte, 1<<20) // 1 MiB, far over the eager threshold
 	for i := range payload {
 		payload[i] = byte(i * 31)
@@ -72,7 +79,7 @@ func TestRendezvousSendRecv(t *testing.T) {
 }
 
 func TestSendBeforeRecvPosted(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	var got []byte
 	j.Launch(0, func(e *Env) {
 		e.Send(e.World(), 1, 3, []byte("early"))
@@ -91,7 +98,7 @@ func TestNonOvertakingMixedProtocols(t *testing.T) {
 	// A small eager message sent after a large rendezvous message on the
 	// same (source, tag) must match second, even though its data arrives
 	// first.
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	big := make([]byte, 256<<10)
 	big[0] = 'B'
 	var first, second []byte
@@ -117,7 +124,7 @@ func TestNonOvertakingMixedProtocols(t *testing.T) {
 }
 
 func TestAnySourceAnyTag(t *testing.T) {
-	k, j := newTestJob(3)
+	k, j := newTestJob(t, 3)
 	var got [2]Status
 	for i := 1; i <= 2; i++ {
 		i := i
@@ -141,7 +148,7 @@ func TestAnySourceAnyTag(t *testing.T) {
 }
 
 func TestTagSelectivity(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	var tagged, other []byte
 	j.Launch(0, func(e *Env) {
 		w := e.World()
@@ -162,7 +169,7 @@ func TestTagSelectivity(t *testing.T) {
 
 func TestSendrecvRing(t *testing.T) {
 	const n = 5
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	got := make([]int, n)
 	j.LaunchAll(func(e *Env) {
 		w := e.World()
@@ -182,7 +189,7 @@ func TestSendrecvRing(t *testing.T) {
 
 func TestBarrierSynchronizes(t *testing.T) {
 	const n = 4
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	exit := make([]sim.Time, n)
 	j.LaunchAll(func(e *Env) {
 		me := e.Rank()
@@ -206,7 +213,7 @@ func TestBcastAllRootsAllSizes(t *testing.T) {
 	const n = 6 // non-power-of-two
 	for _, size := range []int{10, 100 << 10} {
 		for root := 0; root < n; root++ {
-			k, j := newTestJob(n)
+			k, j := newTestJob(t, n)
 			want := make([]byte, size)
 			for i := range want {
 				want[i] = byte(i ^ root)
@@ -231,7 +238,7 @@ func TestBcastAllRootsAllSizes(t *testing.T) {
 
 func TestReduceSum(t *testing.T) {
 	for _, n := range []int{1, 2, 5, 8} {
-		k, j := newTestJob(n)
+		k, j := newTestJob(t, n)
 		var got []float64
 		j.LaunchAll(func(e *Env) {
 			in := []float64{float64(e.Rank() + 1), 2}
@@ -252,7 +259,7 @@ func TestReduceSum(t *testing.T) {
 
 func TestAllreduceMaxEveryRank(t *testing.T) {
 	const n = 7
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	got := make([][]float64, n)
 	j.LaunchAll(func(e *Env) {
 		got[e.Rank()] = e.AllreduceF64(e.World(), []float64{float64(e.Rank())}, OpMax)
@@ -267,7 +274,7 @@ func TestAllreduceMaxEveryRank(t *testing.T) {
 
 func TestAllgather(t *testing.T) {
 	const n = 5
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	got := make([][][]byte, n)
 	j.LaunchAll(func(e *Env) {
 		mine := []byte(fmt.Sprintf("block-from-%d", e.Rank()))
@@ -286,7 +293,7 @@ func TestAllgather(t *testing.T) {
 
 func TestGatherScatter(t *testing.T) {
 	const n = 4
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	var gathered [][]byte
 	scattered := make([][]byte, n)
 	j.LaunchAll(func(e *Env) {
@@ -317,7 +324,7 @@ func TestGatherScatter(t *testing.T) {
 
 func TestAlltoall(t *testing.T) {
 	const n = 4
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	got := make([][][]byte, n)
 	j.LaunchAll(func(e *Env) {
 		blocks := make([][]byte, n)
@@ -338,7 +345,7 @@ func TestAlltoall(t *testing.T) {
 }
 
 func TestComputeDuration(t *testing.T) {
-	k, j := newTestJob(1)
+	k, j := newTestJob(t, 1)
 	var end sim.Time
 	j.Launch(0, func(e *Env) {
 		e.Compute(3 * sim.Second)
@@ -365,7 +372,7 @@ func (h *spHooks) SendAllowed(dst int) bool {
 }
 
 func TestSafePointInterruptsCompute(t *testing.T) {
-	k, j := newTestJob(1)
+	k, j := newTestJob(t, 1)
 	h := &spHooks{}
 	j.Rank(0).SetHooks(h)
 	var end sim.Time
@@ -384,7 +391,7 @@ func TestSafePointInterruptsCompute(t *testing.T) {
 }
 
 func TestSafePointInterruptsBlockingWait(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	h := &spHooks{}
 	j.Rank(0).SetHooks(h)
 	var got []byte
@@ -406,7 +413,7 @@ func TestSafePointInterruptsBlockingWait(t *testing.T) {
 }
 
 func TestMaybeCheckpointExplicitSafePoint(t *testing.T) {
-	k, j := newTestJob(1)
+	k, j := newTestJob(t, 1)
 	h := &spHooks{}
 	j.Rank(0).SetHooks(h)
 	j.Launch(0, func(e *Env) {
@@ -427,7 +434,7 @@ func TestMaybeCheckpointExplicitSafePoint(t *testing.T) {
 func TestProgressRuleWithoutHelper(t *testing.T) {
 	// Receiver posts a recv, then computes for 10s with no helper thread:
 	// the rendezvous cannot complete until it re-enters the library.
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	var sendDone sim.Time
 	j.Launch(0, func(e *Env) {
 		e.Compute(100 * sim.Millisecond)
@@ -448,7 +455,7 @@ func TestProgressRuleWithoutHelper(t *testing.T) {
 func TestHelperThreadBoundsProgress(t *testing.T) {
 	// Same scenario with the helper thread on: the RTS is served within the
 	// helper interval and the transfer completes while the receiver computes.
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	j.Rank(1).SetHelper(true)
 	var sendDone sim.Time
 	j.Launch(0, func(e *Env) {
@@ -472,7 +479,7 @@ func TestHelperThreadBoundsProgress(t *testing.T) {
 }
 
 func TestGatedEagerIsMessageBuffered(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	h := &spHooks{gate: map[int]bool{1: true}}
 	j.Rank(0).SetHooks(h)
 	var recvAt sim.Time
@@ -498,7 +505,7 @@ func TestGatedEagerIsMessageBuffered(t *testing.T) {
 }
 
 func TestGatedRendezvousIsRequestBuffered(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	h := &spHooks{gate: map[int]bool{1: true}}
 	j.Rank(0).SetHooks(h)
 	var sendDone sim.Time
@@ -525,7 +532,7 @@ func TestGatedRendezvousIsRequestBuffered(t *testing.T) {
 func TestSubCommunicatorsIsolate(t *testing.T) {
 	// Two disjoint comms using identical tags must not cross-match.
 	const n = 4
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	got := make([][]byte, n)
 	j.LaunchAll(func(e *Env) {
 		me := e.Rank()
@@ -548,7 +555,7 @@ func TestSubCommunicatorsIsolate(t *testing.T) {
 }
 
 func TestCommTranslation(t *testing.T) {
-	k, j := newTestJob(4)
+	k, j := newTestJob(t, 4)
 	j.Launch(0, func(e *Env) {
 		c := e.NewComm([]int{3, 0, 2})
 		if c.Size() != 3 || c.Rank() != 1 {
@@ -567,7 +574,7 @@ func TestCommTranslation(t *testing.T) {
 func TestRowColumnGrid(t *testing.T) {
 	// The HPL pattern: a 2x2 grid with row and column communicators.
 	const p, q = 2, 2
-	k, j := newTestJob(p * q)
+	k, j := newTestJob(t, p * q)
 	rowSums := make([][]float64, p*q)
 	colSums := make([][]float64, p*q)
 	j.LaunchAll(func(e *Env) {
@@ -599,7 +606,7 @@ func TestRowColumnGrid(t *testing.T) {
 }
 
 func TestDeadlockDiagnosis(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	j.Launch(0, func(e *Env) {
 		e.Recv(e.World(), 1, 0) // never sent
 	})
@@ -611,7 +618,7 @@ func TestDeadlockDiagnosis(t *testing.T) {
 }
 
 func TestInvalidTagPanics(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	j.Launch(0, func(e *Env) {
 		e.Send(e.World(), 1, collTagBase, nil)
 	})
@@ -661,8 +668,14 @@ func TestQuickRandomP2P(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := rng.Intn(4) + 2
 		k := sim.NewKernel(seed)
-		fab := ib.New(k, ib.PaperConfig())
-		j := NewJob(k, fab, DefaultConfig(), n)
+		fab, err := ib.New(k, ib.PaperConfig())
+		if err != nil {
+			return false
+		}
+		j, err := NewJob(k, fab, DefaultConfig(), n)
+		if err != nil {
+			return false
+		}
 		// Plan: each rank sends a random number of messages to each higher
 		// rank; receivers drain with wildcard recvs and verify later.
 		plan := make([][]int, n) // plan[src][i] = dst for message i
@@ -728,8 +741,14 @@ func TestQuickAllreduceMatchesSerial(t *testing.T) {
 		n := rng.Intn(6) + 1
 		vec := rng.Intn(5) + 1
 		k := sim.NewKernel(seed)
-		fab := ib.New(k, ib.PaperConfig())
-		j := NewJob(k, fab, DefaultConfig(), n)
+		fab, err := ib.New(k, ib.PaperConfig())
+		if err != nil {
+			return false
+		}
+		j, err := NewJob(k, fab, DefaultConfig(), n)
+		if err != nil {
+			return false
+		}
 		inputs := make([][]float64, n)
 		for i := range inputs {
 			inputs[i] = make([]float64, vec)
@@ -763,7 +782,7 @@ func TestQuickAllreduceMatchesSerial(t *testing.T) {
 }
 
 func TestIprobe(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	var before, after bool
 	var st Status
 	j.Launch(0, func(e *Env) {
@@ -791,7 +810,7 @@ func TestIprobe(t *testing.T) {
 }
 
 func TestProbeBlocksUntilArrival(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	var probedAt sim.Time
 	var st Status
 	j.Launch(0, func(e *Env) {
@@ -818,7 +837,7 @@ func TestProbeBlocksUntilArrival(t *testing.T) {
 }
 
 func TestTestNonblocking(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	var before, after bool
 	j.Launch(0, func(e *Env) {
 		req := e.Irecv(e.World(), 1, 0)
@@ -840,7 +859,7 @@ func TestTestNonblocking(t *testing.T) {
 }
 
 func TestWaitanyReturnsFirstDone(t *testing.T) {
-	k, j := newTestJob(3)
+	k, j := newTestJob(t, 3)
 	var idx int
 	var at sim.Time
 	j.Launch(0, func(e *Env) {
@@ -870,11 +889,17 @@ func TestWaitanyReturnsFirstDone(t *testing.T) {
 
 func TestLoggingModeOverheadAndStats(t *testing.T) {
 	k := sim.NewKernel(1)
-	f := ib.New(k, ib.PaperConfig())
+	f, err := ib.New(k, ib.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := DefaultConfig()
 	cfg.LogMessages = true
 	cfg.MemCopyBW = 1 << 30 // 1 GB/s: a 1 MB copy costs ~1 ms
-	j := NewJob(k, f, cfg, 2)
+	j, err := NewJob(k, f, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sendDone sim.Time
 	j.Launch(0, func(e *Env) {
 		e.Send(e.World(), 1, 0, make([]byte, 1<<20))
@@ -895,7 +920,7 @@ func TestLoggingModeOverheadAndStats(t *testing.T) {
 }
 
 func TestCaptureLibStateRejectsPendingState(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	var postedErr, rendezvousErr error
 	j.Launch(0, func(e *Env) {
 		e.Irecv(e.World(), 1, 0)
@@ -916,7 +941,7 @@ func TestCaptureLibStateRejectsPendingState(t *testing.T) {
 
 func TestSplitByColor(t *testing.T) {
 	const n = 6
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	sums := make([]float64, n)
 	sizes := make([]int, n)
 	j.LaunchAll(func(e *Env) {
@@ -946,7 +971,7 @@ func TestSplitByColor(t *testing.T) {
 
 func TestSplitKeyOrdersRanks(t *testing.T) {
 	const n = 4
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	orders := make([]int, n)
 	j.LaunchAll(func(e *Env) {
 		w := e.World()
@@ -964,7 +989,7 @@ func TestSplitKeyOrdersRanks(t *testing.T) {
 
 func TestSplitUndefinedColor(t *testing.T) {
 	const n = 4
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	var nilCount int
 	results := make([]float64, n)
 	j.LaunchAll(func(e *Env) {
@@ -997,7 +1022,7 @@ func TestSplitUndefinedColor(t *testing.T) {
 
 func TestScanPrefixSums(t *testing.T) {
 	const n = 6
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	got := make([][]float64, n)
 	j.LaunchAll(func(e *Env) {
 		in := []float64{float64(e.Rank() + 1), 1}
@@ -1014,7 +1039,7 @@ func TestScanPrefixSums(t *testing.T) {
 }
 
 func TestAccessorsAndIntrospection(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	if j.K() != k || j.Size() != 2 || j.Fabric() == nil {
 		t.Fatal("job accessors")
 	}
@@ -1054,7 +1079,7 @@ func TestAccessorsAndIntrospection(t *testing.T) {
 
 func TestCollectiveCheckpointConsensus(t *testing.T) {
 	const n = 3
-	k, j := newTestJob(n)
+	k, j := newTestJob(t, n)
 	h := &spHooks{}
 	served := make([]sim.Time, n)
 	for i := 0; i < n; i++ {
@@ -1099,7 +1124,7 @@ func TestCollectiveCheckpointConsensus(t *testing.T) {
 }
 
 func TestPolledRequestNotServedAtOrdinaryCalls(t *testing.T) {
-	k, j := newTestJob(2)
+	k, j := newTestJob(t, 2)
 	h := &spHooks{}
 	j.Rank(0).SetHooks(h)
 	j.Launch(0, func(e *Env) {

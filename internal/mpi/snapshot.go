@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 )
 
 // RequestSafePointPolled asks for a safe point without interrupting the
@@ -20,6 +21,7 @@ func (r *Rank) RequestSafePointPolled() {
 // communication-pattern heuristic used by dynamic group formation.
 func (r *Rank) Traffic() map[int]int64 {
 	out := make(map[int]int64, len(r.trafficTo))
+	//lint:allow-simdeterminism copying map to map is order-independent
 	for d, n := range r.trafficTo {
 		out[d] = n
 	}
@@ -79,8 +81,17 @@ func (r *Rank) CaptureLibState() ([]byte, error) {
 			Comm: m.comm, SrcComm: m.srcComm, SrcWorld: m.srcWorld, Tag: m.tag, Data: m.data,
 		})
 	}
-	for dst, q := range r.outbox {
-		for _, it := range q {
+	// Serialize outboxes in sorted destination order: map iteration order
+	// would otherwise leak into the gob bytes (and the replay order of
+	// restored sends), making snapshots differ across identical runs.
+	dsts := make([]int, 0, len(r.outbox))
+	//lint:allow-simdeterminism keys are sorted below before use
+	for dst := range r.outbox {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	for _, dst := range dsts {
+		for _, it := range r.outbox[dst] {
 			we, ok := it.payload.(wireEager)
 			if !ok {
 				return nil, fmt.Errorf("mpi: rank %d has a deferred non-eager packet at capture", r.world)

@@ -56,6 +56,7 @@ type WaitGroup struct {
 func (wg *WaitGroup) Add(delta int) {
 	wg.n += delta
 	if wg.n < 0 {
+		//lint:allow-panic a negative counter is a kernel-usage bug the scheduler cannot recover from
 		panic("sim: negative WaitGroup counter")
 	}
 	if wg.n == 0 {

@@ -52,6 +52,7 @@ func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
 // error in the simulation logic and panics.
 func (k *Kernel) At(t Time, fn func()) *Event {
 	if t < k.now {
+		//lint:allow-panic scheduling into the past corrupts the event queue; no caller can handle it
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++

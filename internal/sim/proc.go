@@ -119,6 +119,7 @@ func (p *Proc) yield() {
 // checkContext panics if the calling goroutine is not the running process.
 func (p *Proc) checkContext(op string) {
 	if p.k.running != p {
+		//lint:allow-panic blocking outside the running process deadlocks the scheduler; no caller can handle it
 		panic(fmt.Sprintf("sim: %s called on %q while it is not the running process", op, p.name))
 	}
 }
@@ -136,6 +137,7 @@ func (p *Proc) parkInternal(reason string, until Time) wakeKind {
 	}
 	p.yield()
 	if p.killed {
+		//lint:allow-panic killSentinel is the Kill unwind mechanism, recovered by the process trampoline
 		panic(killSentinel{})
 	}
 	return p.kind

@@ -738,6 +738,7 @@ func TestShutdownReleasesGoroutines(t *testing.T) {
 
 func runtimeGosched() {
 	runtime.Gosched()
+	//lint:allow-simdeterminism real-time yield for a host-concurrency test, not simulated time
 	time.Sleep(time.Millisecond)
 }
 

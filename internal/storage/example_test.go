@@ -11,11 +11,17 @@ import (
 // gets half, so both 100-byte writes take 2 s at 100 B/s total.
 func Example() {
 	k := sim.NewKernel(1)
-	st := storage.New(k, storage.Config{AggregateBW: 100, ClientBW: 100})
+	st, err := storage.New(k, storage.Config{AggregateBW: 100, ClientBW: 100})
+	if err != nil {
+		panic(err)
+	}
 	for i := 0; i < 2; i++ {
 		i := i
 		k.Spawn(fmt.Sprintf("writer%d", i), func(p *sim.Proc) {
-			el := st.Write(p, 100)
+			el, err := st.Write(p, 100)
+			if err != nil {
+				panic(err)
+			}
 			fmt.Printf("writer%d finished in %v\n", i, el)
 		})
 	}

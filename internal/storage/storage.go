@@ -83,14 +83,14 @@ type System struct {
 }
 
 // New creates a storage system on the given kernel.
-func New(k *sim.Kernel, cfg Config) *System {
+func New(k *sim.Kernel, cfg Config) (*System, error) {
 	if cfg.AggregateBW <= 0 {
-		panic("storage: AggregateBW must be positive")
+		return nil, fmt.Errorf("storage: AggregateBW must be positive, got %v", cfg.AggregateBW)
 	}
 	if cfg.ClientBW <= 0 {
 		cfg.ClientBW = cfg.AggregateBW
 	}
-	return &System{k: k, cfg: cfg}
+	return &System{k: k, cfg: cfg}, nil
 }
 
 // Config returns the system configuration.
@@ -127,9 +127,9 @@ type Transfer struct {
 
 // Start begins a transfer of n bytes (read or write: the pool is shared) and
 // returns immediately. Use Wait to block until completion.
-func (s *System) Start(n int64) *Transfer {
+func (s *System) Start(n int64) (*Transfer, error) {
 	if n < 0 {
-		panic("storage: negative transfer size")
+		return nil, fmt.Errorf("storage: negative transfer size %d", n)
 	}
 	t := &Transfer{
 		sys:       s,
@@ -161,20 +161,23 @@ func (s *System) Start(n int64) *Transfer {
 	} else {
 		start()
 	}
-	return t
+	return t, nil
 }
 
 // Write performs a blocking write of n bytes on behalf of p and returns the
 // elapsed transfer time.
-func (s *System) Write(p *sim.Proc, n int64) sim.Time {
-	t := s.Start(n)
+func (s *System) Write(p *sim.Proc, n int64) (sim.Time, error) {
+	t, err := s.Start(n)
+	if err != nil {
+		return 0, err
+	}
 	t.Wait(p)
-	return t.Elapsed()
+	return t.Elapsed(), nil
 }
 
 // Read performs a blocking read of n bytes on behalf of p. Reads share the
 // same bandwidth pool as writes.
-func (s *System) Read(p *sim.Proc, n int64) sim.Time { return s.Write(p, n) }
+func (s *System) Read(p *sim.Proc, n int64) (sim.Time, error) { return s.Write(p, n) }
 
 // Wait parks p until the transfer completes. Interrupts received while
 // waiting are re-posted as pending once the wait completes.
@@ -273,9 +276,12 @@ func (s *System) reschedule() {
 func (t *Transfer) finish() {
 	s := t.sys
 	s.settle()
-	// Tolerate sub-byte residue from fixed-point event rounding.
+	// Tolerate sub-byte residue from fixed-point event rounding. More than
+	// a byte means the rate bookkeeping is corrupt; abort the simulation
+	// rather than return a wrong completion time.
 	if t.remaining > 1 {
-		panic(fmt.Sprintf("storage: completion fired with %.1f bytes left", t.remaining))
+		s.k.Fail(fmt.Errorf("storage: completion fired with %.1f bytes left", t.remaining))
+		return
 	}
 	for i, a := range s.active {
 		if a == t {

@@ -14,6 +14,26 @@ func simpleCfg() Config {
 	return Config{AggregateBW: 100, ClientBW: 100, Servers: 1}
 }
 
+// newSystem builds a System, failing the test on a config error.
+func newSystem(t testing.TB, k *sim.Kernel, cfg Config) *System {
+	t.Helper()
+	s, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// write performs a Write and reports any error on t, keeping the
+// fluid-model assertions below focused on timing.
+func write(t testing.TB, s *System, p *sim.Proc, n int64) sim.Time {
+	el, err := s.Write(p, n)
+	if err != nil {
+		t.Error(err)
+	}
+	return el
+}
+
 // almost reports whether two times agree within a small fixed-point rounding
 // tolerance.
 func almost(a, b sim.Time) bool {
@@ -26,10 +46,10 @@ func almost(a, b sim.Time) bool {
 
 func TestSingleWriterFullRate(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, simpleCfg())
+	s := newSystem(t, k, simpleCfg())
 	var el sim.Time
 	k.Spawn("w", func(p *sim.Proc) {
-		el = s.Write(p, 100)
+		el = write(t, s, p, 100)
 	})
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -41,12 +61,12 @@ func TestSingleWriterFullRate(t *testing.T) {
 
 func TestTwoWritersShareFairly(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, simpleCfg())
+	s := newSystem(t, k, simpleCfg())
 	var done [2]sim.Time
 	for i := 0; i < 2; i++ {
 		i := i
 		k.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
-			s.Write(p, 100)
+			write(t, s, p, 100)
 			done[i] = p.Now()
 		})
 	}
@@ -62,15 +82,15 @@ func TestTwoWritersShareFairly(t *testing.T) {
 
 func TestLateJoinerSlowsExisting(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, simpleCfg())
+	s := newSystem(t, k, simpleCfg())
 	var d1, d2 sim.Time
 	k.Spawn("w1", func(p *sim.Proc) {
-		s.Write(p, 100)
+		write(t, s, p, 100)
 		d1 = p.Now()
 	})
 	k.Spawn("w2", func(p *sim.Proc) {
 		p.Sleep(500 * sim.Millisecond)
-		s.Write(p, 50)
+		write(t, s, p, 50)
 		d2 = p.Now()
 	})
 	if err := k.Run(); err != nil {
@@ -85,14 +105,14 @@ func TestLateJoinerSlowsExisting(t *testing.T) {
 
 func TestEarlyFinisherSpeedsRemaining(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, simpleCfg())
+	s := newSystem(t, k, simpleCfg())
 	var dBig, dSmall sim.Time
 	k.Spawn("big", func(p *sim.Proc) {
-		s.Write(p, 100)
+		write(t, s, p, 100)
 		dBig = p.Now()
 	})
 	k.Spawn("small", func(p *sim.Proc) {
-		s.Write(p, 50)
+		write(t, s, p, 50)
 		dSmall = p.Now()
 	})
 	if err := k.Run(); err != nil {
@@ -107,12 +127,12 @@ func TestEarlyFinisherSpeedsRemaining(t *testing.T) {
 
 func TestClientBandwidthCap(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, Config{AggregateBW: 100, ClientBW: 30})
+	s := newSystem(t, k, Config{AggregateBW: 100, ClientBW: 30})
 	var done [2]sim.Time
 	for i := 0; i < 2; i++ {
 		i := i
 		k.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
-			s.Write(p, 30)
+			write(t, s, p, 30)
 			done[i] = p.Now()
 		})
 	}
@@ -129,10 +149,10 @@ func TestClientBandwidthCap(t *testing.T) {
 
 func TestOpenLatencyAdds(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, Config{AggregateBW: 100, ClientBW: 100, OpenLatency: 250 * sim.Millisecond})
+	s := newSystem(t, k, Config{AggregateBW: 100, ClientBW: 100, OpenLatency: 250 * sim.Millisecond})
 	var el sim.Time
 	k.Spawn("w", func(p *sim.Proc) {
-		el = s.Write(p, 100)
+		el = write(t, s, p, 100)
 	})
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -144,10 +164,10 @@ func TestOpenLatencyAdds(t *testing.T) {
 
 func TestZeroByteTransfer(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, simpleCfg())
+	s := newSystem(t, k, simpleCfg())
 	var el sim.Time = -1
 	k.Spawn("w", func(p *sim.Proc) {
-		el = s.Write(p, 0)
+		el = write(t, s, p, 0)
 	})
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -157,27 +177,26 @@ func TestZeroByteTransfer(t *testing.T) {
 	}
 }
 
-func TestNegativeSizePanics(t *testing.T) {
+func TestNegativeSizeError(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, simpleCfg())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on negative size")
-		}
-	}()
-	s.Start(-1)
+	s := newSystem(t, k, simpleCfg())
+	if _, err := s.Start(-1); err == nil {
+		t.Fatal("no error on negative size")
+	}
 }
 
 func TestReadSharesPool(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, simpleCfg())
+	s := newSystem(t, k, simpleCfg())
 	var dr, dw sim.Time
 	k.Spawn("r", func(p *sim.Proc) {
-		s.Read(p, 100)
+		if _, err := s.Read(p, 100); err != nil {
+			t.Error(err)
+		}
 		dr = p.Now()
 	})
 	k.Spawn("w", func(p *sim.Proc) {
-		s.Write(p, 100)
+		write(t, s, p, 100)
 		dw = p.Now()
 	})
 	if err := k.Run(); err != nil {
@@ -190,10 +209,14 @@ func TestReadSharesPool(t *testing.T) {
 
 func TestBandwidthAccounting(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, simpleCfg())
+	s := newSystem(t, k, simpleCfg())
 	var bw float64
 	k.Spawn("w", func(p *sim.Proc) {
-		tr := s.Start(200)
+		tr, err := s.Start(200)
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		tr.Wait(p)
 		bw = tr.Bandwidth()
 	})
@@ -210,10 +233,10 @@ func TestBandwidthAccounting(t *testing.T) {
 
 func TestMaxConcurrentTracking(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, simpleCfg())
+	s := newSystem(t, k, simpleCfg())
 	for i := 0; i < 5; i++ {
 		k.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
-			s.Write(p, 10)
+			write(t, s, p, 10)
 		})
 	}
 	if err := k.Run(); err != nil {
@@ -230,12 +253,12 @@ func TestPaperEquation2(t *testing.T) {
 	k := sim.NewKernel(1)
 	const n, footprint = 16, 64 * MB
 	cfg := Config{AggregateBW: 140 * MB, ClientBW: 116 * MB}
-	s := New(k, cfg)
+	s := newSystem(t, k, cfg)
 	var finish [n]sim.Time
 	for i := 0; i < n; i++ {
 		i := i
 		k.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
-			s.Write(p, footprint)
+			write(t, s, p, footprint)
 			finish[i] = p.Now()
 		})
 	}
@@ -256,7 +279,7 @@ func TestPaperEquation3(t *testing.T) {
 	k := sim.NewKernel(1)
 	const n, g, footprint = 16, 4, 64 * MB
 	cfg := Config{AggregateBW: 140 * MB, ClientBW: 116 * MB}
-	s := New(k, cfg)
+	s := newSystem(t, k, cfg)
 	var gate [n / g]sim.WaitGroup
 	for gi := range gate {
 		gate[gi].Add(g)
@@ -271,7 +294,7 @@ func TestPaperEquation3(t *testing.T) {
 				gate[grp-1].Wait(p) // wait for previous group to finish
 			}
 			start := p.Now()
-			s.Write(p, footprint)
+			write(t, s, p, footprint)
 			individual[i] = p.Now() - start
 			last = p.Now()
 			gate[grp].Done()
@@ -300,12 +323,12 @@ func TestFigure1Shape(t *testing.T) {
 	aggregate := make(map[int]float64)
 	for _, n := range []int{1, 2, 4, 8, 16, 32} {
 		k := sim.NewKernel(1)
-		s := New(k, PaperConfig())
+		s := newSystem(t, k, PaperConfig())
 		const size = 64 * MB
 		var makespan sim.Time
 		for i := 0; i < n; i++ {
 			k.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
-				s.Write(p, size)
+				write(t, s, p, size)
 				if p.Now() > makespan {
 					makespan = p.Now()
 				}
@@ -349,7 +372,7 @@ func TestQuickFluidModelBounds(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		k := sim.NewKernel(seed)
 		cfg := Config{AggregateBW: 1000, ClientBW: 400}
-		s := New(k, cfg)
+		s := newSystem(t, k, cfg)
 		n := rng.Intn(8) + 1
 		type res struct {
 			size    int64
@@ -364,7 +387,7 @@ func TestQuickFluidModelBounds(t *testing.T) {
 			results[i].size = size
 			k.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
 				p.Sleep(delay)
-				results[i].elapsed = s.Write(p, size)
+				results[i].elapsed = write(t, s, p, size)
 				results[i].ok = true
 			})
 		}
@@ -392,7 +415,7 @@ func TestQuickFluidModelBounds(t *testing.T) {
 func TestQuickByteConservation(t *testing.T) {
 	f := func(sizes []uint16) bool {
 		k := sim.NewKernel(7)
-		s := New(k, Config{AggregateBW: 500, ClientBW: 250})
+		s := newSystem(t, k, Config{AggregateBW: 500, ClientBW: 250})
 		var want float64
 		for i, sz := range sizes {
 			if i >= 10 {
@@ -401,7 +424,7 @@ func TestQuickByteConservation(t *testing.T) {
 			want += float64(sz)
 			sz := sz
 			k.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
-				s.Write(p, int64(sz))
+				write(t, s, p, int64(sz))
 			})
 		}
 		if err := k.Run(); err != nil {
@@ -432,17 +455,14 @@ func TestPaperConfigDefaults(t *testing.T) {
 
 func TestNewValidation(t *testing.T) {
 	k := sim.NewKernel(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for non-positive AggregateBW")
-		}
-	}()
-	New(k, Config{})
+	if _, err := New(k, Config{}); err == nil {
+		t.Fatal("no error for non-positive AggregateBW")
+	}
 }
 
 func TestZeroClientBWDefaultsToAggregate(t *testing.T) {
 	k := sim.NewKernel(1)
-	s := New(k, Config{AggregateBW: 100})
+	s := newSystem(t, k, Config{AggregateBW: 100})
 	if s.Config().ClientBW != 100 {
 		t.Fatalf("ClientBW = %v, want 100", s.Config().ClientBW)
 	}
@@ -450,13 +470,13 @@ func TestZeroClientBWDefaultsToAggregate(t *testing.T) {
 
 func TestShareJitterUnbalancesTransfers(t *testing.T) {
 	k := sim.NewKernel(42)
-	s := New(k, Config{AggregateBW: 100, ClientBW: 100, ShareJitter: 0.4})
+	s := newSystem(t, k, Config{AggregateBW: 100, ClientBW: 100, ShareJitter: 0.4})
 	const n = 8
 	finishes := make([]sim.Time, n)
 	for i := 0; i < n; i++ {
 		i := i
 		k.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
-			s.Write(p, 100)
+			write(t, s, p, 100)
 			finishes[i] = p.Now()
 		})
 	}
@@ -488,10 +508,10 @@ func TestShareJitterUnbalancesTransfers(t *testing.T) {
 
 func TestShareJitterZeroIsFair(t *testing.T) {
 	k := sim.NewKernel(42)
-	s := New(k, Config{AggregateBW: 100, ClientBW: 100})
+	s := newSystem(t, k, Config{AggregateBW: 100, ClientBW: 100})
 	var f1, f2 sim.Time
-	k.Spawn("a", func(p *sim.Proc) { s.Write(p, 100); f1 = p.Now() })
-	k.Spawn("b", func(p *sim.Proc) { s.Write(p, 100); f2 = p.Now() })
+	k.Spawn("a", func(p *sim.Proc) { write(t, s, p, 100); f1 = p.Now() })
+	k.Spawn("b", func(p *sim.Proc) { write(t, s, p, 100); f2 = p.Now() })
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}

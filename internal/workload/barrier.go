@@ -30,7 +30,7 @@ func (w BarrierPhases) Name() string {
 }
 
 // Launch implements Workload.
-func (w BarrierPhases) Launch(j *mpi.Job) Instance {
+func (w BarrierPhases) Launch(j *mpi.Job) (Instance, error) {
 	msg := w.MsgBytes
 	if msg <= 0 {
 		msg = 1024
@@ -61,5 +61,5 @@ func (w BarrierPhases) Launch(j *mpi.Job) Instance {
 			}
 		})
 	}
-	return ConstFootprint(w.FootprintMB << 20)
+	return ConstFootprint(w.FootprintMB << 20), nil
 }

@@ -27,7 +27,7 @@ func (w CommGroups) Name() string {
 }
 
 // Launch implements Workload.
-func (w CommGroups) Launch(j *mpi.Job) Instance {
+func (w CommGroups) Launch(j *mpi.Job) (Instance, error) {
 	msg := w.MsgBytes
 	if msg <= 0 {
 		msg = 1024
@@ -52,5 +52,5 @@ func (w CommGroups) Launch(j *mpi.Job) Instance {
 			}
 		})
 	}
-	return ConstFootprint(w.FootprintMB << 20)
+	return ConstFootprint(w.FootprintMB << 20), nil
 }

@@ -58,19 +58,19 @@ func (s Solve) elem(i, j int) float64 {
 
 // Launch implements the workload interface. After the job runs, MaxResidual
 // holds the verification result (assert to *SolveInstance to read it).
-func (s Solve) Launch(j *mpi.Job) workload.Instance {
+func (s Solve) Launch(j *mpi.Job) (workload.Instance, error) {
 	if s.N%s.NB != 0 {
-		panic("hpl: N must be a multiple of NB")
+		return nil, fmt.Errorf("hpl: N=%d must be a multiple of NB=%d", s.N, s.NB)
 	}
 	if j.Size() != s.P*s.Q {
-		panic("hpl: job size does not match grid")
+		return nil, fmt.Errorf("hpl: job size %d does not match %dx%d grid", j.Size(), s.P, s.Q)
 	}
 	inst := &SolveInstance{cfg: s, localBytes: make([]int64, s.P*s.Q)}
 	for r := 0; r < s.P*s.Q; r++ {
 		r := r
 		j.Launch(r, func(e *mpi.Env) { inst.run(e) })
 	}
-	return inst
+	return inst, nil
 }
 
 // Footprint implements the workload Instance interface: the rank's local
@@ -171,6 +171,7 @@ func (inst *SolveInstance) run(e *mpi.Env) {
 			ublocks[bj] = mpi.BytesToF64(e.Bcast(colComm, pr, buf))
 		}
 		// 5. Trailing update: A_ij -= L_ik · U_kj.
+		//lint:allow-simdeterminism each block updates independently; any order gives the same matrix
 		for key, blk := range local {
 			if key.i > k && key.j > k {
 				gemmSub(blk, lblocks[key.i], ublocks[key.j], nb)

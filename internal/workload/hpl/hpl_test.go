@@ -7,18 +7,58 @@ import (
 	"gbcr/internal/ib"
 	"gbcr/internal/mpi"
 	"gbcr/internal/sim"
+	"gbcr/internal/workload"
 )
 
-func newJob(n int) (*sim.Kernel, *mpi.Job) {
+// newJob builds a kernel and n-rank job, failing the test on wiring errors.
+func newJob(t testing.TB, n int) (*sim.Kernel, *mpi.Job) {
+	t.Helper()
 	k := sim.NewKernel(1)
-	f := ib.New(k, ib.PaperConfig())
-	return k, mpi.NewJob(k, f, mpi.DefaultConfig(), n)
+	f, err := ib.New(k, ib.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := mpi.NewJob(k, f, mpi.DefaultConfig(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, j
+}
+
+// launch starts w on j, failing the test on a launch error.
+func launch(t testing.TB, w workload.Workload, j *mpi.Job) workload.Instance {
+	t.Helper()
+	inst, err := w.Launch(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// launchFrom relaunches w from captured per-rank states.
+func launchFrom(t testing.TB, w workload.Restartable, j *mpi.Job, states [][]byte) workload.Instance {
+	t.Helper()
+	inst, err := w.LaunchFrom(j, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// capture serializes one rank's state, failing the test on error.
+func capture(t testing.TB, inst workload.RestartableInstance, rank int) []byte {
+	t.Helper()
+	b, err := inst.Capture(rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 func runSolve(t *testing.T, cfg Solve) *SolveInstance {
 	t.Helper()
-	k, j := newJob(cfg.P * cfg.Q)
-	inst := cfg.Launch(j).(*SolveInstance)
+	k, j := newJob(t, cfg.P*cfg.Q)
+	inst := launch(t, cfg, j).(*SolveInstance)
 	if err := k.Run(); err != nil {
 		t.Fatalf("%s: %v", cfg.Name(), err)
 	}
@@ -151,8 +191,8 @@ func TestGemmSub(t *testing.T) {
 
 func TestTimedModelRuntime(t *testing.T) {
 	w := Timed{P: 2, Q: 2, Steps: 10, Step0: sim.Second, PanelKB: 64, UpdateKB: 16, BaseFootprintMB: 100}
-	k, j := newJob(4)
-	inst := w.Launch(j).(*TimedInstance)
+	k, j := newJob(t, 4)
+	inst := launch(t, w, j).(*TimedInstance)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -174,8 +214,8 @@ func TestTimedModelRuntime(t *testing.T) {
 
 func TestTimedFootprintGrows(t *testing.T) {
 	w := Timed{P: 1, Q: 2, Steps: 10, Step0: sim.Second, PanelKB: 1, UpdateKB: 1, BaseFootprintMB: 100}
-	k, j := newJob(2)
-	inst := w.Launch(j).(*TimedInstance)
+	k, j := newJob(t, 2)
+	inst := launch(t, w, j).(*TimedInstance)
 	var early, late int64
 	k.At(500*sim.Millisecond, func() { early = inst.Footprint(0) })
 	k.At(3*sim.Second, func() { late = inst.Footprint(0) })

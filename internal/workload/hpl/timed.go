@@ -66,17 +66,17 @@ func (w Timed) Name() string {
 }
 
 // Launch implements the workload interface.
-func (w Timed) Launch(j *mpi.Job) workload.Instance {
+func (w Timed) Launch(j *mpi.Job) (workload.Instance, error) {
 	n := w.P * w.Q
 	if j.Size() != n {
-		panic("hpl: job size does not match grid")
+		return nil, fmt.Errorf("hpl: job size %d does not match %dx%d grid", j.Size(), w.P, w.Q)
 	}
 	inst := &TimedInstance{cfg: w, step: make([]int, n)}
 	for r := 0; r < n; r++ {
 		r := r
 		j.Launch(r, func(e *mpi.Env) { inst.run(e) })
 	}
-	return inst
+	return inst, nil
 }
 
 func (inst *TimedInstance) run(e *mpi.Env) {

@@ -186,7 +186,7 @@ type MineInstance struct {
 // Launch implements the workload interface: graphs are distributed
 // block-wise across ranks; each level's supports are combined with an
 // allreduce.
-func (m Mine) Launch(j *mpi.Job) workload.Instance {
+func (m Mine) Launch(j *mpi.Job) (workload.Instance, error) {
 	inst := &MineInstance{cfg: m, bytes: make([]int64, j.Size())}
 	n := j.Size()
 	for r := 0; r < n; r++ {
@@ -223,7 +223,7 @@ func (m Mine) Launch(j *mpi.Job) workload.Instance {
 			}
 		})
 	}
-	return inst
+	return inst, nil
 }
 
 // Footprint implements the workload Instance interface.
@@ -232,6 +232,7 @@ func (inst *MineInstance) Footprint(rank int) int64 { return inst.bytes[rank] }
 // SortedPatterns returns the frequent patterns in deterministic order.
 func (inst *MineInstance) SortedPatterns() []string {
 	out := make([]string, 0, len(inst.Frequent))
+	//lint:allow-simdeterminism keys are sorted below before the slice is returned
 	for k := range inst.Frequent {
 		out = append(out, k)
 	}
@@ -266,9 +267,9 @@ func PaperTimed() Timed {
 func (w Timed) Name() string { return fmt.Sprintf("motif(n=%d,iters=%d)", w.N, len(w.Chunks)) }
 
 // Launch implements the workload interface.
-func (w Timed) Launch(j *mpi.Job) workload.Instance {
+func (w Timed) Launch(j *mpi.Job) (workload.Instance, error) {
 	if j.Size() != w.N {
-		panic("motif: job size mismatch")
+		return nil, fmt.Errorf("motif: job size %d does not match N=%d", j.Size(), w.N)
 	}
 	payload := make([]byte, w.ExchangeKB<<10)
 	for r := 0; r < w.N; r++ {
@@ -280,7 +281,7 @@ func (w Timed) Launch(j *mpi.Job) workload.Instance {
 			}
 		})
 	}
-	return TimedInstance{fp: w.FootprintMB << 20}
+	return TimedInstance{fp: w.FootprintMB << 20}, nil
 }
 
 // TimedInstance is one run of the timed model.

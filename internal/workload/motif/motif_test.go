@@ -7,12 +7,52 @@ import (
 	"gbcr/internal/ib"
 	"gbcr/internal/mpi"
 	"gbcr/internal/sim"
+	"gbcr/internal/workload"
 )
 
-func newJob(n int) (*sim.Kernel, *mpi.Job) {
+// newJob builds a kernel and n-rank job, failing the test on wiring errors.
+func newJob(t testing.TB, n int) (*sim.Kernel, *mpi.Job) {
+	t.Helper()
 	k := sim.NewKernel(1)
-	f := ib.New(k, ib.PaperConfig())
-	return k, mpi.NewJob(k, f, mpi.DefaultConfig(), n)
+	f, err := ib.New(k, ib.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := mpi.NewJob(k, f, mpi.DefaultConfig(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, j
+}
+
+// launch starts w on j, failing the test on a launch error.
+func launch(t testing.TB, w workload.Workload, j *mpi.Job) workload.Instance {
+	t.Helper()
+	inst, err := w.Launch(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// launchFrom relaunches w from captured per-rank states.
+func launchFrom(t testing.TB, w workload.Restartable, j *mpi.Job, states [][]byte) workload.Instance {
+	t.Helper()
+	inst, err := w.LaunchFrom(j, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// capture serializes one rank's state, failing the test on error.
+func capture(t testing.TB, inst workload.RestartableInstance, rank int) []byte {
+	t.Helper()
+	b, err := inst.Capture(rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 func testMine() Mine {
@@ -25,6 +65,7 @@ func TestSerialMineFindsPatterns(t *testing.T) {
 		t.Fatal("no frequent patterns on the synthetic dataset")
 	}
 	// Single labels must dominate longer patterns in support.
+	//lint:allow-simdeterminism order-independent verification; every entry is checked
 	for pat, sup := range freq {
 		if sup < 8 || sup > 24 {
 			t.Fatalf("pattern %q support %d out of range", pat, sup)
@@ -35,14 +76,15 @@ func TestSerialMineFindsPatterns(t *testing.T) {
 func TestParallelMatchesSerial(t *testing.T) {
 	want := testMine().MineSerial()
 	for _, n := range []int{1, 2, 3, 4, 8} {
-		k, j := newJob(n)
-		inst := testMine().Launch(j).(*MineInstance)
+		k, j := newJob(t, n)
+		inst := launch(t, testMine(), j).(*MineInstance)
 		if err := k.Run(); err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
 		if len(inst.Frequent) != len(want) {
 			t.Fatalf("n=%d: %d patterns, serial found %d", n, len(inst.Frequent), len(want))
 		}
+		//lint:allow-simdeterminism order-independent verification; every entry is checked
 		for pat, sup := range want {
 			if inst.Frequent[pat] != sup {
 				t.Fatalf("n=%d: pattern %q support %d, serial %d", n, pat, inst.Frequent[pat], sup)
@@ -100,8 +142,8 @@ func TestSortedPatterns(t *testing.T) {
 
 func TestTimedModelRuntime(t *testing.T) {
 	w := Timed{N: 4, Chunks: []sim.Time{sim.Second, sim.Second, 2 * sim.Second, sim.Second}, ExchangeKB: 16, FootprintMB: 50}
-	k, j := newJob(4)
-	inst := w.Launch(j)
+	k, j := newJob(t, 4)
+	inst := launch(t, w, j)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -131,15 +173,16 @@ func TestPaperTimedShape(t *testing.T) {
 func TestResumableMatchesSerial(t *testing.T) {
 	want := testMine().MineSerial()
 	for _, n := range []int{1, 3, 4} {
-		k, j := newJob(n)
+		k, j := newJob(t, n)
 		w := MineResumable{Mine: testMine(), LevelCompute: 50 * sim.Millisecond}
-		inst := w.Launch(j).(*ResumableInstance)
+		inst := launch(t, w, j).(*ResumableInstance)
 		if err := k.Run(); err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
 		if fmt.Sprint(len(inst.Frequent)) != fmt.Sprint(len(want)) {
 			t.Fatalf("n=%d: %d patterns vs serial %d", n, len(inst.Frequent), len(want))
 		}
+		//lint:allow-simdeterminism order-independent verification; every entry is checked
 		for pat, sup := range want {
 			if inst.Frequent[pat] != sup {
 				t.Fatalf("n=%d: %q support %d vs serial %d", n, pat, inst.Frequent[pat], sup)
@@ -150,18 +193,18 @@ func TestResumableMatchesSerial(t *testing.T) {
 
 func TestResumableCaptureRoundtrip(t *testing.T) {
 	const n = 2
-	k, j := newJob(n)
+	k, j := newJob(t, n)
 	w := MineResumable{Mine: testMine(), LevelCompute: 10 * sim.Millisecond}
-	inst := w.Launch(j).(*ResumableInstance)
+	inst := launch(t, w, j).(*ResumableInstance)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
 	states := make([][]byte, n)
 	for i := range states {
-		states[i] = inst.Capture(i)
+		states[i] = capture(t, inst, i)
 	}
-	k2, j2 := newJob(n)
-	inst2 := w.LaunchFrom(j2, states).(*ResumableInstance)
+	k2, j2 := newJob(t, n)
+	inst2 := launchFrom(t, w, j2, states).(*ResumableInstance)
 	if err := k2.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -48,10 +48,10 @@ func (m MineResumable) Name() string {
 }
 
 // Launch implements the workload interface.
-func (m MineResumable) Launch(j *mpi.Job) workload.Instance { return m.LaunchFrom(j, nil) }
+func (m MineResumable) Launch(j *mpi.Job) (workload.Instance, error) { return m.LaunchFrom(j, nil) }
 
 // LaunchFrom implements workload.Restartable.
-func (m MineResumable) LaunchFrom(j *mpi.Job, appStates [][]byte) workload.Instance {
+func (m MineResumable) LaunchFrom(j *mpi.Job, appStates [][]byte) (workload.Instance, error) {
 	n := j.Size()
 	inst := &ResumableInstance{
 		w:      m,
@@ -67,14 +67,14 @@ func (m MineResumable) LaunchFrom(j *mpi.Job, appStates [][]byte) workload.Insta
 		if appStates != nil && appStates[r] != nil {
 			st = &mineState{}
 			if err := gob.NewDecoder(bytes.NewReader(appStates[r])).Decode(st); err != nil {
-				panic(fmt.Sprintf("motif: state for rank %d: %v", r, err))
+				return nil, fmt.Errorf("motif: state for rank %d: %w", r, err)
 			}
 		}
 		inst.states[r] = st
 		r := r
 		j.Launch(r, func(e *mpi.Env) { inst.run(e, st) })
 	}
-	return inst
+	return inst, nil
 }
 
 // run is one rank's resumable level-wise loop. Each round consumes four
@@ -150,10 +150,10 @@ func (inst *ResumableInstance) run(e *mpi.Env, st *mineState) {
 func (inst *ResumableInstance) Footprint(rank int) int64 { return inst.bytes[rank] }
 
 // Capture implements workload.RestartableInstance.
-func (inst *ResumableInstance) Capture(rank int) []byte {
+func (inst *ResumableInstance) Capture(rank int) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(inst.states[rank]); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return buf.Bytes()
+	return buf.Bytes(), nil
 }

@@ -16,15 +16,16 @@ type RestartableInstance interface {
 	// Capture serializes the rank's application state; the checkpoint layer
 	// calls it at snapshot time (always at an iteration boundary in polled
 	// mode).
-	Capture(rank int) []byte
+	Capture(rank int) ([]byte, error)
 }
 
 // Restartable extends Workload with relaunch-from-snapshot.
 type Restartable interface {
 	Workload
 	// LaunchFrom launches the workload resuming from per-rank application
-	// states (entries may be nil for ranks that start fresh).
-	LaunchFrom(j *mpi.Job, appStates [][]byte) Instance
+	// states (entries may be nil for ranks that start fresh). It errors on
+	// states that cannot be decoded.
+	LaunchFrom(j *mpi.Job, appStates [][]byte) (Instance, error)
 }
 
 // Ring is a restart-capable iterative kernel: each iteration computes, then
@@ -54,16 +55,16 @@ type RingInstance struct {
 func (w Ring) Name() string { return fmt.Sprintf("ring(n=%d)", w.N) }
 
 // Launch implements Workload.
-func (w Ring) Launch(j *mpi.Job) Instance { return w.LaunchFrom(j, nil) }
+func (w Ring) Launch(j *mpi.Job) (Instance, error) { return w.LaunchFrom(j, nil) }
 
 // LaunchFrom implements Restartable.
-func (w Ring) LaunchFrom(j *mpi.Job, appStates [][]byte) Instance {
+func (w Ring) LaunchFrom(j *mpi.Job, appStates [][]byte) (Instance, error) {
 	inst := &RingInstance{w: w, states: make([]*ringState, w.N), Sums: make([]int64, w.N)}
 	for i := 0; i < w.N; i++ {
 		st := &ringState{}
 		if appStates != nil && appStates[i] != nil {
 			if err := gob.NewDecoder(bytes.NewReader(appStates[i])).Decode(st); err != nil {
-				panic(fmt.Sprintf("workload: ring state for rank %d: %v", i, err))
+				return nil, fmt.Errorf("workload: ring state for rank %d: %w", i, err)
 			}
 		}
 		inst.states[i] = st
@@ -85,19 +86,19 @@ func (w Ring) LaunchFrom(j *mpi.Job, appStates [][]byte) Instance {
 			inst.Sums[me] = st.Sum
 		})
 	}
-	return inst
+	return inst, nil
 }
 
 // Footprint implements Instance.
 func (inst *RingInstance) Footprint(rank int) int64 { return inst.w.FootprintMB << 20 }
 
 // Capture implements RestartableInstance.
-func (inst *RingInstance) Capture(rank int) []byte {
+func (inst *RingInstance) Capture(rank int) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(inst.states[rank]); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return buf.Bytes()
+	return buf.Bytes(), nil
 }
 
 // ExpectedRingSum returns the failure-free checksum for a rank.
@@ -136,16 +137,16 @@ type AllgatherInstance struct {
 func (w AllgatherLoop) Name() string { return fmt.Sprintf("allgatherloop(n=%d)", w.N) }
 
 // Launch implements Workload.
-func (w AllgatherLoop) Launch(j *mpi.Job) Instance { return w.LaunchFrom(j, nil) }
+func (w AllgatherLoop) Launch(j *mpi.Job) (Instance, error) { return w.LaunchFrom(j, nil) }
 
 // LaunchFrom implements Restartable.
-func (w AllgatherLoop) LaunchFrom(j *mpi.Job, appStates [][]byte) Instance {
+func (w AllgatherLoop) LaunchFrom(j *mpi.Job, appStates [][]byte) (Instance, error) {
 	inst := &AllgatherInstance{w: w, states: make([]*agState, w.N), Hashes: make([]uint64, w.N)}
 	for i := 0; i < w.N; i++ {
 		st := &agState{}
 		if appStates != nil && appStates[i] != nil {
 			if err := gob.NewDecoder(bytes.NewReader(appStates[i])).Decode(st); err != nil {
-				panic(fmt.Sprintf("workload: allgather state for rank %d: %v", i, err))
+				return nil, fmt.Errorf("workload: allgather state for rank %d: %w", i, err)
 			}
 		}
 		inst.states[i] = st
@@ -167,17 +168,17 @@ func (w AllgatherLoop) LaunchFrom(j *mpi.Job, appStates [][]byte) Instance {
 			inst.Hashes[me] = st.Hash
 		})
 	}
-	return inst
+	return inst, nil
 }
 
 // Footprint implements Instance.
 func (inst *AllgatherInstance) Footprint(rank int) int64 { return inst.w.FootprintMB << 20 }
 
 // Capture implements RestartableInstance.
-func (inst *AllgatherInstance) Capture(rank int) []byte {
+func (inst *AllgatherInstance) Capture(rank int) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(inst.states[rank]); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return buf.Bytes()
+	return buf.Bytes(), nil
 }

@@ -41,7 +41,7 @@ type StencilInstance struct {
 func (w Stencil) Name() string { return fmt.Sprintf("stencil(n=%d,cells=%d)", w.N, w.Cells) }
 
 // Launch implements Workload.
-func (w Stencil) Launch(j *mpi.Job) Instance { return w.LaunchFrom(j, nil) }
+func (w Stencil) Launch(j *mpi.Job) (Instance, error) { return w.LaunchFrom(j, nil) }
 
 // initField gives rank me a deterministic initial strip (with halos).
 func (w Stencil) initField(me int) []float64 {
@@ -54,7 +54,7 @@ func (w Stencil) initField(me int) []float64 {
 }
 
 // LaunchFrom implements Restartable.
-func (w Stencil) LaunchFrom(j *mpi.Job, appStates [][]byte) Instance {
+func (w Stencil) LaunchFrom(j *mpi.Job, appStates [][]byte) (Instance, error) {
 	inst := &StencilInstance{
 		w:         w,
 		states:    make([]*stencilState, w.N),
@@ -64,7 +64,7 @@ func (w Stencil) LaunchFrom(j *mpi.Job, appStates [][]byte) Instance {
 		st := &stencilState{}
 		if appStates != nil && appStates[i] != nil {
 			if err := gob.NewDecoder(bytes.NewReader(appStates[i])).Decode(st); err != nil {
-				panic(fmt.Sprintf("workload: stencil state for rank %d: %v", i, err))
+				return nil, fmt.Errorf("workload: stencil state for rank %d: %w", i, err)
 			}
 		} else {
 			st.Field = w.initField(i)
@@ -109,17 +109,17 @@ func (w Stencil) LaunchFrom(j *mpi.Job, appStates [][]byte) Instance {
 			inst.Checksums[me] = sum
 		})
 	}
-	return inst
+	return inst, nil
 }
 
 // Footprint implements Instance.
 func (inst *StencilInstance) Footprint(rank int) int64 { return inst.w.FootprintMB << 20 }
 
 // Capture implements RestartableInstance.
-func (inst *StencilInstance) Capture(rank int) []byte {
+func (inst *StencilInstance) Capture(rank int) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(inst.states[rank]); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return buf.Bytes()
+	return buf.Bytes(), nil
 }

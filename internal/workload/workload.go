@@ -9,10 +9,12 @@ import "gbcr/internal/mpi"
 
 // Workload is a launchable application. Launch installs every rank's body
 // on the job and returns the per-run instance; it must be callable on
-// multiple clusters (fresh state per call).
+// multiple clusters (fresh state per call). Launch errors on a
+// configuration that cannot run on the job (size mismatch, malformed
+// parameters, corrupt restart state).
 type Workload interface {
 	Name() string
-	Launch(j *mpi.Job) Instance
+	Launch(j *mpi.Job) (Instance, error)
 }
 
 // Instance is one run of a workload.

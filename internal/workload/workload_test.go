@@ -8,10 +8,49 @@ import (
 	"gbcr/internal/sim"
 )
 
-func newJob(n int) (*sim.Kernel, *mpi.Job) {
+// newJob builds a kernel and n-rank job, failing the test on wiring errors.
+func newJob(t testing.TB, n int) (*sim.Kernel, *mpi.Job) {
+	t.Helper()
 	k := sim.NewKernel(1)
-	f := ib.New(k, ib.PaperConfig())
-	return k, mpi.NewJob(k, f, mpi.DefaultConfig(), n)
+	f, err := ib.New(k, ib.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := mpi.NewJob(k, f, mpi.DefaultConfig(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, j
+}
+
+// launch starts w on j, failing the test on a launch error.
+func launch(t testing.TB, w Workload, j *mpi.Job) Instance {
+	t.Helper()
+	inst, err := w.Launch(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// launchFrom relaunches w from captured per-rank states.
+func launchFrom(t testing.TB, w Restartable, j *mpi.Job, states [][]byte) Instance {
+	t.Helper()
+	inst, err := w.LaunchFrom(j, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// capture serializes one rank's state, failing the test on error.
+func capture(t testing.TB, inst RestartableInstance, rank int) []byte {
+	t.Helper()
+	b, err := inst.Capture(rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 func TestGroupRanks(t *testing.T) {
@@ -56,9 +95,9 @@ func itoa(x int) string {
 }
 
 func TestCommGroupsCompletes(t *testing.T) {
-	k, j := newJob(8)
+	k, j := newJob(t, 8)
 	w := CommGroups{N: 8, CommGroupSize: 4, Iters: 20, Chunk: 50 * sim.Millisecond, FootprintMB: 16}
-	inst := w.Launch(j)
+	inst := launch(t, w, j)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -90,9 +129,9 @@ func TestCommGroupsCompletes(t *testing.T) {
 }
 
 func TestCommGroupsEmbarrassinglyParallel(t *testing.T) {
-	k, j := newJob(4)
+	k, j := newJob(t, 4)
 	w := CommGroups{N: 4, CommGroupSize: 1, Iters: 10, Chunk: 100 * sim.Millisecond, FootprintMB: 16}
-	w.Launch(j)
+	launch(t, w, j)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -108,10 +147,10 @@ func TestCommGroupsEmbarrassinglyParallel(t *testing.T) {
 }
 
 func TestBarrierPhasesStructure(t *testing.T) {
-	k, j := newJob(4)
+	k, j := newJob(t, 4)
 	w := BarrierPhases{N: 4, CommGroupSize: 2, Chunk: 100 * sim.Millisecond,
 		BarrierEvery: 500 * sim.Millisecond, Phases: 3, FootprintMB: 16}
-	w.Launch(j)
+	launch(t, w, j)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -127,9 +166,9 @@ func TestBarrierPhasesStructure(t *testing.T) {
 
 func TestRingSums(t *testing.T) {
 	const n, iters = 5, 30
-	k, j := newJob(n)
+	k, j := newJob(t, n)
 	w := Ring{N: n, Iters: iters, Chunk: 20 * sim.Millisecond, FootprintMB: 8}
-	inst := w.Launch(j).(*RingInstance)
+	inst := launch(t, w, j).(*RingInstance)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -142,9 +181,9 @@ func TestRingSums(t *testing.T) {
 
 func TestRingCaptureRoundtrip(t *testing.T) {
 	const n = 3
-	k, j := newJob(n)
+	k, j := newJob(t, n)
 	w := Ring{N: n, Iters: 10, Chunk: 10 * sim.Millisecond, FootprintMB: 8}
-	inst := w.Launch(j).(*RingInstance)
+	inst := launch(t, w, j).(*RingInstance)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -152,10 +191,10 @@ func TestRingCaptureRoundtrip(t *testing.T) {
 	// immediately with the same sums.
 	states := make([][]byte, n)
 	for i := range states {
-		states[i] = inst.Capture(i)
+		states[i] = capture(t, inst, i)
 	}
-	k2, j2 := newJob(n)
-	inst2 := w.LaunchFrom(j2, states).(*RingInstance)
+	k2, j2 := newJob(t, n)
+	inst2 := launchFrom(t, w, j2, states).(*RingInstance)
 	if err := k2.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -171,9 +210,9 @@ func TestRingCaptureRoundtrip(t *testing.T) {
 
 func TestAllgatherLoopHashes(t *testing.T) {
 	const n, iters = 4, 15
-	k, j := newJob(n)
+	k, j := newJob(t, n)
 	w := AllgatherLoop{N: n, Iters: iters, Chunk: 20 * sim.Millisecond, FootprintMB: 8}
-	inst := w.Launch(j).(*AllgatherInstance)
+	inst := launch(t, w, j).(*AllgatherInstance)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -234,8 +273,8 @@ func serialStencil(w Stencil) []float64 {
 
 func TestStencilMatchesSerial(t *testing.T) {
 	w := Stencil{N: 5, Cells: 8, Iters: 20, Chunk: 10 * sim.Millisecond, FootprintMB: 8}
-	k, j := newJob(w.N)
-	inst := w.Launch(j).(*StencilInstance)
+	k, j := newJob(t, w.N)
+	inst := launch(t, w, j).(*StencilInstance)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -250,8 +289,8 @@ func TestStencilMatchesSerial(t *testing.T) {
 func TestStencilCaptureRestoresMidway(t *testing.T) {
 	w := Stencil{N: 3, Cells: 4, Iters: 10, Chunk: 10 * sim.Millisecond, FootprintMB: 8}
 	// Full run for reference.
-	k1, j1 := newJob(w.N)
-	ref := w.Launch(j1).(*StencilInstance)
+	k1, j1 := newJob(t, w.N)
+	ref := launch(t, w, j1).(*StencilInstance)
 	if err := k1.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -259,10 +298,10 @@ func TestStencilCaptureRestoresMidway(t *testing.T) {
 	// and confirm identical checksums with zero extra work.
 	states := make([][]byte, w.N)
 	for i := range states {
-		states[i] = ref.Capture(i)
+		states[i] = capture(t, ref, i)
 	}
-	k2, j2 := newJob(w.N)
-	inst := w.LaunchFrom(j2, states).(*StencilInstance)
+	k2, j2 := newJob(t, w.N)
+	inst := launchFrom(t, w, j2, states).(*StencilInstance)
 	if err := k2.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -304,18 +343,18 @@ func TestWorkloadNamesAndFootprints(t *testing.T) {
 
 func TestAllgatherLoopCaptureRoundtrip(t *testing.T) {
 	const n = 3
-	k, j := newJob(n)
+	k, j := newJob(t, n)
 	w := AllgatherLoop{N: n, Iters: 8, Chunk: 10 * sim.Millisecond, FootprintMB: 4}
-	inst := w.Launch(j).(*AllgatherInstance)
+	inst := launch(t, w, j).(*AllgatherInstance)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
 	states := make([][]byte, n)
 	for i := range states {
-		states[i] = inst.Capture(i)
+		states[i] = capture(t, inst, i)
 	}
-	k2, j2 := newJob(n)
-	inst2 := w.LaunchFrom(j2, states).(*AllgatherInstance)
+	k2, j2 := newJob(t, n)
+	inst2 := launchFrom(t, w, j2, states).(*AllgatherInstance)
 	if err := k2.Run(); err != nil {
 		t.Fatal(err)
 	}

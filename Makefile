@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint race bench figures examples cover clean
+.PHONY: all check build test vet lint race bench bench-json figures figures-txt examples cover clean
 
 all: check
 
@@ -35,13 +35,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
+# Run every benchmark once and capture the results — wall ns/op plus the
+# custom sim-time metrics — as machine-readable JSON.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./... | $(GO) run ./cmd/benchjson -o BENCH_results.json
+
 # Print every figure/ablation/extension as text tables.
 figures:
 	$(GO) run ./cmd/figures
 
-# Refresh the committed artifact.
-docs/figures.txt:
-	$(GO) run ./cmd/figures > $@
+# Refresh the committed artifact. A phony target (not a file rule): the
+# tables depend on the whole simulation stack, so "already up to date"
+# would always be wrong.
+figures-txt:
+	$(GO) run ./cmd/figures > docs/figures.txt
 
 examples:
 	$(GO) run ./examples/quickstart

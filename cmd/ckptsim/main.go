@@ -13,13 +13,14 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	"gbcr/internal/harness"
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
-	"gbcr/internal/trace"
 	"gbcr/internal/workload"
 	"gbcr/internal/workload/hpl"
 	"gbcr/internal/workload/motif"
@@ -44,6 +45,9 @@ func main() {
 		helper    = flag.Bool("helper", true, "enable the passive-coordination helper thread")
 		verbose   = flag.Bool("v", false, "print per-rank checkpoint records")
 		showTrace = flag.Bool("trace", false, "print the protocol timeline")
+		traceJSON = flag.String("trace-json", "", "write the full event timeline as JSON Lines to this file")
+		traceChr  = flag.String("trace-chrome", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) to this file")
+		metrics   = flag.String("metrics-json", "", "write the run's metrics registry as JSON to this file")
 		mtbf      = flag.Float64("mtbf", 0, "run to completion under failures with this MTBF in seconds (ring workload only)")
 		interval  = flag.Float64("interval", 0, "periodic checkpoint interval in seconds (with -mtbf)")
 		seed      = flag.Int64("seed", 1, "failure-injection seed (with -mtbf)")
@@ -130,13 +134,60 @@ func main() {
 		return
 	}
 
-	var log *trace.Log
-	if *showTrace {
-		log = &trace.Log{}
+	// Build the observability bus only when some output is requested: a nil
+	// bus keeps the instrumented hot paths on their single-pointer-check
+	// disabled route.
+	var (
+		bus    *obs.Bus
+		mem    *obs.MemorySink
+		jsonl  *obs.JSONLSink
+		jsonlB bytes.Buffer
+		chrome *obs.ChromeSink
+	)
+	if *showTrace || *traceJSON != "" || *traceChr != "" || *metrics != "" {
+		bus = obs.NewBus()
+		if *showTrace {
+			mem = &obs.MemorySink{}
+			bus.AddSink(mem)
+		}
+		if *traceJSON != "" {
+			jsonl = obs.NewJSONL(&jsonlB)
+			bus.AddSink(jsonl)
+		}
+		if *traceChr != "" {
+			chrome = obs.NewChrome()
+			bus.AddSink(chrome)
+		}
 	}
-	res, err := harness.MeasureTraced(cfg, w, sim.Seconds(*at), log)
+	res, err := harness.MeasureObserved(cfg, w, sim.Seconds(*at), bus)
 	if err != nil {
 		fail("%v", err)
+	}
+	if *traceJSON != "" {
+		if jsonl.Err() != nil {
+			fail("encoding %s: %v", *traceJSON, jsonl.Err())
+		}
+		if err := os.WriteFile(*traceJSON, jsonlB.Bytes(), 0o644); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *traceChr != "" {
+		var buf bytes.Buffer
+		if err := chrome.Render(&buf); err != nil {
+			fail("encoding %s: %v", *traceChr, err)
+		}
+		if err := os.WriteFile(*traceChr, buf.Bytes(), 0o644); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *metrics != "" {
+		var buf bytes.Buffer
+		if err := bus.Metrics().Snapshot().WriteJSON(&buf); err != nil {
+			fail("encoding %s: %v", *metrics, err)
+		}
+		if err := os.WriteFile(*metrics, buf.Bytes(), 0o644); err != nil {
+			fail("%v", err)
+		}
 	}
 	fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
 	fmt.Printf("protocol:              %s\n", protocolName(*group, ranks, *dynamic))
@@ -152,8 +203,12 @@ func main() {
 	if *showTrace {
 		fmt.Println("\ncycle gantt:")
 		fmt.Print(res.Report.Gantt(72))
-		fmt.Println("\nprotocol timeline:")
-		log.Render(os.Stdout)
+		fmt.Println("\nprotocol timeline (cr layer):")
+		for _, e := range mem.ByLayer(obs.LayerCR) {
+			fmt.Println(e)
+		}
+		fmt.Println("\nevent counts by rank and layer:")
+		fmt.Print(mem.Summary())
 	}
 	if *verbose {
 		fmt.Println("\nper-rank records:")

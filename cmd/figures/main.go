@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"gbcr/internal/figures"
+	"gbcr/internal/obs"
 )
 
 // figureJSON is one named figure in the -json output; multi-table entries
@@ -39,6 +41,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions (default: all)")
 	asJSON := flag.Bool("json", false, "emit every figure's data series as JSON on stdout")
 	workers := flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	metrics := flag.String("metrics-json", "", "write aggregated per-layer metrics across all measured cells as JSON to this file")
 	flag.Parse()
 	if *workers < 0 {
 		fail(fmt.Errorf("-workers must not be negative, got %d", *workers))
@@ -64,6 +67,13 @@ func main() {
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
 	g := figures.NewGenerator(*workers)
+	var agg *obs.Aggregate
+	if *metrics != "" {
+		// The merge is commutative, so the aggregate is identical at any
+		// worker count even though cells finish in scheduler order.
+		agg = obs.NewAggregate()
+		g.R.SetAggregate(agg)
+	}
 	out := []figureJSON{}
 
 	run := func(name string, fn func() ([]*figures.Table, error)) {
@@ -133,6 +143,15 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+	}
+	if *metrics != "" {
+		var buf bytes.Buffer
+		if err := agg.Snapshot().WriteJSON(&buf); err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*metrics, buf.Bytes(), 0o644); err != nil {
 			fail(err)
 		}
 	}

@@ -6,8 +6,8 @@ import (
 	"gbcr/internal/blcr"
 	"gbcr/internal/ib"
 	"gbcr/internal/mpi"
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
-	"gbcr/internal/trace"
 )
 
 // Controller is the local C/R controller embedded in one MPI process. It
@@ -157,6 +157,27 @@ func (c *Controller) onOOB(src int, payload any) bool {
 	return true
 }
 
+// emit records a cr-layer event on this rank's track. Begin/End pairs with
+// the same what render as duration spans in the Chrome export.
+func (c *Controller) emit(t obs.Type, what, detail string) {
+	c.co.bus.Emit(obs.Event{At: c.co.k.Now(), Rank: c.rank.World(), Layer: obs.LayerCR,
+		Type: t, What: what, Detail: detail})
+}
+
+// observeRecord feeds a completed per-rank record into the cycle's registry —
+// the authoritative source for the CycleReport summary numbers — and mirrors
+// the same observations onto the attached bus for -metrics-json export.
+func (c *Controller) observeRecord(rec CkptRecord) {
+	for _, m := range []*obs.Metrics{c.co.metricsFor(rec.Cycle), c.co.bus.Metrics()} {
+		m.Histogram(obs.LayerCR, "individual").Observe(rec.Individual())
+		m.Histogram(obs.LayerCR, "storage_write").Observe(rec.StorageTime())
+		m.Histogram(obs.LayerCR, "sync").Observe(rec.GoAt - rec.SafePointAt)
+		m.Histogram(obs.LayerCR, "teardown").Observe(rec.TeardownDone - rec.GoAt)
+		m.Counter(obs.LayerCR, "snapshots").Inc()
+		m.Counter(obs.LayerCR, "snapshot_bytes").Add(rec.Footprint)
+	}
+}
+
 func (c *Controller) unparkSelf() {
 	if p := c.rank.Proc(); p != nil {
 		p.Unpark()
@@ -238,10 +259,16 @@ func (c *Controller) endCycle() {
 	// the cycle report (this rank's own record may not exist yet — its
 	// process resumes after this handler).
 	now := c.rank.Stats()
-	c.bufByCycle[c.cycle] = bufDelta{
+	d := bufDelta{
 		msgs:  now.MsgsBuffered - c.bufStart.MsgsBuffered,
 		reqs:  now.ReqsBuffered - c.bufStart.ReqsBuffered,
 		bytes: now.BytesBuffered - c.bufStart.BytesBuffered,
+	}
+	c.bufByCycle[c.cycle] = d
+	for _, m := range []*obs.Metrics{c.co.metricsFor(c.cycle), c.co.bus.Metrics()} {
+		m.Counter(obs.LayerCR, "buffered_msgs").Add(int64(d.msgs))
+		m.Counter(obs.LayerCR, "buffered_reqs").Add(int64(d.reqs))
+		m.Counter(obs.LayerCR, "buffered_bytes").Add(d.bytes)
 	}
 }
 
@@ -274,15 +301,17 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 	p := e.Proc()
 	k := c.co.k
 	world := c.rank.World()
-	c.co.Trace.Add(k.Now(), world, trace.KindPhase, "safe-point", "")
+	c.emit(obs.Instant, "safe-point", "")
 	rec := CkptRecord{Cycle: c.cycle, Group: c.myGroup, SafePointAt: k.Now()}
 
 	// Phase 1: Initial Synchronization — report readiness, wait for the
 	// whole group to stop.
+	c.emit(obs.Begin, "ckpt-sync", "")
 	c.sendCo(msgReady{cycle: c.cycle, rank: c.rank.World()})
 	c.waitFlag(p, &c.goFlag, "cr: initial synchronization")
 	rec.GoAt = k.Now()
-	c.co.Trace.Add(k.Now(), world, trace.KindPhase, "pre-checkpoint",
+	c.emit(obs.End, "ckpt-sync", "")
+	c.emit(obs.Begin, "ckpt-teardown",
 		fmt.Sprintf("%d connections to tear down", len(c.rank.Endpoint().Peers())))
 
 	// Phase 2: Pre-checkpoint Coordination — flush in-transit messages and
@@ -290,7 +319,7 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 	// helper-driven progress).
 	c.teardownConnections(p)
 	rec.TeardownDone = k.Now()
-	c.co.Trace.Add(k.Now(), world, trace.KindConn, "teardown-done", "")
+	c.emit(obs.End, "ckpt-teardown", "")
 
 	// Phase 3: Local Checkpointing — BLCR-style snapshot written to the
 	// shared storage system, after the fixed local setup cost (process
@@ -305,8 +334,7 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 	}
 	rec.Footprint = snap.Footprint
 	rec.WriteStart = k.Now()
-	c.co.Trace.Add(k.Now(), world, trace.KindStorage, "write-start",
-		fmt.Sprintf("%.0f MB", float64(snap.Size())/(1<<20)))
+	c.emit(obs.Begin, "ckpt-write", fmt.Sprintf("%.0f MB", float64(snap.Size())/(1<<20)))
 	if c.co.cfg.Staged {
 		// Two-phase: node-local write now (unshared disk), background
 		// drain to central storage after.
@@ -317,7 +345,7 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 		return
 	}
 	rec.WriteEnd = k.Now()
-	c.co.Trace.Add(k.Now(), world, trace.KindStorage, "write-end", "")
+	c.emit(obs.End, "ckpt-write", "")
 	c.epoch++
 	c.mySaved = true
 	c.putSnapshot(snap)
@@ -325,12 +353,14 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 
 	// Phase 4: Post-checkpoint Coordination — wait for the group to finish;
 	// connections rebuild on demand as execution resumes.
+	c.emit(obs.Begin, "ckpt-resume-wait", "")
 	c.waitFlag(p, &c.resumeFlag, "cr: post-checkpoint coordination")
 	c.inCkpt = false
 	rec.ResumeAt = k.Now()
-	c.co.Trace.Add(k.Now(), world, trace.KindPhase, "resume",
-		fmt.Sprintf("downtime %v", rec.ResumeAt-rec.SafePointAt))
+	c.emit(obs.End, "ckpt-resume-wait", "")
+	c.emit(obs.Instant, "resume", fmt.Sprintf("downtime %v", rec.ResumeAt-rec.SafePointAt))
 	c.records = append(c.records, rec)
+	c.observeRecord(rec)
 	c.releaseAligned()
 }
 
@@ -478,6 +508,7 @@ func (c *Controller) writeFinishedSnapshot(rec *CkptRecord) {
 		c.inCkpt = false
 		rec.ResumeAt = k.Now()
 		c.records = append(c.records, *rec)
+		c.observeRecord(*rec)
 		c.releaseAligned()
 	}
 	if c.co.cfg.Staged {
@@ -509,15 +540,14 @@ func (c *Controller) localWriteTime(size int64) sim.Time {
 func (c *Controller) startDrain(size int64) {
 	cycle := c.cycle
 	rank := c.rank.World()
-	c.co.Trace.Add(c.co.k.Now(), rank, trace.KindStorage, "drain-start",
-		fmt.Sprintf("%.0f MB to central storage", float64(size)/(1<<20)))
+	c.emit(obs.Begin, "ckpt-drain", fmt.Sprintf("%.0f MB to central storage", float64(size)/(1<<20)))
 	tr, err := c.co.store.Start(size)
 	if err != nil {
 		c.co.k.Fail(fmt.Errorf("cr: rank %d starting drain: %w", rank, err))
 		return
 	}
 	tr.OnDone(func() {
-		c.co.Trace.Add(c.co.k.Now(), rank, trace.KindStorage, "drain-end", "")
+		c.emit(obs.End, "ckpt-drain", "")
 		c.sendCo(msgDrained{cycle: cycle, rank: rank})
 	})
 }

@@ -6,9 +6,9 @@ import (
 	"gbcr/internal/blcr"
 	"gbcr/internal/ib"
 	"gbcr/internal/mpi"
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 	"gbcr/internal/storage"
-	"gbcr/internal/trace"
 )
 
 // Coordinator is the global C/R coordinator: it forms the checkpoint groups,
@@ -40,9 +40,40 @@ type Coordinator struct {
 	// completes.
 	OnCycleDone func(rep *CycleReport)
 
-	// Trace, if non-nil, records the protocol timeline (phases, teardown,
-	// storage writes) for debugging and the ckptsim -trace view.
-	Trace *trace.Log
+	// bus receives the protocol timeline (cycle control on the system
+	// track, per-rank phase spans) when a sink is attached; nil is fine.
+	bus *obs.Bus
+	// cycleMetrics holds one registry per cycle: the controllers observe
+	// phase durations and buffering deltas into it, and the cycle's
+	// CycleReport reads its summary numbers from it. Entries are retained
+	// for the life of the coordinator because reports keep pointers and
+	// staged drains can land observations after the cycle closes.
+	cycleMetrics map[int]*obs.Metrics
+}
+
+// SetObs attaches an observability bus (nil detaches). The protocol timeline
+// — cycle request/turn/group-done/cycle-done on the system track, per-rank
+// phase spans (sync, teardown, write, resume-wait, drain) — is emitted as
+// cr-layer events, and per-cycle phase numbers are mirrored into the bus's
+// registry.
+func (co *Coordinator) SetObs(b *obs.Bus) { co.bus = b }
+
+// emit records a cr-layer coordinator event on the system track.
+func (co *Coordinator) emit(what, detail string) {
+	co.bus.Emit(obs.Event{At: co.k.Now(), Rank: -1, Layer: obs.LayerCR,
+		Type: obs.Instant, What: what, Detail: detail})
+}
+
+// metricsFor returns cycle's registry, creating it on first use. Unlike the
+// bus (optional, user-attached), the per-cycle registry always exists: it is
+// the authoritative source of CycleReport's phase summaries.
+func (co *Coordinator) metricsFor(cycle int) *obs.Metrics {
+	m := co.cycleMetrics[cycle]
+	if m == nil {
+		m = obs.NewMetrics()
+		co.cycleMetrics[cycle] = m
+	}
+	return m
 }
 
 // New attaches a coordinator and per-rank controllers to a job. It must be
@@ -61,9 +92,10 @@ func New(k *sim.Kernel, job *mpi.Job, store *storage.System, cfg Config) (*Coord
 		store:      store,
 		cfg:        cfg,
 		ep:         ep,
-		snaps:      blcr.NewStore(job.Size()),
-		drains:     make(map[int]map[int]bool),
-		repByCycle: make(map[int]*CycleReport),
+		snaps:        blcr.NewStore(job.Size()),
+		drains:       make(map[int]map[int]bool),
+		repByCycle:   make(map[int]*CycleReport),
+		cycleMetrics: make(map[int]*obs.Metrics),
 	}
 	co.ep.OnOOBImmediate = func(src int, payload any) bool {
 		co.onMsg(src, payload)
@@ -155,8 +187,9 @@ func (co *Coordinator) RequestCheckpoint() {
 	co.turn = 0
 	co.ready = make(map[int]bool)
 	co.saved = make(map[int]bool)
-	co.Trace.Add(co.k.Now(), -1, trace.KindCycle, "request",
-		fmt.Sprintf("cycle %d, groups %v", co.cycle, co.groups))
+	co.metricsFor(co.cycle) // the cycle's registry exists from request on
+	co.bus.Metrics().Counter(obs.LayerCR, "cycles").Inc()
+	co.emit("request", fmt.Sprintf("cycle %d, groups %v", co.cycle, co.groups))
 	co.broadcast(msgCkptRequest{cycle: co.cycle, groups: co.groups})
 	if !co.cfg.Polled {
 		// Signal mode: group 0 is interrupted immediately; other groups
@@ -213,8 +246,7 @@ func (co *Coordinator) onMsg(src int, payload any) {
 		}
 		co.saved[m.rank] = true
 		if co.groupCovered(co.saved, co.turn) {
-			co.Trace.Add(co.k.Now(), -1, trace.KindCycle, "group-done",
-				fmt.Sprintf("group %d", co.turn))
+			co.emit("group-done", fmt.Sprintf("group %d", co.turn))
 			co.broadcast(msgGroupDone{cycle: co.cycle, group: co.turn})
 			co.turn++
 			if co.turn < len(co.groups) {
@@ -232,8 +264,7 @@ func (co *Coordinator) onMsg(src int, payload any) {
 		set[m.rank] = true
 		rep := co.repByCycle[m.cycle]
 		if rep != nil && len(set) == co.job.Size() {
-			co.Trace.Add(co.k.Now(), -1, trace.KindStorage, "all-drained",
-				fmt.Sprintf("cycle %d durable", m.cycle))
+			co.emit("all-drained", fmt.Sprintf("cycle %d durable", m.cycle))
 			co.markComplete(m.cycle)
 			rep.DrainedAt = co.k.Now()
 			delete(co.drains, m.cycle)
@@ -247,8 +278,7 @@ func (co *Coordinator) onMsg(src int, payload any) {
 // startTurn announces a group's turn; in polled mode its members are already
 // quiesced and receive their go immediately.
 func (co *Coordinator) startTurn(turn int) {
-	co.Trace.Add(co.k.Now(), -1, trace.KindCycle, "turn",
-		fmt.Sprintf("group %d %v", turn, co.groups[turn]))
+	co.emit("turn", fmt.Sprintf("group %d %v", turn, co.groups[turn]))
 	co.broadcast(msgTurn{cycle: co.cycle, group: turn})
 	if co.cfg.Polled {
 		co.sendGroup(turn, msgGo{cycle: co.cycle, group: turn})
@@ -273,14 +303,14 @@ func (co *Coordinator) groupCovered(set map[int]bool, group int) bool {
 }
 
 func (co *Coordinator) finishCycle() {
-	co.Trace.Add(co.k.Now(), -1, trace.KindCycle, "cycle-done",
-		fmt.Sprintf("cycle %d", co.cycle))
+	co.emit("cycle-done", fmt.Sprintf("cycle %d", co.cycle))
 	co.broadcast(msgCycleDone{cycle: co.cycle})
 	rep := &CycleReport{
 		Cycle:     co.cycle,
 		Groups:    co.groups,
 		RequestAt: co.requestAt,
 		DoneAt:    co.k.Now(),
+		metrics:   co.metricsFor(co.cycle),
 	}
 	if co.cfg.Staged {
 		// Durability lags resumption: the global checkpoint completes only

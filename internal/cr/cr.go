@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strings"
 
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 )
 
@@ -185,6 +186,33 @@ type CycleReport struct {
 	// storage (zero unless Config.Staged).
 	DrainedAt sim.Time
 	Records   []CkptRecord // one per rank, indexed by world rank
+
+	// metrics is the cycle's registry: every controller observes its phase
+	// durations and buffering deltas into it. It is the primary source for
+	// the summary accessors below; Records is the fallback (and the
+	// cross-check in tests).
+	metrics *obs.Metrics
+}
+
+// Metrics returns the cycle's registry of phase histograms and buffering
+// counters (cr-layer: individual, storage_write, sync, teardown;
+// buffered_msgs/reqs/bytes, snapshots, snapshot_bytes). Nil for reports
+// constructed outside a coordinator.
+func (r *CycleReport) Metrics() *obs.Metrics { return r.metrics }
+
+// hist returns the named cr-layer histogram when the cycle's registry holds a
+// complete set of observations — exactly one per rank record. Incomplete
+// registries (report read before the last group resumed, or a report built
+// by hand in tests) make the accessors fall back to Records.
+func (r *CycleReport) hist(name string) *obs.Histogram {
+	if r.metrics == nil || len(r.Records) == 0 {
+		return nil
+	}
+	h := r.metrics.Histogram(obs.LayerCR, name)
+	if h.Count() != int64(len(r.Records)) {
+		return nil
+	}
+	return h
 }
 
 // Total is the paper's Total Checkpoint Time: request issued to global
@@ -203,6 +231,9 @@ func (r *CycleReport) VulnerabilityWindow() sim.Time {
 
 // MaxIndividual returns the largest per-process downtime in the cycle.
 func (r *CycleReport) MaxIndividual() sim.Time {
+	if h := r.hist("individual"); h != nil {
+		return h.Max()
+	}
 	var m sim.Time
 	for _, rec := range r.Records {
 		if d := rec.Individual(); d > m {
@@ -214,6 +245,9 @@ func (r *CycleReport) MaxIndividual() sim.Time {
 
 // MeanIndividual returns the average per-process downtime in the cycle.
 func (r *CycleReport) MeanIndividual() sim.Time {
+	if h := r.hist("individual"); h != nil {
+		return h.Sum() / sim.Time(h.Count())
+	}
 	if len(r.Records) == 0 {
 		return 0
 	}
@@ -227,6 +261,11 @@ func (r *CycleReport) MeanIndividual() sim.Time {
 // BufferedTotals sums the cycle's message- and request-buffering activity
 // across ranks (Section 4.3).
 func (r *CycleReport) BufferedTotals() (msgs, reqs int, bytes int64) {
+	if r.hist("individual") != nil {
+		return int(r.metrics.Counter(obs.LayerCR, "buffered_msgs").Value()),
+			int(r.metrics.Counter(obs.LayerCR, "buffered_reqs").Value()),
+			r.metrics.Counter(obs.LayerCR, "buffered_bytes").Value()
+	}
 	for _, rec := range r.Records {
 		msgs += rec.BufferedMsgs
 		reqs += rec.BufferedReqs
@@ -238,6 +277,12 @@ func (r *CycleReport) BufferedTotals() (msgs, reqs int, bytes int64) {
 // StorageShare reports the fraction of total downtime spent in storage
 // writes — the paper observes this is over 95% for the regular protocol.
 func (r *CycleReport) StorageShare() float64 {
+	if ih, sh := r.hist("individual"), r.hist("storage_write"); ih != nil && sh != nil {
+		if ih.Sum() == 0 {
+			return 0
+		}
+		return float64(sh.Sum()) / float64(ih.Sum())
+	}
 	var ind, st sim.Time
 	for _, rec := range r.Records {
 		ind += rec.Individual()

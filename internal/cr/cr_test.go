@@ -10,9 +10,9 @@ import (
 
 	"gbcr/internal/ib"
 	"gbcr/internal/mpi"
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 	"gbcr/internal/storage"
-	"gbcr/internal/trace"
 )
 
 const testMB = 1 << 20
@@ -825,29 +825,48 @@ func TestTraceTimeline(t *testing.T) {
 	cfg.GroupSize = 2
 	cfg.DefaultFootprint = 20 * testMB
 	c := newCluster(t, n, cfg)
-	log := &trace.Log{}
-	c.co.Trace = log
+	mem := &obs.MemorySink{}
+	c.co.SetObs(obs.NewBus(mem))
 	c.j.LaunchAll(computeLoop(40, 100*sim.Millisecond))
 	c.co.ScheduleCheckpoint(sim.Second)
 	runSim(t, c.k)
-	// The coordinator's cycle events appear in protocol order.
+	// The coordinator's cycle events appear in protocol order on the system
+	// track.
 	var cycleEvents []string
-	for _, e := range log.ByRank(-1) {
-		cycleEvents = append(cycleEvents, e.What)
+	for _, e := range mem.ByRank(-1) {
+		if e.Layer == obs.LayerCR {
+			cycleEvents = append(cycleEvents, e.What)
+		}
 	}
 	want := []string{"request", "turn", "group-done", "turn", "group-done", "cycle-done"}
 	if fmt.Sprint(cycleEvents) != fmt.Sprint(want) {
 		t.Fatalf("cycle events %v, want %v", cycleEvents, want)
 	}
-	// Every rank walked through the full phase sequence.
+	// Every rank walked through the full phase sequence, with Begin/End
+	// spans properly paired.
+	wantPhases := []string{
+		"safe-point",
+		"ckpt-sync{", "}ckpt-sync",
+		"ckpt-teardown{", "}ckpt-teardown",
+		"ckpt-write{", "}ckpt-write",
+		"ckpt-resume-wait{", "}ckpt-resume-wait",
+		"resume",
+	}
 	for r := 0; r < n; r++ {
 		var phases []string
-		for _, e := range log.ByRank(r) {
-			if e.Kind == trace.KindPhase || e.Kind == trace.KindStorage {
+		for _, e := range mem.ByRank(r) {
+			if e.Layer != obs.LayerCR {
+				continue
+			}
+			switch e.Type {
+			case obs.Begin:
+				phases = append(phases, e.What+"{")
+			case obs.End:
+				phases = append(phases, "}"+e.What)
+			default:
 				phases = append(phases, e.What)
 			}
 		}
-		wantPhases := []string{"safe-point", "pre-checkpoint", "write-start", "write-end", "resume"}
 		if fmt.Sprint(phases) != fmt.Sprint(wantPhases) {
 			t.Fatalf("rank %d phases %v, want %v", r, phases, wantPhases)
 		}

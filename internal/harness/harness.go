@@ -18,9 +18,9 @@ import (
 	"gbcr/internal/cr"
 	"gbcr/internal/ib"
 	"gbcr/internal/mpi"
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 	"gbcr/internal/storage"
-	"gbcr/internal/trace"
 	"gbcr/internal/workload"
 )
 
@@ -111,6 +111,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return &Cluster{K: k, Storage: st, Fabric: f, Job: j, Coord: co}, nil
 }
 
+// AttachObs wires an observability bus through every layer of the cluster:
+// kernel scheduling, storage transfers, fabric connection management, MPI
+// protocol decisions, and the C/R cycle all emit onto it, and its registry
+// accumulates the per-layer counters and histograms. A nil bus detaches.
+// The bus is deliberately not part of ClusterConfig: configs are memo keys
+// for baseline caching, and observation must not change identity.
+func (c *Cluster) AttachObs(bus *obs.Bus) {
+	obs.ObserveKernel(c.K, bus)
+	c.Storage.SetObs(bus)
+	c.Fabric.SetObs(bus)
+	c.Job.SetObs(bus)
+	c.Coord.SetObs(bus)
+}
+
 // launch wires a workload instance into the cluster's controllers.
 func (c *Cluster) launch(w workload.Workload) (workload.Instance, error) {
 	inst, err := w.Launch(c.Job)
@@ -179,6 +193,12 @@ func Baseline(cfg ClusterConfig, w workload.Workload) (sim.Time, error) {
 // MeasureWithBaseline runs the workload with one checkpoint at issuedAt,
 // using a previously measured baseline (so sweeps don't re-run it).
 func MeasureWithBaseline(cfg ClusterConfig, w workload.Workload, issuedAt, baseline sim.Time) (Result, error) {
+	return measureWithBaselineObs(cfg, w, issuedAt, baseline, nil)
+}
+
+// measureWithBaselineObs is MeasureWithBaseline with an optional bus attached
+// to the checkpointed run.
+func measureWithBaselineObs(cfg ClusterConfig, w workload.Workload, issuedAt, baseline sim.Time, bus *obs.Bus) (Result, error) {
 	if issuedAt < 0 {
 		return Result{}, fmt.Errorf("harness: checkpoint issuance time %v is negative", issuedAt)
 	}
@@ -186,6 +206,7 @@ func MeasureWithBaseline(cfg ClusterConfig, w workload.Workload, issuedAt, basel
 	if err != nil {
 		return Result{}, err
 	}
+	c.AttachObs(bus)
 	if _, err := c.launch(w); err != nil {
 		return Result{}, err
 	}
@@ -221,43 +242,17 @@ func Measure(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time) (Result,
 	return MeasureWithBaseline(cfg, w, issuedAt, base)
 }
 
-// MeasureTraced is Measure with a protocol trace log attached to the
-// checkpointed run (log may be nil).
-func MeasureTraced(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time, log *trace.Log) (Result, error) {
-	if issuedAt < 0 {
-		return Result{}, fmt.Errorf("harness: checkpoint issuance time %v is negative", issuedAt)
-	}
+// MeasureObserved is Measure with an observability bus attached to the
+// checkpointed run (bus may be nil): events from every layer flow to the
+// bus's sinks and its registry accumulates the run's metrics. The baseline
+// run is not observed, so the exported timeline covers exactly the
+// checkpointed execution.
+func MeasureObserved(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time, bus *obs.Bus) (Result, error) {
 	base, err := Baseline(cfg, w)
 	if err != nil {
 		return Result{}, err
 	}
-	c, err := NewCluster(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	c.Coord.Trace = log
-	if _, err := c.launch(w); err != nil {
-		return Result{}, err
-	}
-	c.Coord.ScheduleCheckpoint(issuedAt)
-	if err := c.run("traced"); err != nil {
-		return Result{}, err
-	}
-	reps, err := c.Coord.Reports()
-	if err != nil {
-		return Result{}, fmt.Errorf("harness: traced run: %w", err)
-	}
-	if len(reps) != 1 {
-		return Result{}, fmt.Errorf("harness: expected 1 checkpoint cycle, got %d", len(reps))
-	}
-	return Result{
-		Workload:  w.Name(),
-		GroupSize: cfg.CR.GroupSize,
-		IssuedAt:  issuedAt,
-		Baseline:  base,
-		WithCkpt:  c.Job.FinishTime(),
-		Report:    reps[0],
-	}, nil
+	return measureWithBaselineObs(cfg, w, issuedAt, base, bus)
 }
 
 // Sweep measures the effective delay across group sizes and issuance times,

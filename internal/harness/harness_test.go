@@ -1,14 +1,15 @@
 package harness
 
 import (
+	"bytes"
 	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
 
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 	"gbcr/internal/storage"
-	"gbcr/internal/trace"
 	"gbcr/internal/workload"
 	"gbcr/internal/workload/motif"
 )
@@ -283,29 +284,45 @@ func TestRestartRealMinerEquivalence(t *testing.T) {
 	}
 }
 
-func TestMeasureTracedRecordsTimeline(t *testing.T) {
+func TestMeasureObservedRecordsTimeline(t *testing.T) {
 	cfg := smallCluster(4)
 	cfg.CR.GroupSize = 2
 	w := workload.CommGroups{N: 4, CommGroupSize: 2, Iters: 60,
 		Chunk: 100 * sim.Millisecond, FootprintMB: 20}
-	log := &trace.Log{}
-	res, err := MeasureTraced(cfg, w, 2*sim.Second, log)
+	mem := &obs.MemorySink{}
+	bus := obs.NewBus(mem)
+	res, err := MeasureObserved(cfg, w, 2*sim.Second, bus)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.EffectiveDelay() <= 0 {
 		t.Fatalf("result: %v", res)
 	}
-	if log.Len() == 0 {
-		t.Fatal("trace log empty")
+	if mem.Len() == 0 {
+		t.Fatal("event timeline empty")
 	}
 	if s := res.String(); !strings.Contains(s, "effective=") {
 		t.Fatalf("String(): %q", s)
 	}
-	// Every rank appears in the timeline.
+	// Every rank appears in the timeline, and every layer emitted.
 	for r := 0; r < 4; r++ {
-		if len(log.ByRank(r)) == 0 {
-			t.Fatalf("rank %d missing from trace", r)
+		if len(mem.ByRank(r)) == 0 {
+			t.Fatalf("rank %d missing from timeline", r)
+		}
+	}
+	for l := obs.LayerKernel; l <= obs.LayerCR; l++ {
+		if len(mem.ByLayer(l)) == 0 {
+			t.Fatalf("layer %v missing from timeline", l)
+		}
+	}
+	// The registry saw the same cycle the report did.
+	snap := bus.Metrics().Snapshot()
+	if len(snap.Counters) == 0 || len(snap.Histograms) == 0 {
+		t.Fatalf("metrics snapshot empty: %+v", snap)
+	}
+	for _, c := range snap.Counters {
+		if c.Layer == obs.LayerCR && c.Name == "cycles" && c.Value != 1 {
+			t.Fatalf("cr.cycles = %d, want 1", c.Value)
 		}
 	}
 }
@@ -344,5 +361,53 @@ func TestQuickRestartEquivalence(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// observedRun measures one small checkpointed run with all three exporter
+// sinks attached and returns the serialized bytes of each.
+func observedRun(t *testing.T) (jsonl, chrome, metrics []byte) {
+	t.Helper()
+	cfg := smallCluster(4)
+	cfg.CR.GroupSize = 2
+	w := workload.CommGroups{N: 4, CommGroupSize: 2, Iters: 60,
+		Chunk: 100 * sim.Millisecond, FootprintMB: 20}
+	var jb bytes.Buffer
+	js := obs.NewJSONL(&jb)
+	ch := obs.NewChrome()
+	bus := obs.NewBus(js, ch)
+	if _, err := MeasureObserved(cfg, w, 2*sim.Second, bus); err != nil {
+		t.Fatal(err)
+	}
+	if js.Err() != nil {
+		t.Fatal(js.Err())
+	}
+	var cb, mb bytes.Buffer
+	if err := ch.Render(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Metrics().Snapshot().WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), cb.Bytes(), mb.Bytes()
+}
+
+// TestObservedExportsDeterministic asserts the core exporter contract: two
+// same-seed runs produce byte-identical JSONL, Chrome trace, and metrics
+// output.
+func TestObservedExportsDeterministic(t *testing.T) {
+	j1, c1, m1 := observedRun(t)
+	j2, c2, m2 := observedRun(t)
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSONL output differs between identical runs")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("Chrome trace output differs between identical runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics JSON differs between identical runs")
+	}
+	if len(j1) == 0 || len(c1) == 0 || len(m1) == 0 {
+		t.Fatalf("empty export: jsonl=%d chrome=%d metrics=%d bytes", len(j1), len(c1), len(m1))
 	}
 }

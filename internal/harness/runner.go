@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"gbcr/internal/cr"
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 	"gbcr/internal/workload"
 )
@@ -27,6 +28,24 @@ type Runner struct {
 	baselines map[string]*baselineEntry // guarded by mu
 	hits      int                       // guarded by mu
 	misses    int                       // guarded by mu
+	agg       *obs.Aggregate            // guarded by mu
+}
+
+// SetAggregate installs a cross-run metrics aggregate: every checkpointed
+// cell measured afterwards runs with a private observability bus and merges
+// its registry snapshot into agg on completion. The merge is commutative
+// (counter sums; histogram count/sum/min/max), so the aggregate is identical
+// at any worker count. A nil agg turns collection back off.
+func (r *Runner) SetAggregate(agg *obs.Aggregate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.agg = agg
+}
+
+func (r *Runner) aggregate() *obs.Aggregate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.agg
 }
 
 // baselineEntry memoizes one baseline run. The sync.Once dedups in-flight
@@ -89,12 +108,23 @@ func (r *Runner) Baseline(cfg ClusterConfig, w workload.Workload) (sim.Time, err
 }
 
 // Measure runs one checkpointed cell, taking the baseline from the cache.
+// With an aggregate installed, the cell's metrics are merged into it.
 func (r *Runner) Measure(cfg ClusterConfig, w workload.Workload, issuedAt sim.Time) (Result, error) {
 	base, err := r.Baseline(cfg, w)
 	if err != nil {
 		return Result{}, err
 	}
-	return MeasureWithBaseline(cfg, w, issuedAt, base)
+	agg := r.aggregate()
+	if agg == nil {
+		return MeasureWithBaseline(cfg, w, issuedAt, base)
+	}
+	bus := obs.NewBus()
+	res, err := measureWithBaselineObs(cfg, w, issuedAt, base, bus)
+	if err != nil {
+		return res, err
+	}
+	agg.Merge(bus.Metrics().Snapshot())
+	return res, nil
 }
 
 // Cell is one schedulable measurement: a cluster configuration (whose

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 )
 
@@ -61,6 +62,7 @@ func PaperConfig() Config {
 type Fabric struct {
 	k   *sim.Kernel
 	cfg Config
+	bus *obs.Bus
 	eps map[int]*Endpoint
 }
 
@@ -74,6 +76,18 @@ func New(k *sim.Kernel, cfg Config) (*Fabric, error) {
 
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// SetObs attaches an observability bus (nil detaches). Connection-management
+// handshakes (REQ/REP/RTU), flush/disconnect transitions, and epoch-deferred
+// connection requests emit ib-layer events on the owning endpoint's track,
+// and the bus's registry accumulates fabric counters.
+func (f *Fabric) SetObs(b *obs.Bus) { f.bus = b }
+
+// emit records an ib-layer instant on the endpoint's track.
+func (ep *Endpoint) emit(what string, peer int) {
+	ep.f.bus.Emit(obs.Event{At: ep.f.k.Now(), Rank: ep.id, Layer: obs.LayerIB,
+		Type: obs.Instant, What: what, Arg: int64(peer)})
+}
 
 // Endpoint returns the endpoint with the given id, or nil.
 func (f *Fabric) Endpoint(id int) *Endpoint { return f.eps[id] }
@@ -246,6 +260,9 @@ func (ep *Endpoint) transmit(dst int, size int64, payload any) error {
 	k.At(arrival, func() { peer.receive(workItem{src: src, size: size, payload: payload}) })
 	ep.stats.MessagesSent++
 	ep.stats.BytesSent += size
+	m := ep.f.bus.Metrics()
+	m.Counter(obs.LayerIB, "msgs").Inc()
+	m.Counter(obs.LayerIB, "bytes").Add(size)
 	return nil
 }
 
@@ -258,6 +275,7 @@ func (ep *Endpoint) SendOOB(dst int, payload any) error {
 	}
 	src := ep.id
 	ep.stats.OOBSent++
+	ep.f.bus.Metrics().Counter(obs.LayerIB, "oob_msgs").Inc()
 	ep.f.k.After(ep.f.cfg.OOBLatency, func() {
 		peer.receive(workItem{src: src, oob: true, payload: payload})
 	})
@@ -393,6 +411,7 @@ func (ep *Endpoint) promoteOnInband(peer int) {
 		return
 	}
 	c.state = StateConnected
+	ep.emit("conn-up", peer)
 	if ep.OnConnUp != nil {
 		ep.OnConnUp(peer)
 	}
@@ -413,6 +432,8 @@ func (ep *Endpoint) Connect(peer int, meta int64) error {
 	}
 	ep.conns[peer] = &conn{peer: peer, state: StateConnecting, meta: meta}
 	ep.stats.ConnectsInitiated++
+	ep.f.bus.Metrics().Counter(obs.LayerIB, "connects").Inc()
+	ep.emit("cm-req", peer)
 	ep.sendCM(peer, cmConnReq{meta: meta})
 	return nil
 }
@@ -429,6 +450,8 @@ func (ep *Endpoint) handleConnReq(it workItem, req cmConnReq) {
 				c.state = StateAccepting
 				c.meta = req.meta
 				ep.stats.ConnectsAccepted++
+				ep.f.bus.Metrics().Counter(obs.LayerIB, "accepts").Inc()
+				ep.emit("cm-rep", peer)
 				ep.sendCM(peer, cmConnRep{})
 			}
 			// Lower id: ignore; the peer will abandon its REQ.
@@ -440,10 +463,14 @@ func (ep *Endpoint) handleConnReq(it workItem, req cmConnReq) {
 	}
 	if ep.AcceptConn != nil && !ep.AcceptConn(peer, req.meta) {
 		ep.deferred = append(ep.deferred, it)
+		ep.f.bus.Metrics().Counter(obs.LayerIB, "deferred_connects").Inc()
+		ep.emit("cm-defer", peer)
 		return
 	}
 	ep.conns[peer] = &conn{peer: peer, state: StateAccepting, meta: req.meta}
 	ep.stats.ConnectsAccepted++
+	ep.f.bus.Metrics().Counter(obs.LayerIB, "accepts").Inc()
+	ep.emit("cm-rep", peer)
 	ep.sendCM(peer, cmConnRep{})
 }
 
@@ -453,6 +480,7 @@ func (ep *Endpoint) handleConnRep(peer int) {
 		return
 	}
 	c.state = StateConnected
+	ep.emit("conn-up", peer)
 	ep.sendCM(peer, cmConnRtu{})
 	if ep.OnConnUp != nil {
 		ep.OnConnUp(peer)
@@ -465,6 +493,7 @@ func (ep *Endpoint) handleConnRtu(peer int) {
 		return
 	}
 	c.state = StateConnected
+	ep.emit("conn-up", peer)
 	if ep.OnConnUp != nil {
 		ep.OnConnUp(peer)
 	}
@@ -482,6 +511,7 @@ func (ep *Endpoint) Disconnect(peer int) {
 	c.state = StateDraining
 	c.initiator = true
 	c.sentFlush = true
+	ep.emit("flush-start", peer)
 	ep.sendCtl(peer, ep.f.cfg.CtlSize, ctlFlush{})
 }
 
@@ -511,6 +541,7 @@ func (ep *Endpoint) handleFlushAck(peer int) {
 	}
 	c.gotFlushAck = true
 	c.state = StateDisconnecting
+	ep.emit("disc-req", peer)
 	ep.sendCM(peer, cmDiscReq{})
 }
 
@@ -539,6 +570,8 @@ func (ep *Endpoint) handleDiscRep(peer int) {
 func (ep *Endpoint) closeConn(peer int) {
 	delete(ep.conns, peer)
 	ep.stats.Disconnects++
+	ep.f.bus.Metrics().Counter(obs.LayerIB, "disconnects").Inc()
+	ep.emit("conn-down", peer)
 	if ep.OnConnDown != nil {
 		ep.OnConnDown(peer)
 	}

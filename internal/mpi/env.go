@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 )
 
@@ -212,6 +213,7 @@ func (e *Env) isendInternal(c *Comm, dst, tag int, data []byte) *Request {
 		copy(buf, data)
 		req.complete = true
 		r.stats.EagerSent++
+		r.job.bus.Metrics().Counter(obs.LayerMPI, "eager_sent").Inc()
 		r.post(world, outItem{
 			kind:    outEager,
 			size:    eagerHdrSize + int64(len(buf)),
@@ -223,6 +225,7 @@ func (e *Env) isendInternal(c *Comm, dst, tag int, data []byte) *Request {
 	// incomplete until local transmit completion. If gated, this is the
 	// paper's *request buffering*.
 	r.stats.RendezvousSent++
+	r.job.bus.Metrics().Counter(obs.LayerMPI, "rendezvous_sent").Inc()
 	r.reqSeq++
 	id := r.reqSeq
 	req.data = data

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"gbcr/internal/ib"
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 )
 
@@ -87,7 +88,20 @@ type Job struct {
 	k      *sim.Kernel
 	fabric *ib.Fabric
 	cfg    Config
+	bus    *obs.Bus
 	ranks  []*Rank
+}
+
+// SetObs attaches an observability bus (nil detaches). Protocol decisions —
+// eager vs rendezvous, message/request buffering, outbox drains, helper
+// ticks, matches — emit mpi-layer events on the acting rank's track, and the
+// bus's registry accumulates library counters.
+func (j *Job) SetObs(b *obs.Bus) { j.bus = b }
+
+// emit records an mpi-layer instant on rank r's track.
+func (r *Rank) emit(what, detail string, arg int64) {
+	r.job.bus.Emit(obs.Event{At: r.job.k.Now(), Rank: r.world, Layer: obs.LayerMPI,
+		Type: obs.Instant, What: what, Detail: detail, Arg: arg})
 }
 
 // NewJob creates a job with n ranks, registering endpoint i for rank i on
@@ -348,6 +362,8 @@ func (r *Rank) helperTickFire() {
 		return
 	}
 	r.stats.HelperTicks++
+	r.job.bus.Metrics().Counter(obs.LayerMPI, "helper_ticks").Inc()
+	r.emit("helper-tick", "", 0)
 	if !r.inMPI {
 		r.progressNow()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gbcr/internal/ib"
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 )
 
@@ -133,12 +134,19 @@ func (r *Rank) connMeta() int64 {
 
 func (r *Rank) deferItem(dst int, it outItem) {
 	r.outbox[dst] = append(r.outbox[dst], it)
+	m := r.job.bus.Metrics()
 	switch it.kind {
 	case outEager:
+		n := int64(len(it.payload.(wireEager).data))
 		r.stats.MsgsBuffered++
-		r.stats.BytesBuffered += int64(len(it.payload.(wireEager).data))
+		r.stats.BytesBuffered += n
+		m.Counter(obs.LayerMPI, "msgs_buffered").Inc()
+		m.Counter(obs.LayerMPI, "bytes_buffered").Add(n)
+		r.emit("buffer-msg", fmt.Sprintf("dst=%d", dst), n)
 	default:
 		r.stats.ReqsBuffered++
+		m.Counter(obs.LayerMPI, "reqs_buffered").Inc()
+		r.emit("buffer-req", fmt.Sprintf("dst=%d", dst), it.size)
 	}
 }
 
@@ -146,6 +154,9 @@ func (r *Rank) deferItem(dst int, it outItem) {
 // the first that still cannot be sent.
 func (r *Rank) drainOutbox(dst int) {
 	q := r.outbox[dst]
+	if len(q) > 0 {
+		r.emit("outbox-drain", fmt.Sprintf("dst=%d", dst), int64(len(q)))
+	}
 	for len(q) > 0 {
 		if !r.trySend(dst, q[0]) {
 			break
@@ -184,6 +195,8 @@ func (r *Rank) arriveEager(srcWorld int, m wireEager) {
 	msg := &inMsg{comm: m.comm, srcComm: m.srcComm, srcWorld: srcWorld,
 		tag: m.tag, eager: true, data: m.data}
 	if req := r.matchPosted(msg); req != nil {
+		r.job.bus.Metrics().Counter(obs.LayerMPI, "eager_matched").Inc()
+		r.emit("match-eager", fmt.Sprintf("src=%d tag=%d", msg.srcComm, msg.tag), int64(len(m.data)))
 		r.deliver(req, msg)
 		return
 	}
@@ -211,6 +224,8 @@ func (r *Rank) addUnexpected(msg *inMsg) {
 
 // grantRendezvous registers the receive and sends CTS back to the sender.
 func (r *Rank) grantRendezvous(req *Request, msg *inMsg) {
+	r.job.bus.Metrics().Counter(obs.LayerMPI, "rendezvous_granted").Inc()
+	r.emit("rdv-grant", fmt.Sprintf("src=%d tag=%d", msg.srcComm, msg.tag), msg.size)
 	req.status = Status{Source: msg.srcComm, Tag: msg.tag, Size: msg.size}
 	r.reqSeq++
 	id := r.reqSeq

@@ -22,6 +22,7 @@ type Kernel struct {
 	failure   error
 	rng       *rand.Rand
 	tracer    Tracer
+	obs       Observer
 	running   *Proc
 }
 
@@ -184,3 +185,24 @@ type Tracer interface {
 	// Event is called before each event callback fires, with the new clock.
 	Event(now Time)
 }
+
+// Observer receives process scheduling notifications: spawn, park, unpark,
+// and completion. It is the kernel-level feed of the observability layer
+// (internal/obs attaches a Bus adapter via SetObserver). Implementations
+// must not re-enter the kernel; they are called synchronously in kernel
+// order, so everything they record is deterministic for a given seed.
+type Observer interface {
+	// ProcSpawned is called when a process is created.
+	ProcSpawned(now Time, name string)
+	// ProcParked is called when a running process blocks.
+	ProcParked(now Time, name, reason string)
+	// ProcUnparked is called when a parked process is woken.
+	ProcUnparked(now Time, name string)
+	// ProcDone is called when a process body returns.
+	ProcDone(now Time, name string)
+}
+
+// SetObserver installs a scheduling observer. A nil observer disables
+// observation; the disabled path is a single pointer check per scheduling
+// action.
+func (k *Kernel) SetObserver(o Observer) { k.obs = o }

@@ -63,6 +63,9 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 	}
 	k.procs = append(k.procs, p)
 	k.live++
+	if k.obs != nil {
+		k.obs.ProcSpawned(k.now, name)
+	}
 	go func() {
 		<-p.resume
 		defer func() {
@@ -73,6 +76,9 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 			}
 			p.state = procDone
 			k.live--
+			if k.obs != nil {
+				k.obs.ProcDone(k.now, p.name)
+			}
 			for _, fn := range p.exitHook {
 				fn()
 			}
@@ -132,6 +138,9 @@ func (p *Proc) parkInternal(reason string, until Time) wakeKind {
 	p.token = tok
 	p.state = procParked
 	p.blockReason = reason
+	if p.k.obs != nil {
+		p.k.obs.ProcParked(p.k.now, p.name, reason)
+	}
 	if until >= 0 {
 		p.timer = p.k.At(until, func() { p.tryWake(tok, wakeTimer) })
 	}
@@ -165,6 +174,9 @@ func (p *Proc) tryWake(tok *struct{}, kind wakeKind) {
 	p.kind = kind
 	p.blockReason = ""
 	p.state = procReady
+	if p.k.obs != nil {
+		p.k.obs.ProcUnparked(p.k.now, p.name)
+	}
 	p.k.switchTo(p)
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 )
 
@@ -74,6 +75,7 @@ func PaperConfig() Config {
 type System struct {
 	k      *sim.Kernel
 	cfg    Config
+	bus    *obs.Bus
 	active []*Transfer // insertion order: keeps same-time completions deterministic
 
 	// accounting
@@ -95,6 +97,11 @@ func New(k *sim.Kernel, cfg Config) (*System, error) {
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// SetObs attaches an observability bus (nil detaches). Transfer start and
+// finish emit storage-layer events, every max-min rate recomputation is
+// visible, and the bus's registry accumulates bytes and transfer counts.
+func (s *System) SetObs(b *obs.Bus) { s.bus = b }
 
 // ActiveClients reports how many transfers are currently in progress.
 func (s *System) ActiveClients() int { return len(s.active) }
@@ -144,6 +151,10 @@ func (s *System) Start(n int64) (*Transfer, error) {
 	}
 	s.transfers++
 	s.totalBytes += float64(n)
+	s.bus.Metrics().Counter(obs.LayerStorage, "transfers").Inc()
+	s.bus.Metrics().Counter(obs.LayerStorage, "bytes").Add(n)
+	s.bus.Emit(obs.Event{At: s.k.Now(), Rank: -1, Layer: obs.LayerStorage,
+		Type: obs.Instant, What: "xfer-start", Arg: n})
 	start := func() {
 		if t.remaining <= 0 {
 			t.complete()
@@ -252,6 +263,9 @@ func (s *System) reschedule() {
 	if n == 0 {
 		return
 	}
+	s.bus.Metrics().Counter(obs.LayerStorage, "rate_recomputes").Inc()
+	s.bus.Emit(obs.Event{At: s.k.Now(), Rank: -1, Layer: obs.LayerStorage,
+		Type: obs.Instant, What: "rate-recompute", Arg: int64(n)})
 	agg := s.cfg.AggregateBW
 	if s.cfg.Efficiency != nil {
 		agg *= s.cfg.Efficiency(n)
@@ -307,6 +321,10 @@ func (t *Transfer) complete() {
 	t.remaining = 0
 	t.completed = true
 	t.finished = t.sys.k.Now()
+	s := t.sys
+	s.bus.Metrics().Histogram(obs.LayerStorage, "xfer_time").Observe(t.Elapsed())
+	s.bus.Emit(obs.Event{At: t.finished, Rank: -1, Layer: obs.LayerStorage,
+		Type: obs.Instant, What: "xfer-end", Arg: int64(t.total)})
 	t.waiters.Broadcast()
 	for _, fn := range t.onDone {
 		fn()

@@ -8,6 +8,9 @@
 //	ckptsim -workload motif -group 0 -at 30        # regular protocol
 //	ckptsim -workload barrier -group 8 -at 55      # near the barrier
 //	ckptsim -workload commgroups -group 4 -dynamic # dynamic group formation
+//	ckptsim -workload ring -mtbf 60 -interval 15   # run under failures
+//	ckptsim -workload ring -interval 5 -faults 'crash@12s;outage@20s+5s'
+//	ckptsim -workload ring -interval 5 -faults scenario.txt -trace-chrome t.json
 //
 // Invalid flags and failed runs exit with status 1 and a one-line message.
 package main
@@ -17,7 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"gbcr/internal/fault"
 	"gbcr/internal/harness"
 	"gbcr/internal/obs"
 	"gbcr/internal/sim"
@@ -34,13 +39,13 @@ func fail(format string, args ...any) {
 
 func main() {
 	var (
-		name      = flag.String("workload", "commgroups", "workload: commgroups, barrier, hpl, motif, ring")
-		n         = flag.Int("n", 32, "number of ranks (commgroups/barrier/ring)")
+		name      = flag.String("workload", "commgroups", "workload: commgroups, barrier, hpl, motif, ring, allgather, stencil")
+		n         = flag.Int("n", 32, "number of ranks (commgroups/barrier/ring/allgather/stencil)")
 		comm      = flag.Int("comm", 8, "communication group size (commgroups/barrier)")
 		group     = flag.Int("group", 8, "checkpoint group size (0 = regular, all at once)")
 		at        = flag.Float64("at", 10, "checkpoint issuance time in seconds")
-		foot      = flag.Int64("footprint", 180, "per-process footprint in MB (commgroups/barrier/ring)")
-		iters     = flag.Int("iters", 900, "iterations (commgroups/ring)")
+		foot      = flag.Int64("footprint", 180, "per-process footprint in MB (commgroups/barrier/ring/allgather/stencil)")
+		iters     = flag.Int("iters", 900, "iterations (commgroups/ring/allgather/stencil)")
 		dynamic   = flag.Bool("dynamic", false, "dynamic group formation from the communication pattern")
 		helper    = flag.Bool("helper", true, "enable the passive-coordination helper thread")
 		verbose   = flag.Bool("v", false, "print per-rank checkpoint records")
@@ -48,11 +53,25 @@ func main() {
 		traceJSON = flag.String("trace-json", "", "write the full event timeline as JSON Lines to this file")
 		traceChr  = flag.String("trace-chrome", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) to this file")
 		metrics   = flag.String("metrics-json", "", "write the run's metrics registry as JSON to this file")
-		mtbf      = flag.Float64("mtbf", 0, "run to completion under failures with this MTBF in seconds (ring workload only)")
-		interval  = flag.Float64("interval", 0, "periodic checkpoint interval in seconds (with -mtbf)")
-		seed      = flag.Int64("seed", 1, "failure-injection seed (with -mtbf)")
+		mtbf      = flag.Float64("mtbf", 0, "run to completion under failures with this MTBF in seconds (restartable workloads)")
+		interval  = flag.Float64("interval", 0, "periodic checkpoint interval in seconds (with -mtbf or -faults)")
+		seed      = flag.Int64("seed", 1, "failure-injection seed (with -mtbf or -faults)")
+		faults    = flag.String("faults", "", "fault scenario: a spec like 'crash@12s;outage@20s+5s;mtbf=90s' or a file holding one")
 	)
 	flag.Parse()
+
+	// Flags that only steer the failure runner are rejected, not ignored,
+	// when nothing enables that runner: a silently dropped -interval or
+	// -seed would misreport what the run measured.
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	failureRun := *mtbf > 0 || *faults != ""
+	if set["interval"] && !failureRun {
+		fail("-interval only applies to failure runs; add -mtbf or -faults")
+	}
+	if set["seed"] && !failureRun {
+		fail("-seed only applies to failure runs; add -mtbf or -faults")
+	}
 
 	if *n <= 0 {
 		fail("-n must be positive, got %d", *n)
@@ -100,8 +119,14 @@ func main() {
 	case "ring":
 		w = workload.Ring{N: *n, Iters: *iters,
 			Chunk: 50 * sim.Millisecond, FootprintMB: *foot}
+	case "allgather":
+		w = workload.AllgatherLoop{N: *n, Iters: *iters,
+			Chunk: 50 * sim.Millisecond, FootprintMB: *foot}
+	case "stencil":
+		w = workload.Stencil{N: *n, Cells: 64, Iters: *iters,
+			Chunk: 50 * sim.Millisecond, FootprintMB: *foot}
 	default:
-		fail("unknown workload %q (want commgroups, barrier, hpl, motif, or ring)", *name)
+		fail("unknown workload %q (want commgroups, barrier, hpl, motif, ring, allgather, or stencil)", *name)
 	}
 	if *group > ranks {
 		fail("-group %d exceeds the job size %d", *group, ranks)
@@ -111,28 +136,6 @@ func main() {
 	cfg.CR.GroupSize = *group
 	cfg.CR.Dynamic = *dynamic
 	cfg.CR.HelperEnabled = *helper
-
-	if *mtbf > 0 {
-		rw, ok := w.(workload.Restartable)
-		if !ok {
-			fail("-mtbf requires a restartable workload (ring)")
-		}
-		iv := sim.Seconds(*interval)
-		if iv <= 0 {
-			iv = sim.Seconds(*mtbf / 4)
-		}
-		fr, err := harness.RunWithPeriodicCheckpoints(cfg, rw, iv, sim.Seconds(*mtbf), *seed)
-		if err != nil {
-			fail("%v", err)
-		}
-		fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
-		fmt.Printf("protocol:              %s\n", protocolName(*group, ranks, *dynamic))
-		fmt.Printf("checkpoint interval:   %v (MTBF %vs)\n", iv, *mtbf)
-		fmt.Printf("wall time to finish:   %v\n", fr.Wall)
-		fmt.Printf("failures survived:     %d\n", fr.Failures)
-		fmt.Printf("checkpoints completed: %d\n", fr.Checkpoints)
-		return
-	}
 
 	// Build the observability bus only when some output is requested: a nil
 	// bus keeps the instrumented hot paths on their single-pointer-check
@@ -159,36 +162,92 @@ func main() {
 			bus.AddSink(chrome)
 		}
 	}
+	writeOutputs := func() {
+		if *traceJSON != "" {
+			if jsonl.Err() != nil {
+				fail("encoding %s: %v", *traceJSON, jsonl.Err())
+			}
+			if err := os.WriteFile(*traceJSON, jsonlB.Bytes(), 0o644); err != nil {
+				fail("%v", err)
+			}
+		}
+		if *traceChr != "" {
+			var buf bytes.Buffer
+			if err := chrome.Render(&buf); err != nil {
+				fail("encoding %s: %v", *traceChr, err)
+			}
+			if err := os.WriteFile(*traceChr, buf.Bytes(), 0o644); err != nil {
+				fail("%v", err)
+			}
+		}
+		if *metrics != "" {
+			var buf bytes.Buffer
+			if err := bus.Metrics().Snapshot().WriteJSON(&buf); err != nil {
+				fail("encoding %s: %v", *metrics, err)
+			}
+			if err := os.WriteFile(*metrics, buf.Bytes(), 0o644); err != nil {
+				fail("%v", err)
+			}
+		}
+	}
+
+	if failureRun {
+		rw, ok := w.(workload.Restartable)
+		if !ok {
+			fail("-mtbf/-faults require a restartable workload (ring, allgather, stencil)")
+		}
+		scn := loadScenario(*faults)
+		if set["mtbf"] {
+			scn.MTBF = sim.Seconds(*mtbf)
+		}
+		if set["seed"] || scn.Seed == 0 {
+			scn.Seed = *seed
+		}
+		iv := sim.Seconds(*interval)
+		if iv <= 0 {
+			if scn.MTBF <= 0 {
+				fail("-faults without a scenario MTBF needs an explicit -interval")
+			}
+			iv = scn.MTBF / 4
+		}
+		fr, err := harness.RunScenario(cfg, rw, scn, iv, bus)
+		if err != nil {
+			fail("%v", err)
+		}
+		writeOutputs()
+		fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
+		fmt.Printf("protocol:              %s\n", protocolName(*group, ranks, *dynamic))
+		if scn.MTBF > 0 {
+			fmt.Printf("checkpoint interval:   %v (MTBF %v)\n", iv, scn.MTBF)
+		} else {
+			fmt.Printf("checkpoint interval:   %v\n", iv)
+		}
+		if len(scn.Faults) > 0 {
+			fmt.Printf("injected faults:       %s\n", scn.String())
+		}
+		fmt.Printf("wall time to finish:   %v\n", fr.Wall)
+		fmt.Printf("failures survived:     %d\n", fr.Failures)
+		fmt.Printf("checkpoints completed: %d\n", fr.Checkpoints)
+		if fr.CycleAborts > 0 {
+			fmt.Printf("cycles aborted:        %d\n", fr.CycleAborts)
+		}
+		if fr.CorruptSkipped > 0 {
+			fmt.Printf("corrupt epochs skipped: %d\n", fr.CorruptSkipped)
+		}
+		if *showTrace {
+			fmt.Println("\nfault injections:")
+			for _, e := range mem.ByLayer(obs.LayerFault) {
+				fmt.Println(e)
+			}
+		}
+		return
+	}
+
 	res, err := harness.MeasureObserved(cfg, w, sim.Seconds(*at), bus)
 	if err != nil {
 		fail("%v", err)
 	}
-	if *traceJSON != "" {
-		if jsonl.Err() != nil {
-			fail("encoding %s: %v", *traceJSON, jsonl.Err())
-		}
-		if err := os.WriteFile(*traceJSON, jsonlB.Bytes(), 0o644); err != nil {
-			fail("%v", err)
-		}
-	}
-	if *traceChr != "" {
-		var buf bytes.Buffer
-		if err := chrome.Render(&buf); err != nil {
-			fail("encoding %s: %v", *traceChr, err)
-		}
-		if err := os.WriteFile(*traceChr, buf.Bytes(), 0o644); err != nil {
-			fail("%v", err)
-		}
-	}
-	if *metrics != "" {
-		var buf bytes.Buffer
-		if err := bus.Metrics().Snapshot().WriteJSON(&buf); err != nil {
-			fail("encoding %s: %v", *metrics, err)
-		}
-		if err := os.WriteFile(*metrics, buf.Bytes(), 0o644); err != nil {
-			fail("%v", err)
-		}
-	}
+	writeOutputs()
 	fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
 	fmt.Printf("protocol:              %s\n", protocolName(*group, ranks, *dynamic))
 	fmt.Printf("checkpoint issued at:  %v\n", res.IssuedAt)
@@ -218,6 +277,23 @@ func main() {
 				float64(rec.Footprint)/(1<<20), rec.ResumeAt, rec.Individual())
 		}
 	}
+}
+
+// loadScenario parses the -faults argument: the name of a file holding a
+// scenario spec, or the spec itself.
+func loadScenario(arg string) fault.Scenario {
+	if arg == "" {
+		return fault.Scenario{}
+	}
+	spec := arg
+	if data, err := os.ReadFile(arg); err == nil {
+		spec = strings.TrimSpace(string(data))
+	}
+	scn, err := fault.Parse(spec)
+	if err != nil {
+		fail("%v", err)
+	}
+	return scn
 }
 
 func protocolName(group, ranks int, dynamic bool) string {

@@ -60,6 +60,20 @@ func (s *Snapshot) Verify() error {
 	return nil
 }
 
+// Corrupt damages the archived image in place, as a fault injector's model
+// of bit rot or a torn write: a state byte is flipped when one exists,
+// otherwise the stored checksum itself is perturbed. Verify fails afterwards.
+func (s *Snapshot) Corrupt() {
+	switch {
+	case len(s.AppState) > 0:
+		s.AppState[0] ^= 0xff
+	case len(s.LibState) > 0:
+		s.LibState[0] ^= 0xff
+	default:
+		s.checksum ^= 1
+	}
+}
+
 // WriteTo writes the snapshot image to storage on behalf of p, blocking for
 // the transfer, and returns the elapsed write time. The image size is the
 // memory footprint plus the state blobs.
@@ -110,14 +124,37 @@ func (st *Store) Put(s *Snapshot) error {
 	return nil
 }
 
-// MarkComplete records that epoch's global checkpoint as complete. It is an
-// error if any rank's snapshot is missing.
+// MarkComplete commits that epoch's global checkpoint: the second phase of
+// the two-phase commit. It is an error if any rank's snapshot is missing or
+// fails verification — an epoch must never become a restart candidate on the
+// strength of writes alone.
 func (st *Store) MarkComplete(epoch int) error {
 	if len(st.epochs[epoch]) != st.n {
 		return fmt.Errorf("blcr: epoch %d marked complete with %d/%d snapshots",
 			epoch, len(st.epochs[epoch]), st.n)
 	}
+	for rank := 0; rank < st.n; rank++ {
+		s := st.epochs[epoch][rank]
+		if s == nil {
+			return fmt.Errorf("blcr: epoch %d missing snapshot for rank %d", epoch, rank)
+		}
+		if err := s.Verify(); err != nil {
+			return fmt.Errorf("blcr: epoch %d commit rejected: %w", epoch, err)
+		}
+	}
 	st.complete[epoch] = true
+	return nil
+}
+
+// Discard drops every snapshot of an uncommitted epoch, the abort side of
+// the two-phase commit: after a failed group cycle the partial epoch must
+// not linger as half-written state. Discarding a committed epoch is an
+// error.
+func (st *Store) Discard(epoch int) error {
+	if st.complete[epoch] {
+		return fmt.Errorf("blcr: refusing to discard committed epoch %d", epoch)
+	}
+	delete(st.epochs, epoch)
 	return nil
 }
 
@@ -143,4 +180,33 @@ func (st *Store) Latest() (int, map[int]*Snapshot) {
 // Get returns the snapshot for a rank at an epoch, or nil.
 func (st *Store) Get(epoch, rank int) *Snapshot {
 	return st.epochs[epoch][rank]
+}
+
+// LatestVerified returns the most recent committed epoch whose every
+// snapshot still passes Verify, skipping past epochs that were committed but
+// have since been corrupted in the archive. skipped counts the committed
+// epochs rejected on the way down; (0, nil, skipped) means no usable epoch
+// remains.
+func (st *Store) LatestVerified() (epoch int, snaps map[int]*Snapshot, skipped int) {
+	// Walk down from the newest committed epoch; epochs are small dense
+	// positive integers, so the countdown visits every candidate.
+	best, _ := st.Latest()
+	for e := best; e > 0; e-- {
+		if !st.complete[e] {
+			continue
+		}
+		good := true
+		for rank := 0; rank < st.n; rank++ {
+			s := st.epochs[e][rank]
+			if s == nil || s.Verify() != nil {
+				good = false
+				break
+			}
+		}
+		if good {
+			return e, st.epochs[e], skipped
+		}
+		skipped++
+	}
+	return 0, nil, skipped
 }

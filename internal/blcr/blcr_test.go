@@ -114,3 +114,107 @@ func TestStoreIncompleteMarkError(t *testing.T) {
 		t.Fatal("incomplete epoch marked complete")
 	}
 }
+
+// fullEpoch archives one snapshot per rank for an epoch and marks it
+// complete.
+func fullEpoch(t testing.TB, st *Store, n, epoch int) {
+	t.Helper()
+	for r := 0; r < n; r++ {
+		put(t, st, New(r, epoch, sim.Second, 1<<20, []byte{byte(r)}, nil))
+	}
+	if err := st.MarkComplete(epoch); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptDefeatsVerify(t *testing.T) {
+	for _, s := range []*Snapshot{
+		New(0, 1, 0, 1<<20, []byte("app"), []byte("lib")),
+		New(0, 1, 0, 1<<20, nil, []byte("lib")),
+		New(0, 1, 0, 1<<20, nil, nil), // timing-only snapshot: checksum flip
+	} {
+		if err := s.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		s.Corrupt()
+		if err := s.Verify(); err == nil {
+			t.Fatal("Corrupt() survived Verify()")
+		}
+	}
+}
+
+func TestMarkCompleteRejectsCorruptSnapshot(t *testing.T) {
+	// The second commit phase re-verifies: a snapshot damaged between write
+	// and commit must keep the epoch from ever becoming a restart candidate.
+	st := NewStore(2)
+	put(t, st, New(0, 1, 0, 1<<20, []byte("a"), nil))
+	s := New(1, 1, 0, 1<<20, []byte("b"), nil)
+	put(t, st, s)
+	s.Corrupt()
+	if err := st.MarkComplete(1); err == nil {
+		t.Fatal("corrupt epoch committed")
+	}
+	if st.Complete(1) {
+		t.Fatal("epoch marked complete despite rejection")
+	}
+}
+
+func TestDiscardAbortsUncommittedEpoch(t *testing.T) {
+	st := NewStore(2)
+	put(t, st, New(0, 1, 0, 1<<20, nil, nil))
+	if err := st.Discard(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get(1, 0) != nil {
+		t.Fatal("discarded snapshot still archived")
+	}
+	// The epoch can be rebuilt from scratch afterwards (the retry path).
+	fullEpoch(t, st, 2, 1)
+	if !st.Complete(1) {
+		t.Fatal("retried epoch did not commit")
+	}
+}
+
+func TestDiscardRefusesCommittedEpoch(t *testing.T) {
+	st := NewStore(1)
+	fullEpoch(t, st, 1, 1)
+	if err := st.Discard(1); err == nil {
+		t.Fatal("committed epoch discarded")
+	}
+}
+
+func TestLatestVerifiedFallsBackPastCorruption(t *testing.T) {
+	// Restart-time bit rot: the newest committed epoch no longer verifies,
+	// so restart must fall back to the previous committed epoch.
+	const n = 3
+	st := NewStore(n)
+	fullEpoch(t, st, n, 1)
+	fullEpoch(t, st, n, 2)
+	st.Get(2, 1).Corrupt()
+	epoch, snaps, skipped := st.LatestVerified()
+	if epoch != 1 || skipped != 1 {
+		t.Fatalf("LatestVerified = epoch %d, skipped %d; want epoch 1, skipped 1", epoch, skipped)
+	}
+	for r := 0; r < n; r++ {
+		if snaps[r] == nil || snaps[r].Verify() != nil {
+			t.Fatalf("fallback epoch snapshot for rank %d unusable", r)
+		}
+	}
+	// Latest() still reports the corrupt epoch: only the verified variant is
+	// restart-safe.
+	if e, _ := st.Latest(); e != 2 {
+		t.Fatalf("Latest() = %d, want 2", e)
+	}
+}
+
+func TestLatestVerifiedAllCorrupt(t *testing.T) {
+	st := NewStore(1)
+	fullEpoch(t, st, 1, 1)
+	fullEpoch(t, st, 1, 2)
+	st.Get(1, 0).Corrupt()
+	st.Get(2, 0).Corrupt()
+	epoch, snaps, skipped := st.LatestVerified()
+	if epoch != 0 || snaps != nil || skipped != 2 {
+		t.Fatalf("LatestVerified = (%d, %v, %d), want (0, nil, 2)", epoch, snaps, skipped)
+	}
+}

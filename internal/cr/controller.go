@@ -1,6 +1,7 @@
 package cr
 
 import (
+	"errors"
 	"fmt"
 
 	"gbcr/internal/blcr"
@@ -8,6 +9,7 @@ import (
 	"gbcr/internal/mpi"
 	"gbcr/internal/obs"
 	"gbcr/internal/sim"
+	"gbcr/internal/storage"
 )
 
 // Controller is the local C/R controller embedded in one MPI process. It
@@ -42,6 +44,7 @@ type Controller struct {
 	inCkpt      bool
 	goFlag      bool
 	resumeFlag  bool
+	abortFlag   bool
 
 	// finishedStep drives the inline checkpoint of a rank whose body
 	// already returned; nil otherwise.
@@ -151,6 +154,8 @@ func (c *Controller) onOOB(src int, payload any) bool {
 		c.onGroupDone(m)
 	case msgCycleDone:
 		c.endCycle()
+	case msgAbort:
+		c.onAbort(m)
 	default:
 		return false // not a checkpoint message; deliver normally
 	}
@@ -205,6 +210,7 @@ func (c *Controller) startCycle(m msgCkptRequest) {
 	c.mySaved = false
 	c.goFlag = false
 	c.resumeFlag = false
+	c.abortFlag = false
 	if c.co.cfg.HelperEnabled {
 		// Passive coordination: bound protocol-processing delay while the
 		// application computes (Section 4.4).
@@ -250,6 +256,29 @@ func (c *Controller) onGroupDone(m msgGroupDone) {
 	c.releaseAligned()
 }
 
+// onAbort cancels this rank's participation in an aborted cycle: the
+// optimistic epoch increment rolls back (the written snapshot was discarded
+// with the epoch), stopped processes wake out of their phase waits via
+// abortFlag, and deferral gates reopen. The retried cycle arrives as a fresh
+// msgCkptRequest.
+func (c *Controller) onAbort(m msgAbort) {
+	if m.cycle != c.cycle || !c.cycleActive {
+		return
+	}
+	c.emit(obs.Instant, "cycle-abort", "")
+	if c.mySaved {
+		c.epoch--
+		c.mySaved = false
+	}
+	c.abortFlag = true
+	c.goFlag = false
+	c.cycleActive = false
+	c.finishedStep = nil
+	c.rank.SetHelper(false)
+	c.unparkSelf()
+	c.releaseAligned()
+}
+
 func (c *Controller) endCycle() {
 	c.cycleActive = false
 	c.finishedStep = nil
@@ -290,6 +319,23 @@ func (c *Controller) releaseAligned() {
 	c.rank.Endpoint().Reexamine()
 }
 
+// phase reports a per-rank protocol phase entry to the coordinator's
+// PhaseHook (fault-injection targeting); a no-op without a hook.
+func (c *Controller) phase(name string) {
+	if c.co.PhaseHook != nil {
+		c.co.PhaseHook(c.rank.World(), name, c.co.epoch+1)
+	}
+}
+
+// abortReturn is the common exit for a member whose cycle aborted while it
+// was stopped: execution resumes without a record (the aborted cycle
+// produced no checkpoint).
+func (c *Controller) abortReturn() {
+	c.inCkpt = false
+	c.emit(obs.Instant, "abort-resume", "")
+	c.releaseAligned()
+}
+
 // AtSafePoint is the member's checkpoint procedure, run in application
 // context: the four phases of the checkpointing cycle.
 func (c *Controller) AtSafePoint(e *mpi.Env) {
@@ -306,11 +352,17 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 
 	// Phase 1: Initial Synchronization — report readiness, wait for the
 	// whole group to stop.
+	c.phase("sync")
 	c.emit(obs.Begin, "ckpt-sync", "")
 	c.sendCo(msgReady{cycle: c.cycle, rank: c.rank.World()})
-	c.waitFlag(p, &c.goFlag, "cr: initial synchronization")
+	ok := c.waitFlag(p, &c.goFlag, "cr: initial synchronization")
 	rec.GoAt = k.Now()
 	c.emit(obs.End, "ckpt-sync", "")
+	if !ok {
+		c.abortReturn()
+		return
+	}
+	c.phase("teardown")
 	c.emit(obs.Begin, "ckpt-teardown",
 		fmt.Sprintf("%d connections to tear down", len(c.rank.Endpoint().Peers())))
 
@@ -320,6 +372,10 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 	c.teardownConnections(p)
 	rec.TeardownDone = k.Now()
 	c.emit(obs.End, "ckpt-teardown", "")
+	if c.abortFlag {
+		c.abortReturn()
+		return
+	}
 
 	// Phase 3: Local Checkpointing — BLCR-style snapshot written to the
 	// shared storage system, after the fixed local setup cost (process
@@ -334,6 +390,7 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 	}
 	rec.Footprint = snap.Footprint
 	rec.WriteStart = k.Now()
+	c.phase("write")
 	c.emit(obs.Begin, "ckpt-write", fmt.Sprintf("%.0f MB", float64(snap.Size())/(1<<20)))
 	if c.co.cfg.Staged {
 		// Two-phase: node-local write now (unshared disk), background
@@ -341,11 +398,30 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 		p.Sleep(c.localWriteTime(snap.Size()))
 		c.startDrain(snap.Size())
 	} else if _, err := snap.WriteTo(p, c.co.store); err != nil {
+		c.emit(obs.End, "ckpt-write", "")
+		if errors.Is(err, storage.ErrUnavailable) {
+			// Mid-cycle storage failure: hand the cycle back to the
+			// coordinator for a group-wide abort and retry, then wait here
+			// for the abort to arrive before resuming execution.
+			c.emit(obs.Instant, "write-failed", err.Error())
+			c.sendCo(msgWriteFailed{cycle: c.cycle, rank: world})
+			for !c.abortFlag {
+				p.Park("cr: awaiting cycle abort")
+			}
+			c.abortReturn()
+			return
+		}
 		k.Fail(fmt.Errorf("cr: rank %d writing snapshot: %w", world, err))
 		return
 	}
 	rec.WriteEnd = k.Now()
 	c.emit(obs.End, "ckpt-write", "")
+	if c.abortFlag {
+		// The cycle aborted (another member failed) while our write was in
+		// flight; the snapshot belongs to the discarded epoch.
+		c.abortReturn()
+		return
+	}
 	c.epoch++
 	c.mySaved = true
 	c.putSnapshot(snap)
@@ -353,11 +429,19 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 
 	// Phase 4: Post-checkpoint Coordination — wait for the group to finish;
 	// connections rebuild on demand as execution resumes.
+	c.phase("resume")
 	c.emit(obs.Begin, "ckpt-resume-wait", "")
-	c.waitFlag(p, &c.resumeFlag, "cr: post-checkpoint coordination")
+	ok = c.waitFlag(p, &c.resumeFlag, "cr: post-checkpoint coordination")
 	c.inCkpt = false
 	rec.ResumeAt = k.Now()
 	c.emit(obs.End, "ckpt-resume-wait", "")
+	if !ok {
+		// Aborted after our save: onAbort already rolled back the epoch and
+		// dropped mySaved; resume without a record.
+		c.emit(obs.Instant, "abort-resume", "")
+		c.releaseAligned()
+		return
+	}
 	c.emit(obs.Instant, "resume", fmt.Sprintf("downtime %v", rec.ResumeAt-rec.SafePointAt))
 	c.records = append(c.records, rec)
 	c.observeRecord(rec)
@@ -476,7 +560,11 @@ func (c *Controller) checkpointFinishedRank() {
 		}
 		rec.TeardownDone = k.Now()
 		writing = true
+		cycle := c.cycle
 		k.After(c.co.cfg.LocalSetup, func() {
+			if c.cycle != cycle || !c.cycleActive {
+				return // the cycle aborted while the local setup ran
+			}
 			c.writeFinishedSnapshot(&rec)
 		})
 	}
@@ -499,6 +587,8 @@ func (c *Controller) writeFinishedSnapshot(rec *CkptRecord) {
 	}
 	rec.Footprint = snap.Footprint
 	rec.WriteStart = k.Now()
+	c.phase("write")
+	cycle := c.cycle
 	done := func() {
 		rec.WriteEnd = k.Now()
 		c.epoch++
@@ -523,7 +613,25 @@ func (c *Controller) writeFinishedSnapshot(rec *CkptRecord) {
 		k.Fail(fmt.Errorf("cr: rank %d starting snapshot write: %w", c.rank.World(), err))
 		return
 	}
-	tr.OnDone(done)
+	tr.OnDone(func() {
+		if werr := tr.Err(); werr != nil {
+			if errors.Is(werr, storage.ErrUnavailable) {
+				c.emit(obs.Instant, "write-failed", werr.Error())
+				c.sendCo(msgWriteFailed{cycle: cycle, rank: c.rank.World()})
+				c.inCkpt = false
+				return
+			}
+			k.Fail(fmt.Errorf("cr: rank %d writing snapshot: %w", c.rank.World(), werr))
+			return
+		}
+		if c.cycle != cycle || !c.cycleActive {
+			// The cycle aborted while the write was in flight; the snapshot
+			// belongs to the discarded epoch.
+			c.inCkpt = false
+			return
+		}
+		done()
+	})
 }
 
 // localWriteTime is the node-local disk write time for a staged snapshot.
@@ -547,6 +655,13 @@ func (c *Controller) startDrain(size int64) {
 		return
 	}
 	tr.OnDone(func() {
+		if err := tr.Err(); err != nil {
+			// Staged mode has no abort path: the group already resumed on the
+			// strength of the local write, so a failed drain loses the epoch.
+			// Fail loudly rather than pretend the checkpoint is durable.
+			c.co.k.Fail(fmt.Errorf("cr: rank %d drain failed (staged mode cannot retry): %w", rank, err))
+			return
+		}
 		c.emit(obs.End, "ckpt-drain", "")
 		c.sendCo(msgDrained{cycle: cycle, rank: rank})
 	})
@@ -561,9 +676,10 @@ func (c *Controller) sendCo(payload any) {
 }
 
 // waitFlag parks the application process until the flag is set by a
-// coordinator message.
-func (c *Controller) waitFlag(p *sim.Proc, flag *bool, reason string) {
-	for !*flag {
+// coordinator message, or the cycle aborts. It returns false on abort.
+func (c *Controller) waitFlag(p *sim.Proc, flag *bool, reason string) bool {
+	for !*flag && !c.abortFlag {
 		p.Park(reason)
 	}
+	return !c.abortFlag
 }

@@ -32,6 +32,16 @@ type Coordinator struct {
 	requestAt sim.Time
 	reports   []*CycleReport
 
+	// Two-phase commit state: epoch counts committed global checkpoints and
+	// diverges from cycle once a cycle aborts (the retried cycle gets a new
+	// cycle number but targets the same epoch). cycleRetries counts
+	// consecutive aborts of the current target epoch; aborts counts them
+	// over the coordinator's lifetime.
+	epoch        int
+	cycleRetries int
+	aborts       int
+	epochOf      map[int]int // staged mode: cycle -> target epoch for late drains
+
 	// Staged-mode drain tracking, per cycle (drains can outlive the cycle).
 	drains     map[int]map[int]bool
 	repByCycle map[int]*CycleReport
@@ -39,6 +49,12 @@ type Coordinator struct {
 	// OnCycleDone, if non-nil, is invoked when a global checkpoint
 	// completes.
 	OnCycleDone func(rep *CycleReport)
+
+	// PhaseHook, if non-nil, observes every per-rank protocol phase entry:
+	// phase is one of "sync", "teardown", "write", "resume", and epoch is
+	// the epoch the cycle is building (committed epochs + 1). The fault
+	// injector uses it to target "rank R during phase P of epoch E".
+	PhaseHook func(rank int, phase string, epoch int)
 
 	// bus receives the protocol timeline (cycle control on the system
 	// track, per-rank phase spans) when a sink is attached; nil is fine.
@@ -95,6 +111,7 @@ func New(k *sim.Kernel, job *mpi.Job, store *storage.System, cfg Config) (*Coord
 		snaps:        blcr.NewStore(job.Size()),
 		drains:       make(map[int]map[int]bool),
 		repByCycle:   make(map[int]*CycleReport),
+		epochOf:      make(map[int]int),
 		cycleMetrics: make(map[int]*obs.Metrics),
 	}
 	co.ep.OnOOBImmediate = func(src int, payload any) bool {
@@ -154,6 +171,14 @@ func (co *Coordinator) fillRecords(rep *CycleReport) error {
 
 // Active reports whether a checkpoint cycle is in progress.
 func (co *Coordinator) Active() bool { return co.active }
+
+// Epoch returns the number of committed global checkpoints. It lags behind
+// the cycle count once cycles abort: only a cycle whose every snapshot is
+// written and verified commits an epoch.
+func (co *Coordinator) Epoch() int { return co.epoch }
+
+// Aborts returns how many checkpoint cycles were aborted and retried.
+func (co *Coordinator) Aborts() int { return co.aborts }
 
 // Config returns the coordinator configuration.
 func (co *Coordinator) Config() Config { return co.cfg }
@@ -225,7 +250,7 @@ func (co *Coordinator) send(rank int, payload any) {
 func (co *Coordinator) onMsg(src int, payload any) {
 	switch m := payload.(type) {
 	case msgReady:
-		if m.cycle != co.cycle || co.turn >= len(co.groups) {
+		if !co.active || m.cycle != co.cycle || co.turn >= len(co.groups) {
 			return
 		}
 		co.ready[m.rank] = true
@@ -241,7 +266,7 @@ func (co *Coordinator) onMsg(src int, payload any) {
 			co.sendGroup(co.turn, msgGo{cycle: co.cycle, group: co.turn})
 		}
 	case msgSaved:
-		if m.cycle != co.cycle || co.turn >= len(co.groups) {
+		if !co.active || m.cycle != co.cycle || co.turn >= len(co.groups) {
 			return
 		}
 		co.saved[m.rank] = true
@@ -255,6 +280,8 @@ func (co *Coordinator) onMsg(src int, payload any) {
 				co.finishCycle()
 			}
 		}
+	case msgWriteFailed:
+		co.onWriteFailed(m)
 	case msgDrained:
 		set := co.drains[m.cycle]
 		if set == nil {
@@ -265,10 +292,11 @@ func (co *Coordinator) onMsg(src int, payload any) {
 		rep := co.repByCycle[m.cycle]
 		if rep != nil && len(set) == co.job.Size() {
 			co.emit("all-drained", fmt.Sprintf("cycle %d durable", m.cycle))
-			co.markComplete(m.cycle)
+			co.markComplete(co.epochOf[m.cycle])
 			rep.DrainedAt = co.k.Now()
 			delete(co.drains, m.cycle)
 			delete(co.repByCycle, m.cycle)
+			delete(co.epochOf, m.cycle)
 		}
 	default:
 		co.k.Fail(fmt.Errorf("cr: coordinator got unexpected message %T from %d", payload, src))
@@ -285,12 +313,50 @@ func (co *Coordinator) startTurn(turn int) {
 	}
 }
 
-// markComplete archives the cycle's global checkpoint; a failure means the
-// protocol lost a snapshot and the simulation result would be wrong.
-func (co *Coordinator) markComplete(cycle int) {
-	if err := co.snaps.MarkComplete(cycle); err != nil {
+// markComplete commits an epoch's global checkpoint; a failure means the
+// protocol lost or corrupted a snapshot and the simulation result would be
+// wrong. MarkComplete re-verifies every member snapshot, so this is the
+// commit point of the two-phase protocol.
+func (co *Coordinator) markComplete(epoch int) {
+	if err := co.snaps.MarkComplete(epoch); err != nil {
 		co.k.Fail(err)
 	}
+}
+
+// onWriteFailed aborts the in-progress cycle after a member's snapshot write
+// failed: the partial epoch is discarded, every rank rolls back, and the
+// checkpoint is retried after a capped exponential backoff, bounded by
+// MaxCycleRetries consecutive attempts.
+func (co *Coordinator) onWriteFailed(m msgWriteFailed) {
+	if !co.active || m.cycle != co.cycle {
+		return // stale: the cycle already aborted or completed
+	}
+	target := co.epoch + 1
+	co.aborts++
+	co.cycleRetries++
+	co.bus.Metrics().Counter(obs.LayerCR, "cycle_aborts").Inc()
+	co.emit("cycle-abort", fmt.Sprintf("cycle %d epoch %d: rank %d write failed", co.cycle, target, m.rank))
+	if err := co.snaps.Discard(target); err != nil {
+		co.k.Fail(err)
+		return
+	}
+	co.broadcast(msgAbort{cycle: co.cycle})
+	co.active = false
+	if co.cycleRetries > co.cfg.maxCycleRetries() {
+		co.k.Fail(fmt.Errorf("cr: checkpoint epoch %d aborted %d consecutive times; giving up",
+			target, co.cycleRetries))
+		return
+	}
+	backoff := co.cfg.retryBackoff()
+	ceiling := co.cfg.retryBackoffCap()
+	for i := 1; i < co.cycleRetries && backoff < ceiling; i++ {
+		backoff *= 2
+	}
+	if backoff > ceiling {
+		backoff = ceiling
+	}
+	co.emit("cycle-retry", fmt.Sprintf("epoch %d attempt %d in %v", target, co.cycleRetries+1, backoff))
+	co.k.After(backoff, co.RequestCheckpoint)
 }
 
 func (co *Coordinator) groupCovered(set map[int]bool, group int) bool {
@@ -312,18 +378,22 @@ func (co *Coordinator) finishCycle() {
 		DoneAt:    co.k.Now(),
 		metrics:   co.metricsFor(co.cycle),
 	}
+	co.epoch++
+	co.cycleRetries = 0
 	if co.cfg.Staged {
 		// Durability lags resumption: the global checkpoint completes only
 		// when every background drain finishes.
 		co.repByCycle[co.cycle] = rep
+		co.epochOf[co.cycle] = co.epoch
 		if set := co.drains[co.cycle]; len(set) == co.job.Size() {
-			co.markComplete(co.cycle)
+			co.markComplete(co.epoch)
 			rep.DrainedAt = co.k.Now()
 			delete(co.drains, co.cycle)
 			delete(co.repByCycle, co.cycle)
+			delete(co.epochOf, co.cycle)
 		}
 	} else {
-		co.markComplete(co.cycle)
+		co.markComplete(co.epoch)
 	}
 	co.reports = append(co.reports, rep)
 	co.active = false

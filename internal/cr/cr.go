@@ -86,6 +86,41 @@ type Config struct {
 	// LocalDiskBW is the node-local disk bandwidth in bytes/second used by
 	// staged checkpoints. Zero means 60 MB/s (a 2007-era SATA disk).
 	LocalDiskBW float64
+	// RetryBackoff is the initial delay before retrying a checkpoint cycle
+	// aborted by a member's write failure (storage outage mid-cycle). The
+	// delay doubles per consecutive abort, capped at RetryBackoffCap. Zero
+	// means 100 ms.
+	RetryBackoff sim.Time
+	// RetryBackoffCap caps the exponential retry backoff. Zero means
+	// 16×RetryBackoff.
+	RetryBackoffCap sim.Time
+	// MaxCycleRetries caps consecutive aborted cycles before the coordinator
+	// declares the storage system unusable and fails the run. Zero means 8.
+	MaxCycleRetries int
+}
+
+// retryBackoff resolves the initial cycle-retry delay default.
+func (cfg Config) retryBackoff() sim.Time {
+	if cfg.RetryBackoff > 0 {
+		return cfg.RetryBackoff
+	}
+	return 100 * sim.Millisecond
+}
+
+// retryBackoffCap resolves the retry backoff ceiling default.
+func (cfg Config) retryBackoffCap() sim.Time {
+	if cfg.RetryBackoffCap > 0 {
+		return cfg.RetryBackoffCap
+	}
+	return 16 * cfg.retryBackoff()
+}
+
+// maxCycleRetries resolves the consecutive-abort cap default.
+func (cfg Config) maxCycleRetries() int {
+	if cfg.MaxCycleRetries > 0 {
+		return cfg.MaxCycleRetries
+	}
+	return 8
 }
 
 // DefaultConfig returns a regular-protocol configuration with the helper
@@ -141,6 +176,19 @@ type (
 	// from local disk to central storage.
 	msgDrained struct {
 		cycle, rank int
+	}
+	// msgWriteFailed tells the coordinator a member's snapshot write was
+	// aborted mid-cycle (storage outage). The coordinator answers by
+	// aborting the whole cycle.
+	msgWriteFailed struct {
+		cycle, rank int
+	}
+	// msgAbort cancels an in-progress cycle on every rank: partial
+	// snapshots are discarded, optimistic epoch increments roll back, and
+	// stopped processes resume. The coordinator retries the checkpoint
+	// after a bounded backoff.
+	msgAbort struct {
+		cycle int
 	}
 )
 

@@ -1,0 +1,173 @@
+// Package fault is the deterministic, seeded fault-injection subsystem: a
+// typed Scenario describes what goes wrong — rank crashes at a wall time or
+// at a protocol phase, storage-server loss and degradation windows, dropped
+// connection-management packets, snapshot corruption — and an Injector arms
+// it against an assembled cluster, scheduling the faults as ordinary kernel
+// events and emitting every injection on the observability bus (fault events
+// get their own Chrome-trace track).
+//
+// Everything is seed-deterministic: the same scenario and seed produce the
+// same injections at the same simulated instants, so a faulted run exports a
+// byte-identical trace on every replay — the same contract the rest of the
+// stack keeps, and what makes failure cases debuggable at all.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"gbcr/internal/sim"
+)
+
+// ErrRankCrash is the sentinel wrapped by every injected fail-stop crash.
+// The availability runner matches it with errors.Is to distinguish "the job
+// was lost to an injected fault, restart it" from a simulator defect.
+var ErrRankCrash = errors.New("injected rank crash")
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Fault kinds.
+const (
+	// RankCrash kills the whole job fail-stop, either at wall time At or
+	// when Rank enters protocol phase Phase of epoch Epoch. Memory and
+	// network state are lost; only storage survives.
+	RankCrash Kind = iota
+	// StorageOutage degrades the shared storage service for a window: the
+	// aggregate bandwidth drops to Factor×nominal from At for Duration.
+	// Factor 0 is a full outage — in-flight snapshot writes abort with
+	// errors and the checkpoint cycle must abort and retry.
+	StorageOutage
+	// CMDrop makes the fabric lose connection-management packets: from At
+	// on, the next Count packets matching CMType (sent by Rank, or by
+	// anyone when Rank is -1) vanish in flight.
+	CMDrop
+	// SnapshotCorrupt damages rank Rank's archived snapshot of epoch Epoch
+	// right after that epoch commits (bit rot discovered at restart time):
+	// restart must fall back past it to an older verified epoch.
+	SnapshotCorrupt
+)
+
+var kindNames = [...]string{"crash", "outage", "cmdrop", "corrupt"}
+
+func (kd Kind) String() string {
+	if int(kd) < len(kindNames) {
+		return kindNames[kd]
+	}
+	return fmt.Sprintf("Kind(%d)", int(kd))
+}
+
+// Fault is one injectable event. Which fields matter depends on Kind; the
+// zero value of an unused field means "unset" (Rank -1 is "any rank", so
+// constructors and the parser default Rank to -1, not 0).
+type Fault struct {
+	Kind Kind
+	// At is the trigger wall time, measured on the availability runner's
+	// global clock (summed across restart attempts), so a scenario means
+	// the same thing no matter how often the job restarts around it.
+	At sim.Time
+	// Rank targets one rank (-1 = any). For RankCrash it is the rank named
+	// in the report and matched by Phase triggers; the crash itself is
+	// fail-stop for the whole job either way.
+	Rank int
+	// Phase triggers a RankCrash when the target rank enters this protocol
+	// phase ("sync", "teardown", "write", "resume") instead of at a time.
+	Phase string
+	// Epoch scopes Phase triggers and SnapshotCorrupt to one checkpoint
+	// epoch (0 = any for Phase; required for SnapshotCorrupt).
+	Epoch int
+	// Duration is the StorageOutage window length.
+	Duration sim.Time
+	// Factor is the StorageOutage availability factor in [0, 1).
+	Factor float64
+	// CMType filters CMDrop to one packet type: "REQ", "REP", "RTU",
+	// "DISC" (both disconnect packets), "FLUSH" (both flush packets), or
+	// "" for all.
+	CMType string
+	// Count is how many matching packets a CMDrop loses (0 means 1).
+	Count int
+}
+
+// String renders the fault in the scenario spec grammar, round-tripping
+// through Parse.
+func (f Fault) String() string {
+	s := f.Kind.String()
+	switch f.Kind {
+	case StorageOutage:
+		s += "@" + time.Duration(f.At).String() + "+" + time.Duration(f.Duration).String()
+	case SnapshotCorrupt:
+		// Fires when its epoch commits; no trigger time.
+	default:
+		if f.At > 0 {
+			s += "@" + time.Duration(f.At).String()
+		}
+	}
+	var kvs []string
+	add := func(k, v string) { kvs = append(kvs, k+"="+v) }
+	if f.Rank >= 0 {
+		add("rank", fmt.Sprintf("%d", f.Rank))
+	}
+	if f.Phase != "" {
+		add("phase", f.Phase)
+	}
+	if f.Epoch > 0 {
+		add("epoch", fmt.Sprintf("%d", f.Epoch))
+	}
+	if f.Kind == StorageOutage && f.Factor > 0 {
+		add("factor", fmt.Sprintf("%g", f.Factor))
+	}
+	if f.CMType != "" {
+		add("type", f.CMType)
+	}
+	if f.Count > 1 {
+		add("count", fmt.Sprintf("%d", f.Count))
+	}
+	if len(kvs) > 0 {
+		s += ":" + strings.Join(kvs, ",")
+	}
+	return s
+}
+
+// validate rejects nonsensical fault descriptions at parse/build time so an
+// injector never has to guess at run time.
+func (f Fault) validate() error {
+	switch f.Kind {
+	case RankCrash:
+		if f.Phase == "" && f.At <= 0 {
+			return errors.New("crash needs a time (@dur) or a phase trigger")
+		}
+		switch f.Phase {
+		case "", "sync", "teardown", "write", "resume":
+		default:
+			return fmt.Errorf("unknown crash phase %q (want sync, teardown, write, or resume)", f.Phase)
+		}
+	case StorageOutage:
+		if f.At < 0 || f.Duration <= 0 {
+			return errors.New("outage needs a time and a positive duration (@dur+dur)")
+		}
+		if f.Factor < 0 || f.Factor >= 1 {
+			return fmt.Errorf("outage factor %g outside [0, 1)", f.Factor)
+		}
+	case CMDrop:
+		switch f.CMType {
+		case "", "REQ", "REP", "RTU", "DISC", "FLUSH":
+		default:
+			return fmt.Errorf("unknown cmdrop type %q (want REQ, REP, RTU, DISC, or FLUSH)", f.CMType)
+		}
+		if f.Count < 0 {
+			return fmt.Errorf("cmdrop count %d is negative", f.Count)
+		}
+	case SnapshotCorrupt:
+		if f.Epoch <= 0 {
+			return errors.New("corrupt needs epoch=N (the epoch to damage)")
+		}
+		if f.Rank < 0 {
+			return errors.New("corrupt needs rank=N (the snapshot to damage)")
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %v", f.Kind)
+	}
+	return nil
+}

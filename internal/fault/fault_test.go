@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gbcr/internal/sim"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"crash@12s",
+		"crash@1.5s:rank=3",
+		"crash:rank=3,phase=write,epoch=1",
+		"outage@20s+5s",
+		"outage@20s+5s:factor=0.25",
+		"cmdrop:type=REQ,count=2",
+		"cmdrop@3s:rank=1,type=DISC",
+		"corrupt:rank=0,epoch=1",
+		"crash@12s;outage@20s+5s;mtbf=1m30s;seed=7",
+	} {
+		scn, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		again, err := Parse(scn.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = Parse(%q): %v", spec, scn.String(), err)
+		}
+		if !reflect.DeepEqual(scn, again) {
+			t.Fatalf("round trip of %q: %+v != %+v", spec, scn, again)
+		}
+	}
+}
+
+func TestParseScenarioSettings(t *testing.T) {
+	scn, err := Parse(" mtbf=90s ; seed=42 ; crash@5s ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.MTBF != 90*sim.Second || scn.Seed != 42 || len(scn.Faults) != 1 {
+		t.Fatalf("parsed %+v", scn)
+	}
+	if scn.Empty() {
+		t.Fatal("non-empty scenario reported Empty")
+	}
+	if !(Scenario{}).Empty() {
+		t.Fatal("zero scenario not Empty")
+	}
+}
+
+func TestParseDegradeAlias(t *testing.T) {
+	scn, err := Parse("degrade@10s+2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := scn.Faults[0]
+	if f.Kind != StorageOutage || f.Factor != 0.5 || f.Duration != 2*sim.Second {
+		t.Fatalf("degrade parsed as %+v", f)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	scn, err := Parse("cmdrop:type=rtu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := scn.Faults[0]
+	if f.Rank != -1 || f.Count != 1 || f.CMType != "RTU" {
+		t.Fatalf("cmdrop defaults: %+v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"meteor@3s",                  // unknown kind
+		"crash",                      // no trigger
+		"crash:phase=flying",         // unknown phase
+		"crash@abc",                  // bad duration
+		"outage@5s",                  // no window length
+		"outage@5s+2s:factor=1.5",    // factor out of range
+		"cmdrop:type=NAK",            // unknown packet type
+		"cmdrop:count=-1",            // negative count
+		"corrupt:epoch=1",            // corrupt needs a rank
+		"corrupt:rank=1",             // corrupt needs an epoch
+		"crash@5s:color=red",         // unknown option
+		"crash@5s:rank",              // malformed option
+		"mtbf=banana",                // bad setting value
+		"seed=pi",                    // bad seed
+		"crash@5s;outage@1s",         // error in later segment
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestKindAndFaultString(t *testing.T) {
+	if RankCrash.String() != "crash" || SnapshotCorrupt.String() != "corrupt" {
+		t.Fatal("kind names")
+	}
+	f := Fault{Kind: StorageOutage, Rank: -1, At: 20 * sim.Second, Duration: 5 * sim.Second, Factor: 0.25}
+	if got := f.String(); got != "outage@20s+5s:factor=0.25" {
+		t.Fatalf("String() = %q", got)
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind String")
+	}
+}
+
+func TestCMTypeMatches(t *testing.T) {
+	cases := []struct {
+		want, kind string
+		match      bool
+	}{
+		{"", "REQ", true},
+		{"REQ", "REQ", true},
+		{"REQ", "REP", false},
+		{"DISC", "DISC_REQ", true},
+		{"DISC", "DISC_REP", true},
+		{"DISC", "FLUSH", false},
+		{"FLUSH", "FLUSH", true},
+		{"FLUSH", "FLUSH_ACK", true},
+		{"FLUSH", "DISC_REQ", false},
+	}
+	for _, c := range cases {
+		if got := cmTypeMatches(c.want, c.kind); got != c.match {
+			t.Errorf("cmTypeMatches(%q, %q) = %v, want %v", c.want, c.kind, got, c.match)
+		}
+	}
+}

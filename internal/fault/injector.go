@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"fmt"
+
+	"gbcr/internal/blcr"
+	"gbcr/internal/cr"
+	"gbcr/internal/ib"
+	"gbcr/internal/obs"
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+)
+
+// Target is the assembled cluster an Injector arms faults against. All four
+// components belong to one simulated run (one restart attempt); the injector
+// itself outlives attempts so one-shot faults fire exactly once across the
+// whole availability run.
+type Target struct {
+	K       *sim.Kernel
+	Storage *storage.System
+	Fabric  *ib.Fabric
+	Coord   *cr.Coordinator
+}
+
+// Injector schedules a Scenario's faults against successive cluster
+// instantiations. Faults are described on the availability runner's global
+// wall clock (time summed across restart attempts); Arm translates them into
+// local kernel events for one attempt via the offset. One-shot faults (rank
+// crashes, snapshot corruption) and CMDrop packet budgets carry state across
+// attempts: a crash consumed in attempt 1 does not fire again in attempt 2.
+type Injector struct {
+	scn   Scenario
+	bus   *obs.Bus
+	fired []bool // one-shot faults already delivered, by scenario index
+	left  []int  // remaining CMDrop packet budget, by scenario index
+}
+
+// NewInjector builds an injector for one availability run. bus may be nil.
+func NewInjector(scn Scenario, bus *obs.Bus) *Injector {
+	in := &Injector{
+		scn:   scn,
+		bus:   bus,
+		fired: make([]bool, len(scn.Faults)),
+		left:  make([]int, len(scn.Faults)),
+	}
+	for i, f := range scn.Faults {
+		if f.Kind == CMDrop {
+			in.left[i] = f.Count
+			if in.left[i] == 0 {
+				in.left[i] = 1
+			}
+		}
+	}
+	return in
+}
+
+func (in *Injector) emit(at sim.Time, typ obs.Type, what, detail string, arg int64) {
+	in.bus.Emit(obs.Event{At: at, Rank: -1, Layer: obs.LayerFault, Type: typ, What: what, Detail: detail, Arg: arg})
+	if typ != obs.End {
+		in.bus.Metrics().Counter(obs.LayerFault, "injected").Inc()
+	}
+}
+
+// Arm installs the scenario's faults on one freshly assembled cluster.
+// offset is the global wall time already consumed by earlier attempts, so a
+// fault at global time T fires at local kernel time T-offset (or immediately
+// if the attempt starts inside its window). Arm must be called before the
+// attempt runs, while the kernel clock is at its starting point.
+func (in *Injector) Arm(t Target, offset sim.Time) {
+	var phaseCrashes []int
+	var drops []int
+	for i, f := range in.scn.Faults {
+		switch f.Kind {
+		case RankCrash:
+			if in.fired[i] {
+				continue
+			}
+			if f.Phase != "" {
+				phaseCrashes = append(phaseCrashes, i)
+				continue
+			}
+			in.armTimedCrash(t, i, f, offset)
+		case StorageOutage:
+			in.armOutage(t, f, offset)
+		case CMDrop:
+			if in.left[i] > 0 {
+				drops = append(drops, i)
+			}
+		case SnapshotCorrupt:
+			// Applied by OnEpochCommitted when the target epoch commits.
+		}
+	}
+	if len(phaseCrashes) > 0 {
+		in.armPhaseCrashes(t, phaseCrashes)
+	}
+	if len(drops) > 0 {
+		in.armDrops(t, drops, offset)
+	}
+}
+
+func (in *Injector) armTimedCrash(t Target, i int, f Fault, offset sim.Time) {
+	d := f.At - offset
+	if d < 0 {
+		// The crash instant fell inside a previous attempt that ended (to a
+		// stochastic loss) before reaching it; deliver at attempt start so
+		// the fault still happens exactly once.
+		d = 0
+	}
+	t.K.After(d, func() {
+		in.fired[i] = true
+		in.emit(t.K.Now(), obs.Instant, "crash", crashDetail(f), int64(f.Rank))
+		t.K.Fail(fmt.Errorf("%v at %v: %w", f, offset+t.K.Now(), ErrRankCrash))
+	})
+}
+
+func (in *Injector) armPhaseCrashes(t Target, idx []int) {
+	prev := t.Coord.PhaseHook
+	t.Coord.PhaseHook = func(rank int, phase string, epoch int) {
+		if prev != nil {
+			prev(rank, phase, epoch)
+		}
+		for _, i := range idx {
+			f := in.scn.Faults[i]
+			if in.fired[i] || f.Phase != phase {
+				continue
+			}
+			if f.Rank >= 0 && f.Rank != rank {
+				continue
+			}
+			if f.Epoch > 0 && f.Epoch != epoch {
+				continue
+			}
+			in.fired[i] = true
+			in.emit(t.K.Now(), obs.Instant, "crash", crashDetail(f), int64(rank))
+			t.K.Fail(fmt.Errorf("rank %d crashed in phase %q of epoch %d: %w",
+				rank, phase, epoch, ErrRankCrash))
+			return
+		}
+	}
+}
+
+func crashDetail(f Fault) string {
+	if f.Phase != "" {
+		return fmt.Sprintf("phase=%s epoch=%d", f.Phase, f.Epoch)
+	}
+	return "timed"
+}
+
+func (in *Injector) armOutage(t Target, f Fault, offset sim.Time) {
+	begin := f.At - offset
+	end := f.At + f.Duration - offset
+	if end <= 0 {
+		return // window entirely inside earlier attempts
+	}
+	if begin < 0 {
+		begin = 0 // attempt starts mid-window
+	}
+	t.K.After(begin, func() {
+		in.emit(t.K.Now(), obs.Begin, "outage", fmt.Sprintf("factor=%g", f.Factor), int64(f.Factor*100))
+		t.Storage.SetAvailability(f.Factor)
+	})
+	t.K.After(end, func() {
+		t.Storage.SetAvailability(1)
+		in.emit(t.K.Now(), obs.End, "outage", "", 0)
+	})
+}
+
+func (in *Injector) armDrops(t Target, idx []int, offset sim.Time) {
+	t.Fabric.SetDropFilter(func(src, dst int, kind string) bool {
+		for _, i := range idx {
+			f := in.scn.Faults[i]
+			if in.left[i] <= 0 || offset+t.K.Now() < f.At {
+				continue
+			}
+			if !cmTypeMatches(f.CMType, kind) {
+				continue
+			}
+			if f.Rank >= 0 && f.Rank != src {
+				continue
+			}
+			in.left[i]--
+			in.emit(t.K.Now(), obs.Instant, "cm-drop", kind, int64(dst))
+			return true
+		}
+		return false
+	})
+}
+
+// cmTypeMatches maps the spec's packet classes onto wire packet kinds:
+// "DISC" covers both disconnect packets, "FLUSH" both flush packets, ""
+// everything.
+func cmTypeMatches(want, kind string) bool {
+	switch want {
+	case "":
+		return true
+	case "DISC":
+		return kind == "DISC_REQ" || kind == "DISC_REP"
+	case "FLUSH":
+		return kind == "FLUSH" || kind == "FLUSH_ACK"
+	default:
+		return want == kind
+	}
+}
+
+// OnEpochCommitted applies pending SnapshotCorrupt faults whose epoch has
+// committed: the archive is damaged only after the two-phase commit accepted
+// it, modelling bit rot found at restart time (corrupting earlier would
+// merely make the commit itself fail, a different fault). Corruption waits
+// for Complete so staged-mode drain lag is respected. wall stamps the emitted
+// event with the runner's global clock.
+func (in *Injector) OnEpochCommitted(store *blcr.Store, epoch int, wall sim.Time) {
+	for i, f := range in.scn.Faults {
+		if f.Kind != SnapshotCorrupt || in.fired[i] || f.Epoch > epoch || !store.Complete(f.Epoch) {
+			continue
+		}
+		if s := store.Get(f.Epoch, f.Rank); s != nil {
+			s.Corrupt()
+			in.fired[i] = true
+			in.emit(wall, obs.Instant, "corrupt", fmt.Sprintf("epoch=%d", f.Epoch), int64(f.Rank))
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"gbcr/internal/sim"
+)
+
+// Scenario is a complete fault plan: a scripted list of faults plus an
+// optional stochastic whole-job crash process (exponential inter-failure
+// times with mean MTBF drawn from Seed). The availability runner replays a
+// scenario deterministically: same scenario, same seed, same injections.
+type Scenario struct {
+	Faults []Fault
+	// MTBF, when positive, adds stochastic fail-stop job losses with this
+	// mean time between failures on top of the scripted faults.
+	MTBF sim.Time
+	// Seed feeds the stochastic generator. Zero means 1.
+	Seed int64
+}
+
+// String renders the scenario in the spec grammar, round-tripping through
+// Parse.
+func (s Scenario) String() string {
+	var parts []string
+	for _, f := range s.Faults {
+		parts = append(parts, f.String())
+	}
+	if s.MTBF > 0 {
+		parts = append(parts, "mtbf="+time.Duration(s.MTBF).String())
+	}
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Empty reports whether the scenario injects nothing at all.
+func (s Scenario) Empty() bool { return len(s.Faults) == 0 && s.MTBF <= 0 }
+
+// Parse reads a scenario spec: semicolon-separated segments, each either a
+// fault or a scenario-level setting.
+//
+//	fault   = kind [ "@" dur [ "+" dur ] ] [ ":" key "=" val { "," key "=" val } ]
+//	kind    = "crash" | "outage" | "degrade" | "cmdrop" | "corrupt"
+//	setting = "mtbf=" dur | "seed=" int
+//
+// Durations use Go syntax ("12s", "1.5s", "250ms"). "degrade" is an outage
+// with a default factor of 0.5. Keys: rank, phase, epoch, factor, type,
+// count. Examples:
+//
+//	crash@12s
+//	crash:phase=write,epoch=1,rank=3
+//	outage@20s+5s
+//	degrade@20s+5s:factor=0.25
+//	cmdrop@3s:type=REQ,count=2
+//	corrupt:epoch=1,rank=0
+//	mtbf=90s;seed=7
+func Parse(spec string) (Scenario, error) {
+	var scn Scenario
+	for _, seg := range strings.Split(spec, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(seg, "mtbf="):
+			d, err := time.ParseDuration(strings.TrimPrefix(seg, "mtbf="))
+			if err != nil {
+				return Scenario{}, fmt.Errorf("fault: bad mtbf in %q: %w", seg, err)
+			}
+			scn.MTBF = sim.Time(d)
+		case strings.HasPrefix(seg, "seed="):
+			n, err := strconv.ParseInt(strings.TrimPrefix(seg, "seed="), 10, 64)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("fault: bad seed in %q: %w", seg, err)
+			}
+			scn.Seed = n
+		default:
+			f, err := parseFault(seg)
+			if err != nil {
+				return Scenario{}, err
+			}
+			scn.Faults = append(scn.Faults, f)
+		}
+	}
+	return scn, nil
+}
+
+func parseFault(seg string) (Fault, error) {
+	f := Fault{Rank: -1}
+	head, opts, hasOpts := strings.Cut(seg, ":")
+	head, at, hasAt := strings.Cut(head, "@")
+	switch head {
+	case "crash":
+		f.Kind = RankCrash
+	case "outage":
+		f.Kind = StorageOutage
+	case "degrade":
+		f.Kind = StorageOutage
+		f.Factor = 0.5
+	case "cmdrop":
+		f.Kind = CMDrop
+		f.Count = 1
+	case "corrupt":
+		f.Kind = SnapshotCorrupt
+	default:
+		return Fault{}, fmt.Errorf("fault: unknown kind %q in %q", head, seg)
+	}
+	if hasAt {
+		atPart, durPart, hasDur := strings.Cut(at, "+")
+		d, err := time.ParseDuration(atPart)
+		if err != nil {
+			return Fault{}, fmt.Errorf("fault: bad time in %q: %w", seg, err)
+		}
+		f.At = sim.Time(d)
+		if hasDur {
+			w, err := time.ParseDuration(durPart)
+			if err != nil {
+				return Fault{}, fmt.Errorf("fault: bad duration in %q: %w", seg, err)
+			}
+			f.Duration = sim.Time(w)
+		}
+	}
+	if hasOpts {
+		for _, kv := range strings.Split(opts, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return Fault{}, fmt.Errorf("fault: bad option %q in %q (want key=val)", kv, seg)
+			}
+			if err := applyOpt(&f, key, val); err != nil {
+				return Fault{}, fmt.Errorf("fault: %w in %q", err, seg)
+			}
+		}
+	}
+	if err := f.validate(); err != nil {
+		return Fault{}, fmt.Errorf("fault: %w in %q", err, seg)
+	}
+	return f, nil
+}
+
+func applyOpt(f *Fault, key, val string) error {
+	switch key {
+	case "rank":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("bad rank %q", val)
+		}
+		f.Rank = n
+	case "phase":
+		f.Phase = val
+	case "epoch":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("bad epoch %q", val)
+		}
+		f.Epoch = n
+	case "factor":
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad factor %q", val)
+		}
+		f.Factor = x
+	case "type":
+		f.CMType = strings.ToUpper(val)
+	case "count":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("bad count %q", val)
+		}
+		f.Count = n
+	default:
+		return fmt.Errorf("unknown option %q", key)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -478,4 +479,45 @@ func TestSerialParallelBitIdentical(t *testing.T) {
 			t.Fatalf("%s differs between serial and parallel generation:\n%s\nvs\n%s", tc.name, a, b)
 		}
 	}
+}
+
+func TestExtensionAvailability(t *testing.T) {
+	e := mustT(t, tg.ExtensionAvailability)
+	young := len(e.Cols) - 1 // the "Young opt" cross-check column
+	for ri, row := range e.Rows {
+		vals := e.Cells[ri][:young]
+		for ci, v := range vals {
+			if v <= 0 || v > 1 {
+				t.Fatalf("%s @ %ss: efficiency %v outside (0,1]", row, e.Cols[ci], v)
+			}
+		}
+		// Young's optimum for this workload sits at or beyond the sweep's
+		// longest interval, so within the sweep efficiency must rise (or
+		// hold) as the interval grows toward it.
+		opt := e.Cells[ri][young]
+		if last := mustFloat(t, e.Cols[young-1]); opt < last {
+			t.Fatalf("%s: Young optimum %.1fs inside the sweep, shape check assumes it past %vs", row, opt, last)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1]-0.02 {
+				t.Fatalf("%s: efficiency not rising toward Young optimum %.1fs: %v", row, opt, vals)
+			}
+		}
+	}
+	// More reliable machines are never less efficient at any interval.
+	for ci := 0; ci < young; ci++ {
+		if e.Cells[1][ci] < e.Cells[0][ci] {
+			t.Fatalf("MTBF %s beats %s at interval %ss: %v vs %v",
+				e.Rows[0], e.Rows[1], e.Cols[ci], e.Cells[0][ci], e.Cells[1][ci])
+		}
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
 }

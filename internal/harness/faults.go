@@ -1,10 +1,7 @@
 package harness
 
 import (
-	"fmt"
-	"math/rand"
-
-	"gbcr/internal/cr"
+	"gbcr/internal/fault"
 	"gbcr/internal/sim"
 	"gbcr/internal/workload"
 )
@@ -16,7 +13,7 @@ type PeriodicResult struct {
 	Wall sim.Time
 	// Failures is how many times the job was lost and restarted.
 	Failures int
-	// Checkpoints is how many global checkpoints completed across attempts.
+	// Checkpoints is how many global checkpoints committed across attempts.
 	Checkpoints int
 }
 
@@ -26,89 +23,12 @@ type PeriodicResult struct {
 // the latest complete global checkpoint. It returns the total wall time —
 // the quantity Young's interval formula optimizes — so protocols and
 // intervals can be compared end to end.
+//
+// It is the stochastic-only special case of RunScenario: no scripted faults,
+// no observability bus.
 func RunWithPeriodicCheckpoints(cfg ClusterConfig, w workload.Restartable,
 	interval, mtbf sim.Time, seed int64) (PeriodicResult, error) {
 
-	cfg.CR.Polled = true
-	cfg.CR.CaptureState = true
-	rng := rand.New(rand.NewSource(seed))
-	nextFailure := func() sim.Time {
-		return sim.Seconds(rng.ExpFloat64() * mtbf.Seconds())
-	}
-
-	var res PeriodicResult
-	var appStates [][]byte // nil on the first attempt
-	var libStates [][]byte
-	const maxAttempts = 1000
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		c, err := NewCluster(cfg)
-		if err != nil {
-			return res, err
-		}
-		inst, err := w.LaunchFrom(c.Job, appStates)
-		if err != nil {
-			return res, err
-		}
-		ri, ok := inst.(workload.RestartableInstance)
-		if !ok {
-			return res, fmt.Errorf("harness: %s is not restartable", w.Name())
-		}
-		for i := 0; i < cfg.N; i++ {
-			i := i
-			if libStates != nil {
-				if err := c.Job.Rank(i).RestoreLibState(libStates[i]); err != nil {
-					return res, err
-				}
-			}
-			c.Coord.Controller(i).CaptureFn = func() ([]byte, error) { return ri.Capture(i) }
-			c.Coord.Controller(i).FootprintFn = func() int64 { return inst.Footprint(i) }
-		}
-		// Periodic checkpoints: the next request is scheduled when the
-		// previous cycle completes, so cycles never overlap even if one
-		// runs longer than the interval.
-		c.Coord.ScheduleCheckpoint(interval)
-		c.Coord.OnCycleDone = func(*cr.CycleReport) {
-			if !c.Job.Finished() {
-				c.Coord.ScheduleCheckpoint(c.K.Now() + interval)
-			}
-		}
-
-		failAt := nextFailure()
-		if err := c.K.RunUntil(failAt); err != nil {
-			return res, err
-		}
-		reps, err := c.Coord.Reports()
-		if err != nil {
-			return res, err
-		}
-		if c.Job.Finished() {
-			res.Wall += c.Job.FinishTime()
-			res.Checkpoints += len(reps)
-			return res, nil
-		}
-		// The job was lost at failAt. Fall back to the latest durable
-		// checkpoint (or the attempt's starting state if none completed).
-		res.Wall += failAt
-		res.Failures++
-		res.Checkpoints += len(reps)
-		if _, snaps := c.Coord.Snapshots().Latest(); snaps != nil {
-			appStates = make([][]byte, cfg.N)
-			libStates = make([][]byte, cfg.N)
-			var readback sim.Time
-			for i := 0; i < cfg.N; i++ {
-				s := snaps[i]
-				if err := s.Verify(); err != nil {
-					return res, err
-				}
-				appStates[i] = s.AppState
-				libStates[i] = s.LibState
-				// Serial estimate of the concurrent read-back: all ranks
-				// read at once at the aggregate rate.
-				readback += sim.Seconds(float64(s.Size()) / cfg.Storage.AggregateBW)
-			}
-			res.Wall += readback
-		}
-		c.K.Shutdown() // release the dead attempt's process goroutines
-	}
-	return res, fmt.Errorf("harness: job did not complete within %d attempts", maxAttempts)
+	res, err := RunScenario(cfg, w, fault.Scenario{MTBF: mtbf, Seed: seed}, interval, nil)
+	return PeriodicResult{Wall: res.Wall, Failures: res.Failures, Checkpoints: res.Checkpoints}, err
 }

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"gbcr/internal/cr"
+	"gbcr/internal/fault"
+	"gbcr/internal/obs"
+	"gbcr/internal/sim"
+	"gbcr/internal/workload"
+)
+
+// AvailabilityResult describes a scenario-driven run-to-completion: the job
+// runs under periodic checkpointing and an injected fault scenario until it
+// finishes, restarting from the latest verified committed epoch after every
+// loss.
+type AvailabilityResult struct {
+	// Wall is the total wall-clock time to finish the job, summed across all
+	// attempts (lost work and restart read-back included).
+	Wall sim.Time
+	// Failures is how many times the whole job was lost and restarted
+	// (stochastic MTBF losses plus injected crashes).
+	Failures int
+	// Checkpoints is how many epochs committed across all attempts.
+	Checkpoints int
+	// CycleAborts counts checkpoint cycles that aborted (storage write
+	// failures) and were retried.
+	CycleAborts int
+	// CorruptSkipped counts committed epochs that were rejected at restart
+	// time because a snapshot no longer verified, forcing fallback to an
+	// older epoch.
+	CorruptSkipped int
+	// Attempts is the number of launches (Failures + 1 when the job
+	// finished).
+	Attempts int
+	// FinalInst is the workload instance of the attempt that finished, so
+	// callers can verify end results against a failure-free reference.
+	FinalInst workload.Instance
+}
+
+// RunScenario runs a restartable workload to completion with checkpoints
+// every interval, under the fault scenario scn. Scripted faults fire at
+// their specified global times (summed across attempts); scn.MTBF adds
+// stochastic whole-job losses on top. After every loss the job restarts from
+// the latest committed epoch whose snapshots still verify — corrupted
+// archives are skipped, and with no usable epoch the job restarts from
+// scratch. bus, when non-nil, observes every attempt, injected faults
+// included, on one timeline.
+//
+// Determinism: the same cfg, scenario, and interval produce the identical
+// sequence of injections, attempts, and events — byte-identical exported
+// traces — regardless of host parallelism.
+func RunScenario(cfg ClusterConfig, w workload.Restartable, scn fault.Scenario,
+	interval sim.Time, bus *obs.Bus) (AvailabilityResult, error) {
+
+	cfg.CR.Polled = true
+	cfg.CR.CaptureState = true
+	seed := scn.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inj := fault.NewInjector(scn, bus)
+
+	var res AvailabilityResult
+	var appStates [][]byte // nil on the first attempt
+	var libStates [][]byte
+	const maxAttempts = 1000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		res.Attempts++
+		offset := res.Wall
+		c, err := NewCluster(cfg)
+		if err != nil {
+			return res, err
+		}
+		if bus != nil {
+			c.AttachObs(bus)
+		}
+		inst, err := w.LaunchFrom(c.Job, appStates)
+		if err != nil {
+			return res, err
+		}
+		ri, ok := inst.(workload.RestartableInstance)
+		if !ok {
+			return res, fmt.Errorf("harness: %s is not restartable", w.Name())
+		}
+		for i := 0; i < cfg.N; i++ {
+			i := i
+			if libStates != nil {
+				if err := c.Job.Rank(i).RestoreLibState(libStates[i]); err != nil {
+					return res, err
+				}
+			}
+			c.Coord.Controller(i).CaptureFn = func() ([]byte, error) { return ri.Capture(i) }
+			c.Coord.Controller(i).FootprintFn = func() int64 { return inst.Footprint(i) }
+		}
+		inj.Arm(fault.Target{K: c.K, Storage: c.Storage, Fabric: c.Fabric, Coord: c.Coord}, offset)
+		// Periodic checkpoints: the next request is scheduled when the
+		// previous cycle completes, so cycles never overlap even if one runs
+		// longer than the interval. Aborted cycles reschedule themselves.
+		c.Coord.ScheduleCheckpoint(interval)
+		c.Coord.OnCycleDone = func(*cr.CycleReport) {
+			inj.OnEpochCommitted(c.Coord.Snapshots(), c.Coord.Epoch(), offset+c.K.Now())
+			if !c.Job.Finished() {
+				c.Coord.ScheduleCheckpoint(c.K.Now() + interval)
+			}
+		}
+
+		// Stochastic loss horizon for this attempt; without an MTBF the
+		// attempt runs until it finishes or a scripted crash kills it.
+		limit := sim.Time(-1)
+		if scn.MTBF > 0 {
+			limit = sim.Seconds(rng.ExpFloat64() * scn.MTBF.Seconds())
+		}
+		err = c.K.RunUntil(limit)
+		switch {
+		case err == nil:
+		case errors.Is(err, fault.ErrRankCrash):
+			// An injected crash killed the job; fall through to restart.
+		default:
+			return res, err
+		}
+		// Staged-mode drains may commit an epoch after the cycle-done hook;
+		// give late corruption faults their chance before restart decisions.
+		inj.OnEpochCommitted(c.Coord.Snapshots(), c.Coord.Epoch(), offset+c.K.Now())
+		res.Checkpoints += c.Coord.Epoch()
+		res.CycleAborts += c.Coord.Aborts()
+		if err == nil && c.Job.Finished() {
+			res.Wall += c.Job.FinishTime()
+			res.FinalInst = inst
+			return res, nil
+		}
+		// The job was lost — at the stochastic horizon, or at the injected
+		// crash instant. Fall back to the newest epoch that still verifies.
+		res.Wall += c.K.Now()
+		res.Failures++
+		_, snaps, skipped := c.Coord.Snapshots().LatestVerified()
+		res.CorruptSkipped += skipped
+		if snaps != nil {
+			appStates = make([][]byte, cfg.N)
+			libStates = make([][]byte, cfg.N)
+			var readback sim.Time
+			for i := 0; i < cfg.N; i++ {
+				s := snaps[i]
+				appStates[i] = s.AppState
+				libStates[i] = s.LibState
+				// Serial estimate of the concurrent read-back: all ranks
+				// read at once at the aggregate rate.
+				readback += sim.Seconds(float64(s.Size()) / cfg.Storage.AggregateBW)
+			}
+			res.Wall += readback
+		}
+		// With no usable epoch in this attempt's archive, the previous
+		// attempt's states (or nil: from scratch) carry over unchanged.
+		c.K.Shutdown() // release the dead attempt's process goroutines
+	}
+	return res, fmt.Errorf("harness: job did not complete within %d attempts", maxAttempts)
+}

@@ -1,0 +1,151 @@
+package ib
+
+import (
+	"strings"
+	"testing"
+
+	"gbcr/internal/sim"
+)
+
+// dropFirst installs a filter on f that loses the first n packets of the
+// given kind and returns a counter of drops actually applied.
+func dropFirst(f *Fabric, kind string, n int) *int {
+	dropped := 0
+	f.SetDropFilter(func(src, dst int, k string) bool {
+		if k == kind && dropped < n {
+			dropped++
+			return true
+		}
+		return false
+	})
+	return &dropped
+}
+
+// TestHandshakeRecoversFromDrops: each connection-management packet type is
+// individually droppable and the capped-backoff retransmission recovers the
+// handshake every time.
+func TestHandshakeRecoversFromDrops(t *testing.T) {
+	for _, kind := range []string{"REQ", "REP", "RTU"} {
+		t.Run(kind, func(t *testing.T) {
+			k, f, a, b := testPair(t)
+			dropped := dropFirst(f, kind, 1)
+			upA, upB := false, false
+			a.OnConnUp = func(int) { upA = true }
+			b.OnConnUp = func(int) { upB = true }
+			connect(t, a, 1, 0)
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if *dropped != 1 {
+				t.Fatalf("dropped %d %s packets, want 1", *dropped, kind)
+			}
+			if !upA || !upB || !a.Connected(1) || !b.Connected(0) {
+				t.Fatalf("handshake did not recover: upA=%v upB=%v stateA=%v stateB=%v",
+					upA, upB, a.State(1), b.State(0))
+			}
+			if a.Stats().Retransmits+b.Stats().Retransmits == 0 {
+				t.Fatal("recovery without any retransmission")
+			}
+		})
+	}
+}
+
+// TestTeardownRecoversFromDrops: flush and disconnect packets are dropped;
+// retransmission still tears the connection down cleanly on both sides.
+func TestTeardownRecoversFromDrops(t *testing.T) {
+	for _, kind := range []string{"FLUSH", "FLUSH_ACK", "DISC_REQ", "DISC_REP"} {
+		t.Run(kind, func(t *testing.T) {
+			k, f, a, b := testPair(t)
+			downA, downB := false, false
+			a.OnConnDown = func(int) { downA = true }
+			b.OnConnDown = func(int) { downB = true }
+			connect(t, a, 1, 0)
+			var dropped *int
+			k.After(sim.Millisecond, func() {
+				dropped = dropFirst(f, kind, 1)
+				a.Disconnect(1)
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if *dropped != 1 {
+				t.Fatalf("dropped %d %s packets, want 1", *dropped, kind)
+			}
+			if !downA || !downB || a.State(1) != StateClosed || b.State(0) != StateClosed {
+				t.Fatalf("teardown did not recover: downA=%v downB=%v stateA=%v stateB=%v",
+					downA, downB, a.State(1), b.State(0))
+			}
+		})
+	}
+}
+
+// TestDataFlowsAfterDroppedHandshake: a payload queued behind a lossy
+// handshake is still delivered once retransmission establishes the channel.
+func TestDataFlowsAfterDroppedHandshake(t *testing.T) {
+	k, f, a, b := testPair(t)
+	dropFirst(f, "REP", 2)
+	got := false
+	b.OnMessage = func(src int, size int64, payload any) { got = true }
+	a.OnConnUp = func(peer int) {
+		if err := a.Send(peer, 4096, "payload"); err != nil {
+			t.Error(err)
+		}
+	}
+	connect(t, a, 1, 0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("payload lost behind a recovered handshake")
+	}
+}
+
+// TestRetransmitExhaustionFailsRun: dropping every REQ forever exhausts the
+// retry budget and surfaces a hard error instead of hanging.
+func TestRetransmitExhaustionFailsRun(t *testing.T) {
+	k, f, a, _ := testPair(t)
+	f.SetDropFilter(func(src, dst int, kind string) bool { return kind == "REQ" })
+	connect(t, a, 1, 0)
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected failure after exhausting handshake retransmits")
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("error %q does not name the stuck handshake", err)
+	}
+}
+
+// TestDropStatsCounted: drops and retransmits are visible in endpoint stats.
+func TestDropStatsCounted(t *testing.T) {
+	k, f, a, b := testPair(t)
+	dropFirst(f, "REQ", 1)
+	connect(t, a, 1, 0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().PacketsDropped != 1 {
+		t.Fatalf("a dropped = %d, want 1", a.Stats().PacketsDropped)
+	}
+	if a.Stats().Retransmits == 0 {
+		t.Fatal("a retransmits = 0, want > 0")
+	}
+	_ = b
+}
+
+// TestFilterInstalledButQuiet: an installed filter that never matches arms
+// timers but changes no outcomes; the handshake completes with zero
+// retransmissions.
+func TestFilterInstalledButQuiet(t *testing.T) {
+	k, f, a, b := testPair(t)
+	f.SetDropFilter(func(src, dst int, kind string) bool { return false })
+	connect(t, a, 1, 0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Connected(1) || !b.Connected(0) {
+		t.Fatal("handshake failed under a no-op filter")
+	}
+	if n := a.Stats().Retransmits + b.Stats().Retransmits; n != 0 {
+		t.Fatalf("spurious retransmits: %d", n)
+	}
+}

@@ -44,6 +44,45 @@ type Config struct {
 	OOBLatency sim.Time
 	// CtlSize is the wire size of in-band control packets (flush markers).
 	CtlSize int64
+	// HandshakeTimeout is the base retransmission timeout for connection
+	// management and flush packets. Zero selects 4×OOBLatency (or 1 ms if
+	// OOBLatency is zero). Retransmission timers are armed only while a drop
+	// filter is installed, so fault-free runs schedule no timer events.
+	HandshakeTimeout sim.Time
+	// HandshakeRetries caps how many times one packet is retransmitted
+	// before the endpoint declares the peer unreachable and fails the
+	// simulation. Zero selects 8.
+	HandshakeRetries int
+	// HandshakeBackoffCap caps the exponential backoff between
+	// retransmissions. Zero selects 16×HandshakeTimeout.
+	HandshakeBackoffCap sim.Time
+}
+
+// handshakeTimeout resolves the base retransmission timeout default.
+func (cfg Config) handshakeTimeout() sim.Time {
+	if cfg.HandshakeTimeout > 0 {
+		return cfg.HandshakeTimeout
+	}
+	if cfg.OOBLatency > 0 {
+		return 4 * cfg.OOBLatency
+	}
+	return sim.Millisecond
+}
+
+// handshakeRetries resolves the retransmission-attempt cap default.
+func (cfg Config) handshakeRetries() int {
+	if cfg.HandshakeRetries > 0 {
+		return cfg.HandshakeRetries
+	}
+	return 8
+}
+
+// backoffCap resolves the backoff ceiling default.
+func (cfg Config) backoffCap() sim.Time {
+	if cfg.HandshakeBackoffCap > 0 {
+		return cfg.HandshakeBackoffCap
+	}
+	return 16 * cfg.handshakeTimeout()
 }
 
 // PaperConfig returns fabric parameters matching the evaluation testbed:
@@ -58,13 +97,29 @@ func PaperConfig() Config {
 	}
 }
 
+// DropFilter decides, per protocol packet, whether the fabric loses it in
+// flight. kind is one of "REQ", "REP", "RTU", "DISC_REQ", "DISC_REP",
+// "FLUSH", "FLUSH_ACK". Returning true drops the packet: it never arrives,
+// and the sender's retransmission timer (armed whenever a filter is
+// installed) is what recovers the handshake. Application payloads are never
+// offered to the filter — the paper's fault model is lossy connection
+// management, not lossy RC channels.
+type DropFilter func(src, dst int, kind string) bool
+
 // Fabric is the switch connecting all endpoints.
 type Fabric struct {
-	k   *sim.Kernel
-	cfg Config
-	bus *obs.Bus
-	eps map[int]*Endpoint
+	k          *sim.Kernel
+	cfg        Config
+	bus        *obs.Bus
+	eps        map[int]*Endpoint
+	dropFilter DropFilter
 }
+
+// SetDropFilter installs (or, with nil, removes) the protocol-packet drop
+// filter. Installing a filter also arms handshake retransmission timers on
+// every subsequent connection-management exchange; without one, no timer
+// events are scheduled and traces are identical to an unhardened fabric.
+func (f *Fabric) SetDropFilter(fn DropFilter) { f.dropFilter = fn }
 
 // New creates an empty fabric.
 func New(k *sim.Kernel, cfg Config) (*Fabric, error) {
@@ -135,6 +190,8 @@ type conn struct {
 	initiator   bool // this side called Disconnect
 	sentFlush   bool
 	gotFlushAck bool
+	retry       *sim.Event // pending retransmission timer, nil if disarmed
+	retries     int        // retransmissions already sent in this state
 }
 
 // workItem is an arrived-but-unprocessed packet.
@@ -155,6 +212,8 @@ type Stats struct {
 	OOBSent           int
 	CtlProcessed      int
 	MessagesDelivered int
+	Retransmits       int
+	PacketsDropped    int
 }
 
 // Endpoint is one process's NIC plus connection manager.
@@ -282,22 +341,143 @@ func (ep *Endpoint) SendOOB(dst int, payload any) error {
 	return nil
 }
 
-// sendCM sends an internal connection-management or control payload over the
-// out-of-band channel. The peer was validated when the connection was
-// created, so a lookup failure here is a fabric invariant violation and
-// aborts the simulation.
+// cmKind names a protocol payload for the drop filter, or "" for
+// application traffic (which is never dropped).
+func cmKind(payload any) string {
+	switch payload.(type) {
+	case cmConnReq:
+		return "REQ"
+	case cmConnRep:
+		return "REP"
+	case cmConnRtu:
+		return "RTU"
+	case cmDiscReq:
+		return "DISC_REQ"
+	case cmDiscRep:
+		return "DISC_REP"
+	case ctlFlush:
+		return "FLUSH"
+	case ctlFlushAck:
+		return "FLUSH_ACK"
+	}
+	return ""
+}
+
+// dropped consults the fabric drop filter for a protocol payload headed to
+// dst, recording the loss if the filter claims it.
+func (ep *Endpoint) dropped(dst int, payload any) bool {
+	filter := ep.f.dropFilter
+	if filter == nil {
+		return false
+	}
+	kind := cmKind(payload)
+	if kind == "" || !filter(ep.id, dst, kind) {
+		return false
+	}
+	ep.stats.PacketsDropped++
+	ep.f.bus.Metrics().Counter(obs.LayerIB, "cm_drops").Inc()
+	ep.f.bus.Emit(obs.Event{At: ep.f.k.Now(), Rank: ep.id, Layer: obs.LayerIB,
+		Type: obs.Instant, What: "cm-drop", Detail: kind, Arg: int64(dst)})
+	return true
+}
+
+// sendCM sends an internal connection-management payload over the
+// out-of-band channel, subject to the drop filter. The peer was validated
+// when the connection was created, so a lookup failure here is a fabric
+// invariant violation and aborts the simulation.
 func (ep *Endpoint) sendCM(dst int, payload any) {
+	if ep.dropped(dst, payload) {
+		return
+	}
 	if err := ep.SendOOB(dst, payload); err != nil {
 		ep.f.k.Fail(err)
 	}
 }
 
 // sendCtl transmits an internal in-band control packet (flush protocol),
-// failing the simulation on a fabric invariant violation like sendCM.
+// failing the simulation on a fabric invariant violation like sendCM. A
+// dropped control packet still serializes on the NIC egress — it is lost on
+// the wire, not suppressed at the source — so drain timing stays honest.
 func (ep *Endpoint) sendCtl(dst int, size int64, payload any) {
+	if ep.dropped(dst, payload) {
+		start := ep.f.k.Now()
+		if ep.egressFree > start {
+			start = ep.egressFree
+		}
+		ep.egressFree = start + sim.Time(float64(size)/ep.f.cfg.LinkBW*float64(sim.Second))
+		return
+	}
 	if err := ep.transmit(dst, size, payload); err != nil {
 		ep.f.k.Fail(err)
 	}
+}
+
+// disarm cancels c's pending retransmission timer, if any.
+func (ep *Endpoint) disarm(c *conn) {
+	if c.retry != nil {
+		c.retry.Cancel()
+		c.retry = nil
+	}
+}
+
+// armRetransmit schedules the handshake retransmission timer for c with
+// capped exponential backoff. Timers are armed only while a drop filter is
+// installed: fault-free runs schedule no timer events, keeping their traces
+// byte-identical to an unhardened fabric.
+func (ep *Endpoint) armRetransmit(c *conn) {
+	if ep.f.dropFilter == nil {
+		return
+	}
+	ep.disarm(c)
+	d := ep.f.cfg.handshakeTimeout()
+	ceiling := ep.f.cfg.backoffCap()
+	for i := 0; i < c.retries && d < ceiling; i++ {
+		d *= 2
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	peer := c.peer
+	c.retry = ep.f.k.After(d, func() { ep.retransmit(peer) })
+}
+
+// retransmit fires when a handshake step has not advanced within its
+// timeout: it re-sends the packet appropriate to the connection's current
+// state and re-arms with doubled backoff, failing the simulation with a
+// clear diagnosis once the retry budget is exhausted (a lost CM packet must
+// stall progress measurably, never hang it silently).
+func (ep *Endpoint) retransmit(peer int) {
+	c := ep.conns[peer]
+	if c == nil {
+		return
+	}
+	c.retry = nil
+	if c.retries >= ep.f.cfg.handshakeRetries() {
+		ep.f.k.Fail(fmt.Errorf("ib: endpoint %d handshake with %d stuck in state %v after %d retransmits",
+			ep.id, peer, c.state, c.retries))
+		return
+	}
+	c.retries++
+	ep.stats.Retransmits++
+	ep.f.bus.Metrics().Counter(obs.LayerIB, "retransmits").Inc()
+	ep.f.bus.Emit(obs.Event{At: ep.f.k.Now(), Rank: ep.id, Layer: obs.LayerIB,
+		Type: obs.Instant, What: "cm-retransmit", Detail: c.state.String(), Arg: int64(peer)})
+	switch c.state {
+	case StateConnecting:
+		ep.sendCM(peer, cmConnReq{meta: c.meta})
+	case StateAccepting:
+		ep.sendCM(peer, cmConnRep{})
+	case StateDraining:
+		if !c.sentFlush {
+			return // passive side: the initiator's retransmits drive recovery
+		}
+		ep.sendCtl(peer, ep.f.cfg.CtlSize, ctlFlush{})
+	case StateDisconnecting:
+		ep.sendCM(peer, cmDiscReq{})
+	default:
+		return
+	}
+	ep.armRetransmit(c)
 }
 
 // Send transmits an application payload of the given wire size to dst over
@@ -410,6 +590,8 @@ func (ep *Endpoint) promoteOnInband(peer int) {
 	if c == nil || c.state != StateAccepting {
 		return
 	}
+	ep.disarm(c)
+	c.retries = 0
 	c.state = StateConnected
 	ep.emit("conn-up", peer)
 	if ep.OnConnUp != nil {
@@ -430,11 +612,13 @@ func (ep *Endpoint) Connect(peer int, meta int64) error {
 	if ep.conns[peer] != nil {
 		return nil
 	}
-	ep.conns[peer] = &conn{peer: peer, state: StateConnecting, meta: meta}
+	c := &conn{peer: peer, state: StateConnecting, meta: meta}
+	ep.conns[peer] = c
 	ep.stats.ConnectsInitiated++
 	ep.f.bus.Metrics().Counter(obs.LayerIB, "connects").Inc()
 	ep.emit("cm-req", peer)
 	ep.sendCM(peer, cmConnReq{meta: meta})
+	ep.armRetransmit(c)
 	return nil
 }
 
@@ -449,12 +633,20 @@ func (ep *Endpoint) handleConnReq(it workItem, req cmConnReq) {
 			if ep.id > peer {
 				c.state = StateAccepting
 				c.meta = req.meta
+				c.retries = 0
 				ep.stats.ConnectsAccepted++
 				ep.f.bus.Metrics().Counter(obs.LayerIB, "accepts").Inc()
 				ep.emit("cm-rep", peer)
 				ep.sendCM(peer, cmConnRep{})
+				ep.armRetransmit(c)
 			}
 			// Lower id: ignore; the peer will abandon its REQ.
+			return
+		case StateAccepting:
+			// Duplicate REQ: our REP was lost and the initiator timed out.
+			// Re-answer; our own retransmission timer keeps its schedule.
+			ep.emit("cm-rep", peer)
+			ep.sendCM(peer, cmConnRep{})
 			return
 		default:
 			// Duplicate or stale REQ; ignore.
@@ -467,18 +659,31 @@ func (ep *Endpoint) handleConnReq(it workItem, req cmConnReq) {
 		ep.emit("cm-defer", peer)
 		return
 	}
-	ep.conns[peer] = &conn{peer: peer, state: StateAccepting, meta: req.meta}
+	c = &conn{peer: peer, state: StateAccepting, meta: req.meta}
+	ep.conns[peer] = c
 	ep.stats.ConnectsAccepted++
 	ep.f.bus.Metrics().Counter(obs.LayerIB, "accepts").Inc()
 	ep.emit("cm-rep", peer)
 	ep.sendCM(peer, cmConnRep{})
+	ep.armRetransmit(c)
 }
 
 func (ep *Endpoint) handleConnRep(peer int) {
 	c := ep.conns[peer]
-	if c == nil || c.state != StateConnecting {
+	if c == nil {
 		return
 	}
+	if c.state == StateConnected {
+		// Duplicate REP: our RTU was lost and the acceptor timed out.
+		// Re-confirm so the passive side can leave Accepting.
+		ep.sendCM(peer, cmConnRtu{})
+		return
+	}
+	if c.state != StateConnecting {
+		return
+	}
+	ep.disarm(c)
+	c.retries = 0
 	c.state = StateConnected
 	ep.emit("conn-up", peer)
 	ep.sendCM(peer, cmConnRtu{})
@@ -492,6 +697,8 @@ func (ep *Endpoint) handleConnRtu(peer int) {
 	if c == nil || c.state != StateAccepting {
 		return
 	}
+	ep.disarm(c)
+	c.retries = 0
 	c.state = StateConnected
 	ep.emit("conn-up", peer)
 	if ep.OnConnUp != nil {
@@ -511,8 +718,10 @@ func (ep *Endpoint) Disconnect(peer int) {
 	c.state = StateDraining
 	c.initiator = true
 	c.sentFlush = true
+	c.retries = 0
 	ep.emit("flush-start", peer)
 	ep.sendCtl(peer, ep.f.cfg.CtlSize, ctlFlush{})
+	ep.armRetransmit(c)
 }
 
 func (ep *Endpoint) handleFlush(peer int) {
@@ -539,10 +748,13 @@ func (ep *Endpoint) handleFlushAck(peer int) {
 	if c == nil || c.state != StateDraining || !c.sentFlush {
 		return
 	}
+	ep.disarm(c)
+	c.retries = 0
 	c.gotFlushAck = true
 	c.state = StateDisconnecting
 	ep.emit("disc-req", peer)
 	ep.sendCM(peer, cmDiscReq{})
+	ep.armRetransmit(c)
 }
 
 func (ep *Endpoint) handleDiscReq(peer int) {
@@ -568,6 +780,9 @@ func (ep *Endpoint) handleDiscRep(peer int) {
 }
 
 func (ep *Endpoint) closeConn(peer int) {
+	if c := ep.conns[peer]; c != nil {
+		ep.disarm(c)
+	}
 	delete(ep.conns, peer)
 	ep.stats.Disconnects++
 	ep.f.bus.Metrics().Counter(obs.LayerIB, "disconnects").Inc()

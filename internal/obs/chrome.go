@@ -30,16 +30,23 @@ type chromeEvent struct {
 type ChromeSink struct {
 	events []chromeEvent
 	tids   map[int]bool
+	open   map[int][]string // per-track stack of unclosed Begin span names
+	lastTS float64
 }
 
 // NewChrome returns an empty Chrome trace sink. Call Close after the run to
 // write the file.
 func NewChrome() *ChromeSink {
-	return &ChromeSink{tids: make(map[int]bool)}
+	return &ChromeSink{tids: make(map[int]bool), open: make(map[int][]string)}
 }
 
+// faultTID is the reserved track id for injected faults. It sits far above
+// any plausible rank track so the "faults" track renders apart from the
+// per-rank lanes and never collides with rank+1 numbering.
+const faultTID = 1 << 20
+
 // tid maps a world rank to a stable track id: 0 is the system track, rank r
-// is track r+1.
+// is track r+1. Fault-layer events override this with faultTID.
 func tid(rank int) int {
 	if rank < 0 {
 		return 0
@@ -59,13 +66,19 @@ func (s *ChromeSink) Emit(e Event) {
 	case End:
 		ph, scope = "E", ""
 	}
+	track := tid(e.Rank)
+	if e.Layer == LayerFault {
+		// Injected faults get their own track regardless of which rank they
+		// target; the target rank stays visible via the args below.
+		track = faultTID
+	}
 	ce := chromeEvent{
 		Name:  e.What,
 		Cat:   e.Layer.String(),
 		Phase: ph,
 		TS:    float64(e.At) / 1e3, // ns -> us
 		PID:   0,
-		TID:   tid(e.Rank),
+		TID:   track,
 		Scope: scope,
 	}
 	if e.Type == End {
@@ -83,6 +96,17 @@ func (s *ChromeSink) Emit(e Event) {
 	}
 	s.events = append(s.events, ce)
 	s.tids[ce.TID] = true
+	if ce.TS > s.lastTS {
+		s.lastTS = ce.TS
+	}
+	switch e.Type {
+	case Begin:
+		s.open[track] = append(s.open[track], ce.Name)
+	case End:
+		if st := s.open[track]; len(st) > 0 {
+			s.open[track] = st[:len(st)-1]
+		}
+	}
 }
 
 // Render writes the complete trace file to w. The output is deterministic:
@@ -98,7 +122,10 @@ func (s *ChromeSink) Render(w io.Writer) error {
 	meta := make([]chromeEvent, 0, len(ids))
 	for _, id := range ids {
 		name := "system"
-		if id > 0 {
+		switch {
+		case id == faultTID:
+			name = "faults"
+		case id > 0:
 			name = fmt.Sprintf("rank %d", id-1)
 		}
 		meta = append(meta, chromeEvent{
@@ -109,12 +136,23 @@ func (s *ChromeSink) Render(w io.Writer) error {
 			Args:  map[string]any{"name": name},
 		})
 	}
+	// A crashed run leaves spans open (a killed rank never emits its End);
+	// close them at the final timestamp so the file stays well-formed.
+	// Built afresh each call, so Render does not mutate the sink.
+	var closing []chromeEvent
+	for _, id := range ids {
+		for st := s.open[id]; len(st) > 0; st = st[:len(st)-1] {
+			closing = append(closing, chromeEvent{
+				Name: st[len(st)-1], Phase: "E", TS: s.lastTS, PID: 0, TID: id,
+			})
+		}
+	}
 	out := struct {
 		DisplayTimeUnit string        `json:"displayTimeUnit"`
 		TraceEvents     []chromeEvent `json:"traceEvents"`
 	}{
 		DisplayTimeUnit: "ms",
-		TraceEvents:     append(meta, s.events...),
+		TraceEvents:     append(meta, append(s.events, closing...)...),
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -27,16 +27,21 @@ import (
 // Layer identifies which part of the stack emitted an event or owns a metric.
 type Layer uint8
 
-// Layers, bottom-up.
+// Layers, bottom-up. LayerFault is the fault-injection subsystem
+// (internal/fault): injected faults — rank crashes, storage outage windows,
+// dropped connection-management packets, snapshot corruption — emit on it so
+// every exported timeline shows what was done to the run alongside how the
+// run reacted.
 const (
 	LayerKernel Layer = iota
 	LayerStorage
 	LayerIB
 	LayerMPI
 	LayerCR
+	LayerFault
 )
 
-var layerNames = [...]string{"kernel", "storage", "ib", "mpi", "cr"}
+var layerNames = [...]string{"kernel", "storage", "ib", "mpi", "cr", "fault"}
 
 func (l Layer) String() string {
 	if int(l) < len(layerNames) {

@@ -26,6 +26,15 @@ func sampleEvents() []Event {
 		{At: 4 * sim.Millisecond, Rank: -1, Layer: LayerStorage, Type: Instant, What: "xfer-start", Arg: 20 << 20},
 		{At: 90 * sim.Millisecond, Rank: 0, Layer: LayerCR, Type: End, What: "ckpt-write"},
 		{At: 91 * sim.Millisecond, Rank: 1, Layer: LayerMPI, Type: Instant, What: "buffer-msg", Detail: "dst=0", Arg: 4096},
+		// The fault layer's event vocabulary (internal/fault): an "outage"
+		// span while storage is lost or degraded, "cm-drop" per swallowed
+		// connection-management packet, "crash" per injected fail-stop kill,
+		// and "corrupt" when a committed snapshot is damaged in the archive.
+		{At: 95 * sim.Millisecond, Rank: -1, Layer: LayerFault, Type: Begin, What: "outage", Detail: "factor=0"},
+		{At: 96 * sim.Millisecond, Rank: -1, Layer: LayerFault, Type: Instant, What: "cm-drop", Detail: "REQ", Arg: 1},
+		{At: 97 * sim.Millisecond, Rank: -1, Layer: LayerFault, Type: End, What: "outage"},
+		{At: 98 * sim.Millisecond, Rank: -1, Layer: LayerFault, Type: Instant, What: "crash", Detail: "phase=write epoch=2", Arg: 1},
+		{At: 99 * sim.Millisecond, Rank: -1, Layer: LayerFault, Type: Instant, What: "corrupt", Detail: "epoch=1"},
 	}
 }
 
@@ -115,11 +124,14 @@ func TestMemorySinkFilters(t *testing.T) {
 	if n := len(mem.ByRank(0)); n != 4 {
 		t.Fatalf("rank 0 events: %d, want 4", n)
 	}
-	if n := len(mem.ByRank(-1)); n != 2 {
-		t.Fatalf("system events: %d, want 2", n)
+	if n := len(mem.ByRank(-1)); n != 7 {
+		t.Fatalf("system events: %d, want 7", n)
 	}
 	if n := len(mem.ByLayer(LayerCR)); n != 3 {
 		t.Fatalf("cr events: %d, want 3", n)
+	}
+	if n := len(mem.ByLayer(LayerFault)); n != 5 {
+		t.Fatalf("fault events: %d, want 5", n)
 	}
 }
 
@@ -204,8 +216,11 @@ func TestChromeSinkStructure(t *testing.T) {
 	if names[0] != "system" || names[1] != "rank 0" || names[2] != "rank 1" {
 		t.Fatalf("track names %v", names)
 	}
-	if begins != 2 || ends != 2 {
-		t.Fatalf("begin/end spans %d/%d, want 2/2", begins, ends)
+	if names[faultTID] != "faults" {
+		t.Fatalf("fault track named %q, want %q", names[faultTID], "faults")
+	}
+	if begins != 3 || ends != 3 {
+		t.Fatalf("begin/end spans %d/%d, want 3/3", begins, ends)
 	}
 	// Timestamps are microseconds: the 90ms event lands at ts=90000.
 	found := false
@@ -216,6 +231,47 @@ func TestChromeSinkStructure(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("ckpt-write end span not at 90000us")
+	}
+}
+
+// TestChromeSinkClosesDanglingSpans: a crashed run never emits End for the
+// spans open at the instant of death; the renderer closes them at the final
+// timestamp so the file stays balanced, and Render stays idempotent.
+func TestChromeSinkClosesDanglingSpans(t *testing.T) {
+	ch := NewChrome()
+	ch.Emit(Event{At: 10 * sim.Millisecond, Rank: 0, Layer: LayerCR, Type: Begin, What: "ckpt-write"})
+	ch.Emit(Event{At: 12 * sim.Millisecond, Rank: 0, Layer: LayerMPI, Type: Begin, What: "recv-wait"})
+	ch.Emit(Event{At: 15 * sim.Millisecond, Rank: 1, Layer: LayerCR, Type: Instant, What: "crash"})
+	render := func() chromeFile {
+		var buf bytes.Buffer
+		if err := ch.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var f chromeFile
+		if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	for pass := 0; pass < 2; pass++ {
+		f := render()
+		var begins, ends int
+		for _, e := range f.TraceEvents {
+			switch e.Phase {
+			case "B":
+				begins++
+			case "E":
+				ends++
+				// Synthesized closes land at the trace's last timestamp and
+				// pop innermost-first.
+				if e.TS != 15000 {
+					t.Fatalf("dangling span closed at %vus, want 15000", e.TS)
+				}
+			}
+		}
+		if begins != 2 || ends != 2 {
+			t.Fatalf("pass %d: begin/end %d/%d, want 2/2", pass, begins, ends)
+		}
 	}
 }
 

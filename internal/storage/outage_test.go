@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"gbcr/internal/sim"
+)
+
+func TestOutageAbortsInFlightWrite(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := newSystem(t, k, simpleCfg())
+	var gotErr error
+	k.Spawn("w", func(p *sim.Proc) {
+		_, gotErr = s.Write(p, 100)
+	})
+	k.At(sim.Second/2, func() { s.SetAvailability(0) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrUnavailable) {
+		t.Fatalf("write error = %v, want ErrUnavailable", gotErr)
+	}
+	if s.Aborted() != 1 {
+		t.Fatalf("aborted = %d, want 1", s.Aborted())
+	}
+}
+
+func TestOutageRejectsNewTransfers(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := newSystem(t, k, simpleCfg())
+	s.SetAvailability(0)
+	var gotErr error
+	k.Spawn("w", func(p *sim.Proc) {
+		_, gotErr = s.Write(p, 100)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrUnavailable) {
+		t.Fatalf("write error = %v, want ErrUnavailable", gotErr)
+	}
+}
+
+func TestDegradationScalesRate(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := newSystem(t, k, simpleCfg())
+	s.SetAvailability(0.5)
+	var el sim.Time
+	k.Spawn("w", func(p *sim.Proc) {
+		el = write(t, s, p, 100)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(el, 2*sim.Second) {
+		t.Fatalf("100 bytes at half of 100 B/s took %v, want ~2s", el)
+	}
+}
+
+func TestAvailabilityRestoredMidTransfer(t *testing.T) {
+	// Half rate for the first second (50 bytes done), then full rate for the
+	// remaining 50 bytes: 1s + 0.5s.
+	k := sim.NewKernel(1)
+	s := newSystem(t, k, simpleCfg())
+	s.SetAvailability(0.5)
+	k.At(sim.Second, func() { s.SetAvailability(1) })
+	var el sim.Time
+	k.Spawn("w", func(p *sim.Proc) {
+		el = write(t, s, p, 100)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(el, 3*sim.Second/2) {
+		t.Fatalf("write under mid-transfer recovery took %v, want ~1.5s", el)
+	}
+}
+
+func TestSetAvailabilityClamps(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := newSystem(t, k, simpleCfg())
+	s.SetAvailability(-2)
+	if s.Availability() != 0 {
+		t.Fatalf("availability = %v, want 0 after clamp", s.Availability())
+	}
+	s.SetAvailability(7)
+	if s.Availability() != 1 {
+		t.Fatalf("availability = %v, want 1 after clamp", s.Availability())
+	}
+}

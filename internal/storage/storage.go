@@ -11,12 +11,19 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 )
+
+// ErrUnavailable is the sentinel wrapped by every transfer failure caused by
+// a storage availability window: transfers aborted mid-flight by a full
+// outage and transfers started while the service is down. Callers that want
+// to retry (the C/R cycle abort path) match it with errors.Is.
+var ErrUnavailable = errors.New("storage service unavailable")
 
 // MB is one mebibyte in bytes, matching the paper's MB/s reporting.
 const MB = 1 << 20
@@ -78,10 +85,17 @@ type System struct {
 	bus    *obs.Bus
 	active []*Transfer // insertion order: keeps same-time completions deterministic
 
+	// availability scales the aggregate throughput during fault-injection
+	// windows: 1 is healthy, 0 is a full outage (in-flight transfers abort
+	// with ErrUnavailable), values in between model degraded service (a
+	// storage server dropped out of the stripe set).
+	availability float64
+
 	// accounting
 	totalBytes    float64
 	transfers     int
 	maxConcurrent int
+	aborted       int
 }
 
 // New creates a storage system on the given kernel.
@@ -92,7 +106,7 @@ func New(k *sim.Kernel, cfg Config) (*System, error) {
 	if cfg.ClientBW <= 0 {
 		cfg.ClientBW = cfg.AggregateBW
 	}
-	return &System{k: k, cfg: cfg}, nil
+	return &System{k: k, cfg: cfg, availability: 1}, nil
 }
 
 // Config returns the system configuration.
@@ -116,6 +130,50 @@ func (s *System) Transfers() int { return s.transfers }
 // MaxConcurrent reports the peak number of simultaneous transfers observed.
 func (s *System) MaxConcurrent() int { return s.maxConcurrent }
 
+// Aborted reports how many transfers were aborted by availability windows.
+func (s *System) Aborted() int { return s.aborted }
+
+// Availability returns the current availability factor (1 = healthy).
+func (s *System) Availability() float64 { return s.availability }
+
+// SetAvailability changes the service's availability factor, modelling
+// storage-server loss or degradation windows. factor is clamped to [0, 1]:
+//
+//   - 0 is a full outage — every in-flight transfer aborts immediately with
+//     an error wrapping ErrUnavailable, and transfers started during the
+//     window fail the same way;
+//   - 0 < factor < 1 degrades service — in-flight transfers continue at
+//     rates recomputed against factor×AggregateBW (their completion events
+//     are rescheduled mid-transfer);
+//   - 1 restores full service.
+//
+// Must be called from kernel context (an event or proc), like every other
+// System method.
+func (s *System) SetAvailability(factor float64) {
+	factor = math.Max(0, math.Min(1, factor))
+	if factor == s.availability {
+		return
+	}
+	s.settle()
+	s.availability = factor
+	s.bus.Metrics().Counter(obs.LayerStorage, "availability_changes").Inc()
+	s.bus.Emit(obs.Event{At: s.k.Now(), Rank: -1, Layer: obs.LayerStorage,
+		Type: obs.Instant, What: "availability", Detail: fmt.Sprintf("factor=%g", factor),
+		Arg: int64(factor * 100)})
+	if factor == 0 {
+		// Full outage: abort everything in flight. Iterate over a snapshot —
+		// abort mutates s.active.
+		inflight := append([]*Transfer(nil), s.active...)
+		s.active = s.active[:0]
+		for _, t := range inflight {
+			t.abort(fmt.Errorf("transfer aborted by storage outage at %v: %w",
+				s.k.Now(), ErrUnavailable))
+		}
+		return
+	}
+	s.reschedule()
+}
+
 // Transfer is one in-progress or completed storage access.
 type Transfer struct {
 	sys       *System
@@ -126,11 +184,17 @@ type Transfer struct {
 	last      sim.Time
 	done      *sim.Event
 	completed bool
+	err       error
 	started   sim.Time
 	finished  sim.Time
 	waiters   sim.Cond
 	onDone    []func()
 }
+
+// Err returns the transfer's terminal error: nil for a successful (or still
+// running) transfer, an error wrapping ErrUnavailable if it was aborted by a
+// storage availability window.
+func (t *Transfer) Err() error { return t.err }
 
 // Start begins a transfer of n bytes (read or write: the pool is shared) and
 // returns immediately. Use Wait to block until completion.
@@ -156,6 +220,13 @@ func (s *System) Start(n int64) (*Transfer, error) {
 	s.bus.Emit(obs.Event{At: s.k.Now(), Rank: -1, Layer: obs.LayerStorage,
 		Type: obs.Instant, What: "xfer-start", Arg: n})
 	start := func() {
+		if s.availability == 0 {
+			// The service went down between Start and the open completing
+			// (or was already down): fail the transfer rather than hang.
+			t.abort(fmt.Errorf("transfer rejected by storage outage at %v: %w",
+				s.k.Now(), ErrUnavailable))
+			return
+		}
 		if t.remaining <= 0 {
 			t.complete()
 			return
@@ -176,13 +247,17 @@ func (s *System) Start(n int64) (*Transfer, error) {
 }
 
 // Write performs a blocking write of n bytes on behalf of p and returns the
-// elapsed transfer time.
+// elapsed transfer time. A transfer aborted by a storage availability window
+// surfaces here as an error wrapping ErrUnavailable.
 func (s *System) Write(p *sim.Proc, n int64) (sim.Time, error) {
 	t, err := s.Start(n)
 	if err != nil {
 		return 0, err
 	}
 	t.Wait(p)
+	if t.err != nil {
+		return t.Elapsed(), t.err
+	}
 	return t.Elapsed(), nil
 }
 
@@ -248,7 +323,7 @@ func (s *System) fairRate(n int) float64 {
 	if n == 0 {
 		return 0
 	}
-	agg := s.cfg.AggregateBW
+	agg := s.cfg.AggregateBW * s.availability
 	if s.cfg.Efficiency != nil {
 		agg *= s.cfg.Efficiency(n)
 	}
@@ -266,7 +341,7 @@ func (s *System) reschedule() {
 	s.bus.Metrics().Counter(obs.LayerStorage, "rate_recomputes").Inc()
 	s.bus.Emit(obs.Event{At: s.k.Now(), Rank: -1, Layer: obs.LayerStorage,
 		Type: obs.Instant, What: "rate-recompute", Arg: int64(n)})
-	agg := s.cfg.AggregateBW
+	agg := s.cfg.AggregateBW * s.availability
 	if s.cfg.Efficiency != nil {
 		agg *= s.cfg.Efficiency(n)
 	}
@@ -307,14 +382,42 @@ func (t *Transfer) finish() {
 	s.reschedule()
 }
 
-// OnDone registers fn to run when the transfer completes (immediately if it
-// already has). Event-driven callers use it instead of Wait.
+// OnDone registers fn to run when the transfer finishes — successfully or by
+// abort (immediately if it already has). Event-driven callers use it instead
+// of Wait and must check Err inside fn to distinguish the two outcomes.
 func (t *Transfer) OnDone(fn func()) {
 	if t.completed {
 		fn()
 		return
 	}
 	t.onDone = append(t.onDone, fn)
+}
+
+// abort terminates the transfer with err: its completion event is cancelled,
+// waiters wake, and OnDone callbacks fire with Err() set. The caller is
+// responsible for removing t from s.active first (abort never runs on a
+// transfer that should keep consuming bandwidth).
+func (t *Transfer) abort(err error) {
+	if t.completed {
+		return
+	}
+	s := t.sys
+	if t.done != nil {
+		t.done.Cancel()
+		t.done = nil
+	}
+	t.err = err
+	t.completed = true
+	t.finished = s.k.Now()
+	s.aborted++
+	s.bus.Metrics().Counter(obs.LayerStorage, "xfer_aborts").Inc()
+	s.bus.Emit(obs.Event{At: t.finished, Rank: -1, Layer: obs.LayerStorage,
+		Type: obs.Instant, What: "xfer-abort", Arg: int64(t.remaining)})
+	t.waiters.Broadcast()
+	for _, fn := range t.onDone {
+		fn()
+	}
+	t.onDone = nil
 }
 
 func (t *Transfer) complete() {

@@ -36,9 +36,10 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
 # Run every benchmark once and capture the results — wall ns/op plus the
-# custom sim-time metrics — as machine-readable JSON.
+# custom sim-time metrics — as machine-readable JSON. The committed results
+# seed each metric's "prev" field, so the file carries its own trajectory.
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=1x ./... | $(GO) run ./cmd/benchjson -o BENCH_results.json
+	$(GO) test -bench=. -benchmem -benchtime=1x ./... | $(GO) run ./cmd/benchjson -prev BENCH_results.json -o BENCH_results.json
 
 # Print every figure/ablation/extension as text tables.
 figures:

@@ -10,6 +10,12 @@
 // Lines that are not benchmark results (goos/pkg headers, PASS/ok trailers)
 // select the current package context or are ignored. A failed benchmark run
 // (no result lines, or a line containing "FAIL") exits with status 1.
+//
+// -prev FILE annotates every metric with its value from a previous results
+// file (matched by package, benchmark, and unit), recording the perf
+// trajectory in the committed results:
+//
+//	go test -bench=. ./... | benchjson -prev BENCH_results.json -o BENCH_results.json
 package main
 
 import (
@@ -23,10 +29,13 @@ import (
 	"strings"
 )
 
-// metricJSON is one "value unit" pair from a benchmark result line.
+// metricJSON is one "value unit" pair from a benchmark result line. Prev is
+// the same metric's value from a previous results file (-prev), so a
+// committed BENCH_results.json carries its own before/after trajectory.
 type metricJSON struct {
-	Unit  string  `json:"unit"`
-	Value float64 `json:"value"`
+	Unit  string   `json:"unit"`
+	Value float64  `json:"value"`
+	Prev  *float64 `json:"prev,omitempty"`
 }
 
 // benchJSON is one benchmark result.
@@ -105,12 +114,52 @@ func parse(r io.Reader) (document, error) {
 	return doc, nil
 }
 
+// annotatePrev copies each metric's value from a previous document into the
+// matching metric's Prev field, keyed by (package, benchmark name, unit).
+// Benchmarks or units absent from the previous run are left unannotated.
+func annotatePrev(doc *document, prev document) {
+	type key struct{ pkg, name, unit string }
+	old := make(map[key]float64)
+	for _, b := range prev.Benchmarks {
+		for _, m := range b.Metrics {
+			old[key{b.Package, b.Name, m.Unit}] = m.Value
+		}
+	}
+	for i := range doc.Benchmarks {
+		b := &doc.Benchmarks[i]
+		for j := range b.Metrics {
+			if v, ok := old[key{b.Package, b.Name, b.Metrics[j].Unit}]; ok {
+				v := v
+				b.Metrics[j].Prev = &v
+			}
+		}
+	}
+}
+
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	prevPath := flag.String("prev", "", "previous results JSON; annotates each metric with its prior value")
 	flag.Parse()
+	// Read the previous results before -o truncates anything: the common
+	// trajectory flow is `-prev BENCH_results.json -o BENCH_results.json`.
+	var prev document
+	havePrev := false
+	if *prevPath != "" {
+		data, err := os.ReadFile(*prevPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := json.Unmarshal(data, &prev); err != nil {
+			fail("parsing %s: %v", *prevPath, err)
+		}
+		havePrev = true
+	}
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fail("%v", err)
+	}
+	if havePrev {
+		annotatePrev(&doc, prev)
 	}
 	var w io.Writer = os.Stdout
 	if *out != "" {

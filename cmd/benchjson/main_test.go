@@ -38,6 +38,40 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestAnnotatePrev(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := 9000.0, 64.0
+	prev := document{Benchmarks: []benchJSON{
+		{Package: "gbcr", Name: "BenchmarkFig1StorageBandwidth-8", Metrics: []metricJSON{
+			{Unit: "ns/op", Value: v1},
+			{Unit: "other-unit", Value: 1}, // unit absent from the new run
+		}},
+		{Package: "gbcr/internal/obs", Name: "BenchmarkEmitMemory-8", Metrics: []metricJSON{
+			{Unit: "ns/op", Value: v2},
+		}},
+	}}
+	annotatePrev(&doc, prev)
+	m := doc.Benchmarks[0].Metrics
+	if m[0].Prev == nil || *m[0].Prev != v1 {
+		t.Fatalf("first ns/op prev: %+v", m[0])
+	}
+	if m[1].Prev != nil {
+		t.Fatalf("MB/s metric should have no prev: %+v", m[1])
+	}
+	// BenchmarkEmitDisabled has no previous entry at all.
+	for _, m := range doc.Benchmarks[1].Metrics {
+		if m.Prev != nil {
+			t.Fatalf("unmatched benchmark got a prev: %+v", m)
+		}
+	}
+	if p := doc.Benchmarks[2].Metrics[0].Prev; p == nil || *p != v2 {
+		t.Fatalf("obs ns/op prev: %v", p)
+	}
+}
+
 func TestParseRejectsFailAndEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("FAIL\tgbcr\t0.1s\nBenchmarkX-8 1 5 ns/op\n")); err == nil {
 		t.Fatal("FAIL line not rejected")

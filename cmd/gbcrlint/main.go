@@ -1,5 +1,5 @@
 // Command gbcrlint runs the repository's analyzer suite (simdeterminism,
-// nopanic, guardedby, errpropagation — see internal/analysis).
+// nopanic, guardedby, errpropagation, hotpath — see internal/analysis).
 //
 // It works in two modes:
 //
@@ -67,6 +67,10 @@ func scopeFor(path string) []*analysis.Analyzer {
 	}
 	if strings.HasPrefix(path, analysis.ModulePath+"/internal/") {
 		out = append(out, analysis.NoPanic)
+	}
+	if path == analysis.ModulePath+"/internal/sim" {
+		// The kernel's own scheduling paths must stay allocation-free.
+		out = append(out, analysis.HotPath)
 	}
 	out = append(out, analysis.GuardedBy, analysis.ErrPropagation)
 	return out

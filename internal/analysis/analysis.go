@@ -151,7 +151,7 @@ func withoutTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SimDeterminism, NoPanic, GuardedBy, ErrPropagation}
+	return []*Analyzer{SimDeterminism, NoPanic, GuardedBy, ErrPropagation, HotPath}
 }
 
 // calleeFunc resolves the *types.Func a call expression invokes, looking

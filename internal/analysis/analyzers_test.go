@@ -22,3 +22,7 @@ func TestGuardedBy(t *testing.T) {
 func TestErrPropagation(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.ErrPropagation, "droppy")
 }
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.HotPath, "hotpath")
+}

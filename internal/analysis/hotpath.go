@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath guards the simulation kernel's zero-alloc scheduling contract.
+// Scheduling a closure literal at the current instant — At(k.now, func(){…})
+// or At(k.Now(), func(){…}) — allocates the closure on the hottest path in
+// the simulator, which is exactly the shape the pooled wake fast path
+// (Kernel.atWake) and pre-bound func values exist to avoid. The analyzer
+// flags that shape so per-event allocations cannot creep back into the
+// kernel; it is scoped to the kernel package itself by gbcrlint.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "report closure-literal callbacks scheduled at the current instant on the " +
+		"simulation kernel's hot path; use the pooled wake fast path or a pre-bound " +
+		"func value so steady-state scheduling stays allocation-free",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call.Fun)
+			if fn == nil || fn.Name() != "At" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isKernelType(sig.Recv().Type()) {
+				return true
+			}
+			if _, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit); !ok {
+				return true
+			}
+			if !isNowExpr(pass.TypesInfo, call.Args[0]) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"closure literal scheduled at the current instant allocates on the kernel hot path; "+
+					"use the pooled wake fast path (atWake) or a pre-bound func value")
+			return true
+		})
+	}
+	return nil
+}
+
+// isKernelType reports whether t (possibly a pointer) is a named type called
+// Kernel.
+func isKernelType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Kernel"
+}
+
+// isNowExpr reports whether e reads the current simulated time: a selector
+// or identifier named "now", or a call of a method named "Now".
+func isNowExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "now"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "now"
+	case *ast.CallExpr:
+		fn := calleeFunc(info, e.Fun)
+		return fn != nil && fn.Name() == "Now"
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+// Package hotpath exercises the hotpath analyzer: closure literals
+// scheduled at the current instant on the kernel allocate per event and must
+// use the wake fast path or a pre-bound func value instead.
+package hotpath
+
+type Time int64
+
+type Kernel struct {
+	now Time
+}
+
+func (k *Kernel) Now() Time { return k.now }
+
+func (k *Kernel) At(t Time, fn func()) {}
+
+// Other has the same method shape but is not the Kernel; its hot path is
+// not the kernel's.
+type Other struct{ now Time }
+
+func (o *Other) At(t Time, fn func()) {}
+
+func shared() {}
+
+func examples(k *Kernel, o *Other) {
+	k.At(k.now, func() {})   // want `closure literal scheduled at the current instant`
+	k.At(k.Now(), func() {}) // want `closure literal scheduled at the current instant`
+	k.At((k.now), func() {}) // want `closure literal scheduled at the current instant`
+
+	k.At(k.now+5, func() {}) // future instant: the closure is off the steady-state path
+	k.At(k.now, shared)      // pre-bound func value: no per-call allocation
+	o.At(o.now, func() {})   // not the Kernel
+
+	//lint:allow-hotpath fixture demonstrates a justified suppression
+	k.At(k.now, func() {})
+}

@@ -190,8 +190,8 @@ type conn struct {
 	initiator   bool // this side called Disconnect
 	sentFlush   bool
 	gotFlushAck bool
-	retry       *sim.Event // pending retransmission timer, nil if disarmed
-	retries     int        // retransmissions already sent in this state
+	retry       sim.Event // pending retransmission timer, zero if disarmed
+	retries     int       // retransmissions already sent in this state
 }
 
 // workItem is an arrived-but-unprocessed packet.
@@ -414,10 +414,8 @@ func (ep *Endpoint) sendCtl(dst int, size int64, payload any) {
 
 // disarm cancels c's pending retransmission timer, if any.
 func (ep *Endpoint) disarm(c *conn) {
-	if c.retry != nil {
-		c.retry.Cancel()
-		c.retry = nil
-	}
+	c.retry.Cancel()
+	c.retry = sim.Event{}
 }
 
 // armRetransmit schedules the handshake retransmission timer for c with
@@ -451,7 +449,7 @@ func (ep *Endpoint) retransmit(peer int) {
 	if c == nil {
 		return
 	}
-	c.retry = nil
+	c.retry = sim.Event{}
 	if c.retries >= ep.f.cfg.handshakeRetries() {
 		ep.f.k.Fail(fmt.Errorf("ib: endpoint %d handshake with %d stuck in state %v after %d retransmits",
 			ep.id, peer, c.state, c.retries))

@@ -222,7 +222,7 @@ type Rank struct {
 	// Progress engine state.
 	inMPI        bool
 	helperOn     bool
-	helperTick   *sim.Event
+	helperTick   sim.Event
 	lastProgress sim.Time
 
 	// Matching state.
@@ -309,9 +309,9 @@ func (r *Rank) SetHelper(on bool) {
 	if on && r.ep.PendingWork() {
 		r.ensureHelperTick()
 	}
-	if !on && r.helperTick != nil {
+	if !on {
 		r.helperTick.Cancel()
-		r.helperTick = nil
+		r.helperTick = sim.Event{}
 	}
 }
 
@@ -341,7 +341,7 @@ func (r *Rank) progressNow() {
 // ensureHelperTick schedules a progress check no later than
 // lastProgress+HelperInterval.
 func (r *Rank) ensureHelperTick() {
-	if r.helperTick != nil && !r.helperTick.Fired() && !r.helperTick.Canceled() {
+	if r.helperTick.Pending() {
 		return
 	}
 	k := r.job.k
@@ -357,7 +357,7 @@ func (r *Rank) ensureHelperTick() {
 // recheck is a full interval later — never at the current instant, which
 // would spin simulated time in place.
 func (r *Rank) helperTickFire() {
-	r.helperTick = nil
+	r.helperTick = sim.Event{}
 	if !r.helperOn {
 		return
 	}

@@ -10,8 +10,15 @@ import (
 // kernelObserver adapts sim.Observer to the event spine: process spawns and
 // completions become instants, park/unpark become a duration span, so every
 // rank's blocked intervals are visible as "park" spans on its track.
+//
+// The observer sits on the kernel's scheduling hot path, so the counters it
+// increments are resolved through the registry once and cached — lazily, on
+// first use, preserving the invariant that a counter appears in snapshots
+// only after the activity it counts has happened.
 type kernelObserver struct {
-	bus *Bus
+	bus    *Bus
+	spawns *Counter
+	parks  *Counter
 }
 
 // ObserveKernel installs a scheduling observer on k that emits kernel-layer
@@ -22,7 +29,7 @@ func ObserveKernel(k *sim.Kernel, bus *Bus) {
 		k.SetObserver(nil)
 		return
 	}
-	k.SetObserver(kernelObserver{bus: bus})
+	k.SetObserver(&kernelObserver{bus: bus})
 }
 
 // procRank recovers the world rank from the MPI layer's "rank<N>" process
@@ -36,24 +43,30 @@ func procRank(name string) int {
 	return -1
 }
 
-func (o kernelObserver) ProcSpawned(now sim.Time, name string) {
-	o.bus.Metrics().Counter(LayerKernel, "procs_spawned").Inc()
+func (o *kernelObserver) ProcSpawned(now sim.Time, name string) {
+	if o.spawns == nil {
+		o.spawns = o.bus.Metrics().Counter(LayerKernel, "procs_spawned")
+	}
+	o.spawns.Inc()
 	o.bus.Emit(Event{At: now, Rank: procRank(name), Layer: LayerKernel, Type: Instant,
 		What: "spawn", Detail: name})
 }
 
-func (o kernelObserver) ProcParked(now sim.Time, name, reason string) {
-	o.bus.Metrics().Counter(LayerKernel, "parks").Inc()
+func (o *kernelObserver) ProcParked(now sim.Time, name, reason string) {
+	if o.parks == nil {
+		o.parks = o.bus.Metrics().Counter(LayerKernel, "parks")
+	}
+	o.parks.Inc()
 	o.bus.Emit(Event{At: now, Rank: procRank(name), Layer: LayerKernel, Type: Begin,
 		What: "park", Detail: reason})
 }
 
-func (o kernelObserver) ProcUnparked(now sim.Time, name string) {
+func (o *kernelObserver) ProcUnparked(now sim.Time, name string) {
 	o.bus.Emit(Event{At: now, Rank: procRank(name), Layer: LayerKernel, Type: End,
 		What: "park"})
 }
 
-func (o kernelObserver) ProcDone(now sim.Time, name string) {
+func (o *kernelObserver) ProcDone(now sim.Time, name string) {
 	o.bus.Emit(Event{At: now, Rank: procRank(name), Layer: LayerKernel, Type: Instant,
 		What: "done", Detail: name})
 }

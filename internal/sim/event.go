@@ -1,79 +1,92 @@
 package sim
 
-import "container/heap"
+// event is the kernel-owned representation of a scheduled callback. Events
+// are pooled: when one fires, or a canceled one is discarded from the queue,
+// it returns to the kernel's free list and is reused by a later At / After /
+// wake. The generation counter is bumped when a pooled event is reused,
+// which is how external handles detect that the event they referred to is
+// long gone (see Event).
+type event struct {
+	at  Time
+	seq uint64
+	gen uint64
+	k   *Kernel
 
-// Event is a scheduled callback. Events are created with Kernel.At or
-// Kernel.After and may be canceled before they fire.
-type Event struct {
-	at       Time
-	seq      uint64
+	// Exactly one of fn / wake is set. fn is the general callback; wake is
+	// the closure-free fast path used by Unpark, Interrupt, timer wakes,
+	// and Spawn starts — the kernel dispatches the wake target directly, so
+	// the hottest scheduling shapes allocate nothing.
 	fn       func()
+	wake     *Proc
+	wakeTok  uint64
+	wakeKind wakeKind
+
 	canceled bool
 	fired    bool
 }
 
-// Time reports when the event is scheduled to fire.
-func (e *Event) Time() Time { return e.at }
+// Event is a handle to a scheduled callback, returned by Kernel.At and
+// Kernel.After. It is a small value (not a pointer): copying it is free and
+// the zero Event is an empty handle whose methods are safe no-ops.
+//
+// The kernel recycles fired and canceled events. A handle carries the
+// generation of the event it was issued for, so a handle kept after its
+// event completed can never touch the unrelated event that later reuses the
+// slot: Cancel on a stale handle is a no-op and Pending reports false.
+// Fired, Canceled, and Time answer for the original event until the slot is
+// reused; after reuse the handle reports a generic completed state (Fired
+// true, Canceled false, Time zero). Code that needs an always-accurate
+// "still scheduled?" answer must use Pending.
+type Event struct {
+	e   *event
+	gen uint64
+}
 
-// Cancel prevents the event from firing. Canceling an event that has already
-// fired or was already canceled is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// Time reports when the event is scheduled to fire, or 0 for an empty or
+// stale handle.
+func (ev Event) Time() Time {
+	if ev.e == nil || ev.e.gen != ev.gen {
+		return 0
+	}
+	return ev.e.at
+}
+
+// Cancel prevents the event from firing. Canceling an event that has
+// already fired or was already canceled — including one whose storage has
+// been recycled for a newer event — is a safe no-op.
+func (ev Event) Cancel() {
+	e := ev.e
+	if e == nil || e.gen != ev.gen || e.fired || e.canceled {
+		return
+	}
+	e.canceled = true
+	e.k.q.nCanceled++
+	e.k.q.maybeCompact()
+}
 
 // Canceled reports whether the event was canceled before firing.
-func (e *Event) Canceled() bool { return e.canceled }
-
-// Fired reports whether the event's callback has run.
-func (e *Event) Fired() bool { return e.fired }
-
-// eventHeap is a min-heap ordered by (at, seq). The seq tie-break makes event
-// ordering — and therefore the whole simulation — deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+func (ev Event) Canceled() bool {
+	e := ev.e
+	return e != nil && e.gen == ev.gen && e.canceled
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// Fired reports whether the event's callback has run. A stale handle (the
+// event completed and its slot was reused) reports true.
+func (ev Event) Fired() bool {
+	e := ev.e
+	if e == nil {
+		return false
+	}
+	if e.gen != ev.gen {
+		return true
+	}
+	return e.fired
 }
 
-func (h *eventHeap) push(e *Event) { heap.Push(h, e) }
-
-// popLive removes and returns the earliest non-canceled event, or nil if the
-// heap holds only canceled events (or is empty).
-func (h *eventHeap) popLive() *Event {
-	for h.Len() > 0 {
-		e := heap.Pop(h).(*Event)
-		if !e.canceled {
-			return e
-		}
-	}
-	return nil
-}
-
-// peekLive returns the earliest non-canceled event without removing it,
-// discarding canceled events as it goes.
-func (h *eventHeap) peekLive() *Event {
-	for h.Len() > 0 {
-		e := (*h)[0]
-		if !e.canceled {
-			return e
-		}
-		heap.Pop(h)
-	}
-	return nil
+// Pending reports whether the event is still scheduled: neither fired nor
+// canceled. Unlike Fired and Canceled it is accurate for empty and stale
+// handles too, so it is the right test for "is my timer still armed".
+func (ev Event) Pending() bool {
+	e := ev.e
+	return e != nil && e.gen == ev.gen && !e.fired && !e.canceled
 }

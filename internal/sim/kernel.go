@@ -15,7 +15,7 @@ type Kernel struct {
 	now       Time
 	seq       uint64
 	processed uint64
-	events    eventHeap
+	q         eventQueue
 	yielded   chan struct{}
 	procs     []*Proc
 	live      int
@@ -49,25 +49,76 @@ func (k *Kernel) EventsProcessed() uint64 { return k.processed }
 // disables tracing.
 func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
 
+// alloc takes an event from the free list (bumping its generation, which
+// invalidates any handles to its previous life) or allocates a fresh one,
+// and stamps it with the next sequence number.
+func (k *Kernel) alloc(t Time) *event {
+	var e *event
+	if n := len(k.q.free); n > 0 {
+		e = k.q.free[n-1]
+		k.q.free[n-1] = nil
+		k.q.free = k.q.free[:n-1]
+		e.gen++
+		e.canceled = false
+		e.fired = false
+	} else {
+		e = &event{k: k}
+	}
+	k.seq++
+	e.at = t
+	e.seq = k.seq
+	return e
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past is an
-// error in the simulation logic and panics.
-func (k *Kernel) At(t Time, fn func()) *Event {
+// error in the simulation logic and panics. Events at exactly the current
+// time take the run-queue fast path and skip heap discipline.
+func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
 		//lint:allow-panic scheduling into the past corrupts the event queue; no caller can handle it
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn}
-	k.events.push(e)
-	return e
+	e := k.alloc(t)
+	e.fn = fn
+	k.q.schedule(e, k.now)
+	return Event{e: e, gen: e.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (k *Kernel) After(d Time, fn func()) *Event {
+func (k *Kernel) After(d Time, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return k.At(k.now+d, fn)
+}
+
+// atWake schedules a closure-free wake of p at absolute time t: the wake
+// target, token, and kind live in the pooled event itself, so Unpark,
+// Interrupt, timer wakes, and Spawn starts allocate nothing.
+func (k *Kernel) atWake(t Time, p *Proc, tok uint64, kind wakeKind) Event {
+	e := k.alloc(t)
+	e.wake = p
+	e.wakeTok = tok
+	e.wakeKind = kind
+	k.q.schedule(e, k.now)
+	return Event{e: e, gen: e.gen}
+}
+
+// dispatch runs one fired event: the wake fast path when a target process
+// is stored, the general callback otherwise.
+func (k *Kernel) dispatch(e *event) {
+	p := e.wake
+	if p == nil {
+		e.fn()
+		return
+	}
+	if e.wakeKind == wakeStart {
+		if p.state == procReady {
+			k.switchTo(p)
+		}
+		return
+	}
+	p.tryWake(e.wakeTok, e.wakeKind)
 }
 
 // Fail aborts the simulation with err at the next opportunity. It is used by
@@ -89,7 +140,10 @@ func (k *Kernel) Run() error { return k.RunUntil(-1) }
 // limit and remaining events stay queued; a subsequent call resumes.
 func (k *Kernel) RunUntil(limit Time) error {
 	for k.failure == nil {
-		e := k.events.peekLive()
+		// Peek-then-commit: next discards canceled events as it finds them
+		// (each examined once) and pop removes the committed event without
+		// rescanning.
+		e := k.q.next()
 		if e == nil {
 			break
 		}
@@ -97,14 +151,15 @@ func (k *Kernel) RunUntil(limit Time) error {
 			k.now = limit
 			return k.failure
 		}
-		k.events.popLive()
+		k.q.pop(e)
 		k.now = e.at
 		e.fired = true
 		k.processed++
 		if k.tracer != nil {
 			k.tracer.Event(k.now)
 		}
-		e.fn()
+		k.dispatch(e)
+		k.q.recycle(e)
 	}
 	if k.failure != nil {
 		return k.failure
@@ -138,11 +193,9 @@ func (k *Kernel) Shutdown() {
 		p.killed = true
 		switch p.state {
 		case procParked:
-			p.token = nil
-			if p.timer != nil {
-				p.timer.Cancel()
-				p.timer = nil
-			}
+			p.parkTok = 0
+			p.timer.Cancel()
+			p.timer = Event{}
 			p.state = procReady
 			k.switchTo(p) // the park point panics with the kill sentinel
 		case procReady:
@@ -191,6 +244,11 @@ type Tracer interface {
 // (internal/obs attaches a Bus adapter via SetObserver). Implementations
 // must not re-enter the kernel; they are called synchronously in kernel
 // order, so everything they record is deterministic for a given seed.
+//
+// The hooks take only concrete types (Time, string), so the disabled path
+// is one nil check and the enabled path boxes nothing; the kernel's
+// zero-alloc steady state is preserved by any observer that does not itself
+// allocate per call.
 type Observer interface {
 	// ProcSpawned is called when a process is created.
 	ProcSpawned(now Time, name string)

@@ -21,6 +21,7 @@ const (
 	wakeTimer wakeKind = iota
 	wakeUnpark
 	wakeInterrupt
+	wakeStart // Spawn's initial hand-off; dispatched by the kernel, not tryWake
 )
 
 // Proc is a simulated process: a goroutine scheduled cooperatively by the
@@ -39,12 +40,13 @@ type Proc struct {
 	state       procState
 	blockReason string
 
-	token    *struct{} // identity of the current park, for stale-wake detection
-	timer    *Event    // pending timed wake, if any
-	kind     wakeKind  // why the last park ended
-	permit   bool      // stored unpark permit
-	intPend  bool      // interrupt delivered while not interruptibly parked
-	killed   bool      // Shutdown in progress: unwind at the next park point
+	parkSeq  uint64   // parks so far; the source of park tokens
+	parkTok  uint64   // identity of the current park, for stale-wake detection
+	timer    Event    // pending timed wake, if any
+	kind     wakeKind // why the last park ended
+	permit   bool     // stored unpark permit
+	intPend  bool     // interrupt delivered while not interruptibly parked
+	killed   bool     // Shutdown in progress: unwind at the next park point
 	exitHook []func()
 }
 
@@ -89,11 +91,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		}
 		body(p)
 	}()
-	k.At(k.now, func() {
-		if p.state == procReady {
-			k.switchTo(p)
-		}
-	})
+	k.atWake(k.now, p, 0, wakeStart)
 	return p
 }
 
@@ -134,15 +132,16 @@ func (p *Proc) checkContext(op string) {
 // at that absolute time. Returns the reason the process was woken.
 func (p *Proc) parkInternal(reason string, until Time) wakeKind {
 	p.checkContext("park")
-	tok := new(struct{})
-	p.token = tok
+	p.parkSeq++
+	tok := p.parkSeq
+	p.parkTok = tok
 	p.state = procParked
 	p.blockReason = reason
 	if p.k.obs != nil {
 		p.k.obs.ProcParked(p.k.now, p.name, reason)
 	}
 	if until >= 0 {
-		p.timer = p.k.At(until, func() { p.tryWake(tok, wakeTimer) })
+		p.timer = p.k.atWake(until, p, tok, wakeTimer)
 	}
 	p.yield()
 	if p.killed {
@@ -153,11 +152,15 @@ func (p *Proc) parkInternal(reason string, until Time) wakeKind {
 }
 
 // tryWake transitions a parked process to running. It must be called from
-// kernel (event-callback) context. Stale wake-ups — the park they targeted
-// already ended — are converted to a permit (unpark) or pending interrupt so
-// they are not lost.
-func (p *Proc) tryWake(tok *struct{}, kind wakeKind) {
-	if p.token != tok || p.state != procParked {
+// kernel (event-callback) context. Wake-ups arriving while the process is
+// not parked are converted to a permit (unpark) or pending interrupt so
+// they are not lost. An unpark or interrupt that was queued for an earlier
+// park of a process that has since re-parked is delivered to the current
+// park as a spurious wake (Park's contract makes callers loop), so queued
+// wake-ups never collapse into the single permit bit. The token guards only
+// the timer path: a timed wake is valid solely for the park that armed it.
+func (p *Proc) tryWake(tok uint64, kind wakeKind) {
+	if p.state != procParked || (kind == wakeTimer && p.parkTok != tok) {
 		switch kind {
 		case wakeUnpark:
 			p.permit = true
@@ -166,11 +169,11 @@ func (p *Proc) tryWake(tok *struct{}, kind wakeKind) {
 		}
 		return
 	}
-	p.token = nil
-	if p.timer != nil && kind != wakeTimer {
+	p.parkTok = 0
+	if kind != wakeTimer {
 		p.timer.Cancel()
 	}
-	p.timer = nil
+	p.timer = Event{}
 	p.kind = kind
 	p.blockReason = ""
 	p.state = procReady
@@ -201,8 +204,7 @@ func (p *Proc) Park(reason string) (interrupted bool) {
 // immediately. It may be called from event callbacks or from other processes.
 func (p *Proc) Unpark() {
 	if p.state == procParked {
-		tok := p.token
-		p.k.At(p.k.now, func() { p.tryWake(tok, wakeUnpark) })
+		p.k.atWake(p.k.now, p, p.parkTok, wakeUnpark)
 		return
 	}
 	p.permit = true
@@ -213,8 +215,7 @@ func (p *Proc) Unpark() {
 // interruptible blocking point observes it.
 func (p *Proc) Interrupt() {
 	if p.state == procParked {
-		tok := p.token
-		p.k.At(p.k.now, func() { p.tryWake(tok, wakeInterrupt) })
+		p.k.atWake(p.k.now, p, p.parkTok, wakeInterrupt)
 		return
 	}
 	p.intPend = true

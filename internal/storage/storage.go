@@ -182,7 +182,7 @@ type Transfer struct {
 	rate      float64
 	weight    float64
 	last      sim.Time
-	done      *sim.Event
+	done      sim.Event
 	completed bool
 	err       error
 	started   sim.Time
@@ -352,9 +352,7 @@ func (s *System) reschedule() {
 	for _, t := range s.active {
 		rate := math.Min(s.cfg.ClientBW*t.weight, agg*t.weight/sumW)
 		t.rate = rate
-		if t.done != nil {
-			t.done.Cancel()
-		}
+		t.done.Cancel()
 		dur := sim.Time(math.Ceil(t.remaining / rate * float64(sim.Second)))
 		tt := t
 		t.done = s.k.After(dur, func() { tt.finish() })
@@ -402,10 +400,8 @@ func (t *Transfer) abort(err error) {
 		return
 	}
 	s := t.sys
-	if t.done != nil {
-		t.done.Cancel()
-		t.done = nil
-	}
+	t.done.Cancel()
+	t.done = sim.Event{}
 	t.err = err
 	t.completed = true
 	t.finished = s.k.Now()

@@ -27,9 +27,11 @@ test:
 	$(GO) test ./...
 
 # The figure sweeps fan out on the Runner's worker pool; run the whole tree
-# under the race detector.
+# under the race detector. The figures package alone runs for several
+# minutes under -race on small machines, so give the suite more than the
+# default 10-minute per-package budget.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Regenerate every paper figure once as benchmarks.
 bench:

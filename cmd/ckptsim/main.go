@@ -11,6 +11,8 @@
 //	ckptsim -workload ring -mtbf 60 -interval 15   # run under failures
 //	ckptsim -workload ring -interval 5 -faults 'crash@12s;outage@20s+5s'
 //	ckptsim -workload ring -interval 5 -faults scenario.txt -trace-chrome t.json
+//	ckptsim -workload ring -protocol wholejob -at 10        # ICPP'06 baseline
+//	ckptsim -workload ring -protocol uncoord -interval 5 -faults crash@12s
 //
 // Invalid flags and failed runs exit with status 1 and a one-line message.
 package main
@@ -22,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"gbcr/internal/cr/protocol"
 	"gbcr/internal/fault"
 	"gbcr/internal/harness"
 	"gbcr/internal/obs"
@@ -43,6 +46,7 @@ func main() {
 		n         = flag.Int("n", 32, "number of ranks (commgroups/barrier/ring/allgather/stencil)")
 		comm      = flag.Int("comm", 8, "communication group size (commgroups/barrier)")
 		group     = flag.Int("group", 8, "checkpoint group size (0 = regular, all at once)")
+		proto     = flag.String("protocol", "group", "coordination protocol: group, wholejob, uncoord")
 		at        = flag.Float64("at", 10, "checkpoint issuance time in seconds")
 		foot      = flag.Int64("footprint", 180, "per-process footprint in MB (commgroups/barrier/ring/allgather/stencil)")
 		iters     = flag.Int("iters", 900, "iterations (commgroups/ring/allgather/stencil)")
@@ -71,6 +75,32 @@ func main() {
 	}
 	if set["seed"] && !failureRun {
 		fail("-seed only applies to failure runs; add -mtbf or -faults")
+	}
+
+	// Protocol selection. Group-structure flags only make sense under the
+	// group protocol; passing them with another kind is rejected, not
+	// ignored, so the printed protocol line always matches what ran.
+	kind := protocol.Kind(*proto)
+	knownKind := false
+	for _, k := range protocol.Kinds() {
+		if kind == k {
+			knownKind = true
+			break
+		}
+	}
+	if !knownKind {
+		fail("unknown -protocol %q (want group, wholejob, or uncoord)", *proto)
+	}
+	if kind != protocol.Group {
+		if set["group"] {
+			fail("-group only applies to -protocol group; %s fixes the group structure", kind)
+		}
+		if set["dynamic"] {
+			fail("-dynamic only applies to -protocol group; %s does not form groups", kind)
+		}
+	}
+	if kind == protocol.Uncoordinated && set["helper"] {
+		fail("-helper does not apply to -protocol uncoord; there is no passive-coordination state to bound")
 	}
 
 	if *n <= 0 {
@@ -133,9 +163,20 @@ func main() {
 	}
 
 	cfg := harness.PaperCluster(ranks)
+	cfg.CR.Protocol = kind
 	cfg.CR.GroupSize = *group
 	cfg.CR.Dynamic = *dynamic
 	cfg.CR.HelperEnabled = *helper
+	switch kind {
+	case protocol.WholeJob:
+		cfg.CR.GroupSize = 0
+		cfg.CR.Dynamic = false
+	case protocol.Uncoordinated:
+		cfg.CR.GroupSize = 0
+		cfg.CR.Dynamic = false
+		cfg.CR.HelperEnabled = false
+		cfg.MPI.LogMessages = true
+	}
 
 	// Build the observability bus only when some output is requested: a nil
 	// bus keeps the instrumented hot paths on their single-pointer-check
@@ -216,7 +257,7 @@ func main() {
 		}
 		writeOutputs()
 		fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
-		fmt.Printf("protocol:              %s\n", protocolName(*group, ranks, *dynamic))
+		fmt.Printf("protocol:              %s\n", protocolName(kind, *group, ranks, *dynamic))
 		if scn.MTBF > 0 {
 			fmt.Printf("checkpoint interval:   %v (MTBF %v)\n", iv, scn.MTBF)
 		} else {
@@ -249,7 +290,7 @@ func main() {
 	}
 	writeOutputs()
 	fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
-	fmt.Printf("protocol:              %s\n", protocolName(*group, ranks, *dynamic))
+	fmt.Printf("protocol:              %s\n", protocolName(kind, *group, ranks, *dynamic))
 	fmt.Printf("checkpoint issued at:  %v\n", res.IssuedAt)
 	fmt.Printf("baseline completion:   %v\n", res.Baseline)
 	fmt.Printf("with checkpoint:       %v\n", res.WithCkpt)
@@ -296,8 +337,12 @@ func loadScenario(arg string) fault.Scenario {
 	return scn
 }
 
-func protocolName(group, ranks int, dynamic bool) string {
+func protocolName(kind protocol.Kind, group, ranks int, dynamic bool) string {
 	switch {
+	case kind == protocol.WholeJob:
+		return "whole-job blocking (all at once)"
+	case kind == protocol.Uncoordinated:
+		return "uncoordinated + sender-based message logging"
 	case dynamic:
 		return fmt.Sprintf("group-based (dynamic formation, max size %d)", group)
 	case group <= 0 || group >= ranks:

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	figures [-only fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions] [-json] [-workers N]
+//	figures [-only fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions,extprotocols] [-json] [-workers N]
+//	figures -only extprotocols -protocol group,uncoord
 //
 // Sweep matrices run concurrently on a worker pool bounded by GOMAXPROCS;
 // -workers overrides the bound (1 forces serial execution). Results are
@@ -21,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"gbcr/internal/cr/protocol"
 	"gbcr/internal/figures"
 	"gbcr/internal/obs"
 )
@@ -38,15 +40,34 @@ func fail(err error) {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions (default: all)")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions,extprotocols (default: all)")
 	asJSON := flag.Bool("json", false, "emit every figure's data series as JSON on stdout")
 	workers := flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	metrics := flag.String("metrics-json", "", "write aggregated per-layer metrics across all measured cells as JSON to this file")
+	protoFlag := flag.String("protocol", "", "comma-separated protocol kinds for the extprotocols table (default: all; e.g. group,wholejob,uncoord)")
 	flag.Parse()
 	if *workers < 0 {
 		fail(fmt.Errorf("-workers must not be negative, got %d", *workers))
 	}
-	known := []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablations", "extensions"}
+	kinds := protocol.Kinds()
+	if *protoFlag != "" {
+		kinds = nil
+		for _, s := range strings.Split(*protoFlag, ",") {
+			kind := protocol.Kind(strings.TrimSpace(s))
+			ok := false
+			for _, k := range protocol.Kinds() {
+				if kind == k {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				fail(fmt.Errorf("unknown protocol %q in -protocol (want group, wholejob, uncoord)", s))
+			}
+			kinds = append(kinds, kind)
+		}
+	}
+	known := []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablations", "extensions", "extprotocols"}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, f := range strings.Split(*only, ",") {
@@ -138,6 +159,9 @@ func main() {
 		}
 		return rep.Tables, nil
 	})
+	run("extprotocols", one(func() (*figures.Table, error) {
+		return g.ExtensionProtocolsFor(kinds)
+	}))
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

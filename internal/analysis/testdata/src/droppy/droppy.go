@@ -41,4 +41,28 @@ func bestEffort() {
 	fallible()
 }
 
+// policy mirrors the cr/protocol seam: coordination protocols are interface
+// values whose Validate returns an error, and dropping it at a call site
+// silently disables a protocol's configuration checking. Interface-method
+// calls must be flagged exactly like direct ones.
+type policy interface {
+	Validate(n int) error
+}
+
+func policyBare(p policy) {
+	p.Validate(4) // want `silently discarded`
+}
+
+func policyBlank(p policy) {
+	_ = p.Validate(4) // want `assigned to _`
+}
+
+func policyDefer(p policy) {
+	defer p.Validate(4) // want `silently discarded`
+}
+
+func policyHandled(p policy) error {
+	return p.Validate(4)
+}
+
 func use(int) {}

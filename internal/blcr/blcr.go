@@ -98,6 +98,11 @@ type Store struct {
 	n        int
 	epochs   map[int]map[int]*Snapshot
 	complete map[int]bool
+	// durable marks per-rank durability (epoch → rank set) for protocols
+	// without a global commit: uncoordinated C/R treats a snapshot as a
+	// restart candidate as soon as its own write completed.
+	durable  map[int]map[int]bool
+	maxEpoch int
 }
 
 // NewStore creates a store for an n-rank job.
@@ -106,8 +111,12 @@ func NewStore(n int) *Store {
 		n:        n,
 		epochs:   make(map[int]map[int]*Snapshot),
 		complete: make(map[int]bool),
+		durable:  make(map[int]map[int]bool),
 	}
 }
+
+// Size returns the number of ranks the store archives for.
+func (st *Store) Size() int { return st.n }
 
 // Put archives a snapshot. A duplicate (rank, epoch) means the protocol
 // double-checkpointed a member and is reported as an error.
@@ -121,6 +130,9 @@ func (st *Store) Put(s *Snapshot) error {
 		return fmt.Errorf("blcr: duplicate snapshot rank %d epoch %d", s.Rank, s.Epoch)
 	}
 	m[s.Rank] = s
+	if s.Epoch > st.maxEpoch {
+		st.maxEpoch = s.Epoch
+	}
 	return nil
 }
 
@@ -160,6 +172,50 @@ func (st *Store) Discard(epoch int) error {
 
 // Complete reports whether the epoch's global checkpoint is complete.
 func (st *Store) Complete(epoch int) bool { return st.complete[epoch] }
+
+// SetRankDurable marks one rank's snapshot at an epoch as durable: the
+// per-rank commit of protocols without a global commit point (uncoordinated
+// C/R). The snapshot must have been Put first.
+func (st *Store) SetRankDurable(epoch, rank int) error {
+	if st.epochs[epoch][rank] == nil {
+		return fmt.Errorf("blcr: marking absent snapshot rank %d epoch %d durable", rank, epoch)
+	}
+	set := st.durable[epoch]
+	if set == nil {
+		set = make(map[int]bool)
+		st.durable[epoch] = set
+	}
+	set[rank] = true
+	return nil
+}
+
+// RankDurable reports whether a rank's snapshot at an epoch is a restart
+// candidate: individually marked durable, or part of a committed epoch.
+func (st *Store) RankDurable(epoch, rank int) bool {
+	return st.durable[epoch][rank] || st.complete[epoch]
+}
+
+// LatestRankDurable returns one rank's newest durable snapshot that still
+// passes Verify, walking down past corrupted epochs. skipped counts the
+// durable snapshots rejected on the way; (0, nil, skipped) means the rank
+// must restart from scratch.
+func (st *Store) LatestRankDurable(rank int) (epoch int, s *Snapshot, skipped int) {
+	for e := st.maxEpoch; e > 0; e-- {
+		if !st.RankDurable(e, rank) {
+			continue
+		}
+		snap := st.epochs[e][rank]
+		if snap == nil {
+			continue
+		}
+		if snap.Verify() != nil {
+			skipped++
+			continue
+		}
+		return e, snap, skipped
+	}
+	return 0, nil, skipped
+}
 
 // Latest returns the most recent complete epoch and its snapshots (rank →
 // snapshot), or (0, nil) if none is complete.

@@ -63,6 +63,7 @@ type Controller struct {
 func newController(co *Coordinator, rank *mpi.Rank) *Controller {
 	c := &Controller{co: co, rank: rank, bufByCycle: make(map[int]bufDelta)}
 	rank.SetHooks(c)
+	rank.SetIndependentCkpt(!co.proto.Blocking())
 	ep := rank.Endpoint()
 	ep.AcceptConn = c.acceptConn
 	ep.OnOOBImmediate = c.onOOB
@@ -103,6 +104,11 @@ func (c *Controller) SendAllowed(dst int) bool {
 		// until it resumes.
 		return false
 	}
+	if !c.co.proto.Blocking() {
+		// Uncoordinated: no cross-group consistency gate — in-flight
+		// messages are covered by the sender log, not by blocking.
+		return true
+	}
 	g, ok := c.groupOf[dst]
 	if !ok {
 		return true
@@ -127,6 +133,11 @@ func (c *Controller) acceptConn(peer int, meta int64) bool {
 	}
 	if c.inCkpt {
 		return false
+	}
+	if !c.co.proto.Blocking() {
+		// Uncoordinated: connections never tear down, so there is no
+		// recovery line to gate reconnection against.
+		return true
 	}
 	peerView := c.baseEpoch
 	if g, ok := c.groupOf[peer]; ok && c.groupDone[g] {
@@ -211,6 +222,23 @@ func (c *Controller) startCycle(m msgCkptRequest) {
 	c.goFlag = false
 	c.resumeFlag = false
 	c.abortFlag = false
+	if !c.co.proto.Blocking() {
+		// Uncoordinated: no helper, no turns, no quiesce barrier. The rank
+		// heads for its own safe point immediately — interrupting in signal
+		// mode, at its own next boundary in polled mode — and checkpoints
+		// alone.
+		if c.rank.Finished() {
+			c.uncoordFinishedRank()
+		} else {
+			c.activating = true
+			if c.co.cfg.Polled {
+				c.rank.RequestSafePointPolled()
+			} else {
+				c.rank.RequestSafePoint()
+			}
+		}
+		return
+	}
 	if c.co.cfg.HelperEnabled {
 		// Passive coordination: bound protocol-processing delay while the
 		// application computes (Section 4.4).
@@ -343,6 +371,10 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 		return // spurious (stale interrupt)
 	}
 	c.activating = false
+	if !c.co.proto.Blocking() {
+		c.uncoordSafePoint(e)
+		return
+	}
 	c.inCkpt = true
 	p := e.Proc()
 	k := c.co.k
@@ -632,6 +664,159 @@ func (c *Controller) writeFinishedSnapshot(rec *CkptRecord) {
 		}
 		done()
 	})
+}
+
+// uncoordSafePoint is the member procedure of the uncoordinated protocol, run
+// in application context: no synchronization, no teardown — the rank freezes,
+// writes its image, marks it durable per rank, and resumes immediately.
+// Consistency with the rest of the job comes from sender-based message
+// logging at the MPI layer, not from blocking.
+func (c *Controller) uncoordSafePoint(e *mpi.Env) {
+	c.inCkpt = true
+	p := e.Proc()
+	k := c.co.k
+	world := c.rank.World()
+	c.emit(obs.Instant, "safe-point", "")
+	rec := CkptRecord{Cycle: c.cycle, Group: c.myGroup, SafePointAt: k.Now()}
+	// The sync and teardown phases collapse to instants: the rank goes
+	// straight from its safe point to the local write.
+	rec.GoAt = rec.SafePointAt
+	rec.TeardownDone = rec.SafePointAt
+
+	if c.co.cfg.LocalSetup > 0 {
+		p.Sleep(c.co.cfg.LocalSetup)
+	}
+	snap, err := c.takeSnapshot()
+	if err != nil {
+		k.Fail(fmt.Errorf("cr: rank %d: %w", world, err))
+		return
+	}
+	rec.Footprint = snap.Footprint
+	rec.WriteStart = k.Now()
+	c.phase("write")
+	c.emit(obs.Begin, "ckpt-write", fmt.Sprintf("%.0f MB", float64(snap.Size())/(1<<20)))
+	// A failed write aborts nothing but this rank's own attempt: there is no
+	// cycle-wide rollback to coordinate, so the rank retries locally with the
+	// same capped backoff the blocking protocols apply cycle-wide.
+	for attempts := 0; ; {
+		_, err := snap.WriteTo(p, c.co.store)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, storage.ErrUnavailable) {
+			k.Fail(fmt.Errorf("cr: rank %d writing snapshot: %w", world, err))
+			return
+		}
+		attempts++
+		if attempts > c.co.cfg.maxCycleRetries() {
+			k.Fail(fmt.Errorf("cr: rank %d snapshot write failed %d consecutive times; giving up",
+				world, attempts))
+			return
+		}
+		c.emit(obs.Instant, "write-failed", err.Error())
+		p.Sleep(c.co.cfg.writeRetryBackoff(attempts))
+	}
+	rec.WriteEnd = k.Now()
+	c.emit(obs.End, "ckpt-write", "")
+	c.epoch++
+	c.mySaved = true
+	c.putSnapshot(snap)
+	c.markRankDurable(snap)
+	c.sendCo(msgSaved{cycle: c.cycle, rank: world})
+
+	// No post-checkpoint coordination: resume the instant the write lands.
+	c.phase("resume")
+	c.inCkpt = false
+	rec.ResumeAt = k.Now()
+	c.emit(obs.Instant, "resume", fmt.Sprintf("downtime %v", rec.ResumeAt-rec.SafePointAt))
+	c.records = append(c.records, rec)
+	c.observeRecord(rec)
+	c.releaseAligned()
+}
+
+// markRankDurable records the per-rank commit of the uncoordinated protocol:
+// the snapshot is a restart candidate as soon as its own write completed.
+func (c *Controller) markRankDurable(snap *blcr.Snapshot) {
+	if err := c.co.snaps.SetRankDurable(snap.Epoch, snap.Rank); err != nil {
+		c.co.k.Fail(err)
+	}
+}
+
+// uncoordFinishedRank checkpoints a finished rank under the uncoordinated
+// protocol: no teardown and no coordination, just the local-setup delay and
+// an asynchronous write (the process is idle in finalize).
+func (c *Controller) uncoordFinishedRank() {
+	k := c.co.k
+	rec := CkptRecord{Cycle: c.cycle, Group: c.myGroup, SafePointAt: k.Now()}
+	rec.GoAt = rec.SafePointAt
+	rec.TeardownDone = rec.SafePointAt
+	c.inCkpt = true
+	cycle := c.cycle
+	k.After(c.co.cfg.LocalSetup, func() {
+		if c.cycle != cycle || !c.cycleActive {
+			c.inCkpt = false
+			return
+		}
+		c.writeUncoordFinishedSnapshot(&rec)
+	})
+}
+
+// writeUncoordFinishedSnapshot completes a finished rank's uncoordinated
+// checkpoint, retrying a storage outage locally with capped backoff.
+func (c *Controller) writeUncoordFinishedSnapshot(rec *CkptRecord) {
+	k := c.co.k
+	snap, err := c.takeSnapshot()
+	if err != nil {
+		k.Fail(fmt.Errorf("cr: rank %d: %w", c.rank.World(), err))
+		return
+	}
+	rec.Footprint = snap.Footprint
+	rec.WriteStart = k.Now()
+	c.phase("write")
+	cycle := c.cycle
+	attempts := 0
+	var attempt func()
+	attempt = func() {
+		tr, err := c.co.store.Start(snap.Size())
+		if err != nil {
+			k.Fail(fmt.Errorf("cr: rank %d starting snapshot write: %w", c.rank.World(), err))
+			return
+		}
+		tr.OnDone(func() {
+			if werr := tr.Err(); werr != nil {
+				if !errors.Is(werr, storage.ErrUnavailable) {
+					k.Fail(fmt.Errorf("cr: rank %d writing snapshot: %w", c.rank.World(), werr))
+					return
+				}
+				attempts++
+				if attempts > c.co.cfg.maxCycleRetries() {
+					k.Fail(fmt.Errorf("cr: rank %d snapshot write failed %d consecutive times; giving up",
+						c.rank.World(), attempts))
+					return
+				}
+				c.emit(obs.Instant, "write-failed", werr.Error())
+				k.After(c.co.cfg.writeRetryBackoff(attempts), attempt)
+				return
+			}
+			if c.cycle != cycle || !c.cycleActive {
+				c.inCkpt = false
+				return
+			}
+			rec.WriteEnd = k.Now()
+			c.epoch++
+			c.mySaved = true
+			c.putSnapshot(snap)
+			c.markRankDurable(snap)
+			c.sendCo(msgSaved{cycle: c.cycle, rank: c.rank.World()})
+			c.phase("resume")
+			c.inCkpt = false
+			rec.ResumeAt = k.Now()
+			c.records = append(c.records, *rec)
+			c.observeRecord(*rec)
+			c.releaseAligned()
+		})
+	}
+	attempt()
 }
 
 // localWriteTime is the node-local disk write time for a staged snapshot.

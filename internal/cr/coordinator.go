@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gbcr/internal/blcr"
+	"gbcr/internal/cr/protocol"
 	"gbcr/internal/ib"
 	"gbcr/internal/mpi"
 	"gbcr/internal/obs"
@@ -22,6 +23,13 @@ type Coordinator struct {
 	ep    *ib.Endpoint
 	ctls  []*Controller
 	snaps *blcr.Store
+
+	// proto is the resolved coordination protocol; tag is the protocol label
+	// appended to cycle events when a protocol was selected explicitly
+	// (empty for default-config runs, keeping their traces byte-identical to
+	// the pre-protocol-interface engine).
+	proto protocol.Protocol
+	tag   string
 
 	active    bool
 	cycle     int
@@ -51,9 +59,11 @@ type Coordinator struct {
 	OnCycleDone func(rep *CycleReport)
 
 	// PhaseHook, if non-nil, observes every per-rank protocol phase entry:
-	// phase is one of "sync", "teardown", "write", "resume", and epoch is
-	// the epoch the cycle is building (committed epochs + 1). The fault
-	// injector uses it to target "rank R during phase P of epoch E".
+	// phase is drawn from the protocol's phase vocabulary (Protocol.Phases —
+	// "sync", "teardown", "write", "resume" for the blocking protocols,
+	// "write", "resume" for the uncoordinated one), and epoch is the epoch
+	// the cycle is building (committed epochs + 1). The fault injector uses
+	// it to target "rank R during phase P of epoch E".
 	PhaseHook func(rank int, phase string, epoch int)
 
 	// bus receives the protocol timeline (cycle control on the system
@@ -98,21 +108,31 @@ func New(k *sim.Kernel, job *mpi.Job, store *storage.System, cfg Config) (*Coord
 	if cfg.DefaultFootprint <= 0 {
 		cfg.DefaultFootprint = DefaultConfig().DefaultFootprint
 	}
+	proto, err := cfg.resolveProtocol(job.Size(), job.Config().LogMessages)
+	if err != nil {
+		return nil, fmt.Errorf("cr: %w", err)
+	}
 	ep, err := job.Fabric().AddEndpoint(CoordinatorID)
 	if err != nil {
 		return nil, fmt.Errorf("cr: registering coordinator endpoint: %w", err)
 	}
 	co := &Coordinator{
-		k:          k,
-		job:        job,
-		store:      store,
-		cfg:        cfg,
-		ep:         ep,
+		k:            k,
+		job:          job,
+		store:        store,
+		cfg:          cfg,
+		ep:           ep,
+		proto:        proto,
 		snaps:        blcr.NewStore(job.Size()),
 		drains:       make(map[int]map[int]bool),
 		repByCycle:   make(map[int]*CycleReport),
 		epochOf:      make(map[int]int),
 		cycleMetrics: make(map[int]*obs.Metrics),
+	}
+	if cfg.Protocol != "" {
+		// Tag cycle events with the explicitly-selected protocol so traces
+		// of different protocols are distinguishable side by side.
+		co.tag = fmt.Sprintf(" [%s]", cfg.Protocol)
 	}
 	co.ep.OnOOBImmediate = func(src int, payload any) bool {
 		co.onMsg(src, payload)
@@ -126,6 +146,10 @@ func New(k *sim.Kernel, job *mpi.Job, store *storage.System, cfg Config) (*Coord
 
 // Controller returns the controller attached to a rank.
 func (co *Coordinator) Controller(rank int) *Controller { return co.ctls[rank] }
+
+// Protocol returns the resolved coordination protocol. Restart paths use it
+// to select the restart line, the fault layer to resolve phase names.
+func (co *Coordinator) Protocol() protocol.Protocol { return co.proto }
 
 // Snapshots returns the archive of completed checkpoints.
 func (co *Coordinator) Snapshots() *blcr.Store { return co.snaps }
@@ -200,22 +224,29 @@ func (co *Coordinator) RequestCheckpoint() {
 	co.cycle++
 	co.requestAt = co.k.Now()
 	n := co.job.Size()
+	var traffic []map[int]int64
 	if co.cfg.Dynamic {
-		traffic := make([]map[int]int64, n)
+		traffic = make([]map[int]int64, n)
 		for i := 0; i < n; i++ {
 			traffic[i] = co.job.Rank(i).Traffic()
 		}
-		co.groups = FormDynamicGroups(n, co.cfg.GroupSize, traffic)
-	} else {
-		co.groups = FormStaticGroups(n, co.cfg.GroupSize)
 	}
+	co.groups = co.proto.Plan(co.cfg.protocolOptions(n, co.job.Config().LogMessages), traffic)
 	co.turn = 0
 	co.ready = make(map[int]bool)
 	co.saved = make(map[int]bool)
 	co.metricsFor(co.cycle) // the cycle's registry exists from request on
 	co.bus.Metrics().Counter(obs.LayerCR, "cycles").Inc()
-	co.emit("request", fmt.Sprintf("cycle %d, groups %v", co.cycle, co.groups))
+	co.bus.Metrics().Counter(obs.LayerCR, "cycles_"+string(co.proto.Kind())).Inc()
+	co.emit("request", fmt.Sprintf("cycle %d%s, groups %v", co.cycle, co.tag, co.groups))
 	co.broadcast(msgCkptRequest{cycle: co.cycle, groups: co.groups})
+	if !co.proto.Blocking() {
+		// Uncoordinated: no turns and no readiness barrier. Every controller
+		// heads for its own safe point on the request (interrupting in
+		// signal mode, at its own next boundary in polled mode) and reports
+		// msgSaved when its write lands.
+		return
+	}
 	if !co.cfg.Polled {
 		// Signal mode: group 0 is interrupted immediately; other groups
 		// keep computing (passive coordination).
@@ -270,6 +301,15 @@ func (co *Coordinator) onMsg(src int, payload any) {
 			return
 		}
 		co.saved[m.rank] = true
+		if !co.proto.Blocking() {
+			// Uncoordinated: there is no turn order; the cycle closes when
+			// the last independent write lands. Each snapshot already became
+			// durable (per-rank) when its write completed.
+			if len(co.saved) == co.job.Size() {
+				co.finishCycle()
+			}
+			return
+		}
 		if co.groupCovered(co.saved, co.turn) {
 			co.emit("group-done", fmt.Sprintf("group %d", co.turn))
 			co.broadcast(msgGroupDone{cycle: co.cycle, group: co.turn})
@@ -347,14 +387,7 @@ func (co *Coordinator) onWriteFailed(m msgWriteFailed) {
 			target, co.cycleRetries))
 		return
 	}
-	backoff := co.cfg.retryBackoff()
-	ceiling := co.cfg.retryBackoffCap()
-	for i := 1; i < co.cycleRetries && backoff < ceiling; i++ {
-		backoff *= 2
-	}
-	if backoff > ceiling {
-		backoff = ceiling
-	}
+	backoff := co.cfg.writeRetryBackoff(co.cycleRetries)
 	co.emit("cycle-retry", fmt.Sprintf("epoch %d attempt %d in %v", target, co.cycleRetries+1, backoff))
 	co.k.After(backoff, co.RequestCheckpoint)
 }
@@ -369,7 +402,7 @@ func (co *Coordinator) groupCovered(set map[int]bool, group int) bool {
 }
 
 func (co *Coordinator) finishCycle() {
-	co.emit("cycle-done", fmt.Sprintf("cycle %d", co.cycle))
+	co.emit("cycle-done", fmt.Sprintf("cycle %d%s", co.cycle, co.tag))
 	co.broadcast(msgCycleDone{cycle: co.cycle})
 	rep := &CycleReport{
 		Cycle:     co.cycle,
@@ -392,9 +425,11 @@ func (co *Coordinator) finishCycle() {
 			delete(co.repByCycle, co.cycle)
 			delete(co.epochOf, co.cycle)
 		}
-	} else {
+	} else if co.proto.Blocking() {
 		co.markComplete(co.epoch)
 	}
+	// Non-blocking protocols have no global commit: every member snapshot
+	// was marked durable per rank as its own write completed.
 	co.reports = append(co.reports, rep)
 	co.active = false
 	if co.OnCycleDone != nil {

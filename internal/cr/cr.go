@@ -25,12 +25,19 @@ import (
 	"fmt"
 	"strings"
 
+	"gbcr/internal/cr/protocol"
 	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 )
 
 // Config parameterizes a checkpoint/restart deployment.
 type Config struct {
+	// Protocol selects the coordination protocol (see cr/protocol): "group"
+	// (default), "wholejob", or "uncoord". The empty value resolves to the
+	// group-based protocol; a GroupSize of zero (or >= the job size) under
+	// the default then delegates to the whole-job implementation, which is
+	// the same engine path the implicit special case always took.
+	Protocol protocol.Kind
 	// GroupSize is the static checkpoint group size. Zero (or >= the job
 	// size) means all processes checkpoint at once: the regular coordinated
 	// protocol.
@@ -115,6 +122,21 @@ func (cfg Config) retryBackoffCap() sim.Time {
 	return 16 * cfg.retryBackoff()
 }
 
+// writeRetryBackoff returns the capped exponential backoff before the
+// attempt-th retry of a failed snapshot write (cycle-wide abort-retry for the
+// blocking protocols, per-rank local retry for the uncoordinated one).
+func (cfg Config) writeRetryBackoff(attempt int) sim.Time {
+	backoff := cfg.retryBackoff()
+	ceiling := cfg.retryBackoffCap()
+	for i := 1; i < attempt && backoff < ceiling; i++ {
+		backoff *= 2
+	}
+	if backoff > ceiling {
+		backoff = ceiling
+	}
+	return backoff
+}
+
 // maxCycleRetries resolves the consecutive-abort cap default.
 func (cfg Config) maxCycleRetries() int {
 	if cfg.MaxCycleRetries > 0 {
@@ -127,6 +149,50 @@ func (cfg Config) maxCycleRetries() int {
 // thread enabled.
 func DefaultConfig() Config {
 	return Config{HelperEnabled: true, DefaultFootprint: 64 << 20}
+}
+
+// protocolOptions projects the configuration onto the protocol-policy
+// options for an n-rank job with the given MPI logging state.
+func (cfg Config) protocolOptions(n int, logging bool) protocol.Options {
+	return protocol.Options{
+		N:         n,
+		GroupSize: cfg.GroupSize,
+		Dynamic:   cfg.Dynamic,
+		Staged:    cfg.Staged,
+		Logging:   logging,
+	}
+}
+
+// resolveProtocol resolves and validates the configured protocol for an
+// n-rank job. A group configuration whose static schedule degenerates to a
+// single group (GroupSize zero or >= n, not dynamic) delegates to the
+// explicit whole-job protocol — the ICPP'06 baseline was always this engine
+// path, so the delegation is exact.
+// ResolveProtocol resolves and validates the configured coordination
+// protocol for an n-rank job; logging is mpi.Config.LogMessages. The harness
+// uses it to front-run constructor errors and to read the protocol's phase
+// vocabulary before a cluster exists.
+func (cfg Config) ResolveProtocol(n int, logging bool) (protocol.Protocol, error) {
+	return cfg.resolveProtocol(n, logging)
+}
+
+func (cfg Config) resolveProtocol(n int, logging bool) (protocol.Protocol, error) {
+	kind := cfg.Protocol
+	if kind == "" || kind == protocol.Group {
+		if !cfg.Dynamic && (cfg.GroupSize <= 0 || cfg.GroupSize >= n) {
+			kind = protocol.WholeJob
+		} else {
+			kind = protocol.Group
+		}
+	}
+	p, err := protocol.ForKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(cfg.protocolOptions(n, logging)); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // CoordinatorID is the endpoint id the global coordinator uses on the

@@ -1,4 +1,4 @@
-package cr
+package protocol
 
 import "sort"
 

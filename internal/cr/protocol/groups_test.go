@@ -1,0 +1,94 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStaticGroupFormation(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    string
+	}{
+		{8, 2, "[[0 1] [2 3] [4 5] [6 7]]"},
+		{8, 3, "[[0 1 2] [3 4 5] [6 7]]"},
+		{8, 0, "[[0 1 2 3 4 5 6 7]]"},
+		{8, 100, "[[0 1 2 3 4 5 6 7]]"},
+		{1, 1, "[[0]]"},
+		{5, 5, "[[0 1 2 3 4]]"},
+	}
+	for _, c := range cases {
+		got := fmt.Sprint(FormStaticGroups(c.n, c.size))
+		if got != c.want {
+			t.Errorf("FormStaticGroups(%d,%d) = %v, want %v", c.n, c.size, got, c.want)
+		}
+	}
+}
+
+func TestDynamicGroupFormationClusters(t *testing.T) {
+	// Two communication cliques {0,1,2,3} and {4,5,6,7}: dynamic formation
+	// must recover them.
+	traffic := make([]map[int]int64, 8)
+	for i := range traffic {
+		traffic[i] = make(map[int]int64)
+	}
+	for _, clique := range [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		for _, a := range clique {
+			for _, b := range clique {
+				if a != b {
+					traffic[a][b] = 100
+				}
+			}
+		}
+	}
+	got := fmt.Sprint(FormDynamicGroups(8, 4, traffic))
+	if got != "[[0 1 2 3] [4 5 6 7]]" {
+		t.Fatalf("dynamic groups = %v", got)
+	}
+}
+
+func TestDynamicGroupFormationGlobalFallsBack(t *testing.T) {
+	// All-to-all traffic: one giant component triggers the static fallback.
+	traffic := make([]map[int]int64, 8)
+	for i := range traffic {
+		traffic[i] = make(map[int]int64)
+		for j := 0; j < 8; j++ {
+			if j != i {
+				traffic[i][j] = 50
+			}
+		}
+	}
+	got := fmt.Sprint(FormDynamicGroups(8, 2, traffic))
+	want := fmt.Sprint(FormStaticGroups(8, 2))
+	if got != want {
+		t.Fatalf("global traffic: got %v, want static %v", got, want)
+	}
+}
+
+func TestDynamicGroupFormationSplitsAndPacks(t *testing.T) {
+	// One 6-clique (split into 4+2 by maxSize=4... chunks of 4) plus two
+	// singletons that pack together.
+	traffic := make([]map[int]int64, 8)
+	for i := range traffic {
+		traffic[i] = make(map[int]int64)
+	}
+	for a := 0; a < 6; a++ {
+		for b := 0; b < 6; b++ {
+			if a != b {
+				traffic[a][b] = 100
+			}
+		}
+	}
+	got := fmt.Sprint(FormDynamicGroups(8, 4, traffic))
+	if got != "[[0 1 2 3] [4 5] [6 7]]" {
+		t.Fatalf("dynamic groups = %v", got)
+	}
+}
+
+func TestDynamicGroupFormationNoTraffic(t *testing.T) {
+	traffic := make([]map[int]int64, 4)
+	got := fmt.Sprint(FormDynamicGroups(4, 2, traffic))
+	if got != fmt.Sprint(FormStaticGroups(4, 2)) {
+		t.Fatalf("no traffic: %v", got)
+	}
+}

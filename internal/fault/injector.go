@@ -203,14 +203,17 @@ func cmTypeMatches(want, kind string) bool {
 }
 
 // OnEpochCommitted applies pending SnapshotCorrupt faults whose epoch has
-// committed: the archive is damaged only after the two-phase commit accepted
-// it, modelling bit rot found at restart time (corrupting earlier would
-// merely make the commit itself fail, a different fault). Corruption waits
-// for Complete so staged-mode drain lag is respected. wall stamps the emitted
-// event with the runner's global clock.
+// committed: the archive is damaged only after the commit accepted it,
+// modelling bit rot found at restart time (corrupting earlier would merely
+// make the commit itself fail, a different fault). Corruption waits for the
+// snapshot to be a restart candidate — a committed epoch (blocking
+// protocols; staged-mode drain lag is respected) or a per-rank durable
+// snapshot (uncoordinated protocol). wall stamps the emitted event with the
+// runner's global clock.
 func (in *Injector) OnEpochCommitted(store *blcr.Store, epoch int, wall sim.Time) {
 	for i, f := range in.scn.Faults {
-		if f.Kind != SnapshotCorrupt || in.fired[i] || f.Epoch > epoch || !store.Complete(f.Epoch) {
+		if f.Kind != SnapshotCorrupt || in.fired[i] || f.Epoch > epoch ||
+			!store.RankDurable(f.Epoch, f.Rank) {
 			continue
 		}
 		if s := store.Get(f.Epoch, f.Rank); s != nil {

@@ -41,6 +41,30 @@ func (s Scenario) String() string {
 // Empty reports whether the scenario injects nothing at all.
 func (s Scenario) Empty() bool { return len(s.Faults) == 0 && s.MTBF <= 0 }
 
+// CheckPhases rejects phase-triggered crashes naming a phase outside the
+// active protocol's vocabulary. Parse validates against the union of all
+// protocols' phases; the runner calls this once the protocol is known (e.g.
+// "crash:phase=sync" cannot fire under the uncoordinated protocol, which has
+// no synchronization phase).
+func (s Scenario) CheckPhases(allowed []string) error {
+	for _, f := range s.Faults {
+		if f.Kind != RankCrash || f.Phase == "" {
+			continue
+		}
+		ok := false
+		for _, p := range allowed {
+			if p == f.Phase {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("fault: crash phase %q is not in the active protocol's vocabulary %v", f.Phase, allowed)
+		}
+	}
+	return nil
+}
+
 // Parse reads a scenario spec: semicolon-separated segments, each either a
 // fault or a scenario-level setting.
 //

@@ -513,6 +513,57 @@ func TestExtensionAvailability(t *testing.T) {
 	}
 }
 
+// TestExtensionProtocols checks the protocol-zoo comparison's shape: all
+// three kinds complete the same faulted workload, their failure-free delays
+// track the shared storage write (the polled discipline quiesces every rank,
+// so none of them can hide the 1 GB at 140 MB/s), and a crash at the same
+// instant costs each of them a comparable recovery.
+func TestExtensionProtocols(t *testing.T) {
+	e := mustT(t, tg.ExtensionProtocols)
+	want := []string{"group(8) blocking", "whole-job blocking", "uncoordinated+logging"}
+	if len(e.Rows) != len(want) {
+		t.Fatalf("rows = %v, want %v", e.Rows, want)
+	}
+	for i, r := range want {
+		if e.Rows[i] != r {
+			t.Fatalf("row %d = %q, want %q", i, e.Rows[i], r)
+		}
+	}
+	for ri, row := range e.Rows {
+		delay := mustCell(t, e, row, "ckpt delay s")
+		// The storage write alone is 32*32MB/140MBps ~ 7.3 s shared across
+		// ~2 checkpoints' worth of accounting; coordination adds little.
+		if delay < 3 || delay > 9 {
+			t.Fatalf("%s: per-checkpoint delay %.2fs outside [3,9]", row, delay)
+		}
+		if ov := mustCell(t, e, row, "overhead %"); ov <= 0 || ov > 150 {
+			t.Fatalf("%s: overhead %.1f%% outside (0,150]", row, ov)
+		}
+		if rec := mustCell(t, e, row, "recovery s"); rec <= 0 {
+			t.Fatalf("%s: recovery %.2fs, want > 0 (the crash is not free)", row, rec)
+		}
+		if av := mustCell(t, e, row, "availability"); av <= 0 || av >= 1 {
+			t.Fatalf("%s: availability %.3f outside (0,1)", row, av)
+		}
+		_ = ri
+	}
+	// Under the polled discipline the kinds tie on failure-free cost (see
+	// the table notes): no kind may beat another by more than 25%.
+	var delays []float64
+	for _, row := range e.Rows {
+		delays = append(delays, mustCell(t, e, row, "ckpt delay s"))
+	}
+	for i := 1; i < len(delays); i++ {
+		hi, lo := delays[i-1], delays[i]
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		if hi > lo*1.25 {
+			t.Fatalf("delays diverge beyond the polled-discipline tie: %v", delays)
+		}
+	}
+}
+
 func mustFloat(t *testing.T, s string) float64 {
 	t.Helper()
 	v, err := strconv.ParseFloat(s, 64)

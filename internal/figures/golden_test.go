@@ -1,0 +1,59 @@
+package figures
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestFigureTablesGolden pins the default-path group-based figure tables
+// byte-for-byte: Fig1 (storage scaling), Fig3 (group-size sweep), and Fig5
+// (application checkpoint times) must render and marshal to exactly the
+// committed goldens. The goldens were captured before coordination moved
+// behind the Protocol interface, so this is the refactor's no-behavior-change
+// proof for the figure pipeline. Regenerate deliberately with
+// `go test ./internal/figures -run Golden -update`.
+func TestFigureTablesGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() (*Table, error)
+	}{
+		{"fig1", tg.Fig1},
+		{"fig3", tg.Fig3},
+		{"fig5", tg.Fig5},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tb := mustT(t, c.gen)
+			js, err := json.MarshalIndent(tb, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := append([]byte(tb.String()), '\n')
+			got = append(got, js...)
+			got = append(got, '\n')
+			path := filepath.Join("testdata", c.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s output diverged from pre-refactor golden (%d vs %d bytes);\n"+
+					"if the change is intentional, regenerate with -update and justify in the PR",
+					c.name, len(got), len(want))
+			}
+		})
+	}
+}

@@ -56,6 +56,9 @@ func (cfg ClusterConfig) Validate() error {
 	if cfg.CR.GroupSize > cfg.N {
 		return fmt.Errorf("harness: checkpoint group size %d exceeds job size %d", cfg.CR.GroupSize, cfg.N)
 	}
+	if _, err := cfg.CR.ResolveProtocol(cfg.N, cfg.MPI.LogMessages); err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
 	return nil
 }
 

@@ -32,6 +32,9 @@ type AvailabilityResult struct {
 	// time because a snapshot no longer verified, forcing fallback to an
 	// older epoch.
 	CorruptSkipped int
+	// Replayed counts logged messages re-injected at restart time (always
+	// zero for protocols without sender-based message logging).
+	Replayed int
 	// Attempts is the number of launches (Failures + 1 when the job
 	// finished).
 	Attempts int
@@ -57,6 +60,15 @@ func RunScenario(cfg ClusterConfig, w workload.Restartable, scn fault.Scenario,
 
 	cfg.CR.Polled = true
 	cfg.CR.CaptureState = true
+	proto, err := cfg.CR.ResolveProtocol(cfg.N, cfg.MPI.LogMessages)
+	if err != nil {
+		return AvailabilityResult{}, err
+	}
+	// Phase-triggered crashes must name a phase the active protocol has:
+	// "crash:phase=sync" can never fire under the uncoordinated protocol.
+	if err := scn.CheckPhases(proto.Phases()); err != nil {
+		return AvailabilityResult{}, err
+	}
 	seed := scn.Seed
 	if seed == 0 {
 		seed = 1
@@ -96,6 +108,13 @@ func RunScenario(cfg ClusterConfig, w workload.Restartable, scn fault.Scenario,
 			c.Coord.Controller(i).CaptureFn = func() ([]byte, error) { return ri.Capture(i) }
 			c.Coord.Controller(i).FootprintFn = func() int64 { return inst.Footprint(i) }
 		}
+		if libStates != nil {
+			// Message-logging restart: replay logged messages the restored
+			// receivers had not yet incorporated (a no-op without logs). This
+			// is what reconciles a recovery line whose ranks resumed from
+			// different epochs.
+			res.Replayed += c.Job.ReplayLogs()
+		}
 		inj.Arm(fault.Target{K: c.K, Storage: c.Storage, Fabric: c.Fabric, Coord: c.Coord}, offset)
 		// Periodic checkpoints: the next request is scheduled when the
 		// previous cycle completes, so cycles never overlap even if one runs
@@ -133,17 +152,22 @@ func RunScenario(cfg ClusterConfig, w workload.Restartable, scn fault.Scenario,
 			return res, nil
 		}
 		// The job was lost — at the stochastic horizon, or at the injected
-		// crash instant. Fall back to the newest epoch that still verifies.
+		// crash instant. The protocol selects the restart line: the newest
+		// verified committed epoch for the blocking protocols, a per-rank
+		// (possibly mixed-epoch) recovery line for the uncoordinated one.
 		res.Wall += c.K.Now()
 		res.Failures++
-		_, snaps, skipped := c.Coord.Snapshots().LatestVerified()
-		res.CorruptSkipped += skipped
-		if snaps != nil {
+		line := c.Coord.Protocol().RestartLine(c.Coord.Snapshots())
+		res.CorruptSkipped += line.Skipped
+		if !line.Empty() {
 			appStates = make([][]byte, cfg.N)
 			libStates = make([][]byte, cfg.N)
 			var readback sim.Time
 			for i := 0; i < cfg.N; i++ {
-				s := snaps[i]
+				s := line.Snaps[i]
+				if s == nil {
+					continue // this rank restarts from scratch
+				}
 				appStates[i] = s.AppState
 				libStates[i] = s.LibState
 				// Serial estimate of the concurrent read-back: all ranks
@@ -152,7 +176,7 @@ func RunScenario(cfg ClusterConfig, w workload.Restartable, scn fault.Scenario,
 			}
 			res.Wall += readback
 		}
-		// With no usable epoch in this attempt's archive, the previous
+		// With no usable line in this attempt's archive, the previous
 		// attempt's states (or nil: from scratch) carry over unchanged.
 		c.K.Shutdown() // release the dead attempt's process goroutines
 	}

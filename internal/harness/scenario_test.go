@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"gbcr/internal/cr/protocol"
 	"gbcr/internal/fault"
 	"gbcr/internal/obs"
 	"gbcr/internal/sim"
@@ -159,8 +160,23 @@ func TestQuickScenarioCrashEquivalence(t *testing.T) {
 		n := rng.Intn(4) + 2
 		cfg := smallCluster(n)
 		cfg.Seed = seed
-		cfg.CR.GroupSize = rng.Intn(n + 1)
 		cfg.CR.DefaultFootprint = 5 << 20
+		// Draw a protocol from the whole zoo; the phase vocabulary for
+		// phase-targeted crashes must come from the drawn protocol.
+		kind := protocol.Kinds()[rng.Intn(len(protocol.Kinds()))]
+		cfg.CR.Protocol = kind
+		phases := []string{"sync", "teardown", "write", "resume"}
+		switch kind {
+		case protocol.Group:
+			cfg.CR.GroupSize = rng.Intn(n + 1)
+		case protocol.WholeJob:
+			cfg.CR.GroupSize = 0
+		case protocol.Uncoordinated:
+			cfg.CR.GroupSize = 0
+			cfg.CR.HelperEnabled = false
+			cfg.MPI.LogMessages = true
+			phases = []string{"write", "resume"}
+		}
 		w := workload.Ring{N: n, Iters: rng.Intn(60) + 100,
 			Chunk: 20 * sim.Millisecond, FootprintMB: 5}
 		var spec string
@@ -170,7 +186,6 @@ func TestQuickScenarioCrashEquivalence(t *testing.T) {
 		} else {
 			// Phase-targeted crash: any protocol phase of an early epoch,
 			// on any or one specific rank.
-			phases := []string{"sync", "teardown", "write", "resume"}
 			spec = fmt.Sprintf("crash:phase=%s,epoch=%d", phases[rng.Intn(len(phases))], rng.Intn(2)+1)
 			if rng.Intn(2) == 0 {
 				spec += fmt.Sprintf(",rank=%d", rng.Intn(n))
@@ -179,17 +194,17 @@ func TestQuickScenarioCrashEquivalence(t *testing.T) {
 		interval := sim.Time(rng.Intn(300)+400) * sim.Millisecond
 		res, err := RunScenario(cfg, w, mustParse(t, spec), interval, nil)
 		if err != nil {
-			t.Logf("seed %d (%s): %v", seed, spec, err)
+			t.Logf("seed %d (%s %s): %v", seed, kind, spec, err)
 			return false
 		}
 		if res.Failures != 1 {
-			t.Logf("seed %d (%s): failures = %d, want 1", seed, spec, res.Failures)
+			t.Logf("seed %d (%s %s): failures = %d, want 1", seed, kind, spec, res.Failures)
 			return false
 		}
 		inst := res.FinalInst.(*workload.RingInstance)
 		for me := 0; me < n; me++ {
 			if inst.Sums[me] != workload.ExpectedRingSum(n, w.Iters, me) {
-				t.Logf("seed %d (%s): rank %d mismatch", seed, spec, me)
+				t.Logf("seed %d (%s %s): rank %d mismatch", seed, kind, spec, me)
 				return false
 			}
 		}

@@ -243,12 +243,30 @@ func (e *Env) Scatter(c *Comm, root int, blocks [][]byte) []byte {
 // iteration boundaries instead of MaybeCheckpoint; it consumes two
 // collective tags (an allreduce) per call.
 func (e *Env) CollectiveCheckpoint(c *Comm) {
-	pending := 0.0
-	if e.r.pendingSP {
-		pending = 1
+	if e.r.spIndep {
+		// Uncoordinated protocol: snapshots need no common logical
+		// boundary (the message log restores consistency on restart), so
+		// the poll serves only this rank's own pending request. Skipping
+		// the agreement is also what keeps replayed runs sound — a logged
+		// allreduce would feed the pre-crash run's request counters into
+		// the restarted run's decision and stall ranks on requests that no
+		// longer exist. The two tags the allreduce would have used are
+		// still consumed so collective numbering is protocol-independent.
+		e.checkMember(c)
+		c.nextCollTag()
+		c.nextCollTag()
+		e.MaybeCheckpoint()
+		return
 	}
-	res := e.AllreduceF64(c, []float64{pending}, OpMax)
-	if res[0] == 0 {
+	// The members agree on the highest request sequence number any of them
+	// has received. Comparing against the local served count (rather than a
+	// pending boolean) lets a member that already served that request pass
+	// straight through — after a restart from a mixed-epoch recovery line,
+	// safe-point service can be misaligned by an iteration, and a boolean
+	// decision would make every already-served member stall here for the
+	// following cycle's request.
+	res := e.AllreduceF64(c, []float64{float64(e.r.spSeq)}, OpMax)
+	if int64(res[0]) <= e.r.spServed {
 		return
 	}
 	// Another member saw the request; ours may still be in flight on the

@@ -26,6 +26,9 @@ type Request struct {
 	complete  bool
 	status    Status
 	recvID    uint64
+	// discard marks a sink for a duplicate rendezvous re-send after a
+	// logging restart: the granted transfer's data is dropped on arrival.
+	discard bool
 }
 
 // Done reports whether the operation has completed.
@@ -120,6 +123,7 @@ func (e *Env) exit() {
 // runSafePoint hands control to the checkpoint layer in application context.
 func (e *Env) runSafePoint() {
 	e.r.pendingSP = false
+	e.r.spServed = e.r.spSeq
 	if e.r.hooks != nil {
 		e.r.hooks.AtSafePoint(e)
 	}
@@ -192,17 +196,25 @@ func (e *Env) isendInternal(c *Comm, dst, tag int, data []byte) *Request {
 	}
 	req := &Request{r: r, isSend: true, comm: c, peerComm: dst, peerWorld: world, tag: tag}
 	r.trafficTo[world]++
+	r.sendSeqTo[world]++
+	seq := r.sendSeqTo[world]
 	if r.job.cfg.LogMessages {
 		// Sender-based logging: copy the payload into the log before it
 		// may leave, paying the copy on the critical path (this is why the
 		// paper prefers buffering: "the content of messages must always be
-		// fully logged", and zero-copy cannot be used).
+		// fully logged", and zero-copy cannot be used). The entry survives
+		// in the sender's snapshot and is replayed to receivers restored
+		// from an earlier epoch.
 		bw := r.job.cfg.MemCopyBW
 		if bw <= 0 {
 			bw = 2 << 30
 		}
 		r.stats.MsgsLogged++
 		r.stats.BytesLogged += int64(len(data))
+		logged := make([]byte, len(data))
+		copy(logged, data)
+		r.msgLog[world] = append(r.msgLog[world],
+			logEntry{Comm: c.id, SrcComm: c.myRank, Tag: tag, Seq: seq, Data: logged})
 		e.p.Sleep(sim.Time(float64(len(data)) / bw * float64(sim.Second)))
 	}
 	if int64(len(data)) <= r.job.cfg.EagerThreshold {
@@ -217,7 +229,7 @@ func (e *Env) isendInternal(c *Comm, dst, tag int, data []byte) *Request {
 		r.post(world, outItem{
 			kind:    outEager,
 			size:    eagerHdrSize + int64(len(buf)),
-			payload: wireEager{comm: c.id, srcComm: c.myRank, tag: tag, data: buf},
+			payload: wireEager{comm: c.id, srcComm: c.myRank, tag: tag, seq: seq, data: buf},
 		})
 		return req
 	}
@@ -234,7 +246,7 @@ func (e *Env) isendInternal(c *Comm, dst, tag int, data []byte) *Request {
 		kind: outCtl,
 		size: ctlPktSize,
 		payload: wireRTS{comm: c.id, srcComm: c.myRank, tag: tag,
-			size: int64(len(data)), sendID: id},
+			size: int64(len(data)), seq: seq, sendID: id},
 	})
 	return req
 }

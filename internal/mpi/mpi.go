@@ -36,10 +36,12 @@ type Config struct {
 	HelperInterval sim.Time
 	// LogMessages enables sender-based message logging — the alternative
 	// to deferral that Section 4.3 of the paper argues against. Every
-	// payload is copied into the log at send time (so zero-copy rendezvous
-	// is effectively disabled), charging the copy at MemCopyBW on the
-	// sender's critical path. Recovery from logs is not implemented; this
-	// exists to quantify the failure-free overhead the paper cites.
+	// payload is copied into a per-destination sender log at send time (so
+	// zero-copy rendezvous is effectively disabled), charging the copy at
+	// MemCopyBW on the sender's critical path. The log is captured with the
+	// library state and replayed on restart (Job.ReplayLogs), which is what
+	// lets the uncoordinated protocol recover from per-rank checkpoints
+	// taken at different epochs.
 	LogMessages bool
 	// MemCopyBW is the memory-copy bandwidth used for logging copies.
 	// Zero means 2 GB/s.
@@ -78,6 +80,7 @@ type RankStats struct {
 	ReqsBuffered   int   // paper: request buffering events
 	MsgsLogged     int   // sender-based logging events (LogMessages mode)
 	BytesLogged    int64 // payload bytes copied into the message log
+	DupsDiscarded  int   // duplicate re-sends dropped after a logging restart
 	Interrupts     int
 	HelperTicks    int
 	CollectivesRun int
@@ -127,6 +130,9 @@ func NewJob(k *sim.Kernel, fabric *ib.Fabric, cfg Config, n int) (*Job, error) {
 			recvReqs:  make(map[uint64]*Request),
 			outbox:    make(map[int][]outItem),
 			trafficTo: make(map[int]int64),
+			sendSeqTo: make(map[int]int64),
+			recvSeqOf: make(map[int]int64),
+			msgLog:    make(map[int][]logEntry),
 		}
 		r.ep.OnWork = r.onWork
 		r.ep.OnMessage = r.onMessage
@@ -236,10 +242,21 @@ type Rank struct {
 	outbox    map[int][]outItem // per-destination deferred packets
 	trafficTo map[int]int64     // per-destination message counts (group heuristic)
 
+	// Message-logging state. Sequence numbers are stamped on every in-band
+	// message regardless of LogMessages (per-pair FIFO makes them strictly
+	// increasing, so the duplicate check below never fires in normal
+	// execution); the payload log itself is kept only in LogMessages mode.
+	sendSeqTo map[int]int64      // per-destination: last sequence number sent
+	recvSeqOf map[int]int64      // per-source: highest sequence incorporated
+	msgLog    map[int][]logEntry // per-destination sender-based message log
+
 	// Checkpoint integration.
 	hooks     CRHooks
 	pendingSP bool
-	spPolled  bool // pending request must wait for an explicit boundary
+	spPolled  bool  // pending request must wait for an explicit boundary
+	spIndep   bool  // uncoordinated: polls serve locally, no agreement
+	spSeq     int64 // safe-point requests received (never serialized)
+	spServed  int64 // safe-point requests served (never serialized)
 	commIndex int
 
 	// Secondary connection observers (the checkpoint layer).
@@ -292,6 +309,7 @@ func (r *Rank) SetHooks(h CRHooks) { r.hooks = h }
 func (r *Rank) RequestSafePoint() {
 	r.pendingSP = true
 	r.spPolled = false
+	r.spSeq++
 	if r.proc != nil {
 		r.stats.Interrupts++
 		r.proc.Interrupt()
@@ -300,6 +318,12 @@ func (r *Rank) RequestSafePoint() {
 
 // SafePointPending reports whether a safe-point request is outstanding.
 func (r *Rank) SafePointPending() bool { return r.pendingSP }
+
+// SetIndependentCkpt marks the rank's checkpoint coordination as
+// uncoordinated: CollectiveCheckpoint serves only this rank's own pending
+// request, with no collective agreement. The C/R layer sets it when the
+// resolved protocol is non-blocking.
+func (r *Rank) SetIndependentCkpt(v bool) { r.spIndep = v }
 
 // SetHelper enables or disables the helper thread that bounds protocol
 // starvation while the application computes (paper Section 4.4: activated

@@ -574,7 +574,7 @@ func TestCommTranslation(t *testing.T) {
 func TestRowColumnGrid(t *testing.T) {
 	// The HPL pattern: a 2x2 grid with row and column communicators.
 	const p, q = 2, 2
-	k, j := newTestJob(t, p * q)
+	k, j := newTestJob(t, p*q)
 	rowSums := make([][]float64, p*q)
 	colSums := make([][]float64, p*q)
 	j.LaunchAll(func(e *Env) {

@@ -18,18 +18,25 @@ const (
 // Wire payload types carried by the fabric.
 type (
 	// wireEager carries a small message's payload with its match envelope.
+	// seq is the per-(sender,receiver) sequence number used for duplicate
+	// suppression after a message-logging restart; it rides in the header
+	// (the wire size depends only on the payload length, so stamping it
+	// changes no timing). Zero means unstamped (state restored from a v1
+	// snapshot).
 	wireEager struct {
 		comm    int64
 		srcComm int // sender's comm rank
 		tag     int
+		seq     int64
 		data    []byte
 	}
-	// wireRTS announces a rendezvous send.
+	// wireRTS announces a rendezvous send. seq is as in wireEager.
 	wireRTS struct {
 		comm    int64
 		srcComm int
 		tag     int
 		size    int64
+		seq     int64
 		sendID  uint64
 	}
 	// wireCTS grants a rendezvous transfer.
@@ -191,7 +198,30 @@ func (r *Rank) onMessage(src int, size int64, payload any) {
 	}
 }
 
+// noteSeq incorporates an arriving message's sequence number and reports
+// whether it is a duplicate re-send (a restarted sender re-executing past
+// messages the receiver's restored state already includes). Per-pair FIFO
+// keeps sequence numbers strictly increasing in normal execution, so the
+// duplicate branch fires only after a message-logging restart. seq 0 means
+// unstamped (v1-restored outbox state) and is never deduplicated.
+func (r *Rank) noteSeq(srcWorld int, seq int64) (dup bool) {
+	if seq == 0 {
+		return false
+	}
+	if seq <= r.recvSeqOf[srcWorld] {
+		r.stats.DupsDiscarded++
+		r.job.bus.Metrics().Counter(obs.LayerMPI, "dups_discarded").Inc()
+		r.emit("dup-drop", fmt.Sprintf("src=%d seq=%d", srcWorld, seq), seq)
+		return true
+	}
+	r.recvSeqOf[srcWorld] = seq
+	return false
+}
+
 func (r *Rank) arriveEager(srcWorld int, m wireEager) {
+	if r.noteSeq(srcWorld, m.seq) {
+		return
+	}
 	msg := &inMsg{comm: m.comm, srcComm: m.srcComm, srcWorld: srcWorld,
 		tag: m.tag, eager: true, data: m.data}
 	if req := r.matchPosted(msg); req != nil {
@@ -204,6 +234,20 @@ func (r *Rank) arriveEager(srcWorld int, m wireEager) {
 }
 
 func (r *Rank) arriveRTS(srcWorld int, m wireRTS) {
+	if r.noteSeq(srcWorld, m.seq) {
+		// The sender still blocks on its re-sent rendezvous: grant the
+		// transfer into a discard sink so its request completes, and drop
+		// the bulk data on arrival.
+		r.reqSeq++
+		id := r.reqSeq
+		r.recvReqs[id] = &Request{r: r, discard: true}
+		r.post(srcWorld, outItem{
+			kind:    outCtl,
+			size:    ctlPktSize,
+			payload: wireCTS{sendID: m.sendID, recvID: id},
+		})
+		return
+	}
 	msg := &inMsg{comm: m.comm, srcComm: m.srcComm, srcWorld: srcWorld,
 		tag: m.tag, size: m.size, sendID: m.sendID}
 	if req := r.matchPosted(msg); req != nil {
@@ -266,6 +310,9 @@ func (r *Rank) arriveData(m wireData) {
 		panic(fmt.Sprintf("mpi: rank %d got data for unknown recv %d", r.world, m.recvID))
 	}
 	delete(r.recvReqs, m.recvID)
+	if req.discard {
+		return // duplicate rendezvous re-send: the payload is dropped
+	}
 	req.data = m.data
 	r.completeReq(req)
 }

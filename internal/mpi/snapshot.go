@@ -15,6 +15,7 @@ import (
 func (r *Rank) RequestSafePointPolled() {
 	r.pendingSP = true
 	r.spPolled = true
+	r.spSeq++
 }
 
 // Traffic returns a copy of the per-destination message counts, the
@@ -60,6 +61,59 @@ type libState struct {
 	CommIndex  int
 }
 
+// libStateV2Magic prefixes the extended capture format used in LogMessages
+// mode. Without logging, CaptureLibState emits the v1 gob unchanged, so
+// snapshot bytes (and thus storage timing) of non-logging runs are identical
+// to the pre-logging library.
+const libStateV2Magic = "gbcr/libstate/v2\n"
+
+// logEntry is one sender-log record: the payload copy made at send time plus
+// the envelope needed to replay it as an eager delivery.
+type logEntry struct {
+	Comm    int64
+	SrcComm int
+	Tag     int
+	Seq     int64
+	Data    []byte
+}
+
+// seqEntry serializes one peer's sequence counter (maps are gob-encoded in
+// iteration order, which would make snapshot bytes nondeterministic).
+type seqEntry struct {
+	Peer int
+	Seq  int64
+}
+
+// savedOutV2 extends savedOut with the packet's sequence number so a restored
+// deferred send stays deduplicatable.
+type savedOutV2 struct {
+	Dst     int
+	Comm    int64
+	SrcComm int
+	Tag     int
+	Seq     int64
+	Data    []byte
+}
+
+// savedLog is one flattened sender-log record (Dst added for serialization).
+type savedLog struct {
+	Dst     int
+	Comm    int64
+	SrcComm int
+	Tag     int
+	Seq     int64
+	Data    []byte
+}
+
+type libStateV2 struct {
+	Unexpected []savedMsg
+	Outbox     []savedOutV2
+	CommIndex  int
+	SendSeq    []seqEntry
+	RecvSeq    []seqEntry
+	Log        []savedLog
+}
+
 // CaptureLibState serializes the rank's library state for a snapshot: the
 // unexpected-message queue and the deferred-send outbox. It must be called
 // at a quiesced boundary: no posted receives, no pending rendezvous
@@ -71,6 +125,9 @@ func (r *Rank) CaptureLibState() ([]byte, error) {
 	}
 	if len(r.sendReqs) > 0 || len(r.recvReqs) > 0 {
 		return nil, fmt.Errorf("mpi: rank %d has pending rendezvous at capture", r.world)
+	}
+	if r.job.cfg.LogMessages {
+		return r.captureLibStateV2()
 	}
 	st := libState{CommIndex: r.commIndex}
 	for _, m := range r.unexpected {
@@ -108,12 +165,75 @@ func (r *Rank) CaptureLibState() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// captureLibStateV2 is the LogMessages-mode capture: the v1 queues plus the
+// per-peer sequence counters and the sender-based message log, all in sorted
+// peer order so the bytes are deterministic.
+func (r *Rank) captureLibStateV2() ([]byte, error) {
+	st := libStateV2{CommIndex: r.commIndex}
+	for _, m := range r.unexpected {
+		if !m.eager {
+			return nil, fmt.Errorf("mpi: rank %d has an unexpected rendezvous at capture", r.world)
+		}
+		st.Unexpected = append(st.Unexpected, savedMsg{
+			Comm: m.comm, SrcComm: m.srcComm, SrcWorld: m.srcWorld, Tag: m.tag, Data: m.data,
+		})
+	}
+	for _, dst := range sortedPeers(r.outbox) {
+		for _, it := range r.outbox[dst] {
+			we, ok := it.payload.(wireEager)
+			if !ok {
+				return nil, fmt.Errorf("mpi: rank %d has a deferred non-eager packet at capture", r.world)
+			}
+			st.Outbox = append(st.Outbox, savedOutV2{
+				Dst: dst, Comm: we.comm, SrcComm: we.srcComm, Tag: we.tag, Seq: we.seq, Data: we.data,
+			})
+		}
+	}
+	st.SendSeq = sortedSeqEntries(r.sendSeqTo)
+	st.RecvSeq = sortedSeqEntries(r.recvSeqOf)
+	for _, dst := range sortedPeers(r.msgLog) {
+		for _, le := range r.msgLog[dst] {
+			st.Log = append(st.Log, savedLog{
+				Dst: dst, Comm: le.Comm, SrcComm: le.SrcComm, Tag: le.Tag, Seq: le.Seq, Data: le.Data,
+			})
+		}
+	}
+	var buf bytes.Buffer
+	buf.WriteString(libStateV2Magic)
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// sortedPeers returns a map's peer keys in ascending order.
+func sortedPeers[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	//lint:allow-simdeterminism keys are sorted below before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sortedSeqEntries(m map[int]int64) []seqEntry {
+	out := make([]seqEntry, 0, len(m))
+	for _, peer := range sortedPeers(m) {
+		out = append(out, seqEntry{Peer: peer, Seq: m[peer]})
+	}
+	return out
+}
+
 // RestoreLibState reconstructs queues captured by CaptureLibState on a fresh
 // rank (before its body is launched). Deferred sends are re-posted; they
 // re-establish connections on demand as the restarted job runs.
 func (r *Rank) RestoreLibState(data []byte) error {
 	if len(data) == 0 {
 		return nil
+	}
+	if bytes.HasPrefix(data, []byte(libStateV2Magic)) {
+		return r.restoreLibStateV2(data[len(libStateV2Magic):])
 	}
 	var st libState
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
@@ -134,4 +254,71 @@ func (r *Rank) RestoreLibState(data []byte) error {
 		})
 	}
 	return nil
+}
+
+// restoreLibStateV2 reconstructs LogMessages-mode state: queues, per-peer
+// sequence counters, and the sender log. Deferred sends re-post with their
+// original sequence numbers, so a copy that also arrives via log replay is
+// discarded by the receiver's duplicate check.
+func (r *Rank) restoreLibStateV2(data []byte) error {
+	var st libStateV2
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	r.commIndex = 0 // the restarted body re-creates its communicators
+	for _, m := range st.Unexpected {
+		r.unexpected = append(r.unexpected, &inMsg{
+			comm: m.Comm, srcComm: m.SrcComm, srcWorld: m.SrcWorld,
+			tag: m.Tag, eager: true, data: m.Data,
+		})
+	}
+	for _, se := range st.SendSeq {
+		r.sendSeqTo[se.Peer] = se.Seq
+	}
+	for _, se := range st.RecvSeq {
+		r.recvSeqOf[se.Peer] = se.Seq
+	}
+	for _, le := range st.Log {
+		r.msgLog[le.Dst] = append(r.msgLog[le.Dst],
+			logEntry{Comm: le.Comm, SrcComm: le.SrcComm, Tag: le.Tag, Seq: le.Seq, Data: le.Data})
+	}
+	for _, o := range st.Outbox {
+		r.post(o.Dst, outItem{
+			kind:    outEager,
+			size:    eagerHdrSize + int64(len(o.Data)),
+			payload: wireEager{comm: o.Comm, srcComm: o.SrcComm, tag: o.Tag, seq: o.Seq, data: o.Data},
+		})
+	}
+	return nil
+}
+
+// ReplayLogs completes an uncoordinated restart: after every rank's library
+// state has been restored (possibly from snapshots of different epochs), the
+// logged messages a receiver's restored state had not yet incorporated are
+// injected into its unexpected queue as eager deliveries, in per-pair
+// sequence order. Restored senders re-execute and re-send everything after
+// their own snapshot point, so the log covers exactly the gap: messages sent
+// before the sender's snapshot that the receiver (restored further back) had
+// not seen. It returns the number of messages injected.
+func (j *Job) ReplayLogs() int {
+	injected := 0
+	for src, s := range j.ranks {
+		for _, dst := range sortedPeers(s.msgLog) {
+			d := j.ranks[dst]
+			for _, le := range s.msgLog[dst] {
+				if le.Seq <= d.recvSeqOf[src] {
+					continue
+				}
+				d.recvSeqOf[src] = le.Seq
+				data := make([]byte, len(le.Data))
+				copy(data, le.Data)
+				d.unexpected = append(d.unexpected, &inMsg{
+					comm: le.Comm, srcComm: le.SrcComm, srcWorld: src,
+					tag: le.Tag, eager: true, data: data,
+				})
+				injected++
+			}
+		}
+	}
+	return injected
 }

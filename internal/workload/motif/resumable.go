@@ -64,7 +64,8 @@ func (m MineResumable) LaunchFrom(j *mpi.Job, appStates [][]byte) (workload.Inst
 		for l := 0; l < m.Labels; l++ {
 			st.Cands = append(st.Cands, []int{l})
 		}
-		if appStates != nil && appStates[r] != nil {
+		restored := appStates != nil && appStates[r] != nil
+		if restored {
 			st = &mineState{}
 			if err := gob.NewDecoder(bytes.NewReader(appStates[r])).Decode(st); err != nil {
 				return nil, fmt.Errorf("motif: state for rank %d: %w", r, err)
@@ -72,20 +73,26 @@ func (m MineResumable) LaunchFrom(j *mpi.Job, appStates [][]byte) (workload.Inst
 		}
 		inst.states[r] = st
 		r := r
-		j.Launch(r, func(e *mpi.Env) { inst.run(e, st) })
+		j.Launch(r, func(e *mpi.Env) { inst.run(e, st, restored) })
 	}
 	return inst, nil
 }
 
 // run is one rank's resumable level-wise loop. Each round consumes four
 // collective tags: the CollectiveCheckpoint allreduce (2) and the support
-// allreduce (2).
-func (inst *ResumableInstance) run(e *mpi.Env, st *mineState) {
+// allreduce (2). A restored rank additionally consumed the capture poll's
+// two tags and resumes just after it (see workload.Ring.LaunchFrom).
+func (inst *ResumableInstance) run(e *mpi.Env, st *mineState, restored bool) {
 	m := inst.w
 	n := e.Size()
 	r := e.Rank()
 	world := e.World()
-	world.AdvanceCollSeq(4 * st.Rounds)
+	adv := 4 * st.Rounds
+	if restored {
+		adv += 2
+	}
+	world.AdvanceCollSeq(adv)
+	skipPoll := restored
 	// Regenerate the local dataset block (it is not part of the snapshot:
 	// input data is re-readable after restart).
 	lo := r * m.Graphs / n
@@ -97,7 +104,11 @@ func (inst *ResumableInstance) run(e *mpi.Env, st *mineState) {
 	inst.bytes[r] = int64(hi-lo) * int64(m.Vertices) * 64
 
 	for !st.Completed {
-		e.CollectiveCheckpoint(world)
+		if skipPoll {
+			skipPoll = false
+		} else {
+			e.CollectiveCheckpoint(world)
+		}
 		if m.LevelCompute > 0 {
 			e.Compute(m.LevelCompute)
 		}

@@ -68,16 +68,32 @@ func (w Ring) LaunchFrom(j *mpi.Job, appStates [][]byte) (Instance, error) {
 			}
 		}
 		inst.states[i] = st
+		// The snapshot is captured inside iteration Iter's CollectiveCheckpoint
+		// poll, so a restored rank resumes just after it: re-running the poll
+		// is consistent when every rank restarts from the same epoch, but a
+		// mixed-epoch recovery line (message logging) would re-request
+		// contributions its receive state already counts as incorporated.
+		restored := appStates != nil && appStates[i] != nil
 		i := i
 		j.Launch(i, func(e *mpi.Env) {
 			world := e.World()
 			// Each completed iteration consumed one CollectiveCheckpoint
-			// allreduce (two collective tags).
-			world.AdvanceCollSeq(2 * st.Iter)
+			// allreduce (two collective tags), plus the capture poll itself
+			// on a restored rank.
+			adv := 2 * st.Iter
+			if restored {
+				adv += 2
+			}
+			world.AdvanceCollSeq(adv)
+			skipPoll := restored
 			me := e.Rank()
 			right, left := (me+1)%w.N, (me-1+w.N)%w.N
 			for ; st.Iter < w.Iters; st.Iter++ {
-				e.CollectiveCheckpoint(world)
+				if skipPoll {
+					skipPoll = false
+				} else {
+					e.CollectiveCheckpoint(world)
+				}
 				e.Compute(w.Chunk)
 				out := mpi.I64ToBytes([]int64{int64(me)*1_000_000 + int64(st.Iter)})
 				data, _ := e.Sendrecv(world, right, 1, out, left, 1)
@@ -150,15 +166,27 @@ func (w AllgatherLoop) LaunchFrom(j *mpi.Job, appStates [][]byte) (Instance, err
 			}
 		}
 		inst.states[i] = st
+		// See Ring.LaunchFrom: a restored rank resumes after the capture poll.
+		restored := appStates != nil && appStates[i] != nil
 		i := i
 		j.Launch(i, func(e *mpi.Env) {
 			world := e.World()
 			// Each completed iteration consumed one CollectiveCheckpoint
-			// allreduce (two tags) plus one Allgather (one tag).
-			world.AdvanceCollSeq(3 * st.Iter)
+			// allreduce (two tags) plus one Allgather (one tag); a restored
+			// rank also consumed the capture poll's two.
+			adv := 3 * st.Iter
+			if restored {
+				adv += 2
+			}
+			world.AdvanceCollSeq(adv)
+			skipPoll := restored
 			me := e.Rank()
 			for ; st.Iter < w.Iters; st.Iter++ {
-				e.CollectiveCheckpoint(world)
+				if skipPoll {
+					skipPoll = false
+				} else {
+					e.CollectiveCheckpoint(world)
+				}
 				e.Compute(w.Chunk)
 				blocks := e.Allgather(world, mpi.I64ToBytes([]int64{int64(me)*1_000_000 + int64(st.Iter)}))
 				for _, b := range blocks {

@@ -70,15 +70,27 @@ func (w Stencil) LaunchFrom(j *mpi.Job, appStates [][]byte) (Instance, error) {
 			st.Field = w.initField(i)
 		}
 		inst.states[i] = st
+		// See Ring.LaunchFrom: a restored rank resumes after the capture poll.
+		restored := appStates != nil && appStates[i] != nil
 		i := i
 		j.Launch(i, func(e *mpi.Env) {
 			world := e.World()
-			// One CollectiveCheckpoint allreduce (two tags) per iteration.
-			world.AdvanceCollSeq(2 * st.Iter)
+			// One CollectiveCheckpoint allreduce (two tags) per iteration,
+			// plus the capture poll on a restored rank.
+			adv := 2 * st.Iter
+			if restored {
+				adv += 2
+			}
+			world.AdvanceCollSeq(adv)
+			skipPoll := restored
 			me := e.Rank()
 			left, right := me-1, me+1
 			for ; st.Iter < w.Iters; st.Iter++ {
-				e.CollectiveCheckpoint(world)
+				if skipPoll {
+					skipPoll = false
+				} else {
+					e.CollectiveCheckpoint(world)
+				}
 				e.Compute(w.Chunk)
 				// Halo exchange with physical boundaries at the ends.
 				if left >= 0 {

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint race bench bench-json figures figures-txt examples cover clean
+.PHONY: all check build test vet lint lint-json race bench bench-json figures figures-txt examples cover clean
 
 all: check
 
@@ -16,12 +16,21 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project analyzers (simdeterminism, nopanic, guardedby, errpropagation).
+# Project analyzers (simdeterminism, nopanic, guardedby, lockorder,
+# shardconfine, allocfree, obscomplete, errpropagation, hotpath).
 # gbcrlint speaks the vet-tool protocol, so the same binary also works as
-# `go vet -vettool=$$(which gbcrlint) ./...`.
+# `go vet -vettool=$$(which gbcrlint) ./...`. Exit status: 0 clean,
+# 1 operational error, 2 findings.
 lint:
 	$(GO) build -o bin/gbcrlint ./cmd/gbcrlint
 	./bin/gbcrlint ./...
+
+# Same suite, but findings land in lint-findings.json as a JSON array
+# (always valid JSON, [] when clean) for CI to archive; the exit contract
+# is unchanged, so this still gates.
+lint-json:
+	$(GO) build -o bin/gbcrlint ./cmd/gbcrlint
+	./bin/gbcrlint -json ./... > lint-findings.json
 
 test:
 	$(GO) test ./...

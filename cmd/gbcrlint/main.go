@@ -1,17 +1,29 @@
 // Command gbcrlint runs the repository's analyzer suite (simdeterminism,
-// nopanic, guardedby, errpropagation, hotpath — see internal/analysis).
+// nopanic, guardedby, lockorder, shardconfine, allocfree, obscomplete,
+// errpropagation, hotpath — see internal/analysis).
 //
 // It works in two modes:
 //
-//	gbcrlint [./...]            # standalone: loads the module from source
+//	gbcrlint [-json] [./...]    # standalone: loads the module from source
 //	go vet -vettool=$(which gbcrlint) ./...
 //
 // The second form speaks cmd/go's vet-tool protocol: it answers -V=full
 // and -flags probes, then is invoked once per package with a JSON config
 // file describing the compilation unit (file list, import map, export
-// data). Diagnostics go to stderr as file:line:col: messages; any finding
-// makes the exit status nonzero, which is what lets `make lint` gate the
-// build.
+// data).
+//
+// Exit status is a contract scripts may rely on:
+//
+//	0  the analyzed packages are clean
+//	1  an operational error (unreadable package, parse or type-check
+//	   failure, bad configuration) stopped the run
+//	2  findings were reported
+//
+// Findings normally go to stderr as "file:line:col: [analyzer] message"
+// lines. With -json (standalone mode only) they go to stdout instead, as a
+// JSON array of {file, line, col, analyzer, message} objects — "[]" when
+// clean — so CI can archive and diff them mechanically; operational errors
+// stay on stderr.
 package main
 
 import (
@@ -46,7 +58,16 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitcheck(args[0]))
 	}
-	os.Exit(standalone(args))
+	jsonOut := false
+	rest := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
+		rest = append(rest, a)
+	}
+	os.Exit(standalone(rest, jsonOut))
 }
 
 // scopeFor selects which analyzers apply to a package, by import path.
@@ -65,6 +86,14 @@ func scopeFor(path string) []*analysis.Analyzer {
 	if simScoped(path) {
 		out = append(out, analysis.SimDeterminism)
 	}
+	if simScoped(path) ||
+		path == analysis.ModulePath+"/internal/obs" ||
+		path == analysis.ModulePath+"/internal/fault" {
+		// Sim-reachable state must be shard-confined before the parallel
+		// kernel lands, and the event/phase vocabularies these packages
+		// emit must stay closed.
+		out = append(out, analysis.ShardConfine, analysis.ObsComplete)
+	}
 	if strings.HasPrefix(path, analysis.ModulePath+"/internal/") {
 		out = append(out, analysis.NoPanic)
 	}
@@ -72,7 +101,9 @@ func scopeFor(path string) []*analysis.Analyzer {
 		// The kernel's own scheduling paths must stay allocation-free.
 		out = append(out, analysis.HotPath)
 	}
-	out = append(out, analysis.GuardedBy, analysis.ErrPropagation)
+	// lockorder generalizes guardedby package-wide; allocfree gates itself
+	// on // alloc-free annotations, so both apply everywhere.
+	out = append(out, analysis.GuardedBy, analysis.LockOrder, analysis.AllocFree, analysis.ErrPropagation)
 	return out
 }
 
@@ -92,18 +123,56 @@ func simScoped(path string) bool {
 	return false
 }
 
-// standalone loads the whole module from source and runs the suite.
-func standalone(args []string) int {
+// A diagJSON is one finding in -json output; the field set is the
+// machine-readable contract CI archives.
+type diagJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// standalone loads the whole module from source, runs the suite, and
+// reports findings on stderr (or stdout as JSON). Exit status follows the
+// documented contract: 0 clean, 1 operational error, 2 findings.
+func standalone(args []string, jsonOut bool) int {
 	root, module, err := findModule(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gbcrlint:", err)
 		return 1
 	}
-	loader := analysis.NewLoader(root, module)
-	paths, err := loader.ModulePackages()
+	diags, err := runSuite(root, module, args)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gbcrlint:", err)
 		return 1
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "gbcrlint:", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runSuite analyzes the module rooted at root, filtered by the package
+// patterns in args, and returns all findings in a deterministic order. The
+// returned slice is never nil, so an empty run marshals as "[]".
+func runSuite(root, module string, args []string) ([]diagJSON, error) {
+	loader := analysis.NewLoader(root, module)
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		return nil, err
 	}
 	if filter := packageFilter(args, module); filter != nil {
 		kept := paths[:0]
@@ -112,36 +181,55 @@ func standalone(args []string) int {
 				kept = append(kept, p)
 			}
 		}
+		if len(kept) == 0 {
+			// A typo'd pattern must not read as "clean": the exit contract
+			// reserves 0 for packages that were actually analyzed.
+			return nil, fmt.Errorf("no packages match %s", strings.Join(args, " "))
+		}
 		paths = kept
 	}
-	var diags []string
+	diags := []diagJSON{}
 	for _, path := range paths {
 		loaded, err := loader.Load(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gbcrlint:", err)
-			return 1
+			return nil, err
 		}
 		for _, lp := range loaded {
 			for _, a := range scopeFor(lp.Path) {
 				found, err := analysis.Run(a, loader.Fset, lp.Files, lp.Types, lp.Info)
 				if err != nil {
-					fmt.Fprintln(os.Stderr, "gbcrlint:", err)
-					return 1
+					return nil, err
 				}
 				for _, d := range found {
-					diags = append(diags, fmt.Sprintf("%s: [%s] %s", loader.Fset.Position(d.Pos), a.Name, d.Message))
+					pos := loader.Fset.Position(d.Pos)
+					diags = append(diags, diagJSON{
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: a.Name,
+						Message:  d.Message,
+					})
 				}
 			}
 		}
 	}
-	sort.Strings(diags)
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
-	}
-	if len(diags) > 0 {
-		return 1
-	}
-	return 0
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
 }
 
 // packageFilter interprets command-line package patterns ("./...",

@@ -1,0 +1,16 @@
+// Package clean has no findings; the -json round-trip test uses it to
+// check that an analyzed-but-clean run encodes as "[]".
+package clean
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}

@@ -1,0 +1,21 @@
+// Package pkg is a gbcrlint fixture module with two known findings (one
+// guardedby, one lockorder), exercised by the -json round-trip test.
+package pkg
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func read(s *state) int {
+	return s.n
+}
+
+func deadlock(s *state) {
+	s.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock()
+}

@@ -84,6 +84,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ReportfAlways records a diagnostic regardless of suppression directives.
+// It exists for findings about the directives themselves (e.g. nopanic
+// auditing //lint:allow-panic reasons), which must not be silenced by the
+// very comment they critique.
+func (p *Pass) ReportfAlways(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
 // suppressed reports whether a lint:allow directive for this analyzer
 // covers the line at pos (same line or the line immediately above).
 func (p *Pass) suppressed(pos token.Pos) bool {
@@ -108,7 +116,7 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File, directive string) m
 					continue
 				}
 				word, reason, _ := strings.Cut(text, " ")
-				if word != directive || strings.TrimSpace(reason) == "" {
+				if word != directive || directiveReason(reason) == "" {
 					continue
 				}
 				position := fset.Position(c.Pos())
@@ -122,6 +130,17 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File, directive string) m
 		}
 	}
 	return idx
+}
+
+// directiveReason isolates the human-written reason of a lint directive,
+// dropping any embedded line comment: a reason is prose, not another
+// comment, and analysistest fixtures append "// want" expectations after
+// directives.
+func directiveReason(text string) string {
+	if i := strings.Index(text, "//"); i >= 0 {
+		text = text[:i]
+	}
+	return strings.TrimSpace(text)
 }
 
 // Run applies one analyzer to a type-checked package and returns its
@@ -151,7 +170,10 @@ func withoutTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SimDeterminism, NoPanic, GuardedBy, ErrPropagation, HotPath}
+	return []*Analyzer{
+		SimDeterminism, NoPanic, GuardedBy, ErrPropagation, HotPath,
+		ShardConfine, LockOrder, AllocFree, ObsComplete,
+	}
 }
 
 // calleeFunc resolves the *types.Func a call expression invokes, looking

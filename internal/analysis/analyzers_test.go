@@ -16,7 +16,7 @@ func TestNoPanic(t *testing.T) {
 }
 
 func TestGuardedBy(t *testing.T) {
-	analysistest.Run(t, "testdata/src", analysis.GuardedBy, "guarded")
+	analysistest.Run(t, "testdata/src", analysis.GuardedBy, "guarded", "guardedext")
 }
 
 func TestErrPropagation(t *testing.T) {
@@ -25,4 +25,20 @@ func TestErrPropagation(t *testing.T) {
 
 func TestHotPath(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.HotPath, "hotpath")
+}
+
+func TestShardConfine(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.ShardConfine, "shardconf")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.LockOrder, "lockorder")
+}
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.AllocFree, "allocfree")
+}
+
+func TestObsComplete(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.ObsComplete, "obscheck", "obs", "protocol")
 }

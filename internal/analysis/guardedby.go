@@ -33,7 +33,7 @@ func runGuardedBy(pass *Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			held := mutexesAcquired(fn.Body)
+			held := mutexesAcquired(pass.TypesInfo, fn.Body)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok {
@@ -48,7 +48,7 @@ func runGuardedBy(pass *Pass) error {
 					return true
 				}
 				mu, ok := guarded[field]
-				if !ok || held[mu] {
+				if !ok || held[mu] || held["*"] {
 					return true
 				}
 				pass.Reportf(sel.Pos(),
@@ -103,8 +103,11 @@ func annotationIn(cg *ast.CommentGroup) string {
 }
 
 // mutexesAcquired returns the set of mutex field/variable names on which the
-// body calls Lock or RLock.
-func mutexesAcquired(body *ast.BlockStmt) map[string]bool {
+// body calls Lock or RLock. A Lock call through an interface value
+// (sync.Locker) could be any mutex, so it records the wildcard "*": the
+// checker cannot name-match it, and flagging the access would punish code
+// that does hold the lock, just indirectly.
+func mutexesAcquired(info *types.Info, body *ast.BlockStmt) map[string]bool {
 	held := make(map[string]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -113,6 +116,10 @@ func mutexesAcquired(body *ast.BlockStmt) map[string]bool {
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
 		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if tv, ok := info.Types[sel.X]; ok && tv.Type != nil && types.IsInterface(tv.Type) {
+			held["*"] = true
 			return true
 		}
 		switch recv := ast.Unparen(sel.X).(type) {

@@ -26,6 +26,7 @@ func runNoPanic(pass *Pass) error {
 		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
 			continue
 		}
+		checkPanicDirectives(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -44,4 +45,30 @@ func runNoPanic(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkPanicDirectives audits the suppression comments themselves: a bare
+// //lint:allow-panic does not suppress anything (the framework ignores
+// reasonless directives), and a perfunctory one- or two-word reason does not
+// explain why the panic is unreachable. Both are reported bypassing the
+// suppression index — the directive under audit must not silence its own
+// audit.
+func checkPanicDirectives(pass *Pass, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//lint:allow-panic")
+			if !ok {
+				continue
+			}
+			reason := directiveReason(rest)
+			switch {
+			case reason == "":
+				pass.ReportfAlways(c.Pos(),
+					"bare //lint:allow-panic suppresses nothing; state why the panic is unreachable from caller input")
+			case len(strings.Fields(reason)) < 3:
+				pass.ReportfAlways(c.Pos(),
+					"//lint:allow-panic reason %q is boilerplate; explain why the panic is unreachable from caller input", reason)
+			}
+		}
+	}
 }

@@ -1,0 +1,63 @@
+// Package guardedext exercises the guardedby analyzer's former blind
+// spots: promoted fields of embedded structs, value receivers alongside
+// pointer receivers, and locks acquired through interface values
+// (sync.Locker), which wildcard the held set instead of punishing
+// indirect holders.
+package guardedext
+
+import "sync"
+
+type inner struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type outer struct {
+	inner
+}
+
+func (o *outer) bumpLocked() {
+	o.mu.Lock()
+	o.n++
+	o.mu.Unlock()
+}
+
+func (o *outer) bumpUnlocked() {
+	o.n++ // want `n is guarded by mu`
+}
+
+type counter struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+func (c *counter) addPtr() {
+	c.mu.Lock()
+	c.v++
+	c.mu.Unlock()
+}
+
+func (c counter) readValue() int {
+	return c.v // want `v is guarded by mu`
+}
+
+func snapshot(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+type indirect struct {
+	l sync.Locker
+	v int // guarded by l
+}
+
+func (g *indirect) throughInterface() {
+	g.l.Lock()
+	g.v++ // the interface lock may well be l: wildcard, no finding
+	g.l.Unlock()
+}
+
+func (g *indirect) unlocked() {
+	g.v++ // want `v is guarded by l`
+}

@@ -1,0 +1,146 @@
+// Package lockorder is a fixture for the lockorder analyzer: inconsistent
+// acquisition orders form cycles, re-acquiring a held lock is a
+// self-deadlock, and blocking operations (channel ops, blocking selects,
+// Wait-style calls — directly or through a same-package callee) must not
+// run with a lock held. Locks behind interface values are unknown: they arm
+// the blocking check but contribute no order edges.
+package lockorder
+
+import "sync"
+
+type shard struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	ch chan int
+}
+
+func abOrder(s *shard) {
+	s.a.Lock()
+	s.b.Lock() // want `acquiring lock b while holding a creates a lock-order cycle`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func baOrder(s *shard) {
+	s.b.Lock()
+	s.a.Lock() // want `acquiring lock a while holding b creates a lock-order cycle`
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+type ordered struct {
+	x, y sync.Mutex
+}
+
+// fine nests consistently; one direction alone is no cycle.
+func fine(o *ordered) {
+	o.x.Lock()
+	o.y.Lock()
+	o.y.Unlock()
+	o.x.Unlock()
+}
+
+func double(s *shard) {
+	s.a.Lock()
+	s.a.Lock() // want `lock a acquired while already held: guaranteed self-deadlock`
+	s.a.Unlock()
+	s.a.Unlock()
+}
+
+func recvHeld(s *shard) {
+	s.a.Lock()
+	<-s.ch // want `receives from a channel while holding lock a`
+	s.a.Unlock()
+}
+
+func sendHeldUnderDefer(s *shard) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.ch <- 1 // want `sends on a channel while holding lock a`
+}
+
+func waitHeld(s *shard, wg *sync.WaitGroup) {
+	s.a.Lock()
+	wg.Wait() // want `calls Wait, which parks while holding lock a`
+	s.a.Unlock()
+}
+
+func selectHeld(s *shard) {
+	s.a.Lock()
+	select { // want `waits in a select while holding lock a`
+	case <-s.ch:
+	}
+	s.a.Unlock()
+}
+
+// pollHeld does not block: the default case makes the select a poll, and
+// the receive naming its case must not be counted on its own.
+func pollHeld(s *shard) {
+	s.a.Lock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	s.a.Unlock()
+}
+
+func fineAfterUnlock(s *shard) {
+	s.a.Lock()
+	s.a.Unlock()
+	<-s.ch
+}
+
+// Blocking through a same-package callee.
+
+func outer(s *shard) {
+	s.a.Lock()
+	inner(s) // want `calls inner, which sends on a channel, while holding lock a`
+	s.a.Unlock()
+}
+
+func inner(s *shard) {
+	s.ch <- 2
+}
+
+// A cycle closed through a callee's acquisition.
+
+type pair struct {
+	m, n sync.Mutex
+}
+
+func lockM(p *pair) {
+	p.m.Lock()
+	takeN(p) // want `acquiring lock n while holding m \(through call to takeN\) creates a lock-order cycle`
+	p.m.Unlock()
+}
+
+func takeN(p *pair) {
+	p.n.Lock()
+	p.n.Unlock()
+}
+
+func lockN(p *pair) {
+	p.n.Lock()
+	p.m.Lock() // want `acquiring lock m while holding n creates a lock-order cycle`
+	p.m.Unlock()
+	p.n.Unlock()
+}
+
+// An interface lock has no identity, but blocking under it still reports.
+
+func viaLocker(l sync.Locker, s *shard) {
+	l.Lock()
+	<-s.ch // want `receives from a channel while holding lock <interface lock>`
+	l.Unlock()
+}
+
+// A function literal runs in its own activation: the held set does not
+// leak into it.
+
+func litScope(s *shard) func() {
+	s.a.Lock()
+	fn := func() { <-s.ch }
+	s.a.Unlock()
+	return fn
+}

@@ -1,0 +1,24 @@
+// Package obs is a fixture double of the real observability package: the
+// obscomplete analyzer recognizes it by package name, enumerates its Kind*
+// constants as the event vocabulary, and (inside the package itself) rejects
+// two Kind constants registering the same value.
+package obs
+
+// Event mirrors the real event record's field layout; What sits at field
+// index 4, which the positional-composite check depends on.
+type Event struct {
+	At     int
+	Rank   int
+	Layer  int
+	Type   int
+	What   string
+	Detail string
+	Arg    int64
+}
+
+const (
+	KindTick = "tick"
+	KindTock = "tock"
+	KindDupA = "dup"
+	KindDupB = "dup" // want `duplicate event kind "dup": KindDupA and KindDupB register the same value`
+)

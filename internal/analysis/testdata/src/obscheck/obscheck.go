@@ -1,0 +1,45 @@
+// Package obscheck is a fixture for the obscomplete analyzer's consumer-side
+// checks: constant What strings at emit sites must be registered Kind
+// constants, and a package that reports protocol phases must report all of
+// them (the finding lands on the protocol import).
+package obscheck
+
+import (
+	"obs"
+	"protocol" // want `package reports some protocol phases but never phase "go", "idle"`
+)
+
+// emit's parameter named "what" marks it as an emit wrapper.
+func emit(what, detail string) {}
+
+type bus struct{}
+
+// Emit is the method-shaped wrapper variant.
+func (bus) Emit(t int, what, detail string) {}
+
+var b bus
+
+func registered() {
+	emit(obs.KindTick, "constants are always fine")
+	emit("tock", "a literal is fine when its value is registered")
+	b.Emit(0, obs.KindTock, "")
+	_ = obs.Event{What: obs.KindTick}
+	_ = obs.Event{What: "tick"}
+}
+
+func unregistered(dynamic string) {
+	emit("mystery", "x")                        // want `event kind "mystery" is not registered in the obs vocabulary`
+	b.Emit(0, "phantom", "")                    // want `event kind "phantom" is not registered in the obs vocabulary`
+	_ = obs.Event{What: "ghost"}                // want `event kind "ghost" is not registered in the obs vocabulary`
+	_ = obs.Event{0, 0, 0, 0, "wraith", "", 0}  // want `event kind "wraith" is not registered in the obs vocabulary`
+	emit(dynamic, "non-constant values are the runtime tests' problem")
+}
+
+// report's parameter is not named "what", so the phase strings it receives
+// are not checked against the kind vocabulary — but passing Phase constants
+// to it makes this a phase-reporting package, arming the coverage check.
+func report(phase string) {}
+
+func phases() {
+	report(protocol.PhaseStop)
+}

@@ -22,8 +22,13 @@ func invariant() {
 }
 
 func bareDirective() {
-	//lint:allow-panic
+	//lint:allow-panic // want `bare //lint:allow-panic suppresses nothing`
 	panic("a directive without a reason does not suppress") // want `panic in library code`
+}
+
+func boilerplateReason() {
+	//lint:allow-panic invariant // want `reason "invariant" is boilerplate`
+	panic("a one-word reason suppresses, but the directive itself is flagged")
 }
 
 func shadowed() {

@@ -1,0 +1,25 @@
+// Package protocol is a fixture double of the real protocol package: the
+// obscomplete analyzer recognizes it by package name, treats its Phase*
+// constants as the phase vocabulary, flags vocabularies built from string
+// literals, and flags Phase constants belonging to no Phases() vocabulary.
+package protocol
+
+const (
+	PhaseStop = "stop"
+	PhaseGo   = "go"
+	PhaseIdle = "idle" // want `phase constant PhaseIdle appears in no Phases\(\) vocabulary`
+)
+
+// allPhases feeds the good implementation's vocabulary; name suffix
+// "Phases" marks it as vocabulary-building for the analyzer.
+var allPhases = []string{PhaseStop, PhaseGo}
+
+type good struct{}
+
+func (good) Phases() []string { return allPhases }
+
+type bad struct{}
+
+func (bad) Phases() []string {
+	return []string{"bogus"} // want `phase vocabulary built from string literal "bogus"`
+}

@@ -1,0 +1,65 @@
+// Package shardconf is a fixture for the shardconfine analyzer:
+// concurrency-typed fields and locals, goroutine launches, and written or
+// concurrency-typed package-level variables must carry a matching
+// // shared: <channel|mutex|atomic> declaration.
+package shardconf
+
+import "sync"
+
+type coordinator struct {
+	mu    sync.Mutex // want `field mu is cross-shard shared state`
+	done  chan int   // want `field done is cross-shard shared state`
+	state int
+}
+
+type embedder struct {
+	sync.Mutex // want `embedded sync.Mutex is cross-shard shared state`
+}
+
+type annotated struct {
+	// shared: mutex protects the result table across worker shards
+	mu sync.Mutex
+	wake chan struct{} // shared: channel kernel wake handoff
+	cnt  int
+}
+
+type mismatched struct {
+	// shared: atomic
+	mu sync.Mutex // want `field mu is declared // shared: atomic but its type requires // shared: mutex`
+}
+
+func launches() {
+	go work() // want `goroutine launch leaves the shard`
+	// shared: channel fan-in drains into the kernel wake channel
+	go work()
+}
+
+func work() {}
+
+func locals() {
+	var wg sync.WaitGroup // want `local wg is cross-shard shared state`
+	ch := make(chan int)  // want `local ch is cross-shard shared state`
+	// shared: channel worker feed, closed before the function returns
+	idx := make(chan int)
+	n := 0
+	_, _, _, _ = wg, ch, idx, n
+}
+
+// Package-level state: a plain variable matters once something writes it; a
+// concurrency-typed one is shared machinery even untouched.
+
+var hits int // want `package-level variable hits is cross-shard shared state`
+
+func bump() { hits++ }
+
+var table = map[string]int{} // want `package-level variable table is cross-shard shared state`
+
+func record(k string) { table[k]++ }
+
+var readonlyName = "never written"
+
+// shared: magic beans // want `unknown sharing mechanism "magic"`
+var spell chan int // want `package-level variable spell is cross-shard shared state`
+
+// shared: channel fixture-wide fan-in, owned by the kernel
+var fan chan int

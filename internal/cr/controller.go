@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gbcr/internal/blcr"
+	"gbcr/internal/cr/protocol"
 	"gbcr/internal/ib"
 	"gbcr/internal/mpi"
 	"gbcr/internal/obs"
@@ -384,7 +385,7 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 
 	// Phase 1: Initial Synchronization — report readiness, wait for the
 	// whole group to stop.
-	c.phase("sync")
+	c.phase(protocol.PhaseSync)
 	c.emit(obs.Begin, "ckpt-sync", "")
 	c.sendCo(msgReady{cycle: c.cycle, rank: c.rank.World()})
 	ok := c.waitFlag(p, &c.goFlag, "cr: initial synchronization")
@@ -394,7 +395,7 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 		c.abortReturn()
 		return
 	}
-	c.phase("teardown")
+	c.phase(protocol.PhaseTeardown)
 	c.emit(obs.Begin, "ckpt-teardown",
 		fmt.Sprintf("%d connections to tear down", len(c.rank.Endpoint().Peers())))
 
@@ -422,7 +423,7 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 	}
 	rec.Footprint = snap.Footprint
 	rec.WriteStart = k.Now()
-	c.phase("write")
+	c.phase(protocol.PhaseWrite)
 	c.emit(obs.Begin, "ckpt-write", fmt.Sprintf("%.0f MB", float64(snap.Size())/(1<<20)))
 	if c.co.cfg.Staged {
 		// Two-phase: node-local write now (unshared disk), background
@@ -461,7 +462,7 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 
 	// Phase 4: Post-checkpoint Coordination — wait for the group to finish;
 	// connections rebuild on demand as execution resumes.
-	c.phase("resume")
+	c.phase(protocol.PhaseResume)
 	c.emit(obs.Begin, "ckpt-resume-wait", "")
 	ok = c.waitFlag(p, &c.resumeFlag, "cr: post-checkpoint coordination")
 	c.inCkpt = false
@@ -619,7 +620,7 @@ func (c *Controller) writeFinishedSnapshot(rec *CkptRecord) {
 	}
 	rec.Footprint = snap.Footprint
 	rec.WriteStart = k.Now()
-	c.phase("write")
+	c.phase(protocol.PhaseWrite)
 	cycle := c.cycle
 	done := func() {
 		rec.WriteEnd = k.Now()
@@ -693,7 +694,7 @@ func (c *Controller) uncoordSafePoint(e *mpi.Env) {
 	}
 	rec.Footprint = snap.Footprint
 	rec.WriteStart = k.Now()
-	c.phase("write")
+	c.phase(protocol.PhaseWrite)
 	c.emit(obs.Begin, "ckpt-write", fmt.Sprintf("%.0f MB", float64(snap.Size())/(1<<20)))
 	// A failed write aborts nothing but this rank's own attempt: there is no
 	// cycle-wide rollback to coordinate, so the rank retries locally with the
@@ -725,7 +726,7 @@ func (c *Controller) uncoordSafePoint(e *mpi.Env) {
 	c.sendCo(msgSaved{cycle: c.cycle, rank: world})
 
 	// No post-checkpoint coordination: resume the instant the write lands.
-	c.phase("resume")
+	c.phase(protocol.PhaseResume)
 	c.inCkpt = false
 	rec.ResumeAt = k.Now()
 	c.emit(obs.Instant, "resume", fmt.Sprintf("downtime %v", rec.ResumeAt-rec.SafePointAt))
@@ -772,7 +773,7 @@ func (c *Controller) writeUncoordFinishedSnapshot(rec *CkptRecord) {
 	}
 	rec.Footprint = snap.Footprint
 	rec.WriteStart = k.Now()
-	c.phase("write")
+	c.phase(protocol.PhaseWrite)
 	cycle := c.cycle
 	attempts := 0
 	var attempt func()
@@ -808,7 +809,7 @@ func (c *Controller) writeUncoordFinishedSnapshot(rec *CkptRecord) {
 			c.putSnapshot(snap)
 			c.markRankDurable(snap)
 			c.sendCo(msgSaved{cycle: c.cycle, rank: c.rank.World()})
-			c.phase("resume")
+			c.phase(protocol.PhaseResume)
 			c.inCkpt = false
 			rec.ResumeAt = k.Now()
 			c.records = append(c.records, *rec)

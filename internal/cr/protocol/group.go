@@ -10,7 +10,7 @@ import (
 // protocols: Initial Synchronization, Pre-checkpoint Coordination (channel
 // flush + connection teardown), Local Checkpointing, Post-checkpoint
 // Coordination.
-var blockingPhases = []string{"sync", "teardown", "write", "resume"}
+var blockingPhases = []string{PhaseSync, PhaseTeardown, PhaseWrite, PhaseResume}
 
 // groupBased is the paper's group-based blocking coordination.
 type groupBased struct{}

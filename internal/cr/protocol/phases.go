@@ -1,0 +1,32 @@
+package protocol
+
+// Per-rank phase vocabulary. Every phase name a Protocol implementation may
+// return from Phases() — and every phase the engine reports through the
+// coordinator's PhaseHook — is registered here as a `Phase*` constant. The
+// obscomplete analyzer enforces the contract statically:
+//
+//   - a string literal inside a Phases() method (or a *Phases package var)
+//     is flagged: vocabularies must be built from these constants, so a
+//     protocol cannot invent a phase name the fault injector and the
+//     documentation do not know about;
+//   - a registered phase constant that no engine code passes to a
+//     phase-reporting call is flagged where the emit sites live, closing
+//     the gap where a protocol declares a phase that is never reported
+//     (fault specs targeting it would silently never fire).
+//
+// The constants are untyped strings, so Phases() keeps its []string
+// signature and fault specs (parsed from user input) compare directly.
+const (
+	// PhaseSync is Initial Synchronization: the rank reached its safe
+	// point and waits for its whole group to stop.
+	PhaseSync = "sync"
+	// PhaseTeardown is Pre-checkpoint Coordination: in-transit messages
+	// are flushed and connections torn down.
+	PhaseTeardown = "teardown"
+	// PhaseWrite is Local Checkpointing: the BLCR-style snapshot is
+	// written to storage.
+	PhaseWrite = "write"
+	// PhaseResume is Post-checkpoint Coordination: the rank waits for its
+	// group (blocking protocols) or resumes immediately (uncoordinated).
+	PhaseResume = "resume"
+)

@@ -141,13 +141,14 @@ func (c *Cluster) launch(w workload.Workload) (workload.Instance, error) {
 	return inst, nil
 }
 
-// run drives the kernel to completion and checks the job finished.
-func (c *Cluster) run(what string) error {
+// run drives the kernel to completion and checks the job finished. The
+// label names the run in errors; it is not an obs event kind.
+func (c *Cluster) run(label string) error {
 	if err := c.K.Run(); err != nil {
-		return fmt.Errorf("harness: %s run failed: %w", what, err)
+		return fmt.Errorf("harness: %s run failed: %w", label, err)
 	}
 	if !c.Job.Finished() {
-		return fmt.Errorf("harness: %s run ended with unfinished ranks", what)
+		return fmt.Errorf("harness: %s run ended with unfinished ranks", label)
 	}
 	return nil
 }

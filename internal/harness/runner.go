@@ -24,6 +24,7 @@ import (
 type Runner struct {
 	workers int
 
+	// shared: mutex serializes the memo table and aggregate across worker goroutines
 	mu        sync.Mutex
 	baselines map[string]*baselineEntry // guarded by mu
 	hits      int                       // guarded by mu
@@ -52,6 +53,7 @@ func (r *Runner) aggregate() *obs.Aggregate {
 // computation: concurrent cells needing the same baseline run it once and
 // share the result.
 type baselineEntry struct {
+	// shared: mutex dedups the in-flight baseline run across workers
 	once sync.Once
 	t    sim.Time
 	err  error
@@ -168,10 +170,13 @@ func (r *Runner) ForEach(n int, fn func(i int) error) error {
 		workers = n
 	}
 	errs := make([]error, n)
+	// shared: channel distributes cell indices to the worker pool
 	idx := make(chan int)
+	// shared: mutex joins the worker pool before ForEach returns
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		// shared: channel worker goroutines drain idx and write disjoint errs slots
 		go func() {
 			defer wg.Done()
 			for i := range idx {

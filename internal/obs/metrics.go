@@ -234,6 +234,7 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 // were scheduled — the property the concurrent Runner relies on. It is safe
 // for concurrent use.
 type Aggregate struct {
+	// shared: mutex serializes merges from concurrent Runner workers
 	mu       sync.Mutex
 	counters map[metricKey]int64      // guarded by mu
 	hists    map[metricKey]histMerged // guarded by mu

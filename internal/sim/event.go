@@ -44,6 +44,8 @@ type Event struct {
 
 // Time reports when the event is scheduled to fire, or 0 for an empty or
 // stale handle.
+//
+// alloc-free
 func (ev Event) Time() Time {
 	if ev.e == nil || ev.e.gen != ev.gen {
 		return 0
@@ -54,6 +56,8 @@ func (ev Event) Time() Time {
 // Cancel prevents the event from firing. Canceling an event that has
 // already fired or was already canceled — including one whose storage has
 // been recycled for a newer event — is a safe no-op.
+//
+// alloc-free
 func (ev Event) Cancel() {
 	e := ev.e
 	if e == nil || e.gen != ev.gen || e.fired || e.canceled {
@@ -65,6 +69,8 @@ func (ev Event) Cancel() {
 }
 
 // Canceled reports whether the event was canceled before firing.
+//
+// alloc-free
 func (ev Event) Canceled() bool {
 	e := ev.e
 	return e != nil && e.gen == ev.gen && e.canceled
@@ -72,6 +78,8 @@ func (ev Event) Canceled() bool {
 
 // Fired reports whether the event's callback has run. A stale handle (the
 // event completed and its slot was reused) reports true.
+//
+// alloc-free
 func (ev Event) Fired() bool {
 	e := ev.e
 	if e == nil {
@@ -86,6 +94,8 @@ func (ev Event) Fired() bool {
 // Pending reports whether the event is still scheduled: neither fired nor
 // canceled. Unlike Fired and Canceled it is accurate for empty and stale
 // handles too, so it is the right test for "is my timer still armed".
+//
+// alloc-free
 func (ev Event) Pending() bool {
 	e := ev.e
 	return e != nil && e.gen == ev.gen && !e.fired && !e.canceled

@@ -16,7 +16,7 @@ type Kernel struct {
 	seq       uint64
 	processed uint64
 	q         eventQueue
-	yielded   chan struct{}
+	yielded   chan struct{} // shared: channel control hand-off between kernel and process goroutines
 	procs     []*Proc
 	live      int
 	failure   error
@@ -52,6 +52,8 @@ func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
 // alloc takes an event from the free list (bumping its generation, which
 // invalidates any handles to its previous life) or allocates a fresh one,
 // and stamps it with the next sequence number.
+//
+// alloc-free
 func (k *Kernel) alloc(t Time) *event {
 	var e *event
 	if n := len(k.q.free); n > 0 {
@@ -62,6 +64,7 @@ func (k *Kernel) alloc(t Time) *event {
 		e.canceled = false
 		e.fired = false
 	} else {
+		//lint:allow-allocfree pool refill on a cold miss; the steady state recycles every event
 		e = &event{k: k}
 	}
 	k.seq++
@@ -73,6 +76,8 @@ func (k *Kernel) alloc(t Time) *event {
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error in the simulation logic and panics. Events at exactly the current
 // time take the run-queue fast path and skip heap discipline.
+//
+// alloc-free
 func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
 		//lint:allow-panic scheduling into the past corrupts the event queue; no caller can handle it
@@ -85,6 +90,8 @@ func (k *Kernel) At(t Time, fn func()) Event {
 }
 
 // After schedules fn to run d after the current time.
+//
+// alloc-free
 func (k *Kernel) After(d Time, fn func()) Event {
 	if d < 0 {
 		d = 0
@@ -95,6 +102,8 @@ func (k *Kernel) After(d Time, fn func()) Event {
 // atWake schedules a closure-free wake of p at absolute time t: the wake
 // target, token, and kind live in the pooled event itself, so Unpark,
 // Interrupt, timer wakes, and Spawn starts allocate nothing.
+//
+// alloc-free
 func (k *Kernel) atWake(t Time, p *Proc, tok uint64, kind wakeKind) Event {
 	e := k.alloc(t)
 	e.wake = p
@@ -106,6 +115,8 @@ func (k *Kernel) atWake(t Time, p *Proc, tok uint64, kind wakeKind) Event {
 
 // dispatch runs one fired event: the wake fast path when a target process
 // is stored, the general callback otherwise.
+//
+// alloc-free
 func (k *Kernel) dispatch(e *event) {
 	p := e.wake
 	if p == nil {
@@ -133,11 +144,15 @@ func (k *Kernel) Fail(err error) {
 // Run executes events until the queue drains or the simulation fails.
 // It returns an error if a process panicked, Fail was called, or live
 // processes remain blocked with no pending events (deadlock).
+//
+// alloc-free
 func (k *Kernel) Run() error { return k.RunUntil(-1) }
 
 // RunUntil executes events with timestamps <= limit (limit < 0 means no
 // limit). When it returns because of the limit, the clock is advanced to
 // limit and remaining events stay queued; a subsequent call resumes.
+//
+// alloc-free
 func (k *Kernel) RunUntil(limit Time) error {
 	for k.failure == nil {
 		// Peek-then-commit: next discards canceled events as it finds them
@@ -173,6 +188,7 @@ func (k *Kernel) RunUntil(limit Time) error {
 		return nil
 	}
 	if k.live > 0 {
+		//lint:allow-allocfree the deadlock diagnostic is a terminal path; it formats freely
 		return k.deadlockError()
 	}
 	return nil
@@ -219,6 +235,8 @@ func (k *Kernel) deadlockError() error {
 }
 
 // switchTo transfers control to p and blocks until p yields back.
+//
+// alloc-free
 func (k *Kernel) switchTo(p *Proc) {
 	prev := k.running
 	k.running = p

@@ -36,7 +36,7 @@ type Proc struct {
 	k           *Kernel
 	id          int
 	name        string
-	resume      chan struct{}
+	resume      chan struct{} // shared: channel control hand-off between kernel and this process's goroutine
 	state       procState
 	blockReason string
 
@@ -68,6 +68,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 	if k.obs != nil {
 		k.obs.ProcSpawned(k.now, name)
 	}
+	// shared: channel the process trampoline; it runs only while the kernel waits on yielded/resume
 	go func() {
 		<-p.resume
 		defer func() {
@@ -115,12 +116,16 @@ func (p *Proc) Done() bool { return p.state == procDone }
 func (p *Proc) OnExit(fn func()) { p.exitHook = append(p.exitHook, fn) }
 
 // yield hands control back to the kernel and blocks until resumed.
+//
+// alloc-free
 func (p *Proc) yield() {
 	p.k.yielded <- struct{}{}
 	<-p.resume
 }
 
 // checkContext panics if the calling goroutine is not the running process.
+//
+// alloc-free
 func (p *Proc) checkContext(op string) {
 	if p.k.running != p {
 		//lint:allow-panic blocking outside the running process deadlocks the scheduler; no caller can handle it
@@ -130,6 +135,8 @@ func (p *Proc) checkContext(op string) {
 
 // parkInternal blocks the process until woken. until >= 0 arms a timer wake
 // at that absolute time. Returns the reason the process was woken.
+//
+// alloc-free
 func (p *Proc) parkInternal(reason string, until Time) wakeKind {
 	p.checkContext("park")
 	p.parkSeq++
@@ -159,6 +166,8 @@ func (p *Proc) parkInternal(reason string, until Time) wakeKind {
 // park as a spurious wake (Park's contract makes callers loop), so queued
 // wake-ups never collapse into the single permit bit. The token guards only
 // the timer path: a timed wake is valid solely for the park that armed it.
+//
+// alloc-free
 func (p *Proc) tryWake(tok uint64, kind wakeKind) {
 	if p.state != procParked || (kind == wakeTimer && p.parkTok != tok) {
 		switch kind {
@@ -187,6 +196,8 @@ func (p *Proc) tryWake(tok uint64, kind wakeKind) {
 // or pending interrupt is stored. It reports whether the process was woken by
 // an interrupt. Park may return spuriously; callers must loop on their
 // condition.
+//
+// alloc-free
 func (p *Proc) Park(reason string) (interrupted bool) {
 	p.checkContext("Park")
 	if p.intPend {
@@ -202,6 +213,8 @@ func (p *Proc) Park(reason string) (interrupted bool) {
 
 // Unpark wakes p if it is parked, or stores a permit so its next Park returns
 // immediately. It may be called from event callbacks or from other processes.
+//
+// alloc-free
 func (p *Proc) Unpark() {
 	if p.state == procParked {
 		p.k.atWake(p.k.now, p, p.parkTok, wakeUnpark)
@@ -213,6 +226,8 @@ func (p *Proc) Unpark() {
 // Interrupt wakes p if it is parked (Park and SleepI report the interrupt;
 // Sleep keeps it pending), or marks an interrupt pending so the next
 // interruptible blocking point observes it.
+//
+// alloc-free
 func (p *Proc) Interrupt() {
 	if p.state == procParked {
 		p.k.atWake(p.k.now, p, p.parkTok, wakeInterrupt)
@@ -223,6 +238,8 @@ func (p *Proc) Interrupt() {
 
 // InterruptPending reports whether an interrupt is waiting to be delivered,
 // consuming it if consume is true.
+//
+// alloc-free
 func (p *Proc) InterruptPending(consume bool) bool {
 	was := p.intPend
 	if consume {
@@ -234,6 +251,8 @@ func (p *Proc) InterruptPending(consume bool) bool {
 // Sleep blocks for d simulated time. It is not interruptible: interrupts and
 // unparks received while sleeping are stored (as pending interrupt / permit)
 // and the sleep continues to its deadline.
+//
+// alloc-free
 func (p *Proc) Sleep(d Time) {
 	p.checkContext("Sleep")
 	deadline := p.k.now + d
@@ -250,6 +269,8 @@ func (p *Proc) Sleep(d Time) {
 // SleepI blocks for d simulated time or until interrupted, whichever comes
 // first. It returns the unslept remainder and whether an interrupt cut the
 // sleep short. A pending interrupt makes it return immediately.
+//
+// alloc-free
 func (p *Proc) SleepI(d Time) (remaining Time, interrupted bool) {
 	p.checkContext("SleepI")
 	if p.intPend {

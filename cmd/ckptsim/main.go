@@ -13,6 +13,8 @@
 //	ckptsim -workload ring -interval 5 -faults scenario.txt -trace-chrome t.json
 //	ckptsim -workload ring -protocol wholejob -at 10        # ICPP'06 baseline
 //	ckptsim -workload ring -protocol uncoord -interval 5 -faults crash@12s
+//	ckptsim -workload ring -storage hierarchy -replicas 2 -interval 5 -faults 'memloss@17s:count=2'
+//	ckptsim -workload ring -storage burst -interval 5 -faults 'bboutage@20s+5s'
 //
 // Invalid flags and failed runs exit with status 1 and a one-line message.
 package main
@@ -29,6 +31,7 @@ import (
 	"gbcr/internal/harness"
 	"gbcr/internal/obs"
 	"gbcr/internal/sim"
+	"gbcr/internal/storage/tier"
 	"gbcr/internal/workload"
 	"gbcr/internal/workload/hpl"
 	"gbcr/internal/workload/motif"
@@ -61,6 +64,8 @@ func main() {
 		interval  = flag.Float64("interval", 0, "periodic checkpoint interval in seconds (with -mtbf or -faults)")
 		seed      = flag.Int64("seed", 1, "failure-injection seed (with -mtbf or -faults)")
 		faults    = flag.String("faults", "", "fault scenario: a spec like 'crash@12s;outage@20s+5s;mtbf=90s' or a file holding one")
+		storeMode = flag.String("storage", "central", "checkpoint storage: central, burst, ram, hierarchy")
+		replicas  = flag.Int("replicas", 0, "RAM-tier partner replicas per rank (with -storage ram or hierarchy; 0 = default 2)")
 	)
 	flag.Parse()
 
@@ -101,6 +106,24 @@ func main() {
 	}
 	if kind == protocol.Uncoordinated && set["helper"] {
 		fail("-helper does not apply to -protocol uncoord; there is no passive-coordination state to bound")
+	}
+
+	// Storage-hierarchy selection. Like the group-structure flags, unusable
+	// combinations are rejected rather than ignored: -replicas without a
+	// RAM-bearing mode, or a tiered mode under a protocol whose commit model
+	// the hierarchy does not support.
+	mode := tier.Mode(*storeMode)
+	if !mode.Valid() {
+		fail("unknown -storage %q (want central, burst, ram, or hierarchy)", *storeMode)
+	}
+	if set["replicas"] && !mode.HasRAM() {
+		fail("-replicas only applies to -storage ram or hierarchy; %s has no RAM replication tier", mode)
+	}
+	if *replicas < 0 {
+		fail("-replicas must not be negative, got %d", *replicas)
+	}
+	if mode.Tiered() && kind == protocol.Uncoordinated {
+		fail("-storage %s requires a blocking protocol; uncoord commits per rank on central-write completion", mode)
 	}
 
 	if *n <= 0 {
@@ -176,6 +199,13 @@ func main() {
 		cfg.CR.Dynamic = false
 		cfg.CR.HelperEnabled = false
 		cfg.MPI.LogMessages = true
+	}
+	if mode.Tiered() {
+		cfg.Tiers.Mode = mode
+		cfg.Tiers.Replicas = *replicas
+		if err := cfg.Validate(); err != nil {
+			fail("%v", err)
+		}
 	}
 
 	// Build the observability bus only when some output is requested: a nil
@@ -258,6 +288,13 @@ func main() {
 		writeOutputs()
 		fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
 		fmt.Printf("protocol:              %s\n", protocolName(kind, *group, ranks, *dynamic))
+		if mode.Tiered() {
+			if mode.HasRAM() {
+				fmt.Printf("storage:               %s (%d RAM replicas)\n", mode, cfg.Tiers.ReplicaCount())
+			} else {
+				fmt.Printf("storage:               %s\n", mode)
+			}
+		}
 		if scn.MTBF > 0 {
 			fmt.Printf("checkpoint interval:   %v (MTBF %v)\n", iv, scn.MTBF)
 		} else {
@@ -274,6 +311,10 @@ func main() {
 		}
 		if fr.CorruptSkipped > 0 {
 			fmt.Printf("corrupt epochs skipped: %d\n", fr.CorruptSkipped)
+		}
+		if mode.Tiered() && fr.Failures > 0 {
+			fmt.Printf("recovered from tiers:  ram=%d burst=%d central=%d\n",
+				fr.RecoveredRAM, fr.RecoveredBurst, fr.RecoveredCentral)
 		}
 		if *showTrace {
 			fmt.Println("\nfault injections:")

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-only fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions,extprotocols] [-json] [-workers N]
+//	figures [-only fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions,extprotocols,exttiers] [-json] [-workers N]
 //	figures -only extprotocols -protocol group,uncoord
 //
 // Sweep matrices run concurrently on a worker pool bounded by GOMAXPROCS;
@@ -40,7 +40,7 @@ func fail(err error) {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions,extprotocols (default: all)")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig3,fig4,fig5,fig6,fig7,ablations,extensions,extprotocols,exttiers (default: all)")
 	asJSON := flag.Bool("json", false, "emit every figure's data series as JSON on stdout")
 	workers := flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	metrics := flag.String("metrics-json", "", "write aggregated per-layer metrics across all measured cells as JSON to this file")
@@ -67,7 +67,7 @@ func main() {
 			kinds = append(kinds, kind)
 		}
 	}
-	known := []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablations", "extensions", "extprotocols"}
+	known := []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablations", "extensions", "extprotocols", "exttiers"}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, f := range strings.Split(*only, ",") {
@@ -162,6 +162,7 @@ func main() {
 	run("extprotocols", one(func() (*figures.Table, error) {
 		return g.ExtensionProtocolsFor(kinds)
 	}))
+	run("exttiers", one(g.ExtensionTiers))
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -103,6 +103,9 @@ type Store struct {
 	// restart candidate as soon as its own write completed.
 	durable  map[int]map[int]bool
 	maxEpoch int
+	// res tracks per-tier physical copies when a storage hierarchy is in
+	// use; see residency.go. Empty for legacy single-service stores.
+	res residencyLedger
 }
 
 // NewStore creates a store for an n-rank job.
@@ -112,6 +115,7 @@ func NewStore(n int) *Store {
 		epochs:   make(map[int]map[int]*Snapshot),
 		complete: make(map[int]bool),
 		durable:  make(map[int]map[int]bool),
+		res:      newResidencyLedger(),
 	}
 }
 
@@ -196,9 +200,9 @@ func (st *Store) RankDurable(epoch, rank int) bool {
 }
 
 // LatestRankDurable returns one rank's newest durable snapshot that still
-// passes Verify, walking down past corrupted epochs. skipped counts the
-// durable snapshots rejected on the way; (0, nil, skipped) means the rank
-// must restart from scratch.
+// passes Verify and keeps at least one intact tier copy, walking down past
+// corrupted or lost epochs. skipped counts the durable snapshots rejected on
+// the way; (0, nil, skipped) means the rank must restart from scratch.
 func (st *Store) LatestRankDurable(rank int) (epoch int, s *Snapshot, skipped int) {
 	for e := st.maxEpoch; e > 0; e-- {
 		if !st.RankDurable(e, rank) {
@@ -208,7 +212,7 @@ func (st *Store) LatestRankDurable(rank int) (epoch int, s *Snapshot, skipped in
 		if snap == nil {
 			continue
 		}
-		if snap.Verify() != nil {
+		if snap.Verify() != nil || !st.recoverable(e, rank) {
 			skipped++
 			continue
 		}
@@ -239,10 +243,11 @@ func (st *Store) Get(epoch, rank int) *Snapshot {
 }
 
 // LatestVerified returns the most recent committed epoch whose every
-// snapshot still passes Verify, skipping past epochs that were committed but
-// have since been corrupted in the archive. skipped counts the committed
-// epochs rejected on the way down; (0, nil, skipped) means no usable epoch
-// remains.
+// snapshot still passes Verify and remains recoverable from at least one
+// storage tier, skipping past epochs that were committed but have since been
+// corrupted in the archive or whose copies were all lost to node failures.
+// skipped counts the committed epochs rejected on the way down;
+// (0, nil, skipped) means no usable epoch remains.
 func (st *Store) LatestVerified() (epoch int, snaps map[int]*Snapshot, skipped int) {
 	// Walk down from the newest committed epoch; epochs are small dense
 	// positive integers, so the countdown visits every candidate.
@@ -254,7 +259,7 @@ func (st *Store) LatestVerified() (epoch int, snaps map[int]*Snapshot, skipped i
 		good := true
 		for rank := 0; rank < st.n; rank++ {
 			s := st.epochs[e][rank]
-			if s == nil || s.Verify() != nil {
+			if s == nil || s.Verify() != nil || !st.recoverable(e, rank) {
 				good = false
 				break
 			}

@@ -1,0 +1,123 @@
+package blcr
+
+import "testing"
+
+// fastestFirst is the search order the hierarchy hands to RecoverySource.
+var fastestFirst = []string{"ram", "burst", "central"}
+
+// trackEpoch registers the standard copy layout for one rank of an epoch:
+// a k+1 RAM set on ring partners, one burst copy, one central copy.
+func trackEpoch(st *Store, epoch, rank, n, k int) {
+	st.AddReplica(epoch, rank, "ram", rank)
+	for i := 1; i <= k; i++ {
+		st.AddReplica(epoch, rank, "ram", (rank+i)%n)
+	}
+	st.AddReplica(epoch, rank, "burst", -1)
+	st.AddReplica(epoch, rank, "central", -1)
+}
+
+func TestRecoverySourceFallsThroughTiers(t *testing.T) {
+	const n = 4
+	st := NewStore(n)
+	fullEpoch(t, st, n, 1)
+	trackEpoch(st, 1, 0, n, 1)
+	if src, ok := st.RecoverySource(1, 0, fastestFirst); !ok || src != "ram" {
+		t.Fatalf("RecoverySource = (%q, %v), want (ram, true)", src, ok)
+	}
+	// Both RAM copies lost with their nodes: fall through to burst.
+	st.DropReplica(1, 0, "ram", 0)
+	st.DropReplica(1, 0, "ram", 1)
+	if src, ok := st.RecoverySource(1, 0, fastestFirst); !ok || src != "burst" {
+		t.Fatalf("RecoverySource = (%q, %v), want (burst, true)", src, ok)
+	}
+	// A corrupted burst copy is present but unusable: fall through to central.
+	st.CorruptReplica(1, 0, "burst", -1)
+	if src, ok := st.RecoverySource(1, 0, fastestFirst); !ok || src != "central" {
+		t.Fatalf("RecoverySource = (%q, %v), want (central, true)", src, ok)
+	}
+	// Every copy gone: the snapshot is unrecoverable.
+	st.DropReplica(1, 0, "central", -1)
+	if src, ok := st.RecoverySource(1, 0, fastestFirst); ok {
+		t.Fatalf("RecoverySource = (%q, %v) after total loss, want ok=false", src, ok)
+	}
+}
+
+func TestRecoverySourceUntrackedIsLegacyCentral(t *testing.T) {
+	st := NewStore(2)
+	fullEpoch(t, st, 2, 1)
+	// No residency recorded: legacy single-service mode.
+	if st.Tracked(1, 0) {
+		t.Fatal("legacy snapshot reports Tracked")
+	}
+	if src, ok := st.RecoverySource(1, 0, fastestFirst); !ok || src != "central" {
+		t.Fatalf("RecoverySource = (%q, %v), want (central, true)", src, ok)
+	}
+}
+
+func TestLatestVerifiedSkipsEpochWithAllCopiesLost(t *testing.T) {
+	const n = 2
+	st := NewStore(n)
+	fullEpoch(t, st, n, 1)
+	fullEpoch(t, st, n, 2)
+	for r := 0; r < n; r++ {
+		trackEpoch(st, 1, r, n, 1)
+		// Epoch 2 only ever reached RAM (drains abandoned).
+		st.AddReplica(2, r, "ram", r)
+		st.AddReplica(2, r, "ram", (r+1)%n)
+	}
+	if epoch, _, _ := st.LatestVerified(); epoch != 2 {
+		t.Fatalf("LatestVerified = %d before loss, want 2", epoch)
+	}
+	// A 2-node memory loss destroys every RAM copy of epoch 2; epoch 1
+	// survives at burst and central.
+	lost := st.DropNodeReplicas("ram", 0) + st.DropNodeReplicas("ram", 1)
+	if lost != 8 { // 2 ranks x 2 copies x 2 epochs
+		t.Fatalf("DropNodeReplicas removed %d copies, want 8", lost)
+	}
+	epoch, snaps, skipped := st.LatestVerified()
+	if epoch != 1 || skipped != 1 {
+		t.Fatalf("LatestVerified = epoch %d, skipped %d; want epoch 1, skipped 1", epoch, skipped)
+	}
+	for r := 0; r < n; r++ {
+		if snaps[r] == nil {
+			t.Fatalf("fallback epoch missing rank %d", r)
+		}
+		if src, ok := st.RecoverySource(1, r, fastestFirst); !ok || src != "burst" {
+			t.Fatalf("rank %d RecoverySource = (%q, %v), want (burst, true)", r, src, ok)
+		}
+	}
+}
+
+func TestLatestRankDurableHonorsResidency(t *testing.T) {
+	st := NewStore(1)
+	fullEpoch(t, st, 1, 1)
+	fullEpoch(t, st, 1, 2)
+	st.AddReplica(2, 0, "ram", 0)
+	if epoch, _, _ := st.LatestRankDurable(0); epoch != 2 {
+		t.Fatalf("LatestRankDurable = %d, want 2", epoch)
+	}
+	st.DropReplica(2, 0, "ram", 0)
+	epoch, s, skipped := st.LatestRankDurable(0)
+	if epoch != 1 || s == nil || skipped != 1 {
+		t.Fatalf("LatestRankDurable = (%d, %v, %d) after copy loss, want (1, snap, 1)", epoch, s, skipped)
+	}
+}
+
+func TestAddReplicaIdempotentAndRestoring(t *testing.T) {
+	st := NewStore(2)
+	fullEpoch(t, st, 2, 1)
+	st.AddReplica(1, 0, "ram", 1)
+	st.AddReplica(1, 0, "ram", 1) // duplicate: no double count
+	if got := st.TierIntact(1, 0, "ram"); got != 1 {
+		t.Fatalf("TierIntact = %d after duplicate add, want 1", got)
+	}
+	st.CorruptReplica(1, 0, "ram", 1)
+	if got := st.TierIntact(1, 0, "ram"); got != 0 {
+		t.Fatalf("TierIntact = %d after corruption, want 0", got)
+	}
+	// A re-drain rewrites the damaged copy in place.
+	st.AddReplica(1, 0, "ram", 1)
+	if got := st.TierIntact(1, 0, "ram"); got != 1 {
+		t.Fatalf("TierIntact = %d after restoring add, want 1", got)
+	}
+}

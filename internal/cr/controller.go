@@ -430,7 +430,7 @@ func (c *Controller) AtSafePoint(e *mpi.Env) {
 		// drain to central storage after.
 		p.Sleep(c.localWriteTime(snap.Size()))
 		c.startDrain(snap.Size())
-	} else if _, err := snap.WriteTo(p, c.co.store); err != nil {
+	} else if _, err := c.writeSnapshot(p, snap); err != nil {
 		c.emit(obs.End, "ckpt-write", "")
 		if errors.Is(err, storage.ErrUnavailable) {
 			// Mid-cycle storage failure: hand the cycle back to the
@@ -641,7 +641,7 @@ func (c *Controller) writeFinishedSnapshot(rec *CkptRecord) {
 		})
 		return
 	}
-	tr, err := c.co.store.Start(snap.Size())
+	tr, err := c.startSnapshotWrite(snap)
 	if err != nil {
 		k.Fail(fmt.Errorf("cr: rank %d starting snapshot write: %w", c.rank.World(), err))
 		return
@@ -665,6 +665,25 @@ func (c *Controller) writeFinishedSnapshot(rec *CkptRecord) {
 		}
 		done()
 	})
+}
+
+// writeSnapshot performs the blocking snapshot write for a running rank:
+// through the storage hierarchy when one is installed — acknowledging at its
+// fastest durable tier — and directly to the central service otherwise.
+func (c *Controller) writeSnapshot(p *sim.Proc, snap *blcr.Snapshot) (sim.Time, error) {
+	if h := c.co.tiers; h != nil {
+		return h.Write(p, snap.Epoch, snap.Rank, snap.Size())
+	}
+	return snap.WriteTo(p, c.co.store)
+}
+
+// startSnapshotWrite begins the event-context snapshot write for a finished
+// rank, routed the same way as writeSnapshot.
+func (c *Controller) startSnapshotWrite(snap *blcr.Snapshot) (*storage.Transfer, error) {
+	if h := c.co.tiers; h != nil {
+		return h.StartWrite(snap.Epoch, snap.Rank, snap.Size())
+	}
+	return c.co.store.Start(snap.Size())
 }
 
 // uncoordSafePoint is the member procedure of the uncoordinated protocol, run

@@ -10,6 +10,7 @@ import (
 	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 	"gbcr/internal/storage"
+	"gbcr/internal/storage/tier"
 )
 
 // Coordinator is the global C/R coordinator: it forms the checkpoint groups,
@@ -23,6 +24,13 @@ type Coordinator struct {
 	ep    *ib.Endpoint
 	ctls  []*Controller
 	snaps *blcr.Store
+
+	// tiers, when set, routes snapshot writes through a multi-tier storage
+	// hierarchy instead of the central service: writes acknowledge at the
+	// fastest durable tier and epoch commit gates on replication degree
+	// there, while the central drain continues in the background. Nil keeps
+	// the legacy direct-to-central path.
+	tiers *tier.Hierarchy
 
 	// proto is the resolved coordination protocol; tag is the protocol label
 	// appended to cycle events when a protocol was selected explicitly
@@ -153,6 +161,21 @@ func (co *Coordinator) Protocol() protocol.Protocol { return co.proto }
 
 // Snapshots returns the archive of completed checkpoints.
 func (co *Coordinator) Snapshots() *blcr.Store { return co.snaps }
+
+// SetTiers installs a multi-tier storage hierarchy and binds it to the
+// snapshot archive so every copy the hierarchy places is recorded in the
+// archive's residency ledger. Call before ranks run; nil is a no-op (the
+// legacy direct-to-central write path stays in effect).
+func (co *Coordinator) SetTiers(h *tier.Hierarchy) {
+	if h == nil {
+		return
+	}
+	co.tiers = h
+	h.Bind(co.snaps)
+}
+
+// Tiers returns the installed storage hierarchy, or nil.
+func (co *Coordinator) Tiers() *tier.Hierarchy { return co.tiers }
 
 // Reports returns the completed cycle reports with per-rank records filled
 // in. Call it after the simulation has quiesced: the last group's resume
@@ -356,8 +379,17 @@ func (co *Coordinator) startTurn(turn int) {
 // markComplete commits an epoch's global checkpoint; a failure means the
 // protocol lost or corrupted a snapshot and the simulation result would be
 // wrong. MarkComplete re-verifies every member snapshot, so this is the
-// commit point of the two-phase protocol.
+// commit point of the two-phase protocol. Under a storage hierarchy the
+// commit additionally gates on replication degree — every rank's image must
+// hold its full copy set at some tier — but never on the central drain,
+// which continues in the background.
 func (co *Coordinator) markComplete(epoch int) {
+	if co.tiers != nil {
+		if err := co.tiers.CheckCommit(epoch); err != nil {
+			co.k.Fail(err)
+			return
+		}
+	}
 	if err := co.snaps.MarkComplete(epoch); err != nil {
 		co.k.Fail(err)
 	}

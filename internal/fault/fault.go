@@ -48,9 +48,21 @@ const (
 	// right after that epoch commits (bit rot discovered at restart time):
 	// restart must fall back past it to an older verified epoch.
 	SnapshotCorrupt
+	// NodeMemoryLoss kills the whole job fail-stop at At like RankCrash and
+	// additionally destroys the RAM-tier checkpoint copies held in the
+	// failed nodes' memory: Count consecutive nodes starting at Rank
+	// (Rank -1 means node 0). It defeats the RAM replication tier when
+	// Count exceeds the replica count; recovery must then fall through to
+	// the burst buffer or central storage.
+	NodeMemoryLoss
+	// BurstBufferOutage takes the shared burst-buffer tier down (or degrades
+	// it to Factor×nominal) from At for Duration: in-flight burst writes
+	// abort and the checkpoint cycle aborts and retries, exactly as a
+	// StorageOutage does to the central service.
+	BurstBufferOutage
 )
 
-var kindNames = [...]string{"crash", "outage", "cmdrop", "corrupt"}
+var kindNames = [...]string{"crash", "outage", "cmdrop", "corrupt", "memloss", "bboutage"}
 
 func (kd Kind) String() string {
 	if int(kd) < len(kindNames) {
@@ -95,7 +107,7 @@ type Fault struct {
 func (f Fault) String() string {
 	s := f.Kind.String()
 	switch f.Kind {
-	case StorageOutage:
+	case StorageOutage, BurstBufferOutage:
 		s += "@" + time.Duration(f.At).String() + "+" + time.Duration(f.Duration).String()
 	case SnapshotCorrupt:
 		// Fires when its epoch commits; no trigger time.
@@ -115,7 +127,7 @@ func (f Fault) String() string {
 	if f.Epoch > 0 {
 		add("epoch", fmt.Sprintf("%d", f.Epoch))
 	}
-	if f.Kind == StorageOutage && f.Factor > 0 {
+	if (f.Kind == StorageOutage || f.Kind == BurstBufferOutage) && f.Factor > 0 {
 		add("factor", fmt.Sprintf("%g", f.Factor))
 	}
 	if f.CMType != "" {
@@ -143,7 +155,7 @@ func (f Fault) validate() error {
 		default:
 			return fmt.Errorf("unknown crash phase %q (want sync, teardown, write, or resume)", f.Phase)
 		}
-	case StorageOutage:
+	case StorageOutage, BurstBufferOutage:
 		if f.At < 0 || f.Duration <= 0 {
 			return errors.New("outage needs a time and a positive duration (@dur+dur)")
 		}
@@ -165,6 +177,16 @@ func (f Fault) validate() error {
 		}
 		if f.Rank < 0 {
 			return errors.New("corrupt needs rank=N (the snapshot to damage)")
+		}
+	case NodeMemoryLoss:
+		if f.At <= 0 {
+			return errors.New("memloss needs a trigger time (@dur)")
+		}
+		if f.Phase != "" {
+			return errors.New("memloss fires at a time, not a phase")
+		}
+		if f.Count < 0 {
+			return fmt.Errorf("memloss count %d is negative", f.Count)
 		}
 	default:
 		return fmt.Errorf("unknown fault kind %v", f.Kind)

@@ -18,7 +18,12 @@ func TestParseRoundTrip(t *testing.T) {
 		"cmdrop:type=REQ,count=2",
 		"cmdrop@3s:rank=1,type=DISC",
 		"corrupt:rank=0,epoch=1",
+		"memloss@17s",
+		"memloss@17s:rank=2,count=3",
+		"bboutage@20s+5s",
+		"bboutage@20s+5s:factor=0.5",
 		"crash@12s;outage@20s+5s;mtbf=1m30s;seed=7",
+		"memloss@3s:count=2;bboutage@8s+2s;seed=11",
 	} {
 		scn, err := Parse(spec)
 		if err != nil {
@@ -74,21 +79,25 @@ func TestParseDefaults(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
-		"meteor@3s",                  // unknown kind
-		"crash",                      // no trigger
-		"crash:phase=flying",         // unknown phase
-		"crash@abc",                  // bad duration
-		"outage@5s",                  // no window length
-		"outage@5s+2s:factor=1.5",    // factor out of range
-		"cmdrop:type=NAK",            // unknown packet type
-		"cmdrop:count=-1",            // negative count
-		"corrupt:epoch=1",            // corrupt needs a rank
-		"corrupt:rank=1",             // corrupt needs an epoch
-		"crash@5s:color=red",         // unknown option
-		"crash@5s:rank",              // malformed option
-		"mtbf=banana",                // bad setting value
-		"seed=pi",                    // bad seed
-		"crash@5s;outage@1s",         // error in later segment
+		"meteor@3s",                 // unknown kind
+		"crash",                     // no trigger
+		"crash:phase=flying",        // unknown phase
+		"crash@abc",                 // bad duration
+		"outage@5s",                 // no window length
+		"outage@5s+2s:factor=1.5",   // factor out of range
+		"cmdrop:type=NAK",           // unknown packet type
+		"cmdrop:count=-1",           // negative count
+		"corrupt:epoch=1",           // corrupt needs a rank
+		"corrupt:rank=1",            // corrupt needs an epoch
+		"crash@5s:color=red",        // unknown option
+		"crash@5s:rank",             // malformed option
+		"mtbf=banana",               // bad setting value
+		"seed=pi",                   // bad seed
+		"crash@5s;outage@1s",        // error in later segment
+		"memloss",                   // memloss needs a trigger time
+		"memloss@5s:phase=write",    // memloss fires at a time, not a phase
+		"bboutage@5s",               // no window length
+		"bboutage@5s+2s:factor=1.5", // factor out of range
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted", spec)

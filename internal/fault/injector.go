@@ -9,9 +9,10 @@ import (
 	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 	"gbcr/internal/storage"
+	"gbcr/internal/storage/tier"
 )
 
-// Target is the assembled cluster an Injector arms faults against. All four
+// Target is the assembled cluster an Injector arms faults against. All
 // components belong to one simulated run (one restart attempt); the injector
 // itself outlives attempts so one-shot faults fire exactly once across the
 // whole availability run.
@@ -20,6 +21,10 @@ type Target struct {
 	Storage *storage.System
 	Fabric  *ib.Fabric
 	Coord   *cr.Coordinator
+	// Tiers is the multi-tier storage hierarchy when the cluster has one;
+	// nil otherwise. BurstBufferOutage faults require a burst tier and are
+	// rejected by runners when none exists.
+	Tiers *tier.Hierarchy
 }
 
 // Injector schedules a Scenario's faults against successive cluster
@@ -88,6 +93,13 @@ func (in *Injector) Arm(t Target, offset sim.Time) {
 			}
 		case SnapshotCorrupt:
 			// Applied by OnEpochCommitted when the target epoch commits.
+		case NodeMemoryLoss:
+			if in.fired[i] {
+				continue
+			}
+			in.armMemLoss(t, i, f, offset)
+		case BurstBufferOutage:
+			in.armBBOutage(t, f, offset)
 		}
 	}
 	if len(phaseCrashes) > 0 {
@@ -162,6 +174,66 @@ func (in *Injector) armOutage(t Target, f Fault, offset sim.Time) {
 	t.K.After(end, func() {
 		t.Storage.SetAvailability(1)
 		in.emit(t.K.Now(), obs.End, "outage", "", 0)
+	})
+}
+
+// armMemLoss schedules a node-memory-loss fault: a fail-stop job loss that
+// also destroys the RAM-tier checkpoint copies held by Count consecutive
+// nodes starting at the target rank. The residency drop happens in the same
+// kernel event as the crash, so the restart line is computed against the
+// surviving copies only. Without a RAM tier the drop is vacuous and the
+// fault degenerates to a plain crash.
+func (in *Injector) armMemLoss(t Target, i int, f Fault, offset sim.Time) {
+	d := f.At - offset
+	if d < 0 {
+		d = 0
+	}
+	t.K.After(d, func() {
+		in.fired[i] = true
+		first := f.Rank
+		if first < 0 {
+			first = 0
+		}
+		count := f.Count
+		if count < 1 {
+			count = 1
+		}
+		lost := 0
+		store := t.Coord.Snapshots()
+		for node := first; node < first+count; node++ {
+			lost += store.DropNodeReplicas(string(tier.RAM), node)
+		}
+		in.emit(t.K.Now(), obs.Instant, "memloss",
+			fmt.Sprintf("nodes %d..%d lost, %d ram copies destroyed", first, first+count-1, lost),
+			int64(count))
+		t.K.Fail(fmt.Errorf("%v at %v: %w", f, offset+t.K.Now(), ErrRankCrash))
+	})
+}
+
+// armBBOutage schedules an availability window on the burst-buffer tier,
+// mirroring armOutage's treatment of the central service. Runners reject
+// bboutage scenarios on clusters without a burst tier, so a nil system here
+// only means the window ended before this attempt started.
+func (in *Injector) armBBOutage(t Target, f Fault, offset sim.Time) {
+	sys := t.Tiers.BurstSystem()
+	if sys == nil {
+		return
+	}
+	begin := f.At - offset
+	end := f.At + f.Duration - offset
+	if end <= 0 {
+		return // window entirely inside earlier attempts
+	}
+	if begin < 0 {
+		begin = 0 // attempt starts mid-window
+	}
+	t.K.After(begin, func() {
+		in.emit(t.K.Now(), obs.Begin, "bb-outage", fmt.Sprintf("factor=%g", f.Factor), int64(f.Factor*100))
+		sys.SetAvailability(f.Factor)
+	})
+	t.K.After(end, func() {
+		sys.SetAvailability(1)
+		in.emit(t.K.Now(), obs.End, "bb-outage", "", 0)
 	})
 }
 

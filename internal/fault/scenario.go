@@ -41,6 +41,18 @@ func (s Scenario) String() string {
 // Empty reports whether the scenario injects nothing at all.
 func (s Scenario) Empty() bool { return len(s.Faults) == 0 && s.MTBF <= 0 }
 
+// HasKind reports whether any scripted fault is of the given kind. Runners
+// use it to reject faults that target a subsystem the cluster was built
+// without (a burst-buffer outage on a cluster with no burst tier).
+func (s Scenario) HasKind(k Kind) bool {
+	for _, f := range s.Faults {
+		if f.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
 // CheckPhases rejects phase-triggered crashes naming a phase outside the
 // active protocol's vocabulary. Parse validates against the union of all
 // protocols' phases; the runner calls this once the protocol is known (e.g.
@@ -69,11 +81,15 @@ func (s Scenario) CheckPhases(allowed []string) error {
 // fault or a scenario-level setting.
 //
 //	fault   = kind [ "@" dur [ "+" dur ] ] [ ":" key "=" val { "," key "=" val } ]
-//	kind    = "crash" | "outage" | "degrade" | "cmdrop" | "corrupt"
+//	kind    = "crash" | "outage" | "degrade" | "cmdrop" | "corrupt" |
+//	          "memloss" | "bboutage"
 //	setting = "mtbf=" dur | "seed=" int
 //
 // Durations use Go syntax ("12s", "1.5s", "250ms"). "degrade" is an outage
-// with a default factor of 0.5. Keys: rank, phase, epoch, factor, type,
+// with a default factor of 0.5. "memloss" and "bboutage" target the
+// multi-tier storage hierarchy: the former is a crash that also destroys the
+// RAM-tier copies of count consecutive nodes, the latter an availability
+// window on the burst-buffer tier. Keys: rank, phase, epoch, factor, type,
 // count. Examples:
 //
 //	crash@12s
@@ -82,6 +98,8 @@ func (s Scenario) CheckPhases(allowed []string) error {
 //	degrade@20s+5s:factor=0.25
 //	cmdrop@3s:type=REQ,count=2
 //	corrupt:epoch=1,rank=0
+//	memloss@17s:rank=0,count=2
+//	bboutage@20s+5s
 //	mtbf=90s;seed=7
 func Parse(spec string) (Scenario, error) {
 	var scn Scenario
@@ -131,6 +149,11 @@ func parseFault(seg string) (Fault, error) {
 		f.Count = 1
 	case "corrupt":
 		f.Kind = SnapshotCorrupt
+	case "memloss":
+		f.Kind = NodeMemoryLoss
+		f.Count = 1
+	case "bboutage":
+		f.Kind = BurstBufferOutage
 	default:
 		return Fault{}, fmt.Errorf("fault: unknown kind %q in %q", head, seg)
 	}

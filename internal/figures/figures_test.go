@@ -564,6 +564,64 @@ func TestExtensionProtocols(t *testing.T) {
 	}
 }
 
+// TestExtensionTiers checks the multi-tier storage comparison's shape:
+// faster ack tiers strictly cut the per-checkpoint delay (and with it
+// Young's optimal interval), RAM partner replicas make recovery cheap, and
+// the full hierarchy inherits the RAM tier's numbers because the drain is
+// off the critical path.
+func TestExtensionTiers(t *testing.T) {
+	e := mustT(t, tg.ExtensionTiers)
+	want := []string{"central", "burst", "ram (k=2)", "hierarchy (k=2)"}
+	if len(e.Rows) != len(want) {
+		t.Fatalf("rows = %v, want %v", e.Rows, want)
+	}
+	for i, r := range want {
+		if e.Rows[i] != r {
+			t.Fatalf("row %d = %q, want %q", i, e.Rows[i], r)
+		}
+	}
+	for _, row := range e.Rows {
+		if d := mustCell(t, e, row, "ckpt delay s"); d <= 0 {
+			t.Fatalf("%s: delay %.2fs, want > 0 (checkpoints are never free)", row, d)
+		}
+		if r := mustCell(t, e, row, "recovery s"); r <= 0 {
+			t.Fatalf("%s: recovery %.2fs, want > 0 (the crash is not free)", row, r)
+		}
+		e20 := mustCell(t, e, row, "eff @MTBF 20s")
+		e60 := mustCell(t, e, row, "eff @MTBF 60s")
+		if e20 <= 0 || e20 >= 1 || e60 <= 0 || e60 >= 1 {
+			t.Fatalf("%s: efficiencies %.3f/%.3f outside (0,1)", row, e20, e60)
+		}
+		if e60 < e20-0.02 {
+			t.Fatalf("%s: more reliable machine less efficient (%.3f @60s vs %.3f @20s)",
+				row, e60, e20)
+		}
+	}
+	// Each faster ack tier strictly cuts the delay, and Young's optimum
+	// follows it down (sqrt is monotone).
+	for _, pair := range [][2]string{{"central", "burst"}, {"burst", "ram (k=2)"}} {
+		slow, fast := pair[0], pair[1]
+		if ds, df := mustCell(t, e, slow, "ckpt delay s"), mustCell(t, e, fast, "ckpt delay s"); df >= ds {
+			t.Fatalf("delay %s %.2fs not below %s %.2fs", fast, df, slow, ds)
+		}
+		if ys, yf := mustCell(t, e, slow, "Young opt s"), mustCell(t, e, fast, "Young opt s"); yf >= ys {
+			t.Fatalf("Young opt %s %.2fs not below %s %.2fs", fast, yf, slow, ys)
+		}
+	}
+	// RAM replicas make the crash cheap relative to a central read-back.
+	if rc, rr := mustCell(t, e, "central", "recovery s"), mustCell(t, e, "ram (k=2)", "recovery s"); rr >= rc/2 {
+		t.Fatalf("RAM recovery %.2fs not well below central %.2fs", rr, rc)
+	}
+	// The hierarchy acks at RAM, so its foreground numbers match the RAM
+	// tier; the background drain must not leak into delay or recovery.
+	for _, col := range e.Cols {
+		hr, rr := mustCell(t, e, "hierarchy (k=2)", col), mustCell(t, e, "ram (k=2)", col)
+		if diff := hr - rr; diff < -0.05*rr-0.01 || diff > 0.05*rr+0.01 {
+			t.Fatalf("hierarchy %s %.3f diverges from ram %.3f", col, hr, rr)
+		}
+	}
+}
+
 func mustFloat(t *testing.T, s string) float64 {
 	t.Helper()
 	v, err := strconv.ParseFloat(s, 64)

@@ -21,6 +21,7 @@ import (
 	"gbcr/internal/obs"
 	"gbcr/internal/sim"
 	"gbcr/internal/storage"
+	"gbcr/internal/storage/tier"
 	"gbcr/internal/workload"
 )
 
@@ -32,6 +33,10 @@ type ClusterConfig struct {
 	Fabric  ib.Config
 	MPI     mpi.Config
 	CR      cr.Config
+	// Tiers selects the checkpoint storage hierarchy. The zero value keeps
+	// the legacy direct-to-central path (no hierarchy is built), so existing
+	// configurations and their traces are untouched.
+	Tiers tier.Config
 }
 
 // Validate reports whether the configuration can be assembled into a
@@ -56,8 +61,20 @@ func (cfg ClusterConfig) Validate() error {
 	if cfg.CR.GroupSize > cfg.N {
 		return fmt.Errorf("harness: checkpoint group size %d exceeds job size %d", cfg.CR.GroupSize, cfg.N)
 	}
-	if _, err := cfg.CR.ResolveProtocol(cfg.N, cfg.MPI.LogMessages); err != nil {
+	proto, err := cfg.CR.ResolveProtocol(cfg.N, cfg.MPI.LogMessages)
+	if err != nil {
 		return fmt.Errorf("harness: %w", err)
+	}
+	if err := cfg.Tiers.Validate(cfg.N); err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	if cfg.Tiers.Mode.Tiered() {
+		if !proto.Blocking() {
+			return fmt.Errorf("harness: storage mode %q requires a blocking protocol; the uncoordinated protocol commits per rank on central-write completion", cfg.Tiers.Mode)
+		}
+		if cfg.CR.Staged {
+			return fmt.Errorf("harness: storage mode %q already stages writes through faster tiers; disable cr.Config.Staged", cfg.Tiers.Mode)
+		}
 	}
 	return nil
 }
@@ -87,6 +104,9 @@ type Cluster struct {
 	Fabric  *ib.Fabric
 	Job     *mpi.Job
 	Coord   *cr.Coordinator
+	// Tiers is the checkpoint storage hierarchy, or nil for the legacy
+	// direct-to-central path.
+	Tiers *tier.Hierarchy
 }
 
 // NewCluster validates the configuration and builds the stack.
@@ -111,7 +131,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{K: k, Storage: st, Fabric: f, Job: j, Coord: co}, nil
+	var h *tier.Hierarchy
+	if cfg.Tiers.Mode.Tiered() {
+		h, err = tier.NewHierarchy(k, cfg.Tiers, cfg.N, st, cfg.Fabric.LinkBW)
+		if err != nil {
+			return nil, err
+		}
+		co.SetTiers(h)
+	}
+	return &Cluster{K: k, Storage: st, Fabric: f, Job: j, Coord: co, Tiers: h}, nil
 }
 
 // AttachObs wires an observability bus through every layer of the cluster:
@@ -123,6 +151,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 func (c *Cluster) AttachObs(bus *obs.Bus) {
 	obs.ObserveKernel(c.K, bus)
 	c.Storage.SetObs(bus)
+	c.Tiers.SetObs(bus)
 	c.Fabric.SetObs(bus)
 	c.Job.SetObs(bus)
 	c.Coord.SetObs(bus)

@@ -88,10 +88,12 @@ func RunWithFailure(cfg ClusterConfig, w workload.Restartable, ckptAt []sim.Time
 		c2.Coord.Controller(i).FootprintFn = func() int64 { return inst2.Footprint(i) }
 	}
 	// Account for reading the images back from shared storage before the
-	// processes resume (all ranks read concurrently).
+	// processes resume (all ranks read concurrently). The transfers are
+	// direction-tagged reads, so restart traffic is distinguishable from
+	// checkpoint writes in traces.
 	var readback sim.Time
 	for i := 0; i < cfg.N; i++ {
-		tr, err := c2.Storage.Start(snaps[i].Size())
+		tr, err := c2.Storage.StartRead(snaps[i].Size())
 		if err != nil {
 			return FailureResult{}, fmt.Errorf("harness: readback rank %d: %w", i, err)
 		}

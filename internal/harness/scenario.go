@@ -9,6 +9,8 @@ import (
 	"gbcr/internal/fault"
 	"gbcr/internal/obs"
 	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+	"gbcr/internal/storage/tier"
 	"gbcr/internal/workload"
 )
 
@@ -38,6 +40,13 @@ type AvailabilityResult struct {
 	// Attempts is the number of launches (Failures + 1 when the job
 	// finished).
 	Attempts int
+	// RecoveredRAM, RecoveredBurst, and RecoveredCentral count per-rank
+	// restart read-backs by the storage tier that served them (summed across
+	// all restarts). Legacy clusters without a hierarchy count every
+	// read-back as central.
+	RecoveredRAM     int
+	RecoveredBurst   int
+	RecoveredCentral int
 	// FinalInst is the workload instance of the attempt that finished, so
 	// callers can verify end results against a failure-free reference.
 	FinalInst workload.Instance
@@ -68,6 +77,11 @@ func RunScenario(cfg ClusterConfig, w workload.Restartable, scn fault.Scenario,
 	// "crash:phase=sync" can never fire under the uncoordinated protocol.
 	if err := scn.CheckPhases(proto.Phases()); err != nil {
 		return AvailabilityResult{}, err
+	}
+	// A burst-buffer outage on a cluster with no burst tier would silently
+	// inject nothing; reject it like an unknown phase.
+	if scn.HasKind(fault.BurstBufferOutage) && !cfg.Tiers.Mode.HasBurst() {
+		return AvailabilityResult{}, fmt.Errorf("harness: scenario injects a burst-buffer outage but storage mode %q has no burst tier", cfg.Tiers.Mode)
 	}
 	seed := scn.Seed
 	if seed == 0 {
@@ -115,7 +129,7 @@ func RunScenario(cfg ClusterConfig, w workload.Restartable, scn fault.Scenario,
 			// different epochs.
 			res.Replayed += c.Job.ReplayLogs()
 		}
-		inj.Arm(fault.Target{K: c.K, Storage: c.Storage, Fabric: c.Fabric, Coord: c.Coord}, offset)
+		inj.Arm(fault.Target{K: c.K, Storage: c.Storage, Fabric: c.Fabric, Coord: c.Coord, Tiers: c.Tiers}, offset)
 		// Periodic checkpoints: the next request is scheduled when the
 		// previous cycle completes, so cycles never overlap even if one runs
 		// longer than the interval. Aborted cycles reschedule themselves.
@@ -162,7 +176,15 @@ func RunScenario(cfg ClusterConfig, w workload.Restartable, scn fault.Scenario,
 		if !line.Empty() {
 			appStates = make([][]byte, cfg.N)
 			libStates = make([][]byte, cfg.N)
-			var readback sim.Time
+			var order []string
+			if c.Tiers != nil {
+				order = c.Tiers.OrderNames()
+			}
+			// readback is the serial estimate of the concurrent read-back
+			// from the shared tiers (all ranks read at once at the aggregate
+			// rate); ramMax is the parallel estimate for RAM partner reads,
+			// which ride disjoint fabric links.
+			var readback, ramMax sim.Time
 			for i := 0; i < cfg.N; i++ {
 				s := line.Snaps[i]
 				if s == nil {
@@ -170,15 +192,50 @@ func RunScenario(cfg ClusterConfig, w workload.Restartable, scn fault.Scenario,
 				}
 				appStates[i] = s.AppState
 				libStates[i] = s.LibState
-				// Serial estimate of the concurrent read-back: all ranks
-				// read at once at the aggregate rate.
-				readback += sim.Seconds(float64(s.Size()) / cfg.Storage.AggregateBW)
+				if c.Tiers == nil {
+					res.RecoveredCentral++
+					readback += sim.Seconds(float64(s.Size()) / centralReadBW(cfg.Storage))
+					continue
+				}
+				src, ok := c.Coord.Snapshots().RecoverySource(s.Epoch, i, order)
+				if !ok {
+					// The restart line only selects recoverable epochs; an
+					// untracked source degrades to the cold tier estimate.
+					src = string(tier.Central)
+				}
+				rt := c.Tiers.ReadTime(tier.Level(src), s.Size())
+				switch tier.Level(src) {
+				case tier.RAM:
+					res.RecoveredRAM++
+					if rt > ramMax {
+						ramMax = rt
+					}
+				case tier.Burst:
+					res.RecoveredBurst++
+					readback += rt
+				default:
+					res.RecoveredCentral++
+					readback += rt
+				}
+				bus.Emit(obs.Event{At: res.Wall, Rank: i, Layer: obs.LayerStorage,
+					Type: obs.Instant, What: "tier-recover", Detail: src, Arg: s.Size()})
+				bus.Metrics().Counter(obs.LayerStorage, "tier_recover_"+src).Inc()
 			}
-			res.Wall += readback
+			res.Wall += readback + ramMax
 		}
 		// With no usable line in this attempt's archive, the previous
 		// attempt's states (or nil: from scratch) carry over unchanged.
 		c.K.Shutdown() // release the dead attempt's process goroutines
 	}
 	return res, fmt.Errorf("harness: job did not complete within %d attempts", maxAttempts)
+}
+
+// centralReadBW is the central service's restart read-back rate: the
+// direction-tagged read cap when one is configured, the shared aggregate
+// otherwise.
+func centralReadBW(cfg storage.Config) float64 {
+	if cfg.ReadAggregateBW > 0 {
+		return cfg.ReadAggregateBW
+	}
+	return cfg.AggregateBW
 }

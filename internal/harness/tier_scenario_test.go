@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gbcr/internal/cr/protocol"
+	"gbcr/internal/obs"
+	"gbcr/internal/sim"
+	"gbcr/internal/storage/tier"
+	"gbcr/internal/workload"
+)
+
+// tieredCluster is smallCluster with a storage hierarchy installed.
+func tieredCluster(n int, mode tier.Mode, replicas int) ClusterConfig {
+	cfg := smallCluster(n)
+	cfg.Tiers.Mode = mode
+	cfg.Tiers.Replicas = replicas
+	return cfg
+}
+
+// TestScenarioMemLossRecoversFromRAM is the tentpole acceptance path: a
+// memory-loss fault kills f = k consecutive nodes, the placement ring keeps
+// one intact partner copy of every image, and the whole restart reads from
+// RAM replicas without touching central storage.
+func TestScenarioMemLossRecoversFromRAM(t *testing.T) {
+	const n, k = 4, 2
+	cfg := tieredCluster(n, tier.ModeHierarchy, k)
+	w := scenarioRing(n)
+	scn := mustParse(t, "memloss@2s:count=2;seed=5")
+	res, err := RunScenario(cfg, w, scn, 500*sim.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", res.Failures)
+	}
+	if res.RecoveredRAM != n || res.RecoveredBurst != 0 || res.RecoveredCentral != 0 {
+		t.Fatalf("recovered ram=%d burst=%d central=%d; want all %d from RAM",
+			res.RecoveredRAM, res.RecoveredBurst, res.RecoveredCentral, n)
+	}
+	inst := res.FinalInst.(*workload.RingInstance)
+	for me := 0; me < n; me++ {
+		if want := workload.ExpectedRingSum(n, w.Iters, me); inst.Sums[me] != want {
+			t.Fatalf("rank %d: sum %d after RAM recovery, want %d", me, inst.Sums[me], want)
+		}
+	}
+}
+
+// TestScenarioMemLossDefeatsRAMFallsThrough: losing more consecutive nodes
+// than the replica count destroys some rank's whole RAM copy set; that rank
+// must recover from a lower tier while the others still read partner copies.
+func TestScenarioMemLossDefeatsRAMFallsThrough(t *testing.T) {
+	const n = 4
+	cfg := tieredCluster(n, tier.ModeRAM, 1)
+	w := scenarioRing(n)
+	// Nodes 0 and 1 lost: rank 0's copies lived exactly there (self + ring
+	// partner), so rank 0 falls through to the drained central copy.
+	scn := mustParse(t, "memloss@2s:count=2;seed=5")
+	res, err := RunScenario(cfg, w, scn, 500*sim.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", res.Failures)
+	}
+	if res.RecoveredCentral == 0 {
+		t.Fatalf("recovered ram=%d burst=%d central=%d; want at least one central fallback",
+			res.RecoveredRAM, res.RecoveredBurst, res.RecoveredCentral)
+	}
+	if res.RecoveredRAM+res.RecoveredBurst+res.RecoveredCentral != n {
+		t.Fatalf("recovered ram=%d burst=%d central=%d; want %d total",
+			res.RecoveredRAM, res.RecoveredBurst, res.RecoveredCentral, n)
+	}
+	inst := res.FinalInst.(*workload.RingInstance)
+	for me := 0; me < n; me++ {
+		if want := workload.ExpectedRingSum(n, w.Iters, me); inst.Sums[me] != want {
+			t.Fatalf("rank %d: sum %d after fallback recovery, want %d", me, inst.Sums[me], want)
+		}
+	}
+}
+
+// TestScenarioBBOutageAbortsAndRetries: an availability window on the burst
+// buffer aborts in-flight ack writes exactly like a central outage; the cycle
+// retries until the buffer returns and the job still finishes correctly.
+func TestScenarioBBOutageAbortsAndRetries(t *testing.T) {
+	const n = 4
+	cfg := tieredCluster(n, tier.ModeBurst, 0)
+	w := scenarioRing(n)
+	mem := &obs.MemorySink{}
+	res, err := RunScenario(cfg, w, mustParse(t, "bboutage@400ms+600ms"),
+		500*sim.Millisecond, obs.NewBus(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CycleAborts == 0 {
+		t.Fatal("burst outage over the write caused no cycle abort")
+	}
+	if res.Failures != 0 {
+		t.Fatalf("failures = %d, want 0 (outages abort cycles, not jobs)", res.Failures)
+	}
+	var outageSeen bool
+	for _, e := range mem.ByLayer(obs.LayerFault) {
+		if e.What == "bb-outage" {
+			outageSeen = true
+		}
+	}
+	if !outageSeen {
+		t.Fatal("no bb-outage event on the fault track")
+	}
+	inst := res.FinalInst.(*workload.RingInstance)
+	for me := 0; me < n; me++ {
+		if want := workload.ExpectedRingSum(n, w.Iters, me); inst.Sums[me] != want {
+			t.Fatalf("rank %d: sum %d after outage run, want %d", me, inst.Sums[me], want)
+		}
+	}
+}
+
+// TestScenarioBBOutageRequiresBurstTier: a bboutage scenario on a cluster
+// without a burst tier would silently inject nothing, so the runner rejects
+// it up front.
+func TestScenarioBBOutageRequiresBurstTier(t *testing.T) {
+	for _, mode := range []tier.Mode{"", tier.ModeRAM} {
+		cfg := smallCluster(4)
+		cfg.Tiers.Mode = mode
+		_, err := RunScenario(cfg, scenarioRing(4), mustParse(t, "bboutage@1s+1s"),
+			500*sim.Millisecond, nil)
+		if err == nil {
+			t.Errorf("mode %q accepted a burst-buffer outage without a burst tier", mode)
+		}
+	}
+}
+
+// TestValidateRejectsTiersWithUncoord: the hierarchy's commit gate needs a
+// global epoch commit, which the uncoordinated protocol does not have; the
+// staged write path is likewise superseded by the hierarchy.
+func TestValidateRejectsTiersWithUncoord(t *testing.T) {
+	cfg := tieredCluster(4, tier.ModeRAM, 1)
+	cfg.CR.Protocol = protocol.Uncoordinated
+	cfg.CR.HelperEnabled = false
+	cfg.MPI.LogMessages = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("tiers + uncoordinated protocol accepted")
+	}
+	cfg = tieredCluster(4, tier.ModeRAM, 1)
+	cfg.CR.Staged = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("tiers + staged writes accepted")
+	}
+	if err := tieredCluster(3, tier.ModeRAM, 3).Validate(); err == nil {
+		t.Error("replicas+1 > n accepted")
+	}
+}
+
+// TestScenarioTieredTraceDeterministic extends the byte-identical trace
+// contract to tiered runs: drains, spills, and memory-loss faults land at
+// identical instants on every replay.
+func TestScenarioTieredTraceDeterministic(t *testing.T) {
+	run := func() []byte {
+		cfg := tieredCluster(4, tier.ModeHierarchy, 2)
+		var jb bytes.Buffer
+		js := obs.NewJSONL(&jb)
+		if _, err := RunScenario(cfg, scenarioRing(4),
+			mustParse(t, "memloss@2s:count=2;seed=5"), 500*sim.Millisecond, obs.NewBus(js)); err != nil {
+			t.Fatal(err)
+		}
+		if js.Err() != nil {
+			t.Fatal(js.Err())
+		}
+		return jb.Bytes()
+	}
+	j1, j2 := run(), run()
+	if len(j1) == 0 {
+		t.Fatal("empty tiered trace")
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("tiered JSONL trace differs between identical runs")
+	}
+	if !bytes.Contains(j1, []byte("tier-write")) || !bytes.Contains(j1, []byte("tier-drain")) ||
+		!bytes.Contains(j1, []byte("memloss")) || !bytes.Contains(j1, []byte("tier-recover")) {
+		t.Error("tiered trace is missing tier or memloss events")
+	}
+}
+
+// Property: restart equivalence holds under the storage hierarchy too —
+// whatever blocking protocol, tier mode, and crash instant are drawn, the
+// rerun from the tier-resolved recovery line reproduces the failure-free
+// results bit for bit.
+func TestQuickScenarioCrashEquivalenceTiered(t *testing.T) {
+	modes := []tier.Mode{tier.ModeBurst, tier.ModeRAM, tier.ModeHierarchy}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 3
+		mode := modes[rng.Intn(len(modes))]
+		replicas := 0
+		if mode.HasRAM() {
+			replicas = rng.Intn(2) + 1 // k in {1, 2}; n >= 3 keeps k+1 <= n
+		}
+		cfg := tieredCluster(n, mode, replicas)
+		cfg.Seed = seed
+		cfg.CR.DefaultFootprint = 5 << 20
+		// The hierarchy requires a blocking protocol; draw between them.
+		if rng.Intn(2) == 0 {
+			cfg.CR.Protocol = protocol.Group
+			cfg.CR.GroupSize = rng.Intn(n + 1)
+		} else {
+			cfg.CR.Protocol = protocol.WholeJob
+		}
+		w := workload.Ring{N: n, Iters: rng.Intn(60) + 100,
+			Chunk: 20 * sim.Millisecond, FootprintMB: 5}
+		var spec string
+		if mode.HasRAM() && rng.Intn(2) == 0 {
+			// A memory loss of 1..k+1 consecutive nodes: sometimes survivable
+			// in RAM, sometimes forcing a lower-tier or older-epoch restart.
+			spec = fmt.Sprintf("memloss@%dms:rank=%d,count=%d",
+				rng.Intn(1700)+300, rng.Intn(n), rng.Intn(replicas+1)+1)
+		} else {
+			spec = fmt.Sprintf("crash@%dms", rng.Intn(1700)+300)
+		}
+		interval := sim.Time(rng.Intn(300)+400) * sim.Millisecond
+		res, err := RunScenario(cfg, w, mustParse(t, spec), interval, nil)
+		if err != nil {
+			t.Logf("seed %d (%s %s): %v", seed, mode, spec, err)
+			return false
+		}
+		if res.Failures != 1 {
+			t.Logf("seed %d (%s %s): failures = %d, want 1", seed, mode, spec, res.Failures)
+			return false
+		}
+		inst := res.FinalInst.(*workload.RingInstance)
+		for me := 0; me < n; me++ {
+			if inst.Sums[me] != workload.ExpectedRingSum(n, w.Iters, me) {
+				t.Logf("seed %d (%s %s): rank %d mismatch", seed, mode, spec, me)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,12 +20,23 @@ const (
 	KindPark  = "park"
 	KindDone  = "done"
 
-	// Storage layer: fluid-flow transfers and service state.
+	// Storage layer: fluid-flow transfers and service state. Reads (restart
+	// read-back) are direction-tagged with their own start/end kinds so
+	// recovery traffic is distinguishable from checkpoint writes in traces.
 	KindAvailability  = "availability"
 	KindXferStart     = "xfer-start"
 	KindXferEnd       = "xfer-end"
 	KindXferAbort     = "xfer-abort"
+	KindReadStart     = "read-start"
+	KindReadEnd       = "read-end"
 	KindRateRecompute = "rate-recompute"
+
+	// Storage layer: multi-tier checkpoint hierarchy (storage/tier).
+	KindTierWrite   = "tier-write"
+	KindTierDrain   = "tier-drain"
+	KindTierEvict   = "tier-evict"
+	KindTierSpill   = "tier-spill"
+	KindTierRecover = "tier-recover"
 
 	// IB layer: connection management and teardown.
 	KindConnUp       = "conn-up"
@@ -68,16 +79,20 @@ const (
 	KindCycleDone  = "cycle-done"
 
 	// Fault layer: injected faults.
-	KindCrash   = "crash"
-	KindOutage  = "outage"
-	KindCorrupt = "corrupt"
+	KindCrash    = "crash"
+	KindOutage   = "outage"
+	KindCorrupt  = "corrupt"
+	KindMemLoss  = "memloss"
+	KindBBOutage = "bb-outage"
 )
 
 // allKinds lists every registered kind once, in declaration order. A test
 // asserts it matches the constant block and contains no duplicates.
 var allKinds = []string{
 	KindSpawn, KindPark, KindDone,
-	KindAvailability, KindXferStart, KindXferEnd, KindXferAbort, KindRateRecompute,
+	KindAvailability, KindXferStart, KindXferEnd, KindXferAbort, KindReadStart,
+	KindReadEnd, KindRateRecompute,
+	KindTierWrite, KindTierDrain, KindTierEvict, KindTierSpill, KindTierRecover,
 	KindConnUp, KindConnDown, KindCMReq, KindCMRep, KindCMDefer, KindCMDrop,
 	KindCMRetransmit, KindFlushStart, KindDiscReq,
 	KindBufferMsg, KindBufferReq, KindOutboxDrain, KindDupDrop, KindMatchEager,
@@ -86,7 +101,7 @@ var allKinds = []string{
 	KindCkptResumeWait, KindWriteFailed, KindAbortResume, KindResume,
 	KindRequest, KindTurn, KindGroupDone, KindAllDrained, KindCycleAbort,
 	KindCycleRetry, KindCycleDone,
-	KindCrash, KindOutage, KindCorrupt,
+	KindCrash, KindOutage, KindCorrupt, KindMemLoss, KindBBOutage,
 }
 
 // known is the vocabulary as a set, built once.

@@ -46,6 +46,14 @@ type Config struct {
 	// of concurrent clients, modelling congestion and unbalanced sharing at
 	// high client counts. Nil means a constant 1.0.
 	Efficiency func(clients int) float64
+	// ReadAggregateBW optionally caps the combined rate of concurrent read
+	// transfers (restart read-back) in bytes/second, modelling a service
+	// whose read path saturates differently from its write path. Zero means
+	// reads are limited only by the shared AggregateBW pool.
+	ReadAggregateBW float64
+	// ReadClientBW optionally caps a single reader's rate in bytes/second.
+	// Zero means readers use ClientBW, like writers.
+	ReadClientBW float64
 	// ShareJitter models the noise of Section 3.1 ("system noise, network
 	// congestion, and unbalanced share of throughput... can significantly
 	// increase the delay"): each transfer draws a capability factor from
@@ -94,6 +102,7 @@ type System struct {
 	// accounting
 	totalBytes    float64
 	transfers     int
+	reads         int
 	maxConcurrent int
 	aborted       int
 }
@@ -124,8 +133,12 @@ func (s *System) ActiveClients() int { return len(s.active) }
 // transfers.
 func (s *System) TotalBytes() float64 { return s.totalBytes }
 
-// Transfers reports how many transfers have been started.
+// Transfers reports how many transfers (reads and writes) have been started.
 func (s *System) Transfers() int { return s.transfers }
+
+// Reads reports how many of the started transfers were direction-tagged
+// reads.
+func (s *System) Reads() int { return s.reads }
 
 // MaxConcurrent reports the peak number of simultaneous transfers observed.
 func (s *System) MaxConcurrent() int { return s.maxConcurrent }
@@ -181,6 +194,7 @@ type Transfer struct {
 	remaining float64
 	rate      float64
 	weight    float64
+	read      bool
 	last      sim.Time
 	done      sim.Event
 	completed bool
@@ -196,9 +210,19 @@ type Transfer struct {
 // storage availability window.
 func (t *Transfer) Err() error { return t.err }
 
-// Start begins a transfer of n bytes (read or write: the pool is shared) and
-// returns immediately. Use Wait to block until completion.
-func (s *System) Start(n int64) (*Transfer, error) {
+// Start begins a write transfer of n bytes and returns immediately. Use Wait
+// to block until completion.
+func (s *System) Start(n int64) (*Transfer, error) { return s.begin(n, false) }
+
+// StartRead begins a direction-tagged read transfer of n bytes (restart
+// read-back). Reads share the aggregate pool with writes, but emit their own
+// read-start/read-end events and honour the Read* bandwidth caps, so restart
+// traffic stays distinguishable from checkpoint writes in traces and
+// metrics.
+func (s *System) StartRead(n int64) (*Transfer, error) { return s.begin(n, true) }
+
+// begin starts one transfer in the given direction.
+func (s *System) begin(n int64, read bool) (*Transfer, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("storage: negative transfer size %d", n)
 	}
@@ -207,6 +231,7 @@ func (s *System) Start(n int64) (*Transfer, error) {
 		total:     float64(n),
 		remaining: float64(n),
 		weight:    1,
+		read:      read,
 		last:      s.k.Now(),
 		started:   s.k.Now(),
 	}
@@ -215,10 +240,18 @@ func (s *System) Start(n int64) (*Transfer, error) {
 	}
 	s.transfers++
 	s.totalBytes += float64(n)
-	s.bus.Metrics().Counter(obs.LayerStorage, "transfers").Inc()
-	s.bus.Metrics().Counter(obs.LayerStorage, "bytes").Add(n)
-	s.bus.Emit(obs.Event{At: s.k.Now(), Rank: -1, Layer: obs.LayerStorage,
-		Type: obs.Instant, What: "xfer-start", Arg: n})
+	if read {
+		s.reads++
+		s.bus.Metrics().Counter(obs.LayerStorage, "reads").Inc()
+		s.bus.Metrics().Counter(obs.LayerStorage, "read_bytes").Add(n)
+		s.bus.Emit(obs.Event{At: s.k.Now(), Rank: -1, Layer: obs.LayerStorage,
+			Type: obs.Instant, What: "read-start", Arg: n})
+	} else {
+		s.bus.Metrics().Counter(obs.LayerStorage, "transfers").Inc()
+		s.bus.Metrics().Counter(obs.LayerStorage, "bytes").Add(n)
+		s.bus.Emit(obs.Event{At: s.k.Now(), Rank: -1, Layer: obs.LayerStorage,
+			Type: obs.Instant, What: "xfer-start", Arg: n})
+	}
 	start := func() {
 		if s.availability == 0 {
 			// The service went down between Start and the open completing
@@ -262,8 +295,17 @@ func (s *System) Write(p *sim.Proc, n int64) (sim.Time, error) {
 }
 
 // Read performs a blocking read of n bytes on behalf of p. Reads share the
-// same bandwidth pool as writes.
-func (s *System) Read(p *sim.Proc, n int64) (sim.Time, error) { return s.Write(p, n) }
+// aggregate pool with writes but are direction-tagged: they emit
+// read-start/read-end events and honour the ReadAggregateBW/ReadClientBW
+// caps when those are set.
+func (s *System) Read(p *sim.Proc, n int64) (sim.Time, error) {
+	t, err := s.StartRead(n)
+	if err != nil {
+		return 0, err
+	}
+	t.Wait(p)
+	return t.Elapsed(), t.err
+}
 
 // Wait parks p until the transfer completes. Interrupts received while
 // waiting are re-posted as pending once the wait completes.
@@ -350,10 +392,35 @@ func (s *System) reschedule() {
 		sumW += t.weight
 	}
 	for _, t := range s.active {
-		rate := math.Min(s.cfg.ClientBW*t.weight, agg*t.weight/sumW)
-		t.rate = rate
+		clientCap := s.cfg.ClientBW
+		if t.read && s.cfg.ReadClientBW > 0 {
+			clientCap = s.cfg.ReadClientBW
+		}
+		t.rate = math.Min(clientCap*t.weight, agg*t.weight/sumW)
+	}
+	// Reads may be further capped as a class: if the combined read rate
+	// exceeds ReadAggregateBW, scale every read down proportionally. Write
+	// rates are untouched, so write-only schedules are bit-identical to a
+	// system with no read caps configured.
+	if s.cfg.ReadAggregateBW > 0 {
+		var sumRead float64
+		for _, t := range s.active {
+			if t.read {
+				sumRead += t.rate
+			}
+		}
+		if sumRead > s.cfg.ReadAggregateBW {
+			scale := s.cfg.ReadAggregateBW / sumRead
+			for _, t := range s.active {
+				if t.read {
+					t.rate *= scale
+				}
+			}
+		}
+	}
+	for _, t := range s.active {
 		t.done.Cancel()
-		dur := sim.Time(math.Ceil(t.remaining / rate * float64(sim.Second)))
+		dur := sim.Time(math.Ceil(t.remaining / t.rate * float64(sim.Second)))
 		tt := t
 		t.done = s.k.After(dur, func() { tt.finish() })
 	}
@@ -421,6 +488,17 @@ func (t *Transfer) complete() {
 	t.completed = true
 	t.finished = t.sys.k.Now()
 	s := t.sys
+	if t.read {
+		s.bus.Metrics().Histogram(obs.LayerStorage, "read_time").Observe(t.Elapsed())
+		s.bus.Emit(obs.Event{At: t.finished, Rank: -1, Layer: obs.LayerStorage,
+			Type: obs.Instant, What: "read-end", Arg: int64(t.total)})
+		t.waiters.Broadcast()
+		for _, fn := range t.onDone {
+			fn()
+		}
+		t.onDone = nil
+		return
+	}
 	s.bus.Metrics().Histogram(obs.LayerStorage, "xfer_time").Observe(t.Elapsed())
 	s.bus.Emit(obs.Event{At: t.finished, Rank: -1, Layer: obs.LayerStorage,
 		Type: obs.Instant, What: "xfer-end", Arg: int64(t.total)})

@@ -1,0 +1,107 @@
+package tier
+
+import (
+	"fmt"
+
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+)
+
+// burstTier is the shared burst-buffer appliance: bounded capacity, its own
+// fair-shared fluid-flow rate model, and eviction of images that have
+// already drained to central storage. Capacity is reserved when a write is
+// accepted (so concurrent writers cannot oversubscribe the buffer) and
+// released if the transfer aborts or the image is later evicted.
+//
+// Eviction is oldest-first over resident images, but only images with an
+// intact central copy are evictable — the buffer never throws away the last
+// copy of a checkpoint. When nothing evictable remains, StartWrite declines
+// with ErrFull and the hierarchy spills the write through to central.
+type burstTier struct {
+	h        *Hierarchy
+	sys      *storage.System
+	capacity int64
+	used     int64
+	resident []burstEntry // arrival order: eviction scans oldest-first
+}
+
+// burstEntry is one image resident in the buffer.
+type burstEntry struct {
+	epoch, rank int
+	size        int64
+}
+
+func newBurstTier(h *Hierarchy, k *sim.Kernel, cfg Config) (*burstTier, error) {
+	sys, err := storage.New(k, storage.Config{
+		AggregateBW: cfg.burstAggBW(),
+		ClientBW:    cfg.burstClientBW(),
+		OpenLatency: burstOpenLatency,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tier: burst tier: %w", err)
+	}
+	return &burstTier{h: h, sys: sys, capacity: cfg.burstCapacity()}, nil
+}
+
+func (t *burstTier) Level() Level       { return Burst }
+func (t *burstTier) ParallelRead() bool { return false }
+
+// ReadTime mirrors the central service's restart estimate against the
+// buffer's aggregate rate: concurrent readers share the appliance, so
+// callers sum across ranks.
+func (t *burstTier) ReadTime(size int64) sim.Time {
+	return sim.Seconds(float64(size) / t.sys.Config().AggregateBW)
+}
+
+// Used reports the bytes currently resident or reserved in the buffer.
+func (t *burstTier) Used() int64 { return t.used }
+
+func (t *burstTier) StartWrite(epoch, rank int, size int64) (*storage.Transfer, error) {
+	arch := t.h.arch
+	if arch == nil {
+		return nil, fmt.Errorf("tier: burst write before Bind")
+	}
+	for t.used+size > t.capacity {
+		if !t.evictOne() {
+			return nil, fmt.Errorf("tier: burst buffer holds %d of %d bytes, nothing evictable: %w",
+				t.used, t.capacity, ErrFull)
+		}
+	}
+	t.used += size
+	tr, err := t.sys.Start(size)
+	if err != nil {
+		t.used -= size
+		return nil, err
+	}
+	tr.OnDone(func() {
+		if tr.Err() != nil {
+			t.used -= size
+			return
+		}
+		arch.AddReplica(epoch, rank, string(Burst), -1)
+		t.resident = append(t.resident, burstEntry{epoch: epoch, rank: rank, size: size})
+	})
+	return tr, nil
+}
+
+// evictOne drops the oldest resident image whose central copy is intact and
+// reports whether one was found.
+func (t *burstTier) evictOne() bool {
+	for i := range t.resident {
+		e := t.resident[i]
+		if t.h.arch.TierIntact(e.epoch, e.rank, string(Central)) == 0 {
+			continue
+		}
+		t.h.arch.DropTierCopies(e.epoch, e.rank, string(Burst))
+		t.used -= e.size
+		t.resident = append(t.resident[:i], t.resident[i+1:]...)
+		t.h.noteEvict(e.epoch, e.rank, e.size)
+		return true
+	}
+	return false
+}
+
+// setAvailability forwards an availability factor to the buffer's rate
+// model: a burst-buffer outage window aborts in-flight burst writes exactly
+// like a central outage aborts central writes.
+func (t *burstTier) setAvailability(factor float64) { t.sys.SetAvailability(factor) }

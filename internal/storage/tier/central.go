@@ -1,0 +1,51 @@
+package tier
+
+import (
+	"fmt"
+
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+)
+
+// centralTier is the cold tier: the cluster's shared central storage System
+// itself, not a copy. Drains into it therefore appear in the same fluid-flow
+// schedule as foreground checkpoint writes and restart reads, competing for
+// the same aggregate bandwidth — the background-drain interference the
+// hierarchy exists to model.
+type centralTier struct {
+	h   *Hierarchy
+	sys *storage.System
+}
+
+func (t *centralTier) Level() Level       { return Central }
+func (t *centralTier) ParallelRead() bool { return false }
+
+// ReadTime matches the legacy restart estimate: each rank's read-back costs
+// size/aggregate, summed across concurrent readers by the caller. The
+// direction-tagged read cap applies when configured.
+func (t *centralTier) ReadTime(size int64) sim.Time {
+	cfg := t.sys.Config()
+	bw := cfg.AggregateBW
+	if cfg.ReadAggregateBW > 0 {
+		bw = cfg.ReadAggregateBW
+	}
+	return sim.Seconds(float64(size) / bw)
+}
+
+func (t *centralTier) StartWrite(epoch, rank int, size int64) (*storage.Transfer, error) {
+	arch := t.h.arch
+	if arch == nil {
+		return nil, fmt.Errorf("tier: central write before Bind")
+	}
+	tr, err := t.sys.Start(size)
+	if err != nil {
+		return nil, err
+	}
+	tr.OnDone(func() {
+		if tr.Err() != nil {
+			return
+		}
+		arch.AddReplica(epoch, rank, string(Central), -1)
+	})
+	return tr, nil
+}

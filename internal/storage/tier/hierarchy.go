@@ -1,0 +1,313 @@
+package tier
+
+import (
+	"errors"
+	"fmt"
+
+	"gbcr/internal/blcr"
+	"gbcr/internal/obs"
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+)
+
+// Hierarchy composes the mode's tiers fastest-first and owns the movement of
+// checkpoint images between them:
+//
+//   - a write is acknowledged at the first tier that accepts it (capacity
+//     rejections spill through to the next tier down), so commit latency is
+//     the ack tier's latency, not central storage's;
+//   - once acknowledged, the image drains asynchronously tier by tier until
+//     it reaches central storage, as background kernel events whose
+//     transfers share bandwidth with foreground traffic;
+//   - restart reads come from the fastest tier that still holds an intact
+//     copy, resolved through the blcr residency ledger.
+//
+// All methods run in kernel context, like the storage package they build on.
+type Hierarchy struct {
+	k     *sim.Kernel
+	cfg   Config
+	bus   *obs.Bus
+	arch  *blcr.Store
+	tiers []Tier
+	n     int
+
+	// accounting
+	drains        int
+	drainFailures int
+	spills        int
+	evictions     int
+}
+
+// NewHierarchy builds the tier stack for an n-rank job. central is the
+// cluster's shared storage System — the cold tier writes into it directly,
+// so drains compete with foreground transfers. linkBW is the fabric link
+// bandwidth, the default RAM replication rate. The hierarchy must be bound
+// to a snapshot archive (Bind) before it accepts writes.
+func NewHierarchy(k *sim.Kernel, cfg Config, n int, central *storage.System, linkBW float64) (*Hierarchy, error) {
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	if !cfg.Mode.Tiered() {
+		return nil, fmt.Errorf("tier: mode %q builds no hierarchy", cfg.Mode)
+	}
+	if central == nil {
+		return nil, fmt.Errorf("tier: nil central storage system")
+	}
+	h := &Hierarchy{k: k, cfg: cfg, n: n}
+	if cfg.Mode.HasRAM() {
+		rt, err := newRAMTier(h, k, n, cfg.ReplicaCount(), cfg.ramBW(linkBW))
+		if err != nil {
+			return nil, err
+		}
+		h.tiers = append(h.tiers, rt)
+	}
+	if cfg.Mode.HasBurst() {
+		bt, err := newBurstTier(h, k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.tiers = append(h.tiers, bt)
+	}
+	h.tiers = append(h.tiers, &centralTier{h: h, sys: central})
+	return h, nil
+}
+
+// Bind attaches the snapshot archive whose residency ledger records every
+// copy the hierarchy places. Writes before Bind are rejected.
+func (h *Hierarchy) Bind(arch *blcr.Store) { h.arch = arch }
+
+// SetObs attaches an observability bus (nil detaches). Safe on a nil
+// hierarchy so cluster wiring can call it unconditionally.
+func (h *Hierarchy) SetObs(b *obs.Bus) {
+	if h == nil {
+		return
+	}
+	h.bus = b
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Tiers returns the tier stack fastest-first.
+func (h *Hierarchy) Tiers() []Tier { return h.tiers }
+
+// OrderNames returns the tier stack's residency names fastest-first, the
+// search order for blcr.Store.RecoverySource.
+func (h *Hierarchy) OrderNames() []string {
+	names := make([]string, len(h.tiers))
+	for i, t := range h.tiers {
+		names[i] = string(t.Level())
+	}
+	return names
+}
+
+// Drains reports how many tier-to-tier drain transfers completed.
+func (h *Hierarchy) Drains() int { return h.drains }
+
+// DrainFailures reports how many drains were abandoned after exhausting
+// their retry budget.
+func (h *Hierarchy) DrainFailures() int { return h.drainFailures }
+
+// Spills reports how many writes fell through a full tier to the next one.
+func (h *Hierarchy) Spills() int { return h.spills }
+
+// Evictions reports how many drained images the burst tier evicted to make
+// room.
+func (h *Hierarchy) Evictions() int { return h.evictions }
+
+// BurstSystem returns the burst tier's rate model for fault injection
+// (availability windows), or nil when the mode has no burst tier. Safe on a
+// nil hierarchy.
+func (h *Hierarchy) BurstSystem() *storage.System {
+	if h == nil {
+		return nil
+	}
+	for _, t := range h.tiers {
+		if bt, ok := t.(*burstTier); ok {
+			return bt.sys
+		}
+	}
+	return nil
+}
+
+// tierFor returns the tier at the given level, or nil.
+func (h *Hierarchy) tierFor(level Level) Tier {
+	for _, t := range h.tiers {
+		if t.Level() == level {
+			return t
+		}
+	}
+	return nil
+}
+
+// ReadTime estimates one image's restart read-back from the named tier.
+// Unknown levels fall back to the cold tier's estimate.
+func (h *Hierarchy) ReadTime(level Level, size int64) sim.Time {
+	if t := h.tierFor(level); t != nil {
+		return t.ReadTime(size)
+	}
+	return h.tiers[len(h.tiers)-1].ReadTime(size)
+}
+
+// ParallelRead reports whether the named tier serves concurrent restart
+// reads over independent links.
+func (h *Hierarchy) ParallelRead(level Level) bool {
+	if t := h.tierFor(level); t != nil {
+		return t.ParallelRead()
+	}
+	return false
+}
+
+// StartWrite begins storing (epoch, rank)'s image and returns the
+// acknowledgement transfer: when it completes without error the image is
+// durable at the ack tier (for RAM, the full copy set is placed) and the
+// background drain chain is scheduled. Capacity rejections spill to the next
+// tier down; an availability failure of the ack tier surfaces through the
+// transfer's Err, feeding the caller's abort-and-retry path. Event context.
+func (h *Hierarchy) StartWrite(epoch, rank int, size int64) (*storage.Transfer, error) {
+	for i, t := range h.tiers {
+		tr, err := t.StartWrite(epoch, rank, size)
+		if err != nil {
+			if errors.Is(err, ErrFull) && i+1 < len(h.tiers) {
+				h.noteSpill(t.Level(), h.tiers[i+1].Level(), epoch, rank, size)
+				continue
+			}
+			return nil, err
+		}
+		idx := i
+		tr.OnDone(func() {
+			if tr.Err() != nil {
+				return
+			}
+			h.ack(idx, epoch, rank, size)
+		})
+		return tr, nil
+	}
+	// Unreachable: the central tier never reports ErrFull.
+	return nil, fmt.Errorf("tier: no tier accepted the write for epoch %d rank %d", epoch, rank)
+}
+
+// Write performs a blocking checkpoint write on behalf of p, returning the
+// elapsed time to the acknowledgement tier's durability. Failures surface
+// like central-storage write failures (an error wrapping
+// storage.ErrUnavailable during outage windows).
+func (h *Hierarchy) Write(p *sim.Proc, epoch, rank int, size int64) (sim.Time, error) {
+	tr, err := h.StartWrite(epoch, rank, size)
+	if err != nil {
+		return 0, err
+	}
+	tr.Wait(p)
+	return tr.Elapsed(), tr.Err()
+}
+
+// ack runs when the image is durable at tier idx: it announces the
+// acknowledgement and schedules the drain toward the cold tier.
+func (h *Hierarchy) ack(idx, epoch, rank int, size int64) {
+	level := h.tiers[idx].Level()
+	h.bus.Metrics().Counter(obs.LayerStorage, "tier_writes_"+string(level)).Inc()
+	h.bus.Emit(obs.Event{At: h.k.Now(), Rank: rank, Layer: obs.LayerStorage,
+		Type: obs.Instant, What: "tier-write", Detail: string(level), Arg: size})
+	h.drainNext(idx, epoch, rank, size, 0)
+}
+
+// drainNext moves (epoch, rank)'s image from tier from to the next tier
+// down, retrying transient failures with exponential backoff and spilling
+// past full tiers. It reschedules itself until the image reaches the cold
+// tier.
+func (h *Hierarchy) drainNext(from, epoch, rank int, size int64, tries int) {
+	next := from + 1
+	if next >= len(h.tiers) {
+		return
+	}
+	src, dst := h.tiers[from].Level(), h.tiers[next].Level()
+	tr, err := h.tiers[next].StartWrite(epoch, rank, size)
+	if err != nil {
+		if errors.Is(err, ErrFull) && next+1 < len(h.tiers) {
+			h.noteSpill(dst, h.tiers[next+1].Level(), epoch, rank, size)
+			h.drainNext(next, epoch, rank, size, 0)
+			return
+		}
+		h.retryDrain(from, epoch, rank, size, tries, err)
+		return
+	}
+	h.bus.Emit(obs.Event{At: h.k.Now(), Rank: rank, Layer: obs.LayerStorage,
+		Type: obs.Begin, What: "tier-drain", Detail: string(src) + "->" + string(dst), Arg: size})
+	tr.OnDone(func() {
+		h.bus.Emit(obs.Event{At: h.k.Now(), Rank: rank, Layer: obs.LayerStorage,
+			Type: obs.End, What: "tier-drain", Detail: string(src) + "->" + string(dst), Arg: size})
+		if err := tr.Err(); err != nil {
+			h.retryDrain(from, epoch, rank, size, tries, err)
+			return
+		}
+		h.drains++
+		h.bus.Metrics().Counter(obs.LayerStorage, "tier_drains_"+string(dst)).Inc()
+		h.bus.Metrics().Counter(obs.LayerStorage, "tier_drain_bytes").Add(size)
+		h.drainNext(next, epoch, rank, size, 0)
+	})
+}
+
+// retryDrain backs off and re-attempts a failed drain, or abandons it once
+// the budget is spent. Abandonment is not a cycle failure — the image is
+// durable at a higher tier — but it is counted and visible.
+func (h *Hierarchy) retryDrain(from, epoch, rank int, size int64, tries int, cause error) {
+	tries++
+	if tries >= maxDrainTries {
+		h.drainFailures++
+		h.bus.Metrics().Counter(obs.LayerStorage, "tier_drain_failures").Inc()
+		h.bus.Emit(obs.Event{At: h.k.Now(), Rank: rank, Layer: obs.LayerStorage,
+			Type: obs.Instant, What: "tier-drain",
+			Detail: fmt.Sprintf("abandoned after %d tries: %v", tries, cause), Arg: size})
+		return
+	}
+	delay := drainRetryBase << (tries - 1)
+	if delay > drainRetryCap {
+		delay = drainRetryCap
+	}
+	h.k.After(delay, func() { h.drainNext(from, epoch, rank, size, tries) })
+}
+
+// noteSpill records a capacity fall-through.
+func (h *Hierarchy) noteSpill(from, to Level, epoch, rank int, size int64) {
+	h.spills++
+	h.bus.Metrics().Counter(obs.LayerStorage, "tier_spills").Inc()
+	h.bus.Emit(obs.Event{At: h.k.Now(), Rank: rank, Layer: obs.LayerStorage,
+		Type: obs.Instant, What: "tier-spill",
+		Detail: fmt.Sprintf("%s full, writing through to %s (epoch %d)", from, to, epoch), Arg: size})
+}
+
+// noteEvict records a burst-buffer eviction (called by the burst tier).
+func (h *Hierarchy) noteEvict(epoch, rank int, size int64) {
+	h.evictions++
+	h.bus.Metrics().Counter(obs.LayerStorage, "tier_evictions").Inc()
+	h.bus.Emit(obs.Event{At: h.k.Now(), Rank: rank, Layer: obs.LayerStorage,
+		Type: obs.Instant, What: "tier-evict",
+		Detail: fmt.Sprintf("epoch %d drained, releasing buffer space", epoch), Arg: size})
+}
+
+// CheckCommit verifies an epoch's replication degree before the coordinator
+// commits it: every rank must hold a full copy set at some tier — k partner
+// replicas plus the self copy for RAM, one copy for the shared tiers.
+// Commit never waits for the central drain; this is the gate that replaces
+// central completion.
+func (h *Hierarchy) CheckCommit(epoch int) error {
+	if h.arch == nil {
+		return fmt.Errorf("tier: commit check before Bind")
+	}
+	for rank := 0; rank < h.n; rank++ {
+		ok := false
+		for _, t := range h.tiers {
+			need := 1
+			if t.Level() == RAM {
+				need = h.cfg.ReplicaCount() + 1
+			}
+			if h.arch.TierIntact(epoch, rank, string(t.Level())) >= need {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("tier: epoch %d rank %d lacks a full copy set at any tier", epoch, rank)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package tier
+
+import (
+	"fmt"
+
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+)
+
+// ramTier is the partner-replicated node-memory tier. Each rank's image is
+// kept in its own memory and pushed to k partner nodes on a placement ring
+// (ranks r+1 … r+k mod N), so any k concurrent node losses leave at least
+// one intact copy. Replication is modelled as one fluid-flow transfer of
+// k×size bytes: the copies leave through the writer's single fabric link, so
+// egress serializes them, while different ranks replicate in parallel on
+// disjoint links (AggregateBW = N×link).
+//
+// Node memory is double-buffered: once epoch e's copy set is durable, epoch
+// e-1's copies for that rank are released — the tier holds at most one
+// committed image per rank plus the one in flight.
+type ramTier struct {
+	h        *Hierarchy
+	sys      *storage.System
+	n        int
+	replicas int
+	bw       float64
+}
+
+func newRAMTier(h *Hierarchy, k *sim.Kernel, n, replicas int, bw float64) (*ramTier, error) {
+	sys, err := storage.New(k, storage.Config{
+		AggregateBW: bw * float64(n),
+		ClientBW:    bw,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tier: ram tier: %w", err)
+	}
+	return &ramTier{h: h, sys: sys, n: n, replicas: replicas, bw: bw}, nil
+}
+
+func (t *ramTier) Level() Level       { return RAM }
+func (t *ramTier) ParallelRead() bool { return true }
+
+// ReadTime is one link hop from the nearest surviving replica; concurrent
+// recoveries use distinct links, so callers take the max across ranks.
+func (t *ramTier) ReadTime(size int64) sim.Time {
+	return sim.Seconds(float64(size) / t.bw)
+}
+
+func (t *ramTier) StartWrite(epoch, rank int, size int64) (*storage.Transfer, error) {
+	arch := t.h.arch
+	if arch == nil {
+		return nil, fmt.Errorf("tier: ram write before Bind")
+	}
+	tr, err := t.sys.Start(int64(t.replicas) * size)
+	if err != nil {
+		return nil, err
+	}
+	tr.OnDone(func() {
+		if tr.Err() != nil {
+			return
+		}
+		arch.AddReplica(epoch, rank, string(RAM), rank)
+		for i := 1; i <= t.replicas; i++ {
+			arch.AddReplica(epoch, rank, string(RAM), (rank+i)%t.n)
+		}
+		// Double-buffer release: the freshly durable image supersedes the
+		// rank's older RAM copies.
+		for e := epoch - 1; e >= 1; e-- {
+			arch.DropTierCopies(e, rank, string(RAM))
+		}
+	})
+	return tr, nil
+}

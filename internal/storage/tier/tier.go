@@ -1,0 +1,211 @@
+// Package tier composes the central storage model into a multi-tier
+// checkpoint hierarchy: a partner-replicated RAM tier (ReStore-style k-way
+// in-memory replication over the InfiniBand fabric), a shared burst-buffer
+// tier with bounded capacity and eviction, and the paper's central PVFS2-like
+// service as the cold tier.
+//
+// A Hierarchy acknowledges a checkpoint write at the fastest tier that
+// accepts it — commit gates on that tier's replication degree, not on central
+// completion — and then drains the image asynchronously downward as
+// background kernel events whose transfers compete for bandwidth with
+// foreground checkpoint traffic. On restart the blcr residency ledger is
+// searched fastest-first, so recovery reads come from RAM partner replicas
+// when they survived the failure and fall through to the burst buffer and
+// central storage when they did not.
+//
+// Every tier reuses the fluid-flow rate model of the storage package: the
+// RAM tier is a storage.System whose per-client cap is the fabric link
+// bandwidth, the burst tier is a storage.System with the buffer appliance's
+// aggregate and per-client rates, and the cold tier is the cluster's shared
+// central System itself, so drains are visible in its schedules.
+package tier
+
+import (
+	"errors"
+	"fmt"
+
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+)
+
+// ErrFull is the sentinel wrapped by a capacity rejection: the burst tier
+// declined a write because nothing evictable remains. The hierarchy reacts
+// by spilling the write through to the next tier down.
+var ErrFull = errors.New("tier at capacity")
+
+// Level names one tier of the hierarchy. The values are the residency-tier
+// strings recorded in the blcr ledger.
+type Level string
+
+const (
+	// RAM is the partner-replicated node-memory tier.
+	RAM Level = "ram"
+	// Burst is the shared burst-buffer tier.
+	Burst Level = "burst"
+	// Central is the paper's central PVFS2-like service.
+	Central Level = "central"
+)
+
+// Mode selects which tiers a cluster's checkpoint path uses. The zero value
+// behaves like ModeCentral: no hierarchy is built and the stack takes the
+// legacy direct-to-central path, byte-identical to a build without this
+// package.
+type Mode string
+
+const (
+	// ModeCentral writes straight to central storage (the default).
+	ModeCentral Mode = "central"
+	// ModeBurst acknowledges at the burst buffer and drains to central.
+	ModeBurst Mode = "burst"
+	// ModeRAM acknowledges at RAM partner replicas and drains to central.
+	ModeRAM Mode = "ram"
+	// ModeHierarchy uses all three tiers: RAM → burst → central.
+	ModeHierarchy Mode = "hierarchy"
+)
+
+// Valid reports whether the mode is one of the known values (including the
+// legacy zero value).
+func (m Mode) Valid() bool {
+	switch m {
+	case "", ModeCentral, ModeBurst, ModeRAM, ModeHierarchy:
+		return true
+	}
+	return false
+}
+
+// Tiered reports whether the mode builds a storage hierarchy at all.
+func (m Mode) Tiered() bool { return m.Valid() && m != "" && m != ModeCentral }
+
+// HasRAM reports whether the mode includes the RAM replication tier.
+func (m Mode) HasRAM() bool { return m == ModeRAM || m == ModeHierarchy }
+
+// HasBurst reports whether the mode includes the burst-buffer tier.
+func (m Mode) HasBurst() bool { return m == ModeBurst || m == ModeHierarchy }
+
+// Levels returns the mode's tiers fastest-first. Every mode ends at Central.
+func (m Mode) Levels() []Level {
+	switch m {
+	case ModeBurst:
+		return []Level{Burst, Central}
+	case ModeRAM:
+		return []Level{RAM, Central}
+	case ModeHierarchy:
+		return []Level{RAM, Burst, Central}
+	}
+	return []Level{Central}
+}
+
+// Config parameterizes a hierarchy. All fields are scalars so the struct
+// stays a stable part of harness memo keys. Zero values select the
+// documented defaults.
+type Config struct {
+	// Mode selects the tier stack; the zero value is legacy central-only.
+	Mode Mode
+	// Replicas is k, the number of partner copies each rank's snapshot gets
+	// in the RAM tier beyond its own (placement ring: ranks r+1 … r+k mod
+	// N). The tier survives any k concurrent node losses. 0 means 2.
+	Replicas int
+	// RAMBW is the per-link replication bandwidth in bytes/second. 0 means
+	// the fabric link bandwidth passed to NewHierarchy.
+	RAMBW float64
+	// BurstCapacity bounds the burst buffer in bytes. 0 means 2 GiB.
+	BurstCapacity int64
+	// BurstAggregateBW is the buffer appliance's total throughput in
+	// bytes/second. 0 means 1 GiB/s.
+	BurstAggregateBW float64
+	// BurstClientBW caps one writer's burst-buffer rate. 0 means 512 MB/s.
+	BurstClientBW float64
+}
+
+const (
+	defaultReplicas      = 2
+	defaultBurstCapacity = 2 << 30
+	defaultBurstAggBW    = float64(1 << 30)
+	defaultBurstClientBW = float64(512 * storage.MB)
+
+	// burstOpenLatency is the burst buffer's per-transfer setup cost: faster
+	// than central's metadata round trip, not free.
+	burstOpenLatency = 500 * sim.Microsecond
+
+	// Drain retries: a failed background drain (central outage window) backs
+	// off and retries a bounded number of times. Unlike a foreground write
+	// failure it never aborts the cycle — the epoch is already durable at a
+	// higher tier — so after the budget is spent the drain is abandoned and
+	// counted.
+	drainRetryBase = 200 * sim.Millisecond
+	drainRetryCap  = 3200 * sim.Millisecond
+	maxDrainTries  = 6
+)
+
+// ReplicaCount returns k with defaults applied.
+func (c Config) ReplicaCount() int {
+	if c.Replicas <= 0 {
+		return defaultReplicas
+	}
+	return c.Replicas
+}
+
+func (c Config) burstCapacity() int64 {
+	if c.BurstCapacity <= 0 {
+		return defaultBurstCapacity
+	}
+	return c.BurstCapacity
+}
+
+func (c Config) burstAggBW() float64 {
+	if c.BurstAggregateBW <= 0 {
+		return defaultBurstAggBW
+	}
+	return c.BurstAggregateBW
+}
+
+func (c Config) burstClientBW() float64 {
+	if c.BurstClientBW <= 0 {
+		return defaultBurstClientBW
+	}
+	return c.BurstClientBW
+}
+
+func (c Config) ramBW(linkBW float64) float64 {
+	if c.RAMBW > 0 {
+		return c.RAMBW
+	}
+	return linkBW
+}
+
+// Validate checks the configuration against a job of n ranks.
+func (c Config) Validate(n int) error {
+	if !c.Mode.Valid() {
+		return fmt.Errorf("tier: unknown storage mode %q (want central, burst, ram, or hierarchy)", c.Mode)
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("tier: replicas must be >= 0, got %d", c.Replicas)
+	}
+	if c.Mode.HasRAM() && c.ReplicaCount() >= n {
+		return fmt.Errorf("tier: %d RAM replicas need at least %d distinct partner nodes, job has only %d ranks",
+			c.ReplicaCount(), c.ReplicaCount()+1, n)
+	}
+	if c.BurstCapacity < 0 {
+		return fmt.Errorf("tier: burst capacity must be >= 0, got %d", c.BurstCapacity)
+	}
+	return nil
+}
+
+// Tier is one level of the checkpoint storage hierarchy.
+type Tier interface {
+	// Level names the tier; it doubles as the residency-tier string in the
+	// blcr ledger.
+	Level() Level
+	// StartWrite begins storing (epoch, rank)'s image of size bytes and
+	// returns the in-flight transfer; the tier registers residency when the
+	// transfer completes successfully. A non-nil error means the tier
+	// declined synchronously — an error wrapping ErrFull when nothing
+	// evictable remains. Event context.
+	StartWrite(epoch, rank int, size int64) (*storage.Transfer, error)
+	// ReadTime estimates one image's restart read-back from this tier.
+	ReadTime(size int64) sim.Time
+	// ParallelRead reports whether concurrent rank read-backs proceed over
+	// independent links (RAM partner replicas) rather than sharing one
+	// service, so restart accounting takes the max instead of the sum.
+	ParallelRead() bool
+}

@@ -1,0 +1,319 @@
+package tier
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gbcr/internal/blcr"
+	"gbcr/internal/sim"
+	"gbcr/internal/storage"
+)
+
+// rig is one assembled hierarchy test fixture: a kernel, the shared central
+// system the cold tier wraps, the bound snapshot archive, and the hierarchy.
+type rig struct {
+	k       *sim.Kernel
+	central *storage.System
+	arch    *blcr.Store
+	h       *Hierarchy
+}
+
+// newRig builds a hierarchy over an n-rank archive. centralBW is the shared
+// service's aggregate (and per-client) rate; linkBW the fabric link rate the
+// RAM tier defaults to.
+func newRig(t testing.TB, cfg Config, n int, centralBW, linkBW float64) *rig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	central, err := storage.New(k, storage.Config{AggregateBW: centralBW, ClientBW: centralBW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHierarchy(k, cfg, n, central, linkBW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := blcr.NewStore(n)
+	h.Bind(arch)
+	return &rig{k: k, central: central, arch: arch, h: h}
+}
+
+// write performs one blocking hierarchy write from a spawned proc and runs
+// the kernel until all follow-on drains settle.
+func (r *rig) write(t testing.TB, epoch, rank int, size int64) sim.Time {
+	t.Helper()
+	var el sim.Time
+	r.k.Spawn("w", func(p *sim.Proc) {
+		var err error
+		el, err = r.h.Write(p, epoch, rank, size)
+		if err != nil {
+			t.Errorf("write epoch %d rank %d: %v", epoch, rank, err)
+		}
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return el
+}
+
+func TestModePredicates(t *testing.T) {
+	for _, tc := range []struct {
+		mode                            Mode
+		valid, tiered, hasRAM, hasBurst bool
+		levels                          int
+	}{
+		{"", true, false, false, false, 1},
+		{ModeCentral, true, false, false, false, 1},
+		{ModeBurst, true, true, false, true, 2},
+		{ModeRAM, true, true, true, false, 2},
+		{ModeHierarchy, true, true, true, true, 3},
+		{"bogus", false, false, false, false, 1},
+	} {
+		if tc.mode.Valid() != tc.valid || tc.mode.Tiered() != tc.tiered ||
+			tc.mode.HasRAM() != tc.hasRAM || tc.mode.HasBurst() != tc.hasBurst {
+			t.Errorf("mode %q predicates: valid=%v tiered=%v ram=%v burst=%v",
+				tc.mode, tc.mode.Valid(), tc.mode.Tiered(), tc.mode.HasRAM(), tc.mode.HasBurst())
+		}
+		if got := len(tc.mode.Levels()); got != tc.levels {
+			t.Errorf("mode %q has %d levels, want %d", tc.mode, got, tc.levels)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Mode: "bogus"}).Validate(4); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	// k partners + the self copy must fit in the job.
+	if err := (Config{Mode: ModeRAM, Replicas: 4}).Validate(4); err == nil {
+		t.Error("replicas+1 > n accepted")
+	}
+	if err := (Config{Mode: ModeRAM, Replicas: 3}).Validate(4); err != nil {
+		t.Errorf("replicas+1 == n rejected: %v", err)
+	}
+	if err := (Config{Mode: ModeBurst, BurstCapacity: -1}).Validate(4); err == nil {
+		t.Error("negative burst capacity accepted")
+	}
+}
+
+func TestRAMReplicaPlacementRing(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeRAM, Replicas: 2}, 4, 1000, 1000)
+	r.write(t, 1, 3, 100)
+	// Rank 3's copy set: itself plus partners on the ring wrapping to 0, 1.
+	if got := r.arch.TierIntact(1, 3, string(RAM)); got != 3 {
+		t.Fatalf("rank 3 has %d intact RAM copies, want 3 (k+1)", got)
+	}
+	for _, node := range []int{3, 0, 1} {
+		if !r.arch.DropReplica(1, 3, string(RAM), node) {
+			t.Errorf("expected a RAM copy on node %d", node)
+		}
+	}
+	if r.arch.DropReplica(1, 3, string(RAM), 2) {
+		t.Error("unexpected RAM copy on node 2 (not a ring partner of rank 3)")
+	}
+}
+
+func TestRAMEgressSerializesReplicas(t *testing.T) {
+	// k copies leave through the writer's single link: 2 x 100 bytes at
+	// 100 B/s takes 2s even though the tier's aggregate is 4x that.
+	r := newRig(t, Config{Mode: ModeRAM, Replicas: 2}, 4, 1e6, 100)
+	el := r.write(t, 1, 0, 100)
+	if el != 2*sim.Second {
+		t.Fatalf("replication took %v, want 2s", el)
+	}
+}
+
+func TestRAMDoubleBufferReleasesOldEpoch(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeRAM, Replicas: 1}, 2, 1000, 1000)
+	r.write(t, 1, 0, 100)
+	if got := r.arch.TierIntact(1, 0, string(RAM)); got != 2 {
+		t.Fatalf("epoch 1 has %d RAM copies, want 2", got)
+	}
+	r.write(t, 2, 0, 100)
+	if got := r.arch.TierIntact(1, 0, string(RAM)); got != 0 {
+		t.Fatalf("epoch 1 keeps %d RAM copies after epoch 2 durable, want 0", got)
+	}
+	if got := r.arch.TierIntact(2, 0, string(RAM)); got != 2 {
+		t.Fatalf("epoch 2 has %d RAM copies, want 2", got)
+	}
+	// The drained central copy keeps epoch 1 recoverable despite the
+	// double-buffer release.
+	if got := r.arch.TierIntact(1, 0, string(Central)); got != 1 {
+		t.Fatalf("epoch 1 has %d central copies after drain, want 1", got)
+	}
+}
+
+func TestDrainCascadeReachesCentral(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeHierarchy, Replicas: 1}, 2, 1000, 1000)
+	r.write(t, 1, 0, 100)
+	for _, want := range []struct {
+		level Level
+		n     int
+	}{{RAM, 2}, {Burst, 1}, {Central, 1}} {
+		if got := r.arch.TierIntact(1, 0, string(want.level)); got != want.n {
+			t.Errorf("%s holds %d intact copies, want %d", want.level, got, want.n)
+		}
+	}
+	// Two drain hops: ram -> burst, burst -> central.
+	if r.h.Drains() != 2 {
+		t.Errorf("Drains = %d, want 2", r.h.Drains())
+	}
+	if src, ok := r.arch.RecoverySource(1, 0, r.h.OrderNames()); !ok || src != string(RAM) {
+		t.Errorf("RecoverySource = (%q, %v), want (ram, true)", src, ok)
+	}
+}
+
+func TestCheckCommitGatesOnFullCopySet(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeRAM, Replicas: 1}, 2, 1000, 1000)
+	if err := r.h.CheckCommit(1); err == nil {
+		t.Fatal("empty epoch passed the commit gate")
+	}
+	r.write(t, 1, 0, 100)
+	if err := r.h.CheckCommit(1); err == nil {
+		t.Fatal("half-replicated epoch passed the commit gate")
+	}
+	r.write(t, 1, 1, 100)
+	if err := r.h.CheckCommit(1); err != nil {
+		t.Fatalf("fully replicated epoch failed the commit gate: %v", err)
+	}
+	// Losing one copy of a k=1 set leaves the other; losing both defeats the
+	// RAM set, but the drained central copy still satisfies the gate.
+	r.arch.DropReplica(1, 0, string(RAM), 0)
+	if err := r.h.CheckCommit(1); err != nil {
+		t.Fatalf("central copy should satisfy the gate: %v", err)
+	}
+}
+
+func TestBurstEvictsDrainedImages(t *testing.T) {
+	cfg := Config{Mode: ModeBurst, BurstCapacity: 100,
+		BurstAggregateBW: 1000, BurstClientBW: 1000}
+	r := newRig(t, cfg, 2, 1000, 1000)
+	r.write(t, 1, 0, 60) // fills past half; drains to central
+	r.write(t, 2, 0, 60) // needs room: epoch 1 is drained, so it is evicted
+	if r.h.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", r.h.Evictions())
+	}
+	if got := r.arch.TierIntact(1, 0, string(Burst)); got != 0 {
+		t.Fatalf("evicted epoch 1 keeps %d burst copies", got)
+	}
+	if got := r.arch.TierIntact(1, 0, string(Central)); got != 1 {
+		t.Fatalf("epoch 1 has %d central copies, want 1 (eviction requires a drained copy)", got)
+	}
+	if got := r.arch.TierIntact(2, 0, string(Burst)); got != 1 {
+		t.Fatalf("epoch 2 has %d burst copies, want 1", got)
+	}
+}
+
+func TestBurstFullSpillsThroughToCentral(t *testing.T) {
+	// An image larger than the whole buffer can never fit: the burst tier
+	// declines with ErrFull and the hierarchy writes through to central.
+	cfg := Config{Mode: ModeBurst, BurstCapacity: 100,
+		BurstAggregateBW: 1000, BurstClientBW: 1000}
+	r := newRig(t, cfg, 2, 1000, 1000)
+	r.write(t, 1, 0, 200)
+	if r.h.Spills() != 1 {
+		t.Fatalf("Spills = %d, want 1", r.h.Spills())
+	}
+	if got := r.arch.TierIntact(1, 0, string(Burst)); got != 0 {
+		t.Fatalf("spilled image has %d burst copies", got)
+	}
+	if got := r.arch.TierIntact(1, 0, string(Central)); got != 1 {
+		t.Fatalf("spilled image has %d central copies, want 1", got)
+	}
+	if err := r.h.CheckCommit(1); err == nil || !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("commit gate should fail on unwritten rank 1, got %v", err)
+	}
+}
+
+func TestDrainRetriesThroughOutage(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeRAM, Replicas: 1}, 2, 1000, 1000)
+	// The central service is down when the drain first fires; it comes back
+	// inside the retry budget, so the drain lands without a cycle failure.
+	r.central.SetAvailability(0)
+	r.k.After(500*sim.Millisecond, func() { r.central.SetAvailability(1) })
+	r.write(t, 1, 0, 100)
+	if r.h.Drains() != 1 || r.h.DrainFailures() != 0 {
+		t.Fatalf("Drains = %d, DrainFailures = %d; want 1, 0", r.h.Drains(), r.h.DrainFailures())
+	}
+	if got := r.arch.TierIntact(1, 0, string(Central)); got != 1 {
+		t.Fatalf("epoch 1 has %d central copies after retried drain, want 1", got)
+	}
+}
+
+func TestDrainAbandonedAfterRetryBudget(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeRAM, Replicas: 1}, 2, 1000, 1000)
+	r.central.SetAvailability(0) // never restored
+	r.write(t, 1, 0, 100)
+	r.write(t, 1, 1, 100)
+	if r.h.DrainFailures() != 2 {
+		t.Fatalf("DrainFailures = %d, want 2", r.h.DrainFailures())
+	}
+	// Abandonment is not data loss: the RAM copy set still commits.
+	if err := r.h.CheckCommit(1); err != nil {
+		t.Fatalf("RAM copies should keep the epoch committable: %v", err)
+	}
+	if src, ok := r.arch.RecoverySource(1, 0, r.h.OrderNames()); !ok || src != string(RAM) {
+		t.Fatalf("RecoverySource = (%q, %v), want (ram, true)", src, ok)
+	}
+}
+
+func TestWriteBeforeBindRejected(t *testing.T) {
+	k := sim.NewKernel(1)
+	central, err := storage.New(k, storage.Config{AggregateBW: 1000, ClientBW: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHierarchy(k, Config{Mode: ModeRAM}, 4, central, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("w", func(p *sim.Proc) {
+		if _, err := h.Write(p, 1, 0, 100); err == nil {
+			t.Error("write before Bind accepted")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CheckCommit(1); err == nil {
+		t.Error("commit check before Bind accepted")
+	}
+}
+
+func TestNewHierarchyRejectsUntieredMode(t *testing.T) {
+	k := sim.NewKernel(1)
+	central, err := storage.New(k, storage.Config{AggregateBW: 1000, ClientBW: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHierarchy(k, Config{Mode: ModeCentral}, 4, central, 1000); err == nil {
+		t.Error("central mode built a hierarchy")
+	}
+	if _, err := NewHierarchy(k, Config{Mode: ModeRAM}, 4, nil, 1000); err == nil {
+		t.Error("nil central system accepted")
+	}
+}
+
+func TestBurstOutageAbortsAckWrite(t *testing.T) {
+	cfg := Config{Mode: ModeBurst, BurstCapacity: 1000,
+		BurstAggregateBW: 1000, BurstClientBW: 1000}
+	r := newRig(t, cfg, 2, 1000, 1000)
+	if sys := r.h.BurstSystem(); sys == nil {
+		t.Fatal("burst mode has no BurstSystem")
+	} else {
+		sys.SetAvailability(0)
+	}
+	var wErr error
+	r.k.Spawn("w", func(p *sim.Proc) {
+		_, wErr = r.h.Write(p, 1, 0, 100)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(wErr, storage.ErrUnavailable) {
+		t.Fatalf("ack write during burst outage returned %v, want ErrUnavailable", wErr)
+	}
+	if got := r.arch.TierIntact(1, 0, string(Burst)); got != 0 {
+		t.Fatalf("aborted write registered %d burst copies", got)
+	}
+}

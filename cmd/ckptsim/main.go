@@ -15,6 +15,7 @@
 //	ckptsim -workload ring -protocol uncoord -interval 5 -faults crash@12s
 //	ckptsim -workload ring -storage hierarchy -replicas 2 -interval 5 -faults 'memloss@17s:count=2'
 //	ckptsim -workload ring -storage burst -interval 5 -faults 'bboutage@20s+5s'
+//	ckptsim -workload commgroups -group 8 -at 10,20,30,40 -shards 4  # sharded executor
 //
 // Invalid flags and failed runs exit with status 1 and a one-line message.
 package main
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"gbcr/internal/cr/protocol"
@@ -50,7 +52,8 @@ func main() {
 		comm      = flag.Int("comm", 8, "communication group size (commgroups/barrier)")
 		group     = flag.Int("group", 8, "checkpoint group size (0 = regular, all at once)")
 		proto     = flag.String("protocol", "group", "coordination protocol: group, wholejob, uncoord")
-		at        = flag.Float64("at", 10, "checkpoint issuance time in seconds")
+		at        = flag.String("at", "10", "checkpoint issuance time(s) in seconds; a comma-separated list runs one cell per time")
+		shards    = flag.Int("shards", 1, "cells-per-shard parallel executor width; merged outputs are byte-identical to -shards 1")
 		foot      = flag.Int64("footprint", 180, "per-process footprint in MB (commgroups/barrier/ring/allgather/stencil)")
 		iters     = flag.Int("iters", 900, "iterations (commgroups/ring/allgather/stencil)")
 		dynamic   = flag.Bool("dynamic", false, "dynamic group formation from the communication pattern")
@@ -126,14 +129,31 @@ func main() {
 		fail("-storage %s requires a blocking protocol; uncoord commits per rank on central-write completion", mode)
 	}
 
+	// Issuance times and executor width. Multiple -at values form a cell
+	// matrix; -shards runs it on the static sharded executor. Combinations a
+	// shard cannot honor are rejected, not ignored: a failure run is one
+	// serial restart chain (there is nothing to shard), and a shard with no
+	// cells would misreport the executor width that ran.
+	ats := parseTimes(*at)
+	shardedRun := *shards > 1 || len(ats) > 1
+	if *shards < 1 {
+		fail("-shards must be >= 1, got %d", *shards)
+	}
+	if shardedRun && failureRun {
+		fail("-shards/-at lists do not apply to failure runs; an availability run is one serial restart chain")
+	}
+	if *shards > len(ats) {
+		fail("%d shards but only %d cells (-at values); a shard with no cells cannot honor the request", *shards, len(ats))
+	}
+	if shardedRun && *verbose {
+		fail("-v only applies to single-cell runs; use -trace for the merged timeline")
+	}
+
 	if *n <= 0 {
 		fail("-n must be positive, got %d", *n)
 	}
 	if *comm <= 0 {
 		fail("-comm must be positive, got %d", *comm)
-	}
-	if *at < 0 {
-		fail("-at must not be negative, got %v", *at)
 	}
 	if *group < 0 {
 		fail("-group must not be negative, got %d", *group)
@@ -206,6 +226,71 @@ func main() {
 		if err := cfg.Validate(); err != nil {
 			fail("%v", err)
 		}
+	}
+
+	if shardedRun {
+		cells := make([]harness.Cell, len(ats))
+		for i, t := range ats {
+			cells[i] = harness.Cell{Config: cfg, Workload: w, IssuedAt: t}
+		}
+		run, err := harness.RunSharded(cells, harness.ShardedOptions{
+			Shards: *shards,
+			Trace:  *showTrace,
+			JSONL:  *traceJSON != "",
+			Chrome: *traceChr != "",
+			Exec:   *traceChr != "",
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		if *traceJSON != "" {
+			var buf bytes.Buffer
+			if err := run.WriteJSONL(&buf); err != nil {
+				fail("encoding %s: %v", *traceJSON, err)
+			}
+			if err := os.WriteFile(*traceJSON, buf.Bytes(), 0o644); err != nil {
+				fail("%v", err)
+			}
+		}
+		if *traceChr != "" {
+			var buf bytes.Buffer
+			if err := run.WriteChrome(&buf); err != nil {
+				fail("encoding %s: %v", *traceChr, err)
+			}
+			if err := os.WriteFile(*traceChr, buf.Bytes(), 0o644); err != nil {
+				fail("%v", err)
+			}
+		}
+		if *metrics != "" {
+			var buf bytes.Buffer
+			if err := run.Aggregate().WriteJSON(&buf); err != nil {
+				fail("encoding %s: %v", *metrics, err)
+			}
+			if err := os.WriteFile(*metrics, buf.Bytes(), 0o644); err != nil {
+				fail("%v", err)
+			}
+		}
+		fmt.Printf("workload:              %s (%d ranks)\n", w.Name(), ranks)
+		fmt.Printf("protocol:              %s\n", protocolName(kind, *group, ranks, *dynamic))
+		if mode.Tiered() {
+			if mode.HasRAM() {
+				fmt.Printf("storage:               %s (%d RAM replicas)\n", mode, cfg.Tiers.ReplicaCount())
+			} else {
+				fmt.Printf("storage:               %s\n", mode)
+			}
+		}
+		fmt.Printf("sharded executor:      S=%d over %d cells\n", run.Shards, len(cells))
+		for i, res := range run.Results {
+			fmt.Printf("cell %d: at=%-6v baseline=%v with=%v delay=%v total=%v\n",
+				i, res.IssuedAt, res.Baseline, res.WithCkpt, res.EffectiveDelay(), res.Total())
+		}
+		if *showTrace {
+			fmt.Println("\nmerged timeline:")
+			if err := run.RenderTimeline(os.Stdout); err != nil {
+				fail("%v", err)
+			}
+		}
+		return
 	}
 
 	// Build the observability bus only when some output is requested: a nil
@@ -325,7 +410,7 @@ func main() {
 		return
 	}
 
-	res, err := harness.MeasureObserved(cfg, w, sim.Seconds(*at), bus)
+	res, err := harness.MeasureObserved(cfg, w, ats[0], bus)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -359,6 +444,25 @@ func main() {
 				float64(rec.Footprint)/(1<<20), rec.ResumeAt, rec.Individual())
 		}
 	}
+}
+
+// parseTimes parses the -at flag: one or more comma-separated checkpoint
+// issuance times in seconds.
+func parseTimes(arg string) []sim.Time {
+	parts := strings.Split(arg, ",")
+	out := make([]sim.Time, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			fail("-at: %q is not a number", p)
+		}
+		if v < 0 {
+			fail("-at must not be negative, got %v", v)
+		}
+		out = append(out, sim.Seconds(v))
+	}
+	return out
 }
 
 // loadScenario parses the -faults argument: the name of a file holding a

@@ -23,6 +23,7 @@ import (
 // A Runner is safe for concurrent use by multiple goroutines.
 type Runner struct {
 	workers int
+	sharded bool // static round-robin scheduling instead of the work-stealing pool
 
 	// shared: mutex serializes the memo table and aggregate across worker goroutines
 	mu        sync.Mutex
@@ -68,8 +69,24 @@ func NewRunner(workers int) *Runner {
 	return &Runner{workers: workers, baselines: make(map[string]*baselineEntry)}
 }
 
+// NewShardedRunner returns a Runner that schedules statically: shard s owns
+// the cell indices congruent to s modulo shards (ForEachSharded) instead of
+// drawing from a shared work queue. Results are bit-identical either way —
+// cells are independent — but the static partition gives merged outputs
+// stable shard attribution and makes the schedule itself reproducible.
+// shards <= 0 selects GOMAXPROCS.
+func NewShardedRunner(shards int) *Runner {
+	r := NewRunner(shards)
+	r.sharded = true
+	return r
+}
+
 // Workers reports the worker-pool bound.
 func (r *Runner) Workers() int { return r.workers }
+
+// Sharded reports whether the Runner schedules statically (NewShardedRunner)
+// rather than on the work-stealing pool.
+func (r *Runner) Sharded() bool { return r.sharded }
 
 // CacheStats reports baseline-cache hits and misses so far. A hit includes
 // waiting on an in-flight computation of the same key.
@@ -164,6 +181,9 @@ func (r *Runner) Run(cells []Cell) ([]Result, error) {
 func (r *Runner) ForEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if r.sharded {
+		return ForEachSharded(r.workers, n, fn)
 	}
 	workers := r.workers
 	if workers > n {

@@ -1,0 +1,272 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"gbcr/internal/obs"
+	"gbcr/internal/sim"
+)
+
+// This file is the harness's sharded cell executor: a full protocol ×
+// fault × storage measurement matrix partitioned statically over S shards,
+// one goroutine per shard, each running its cells in increasing index
+// order. Cells are independent deterministic simulations, so the partition
+// cannot change any result — the committed equivalence regression asserts
+// that the merged observability outputs (text timeline, JSONL trace, cycle
+// reports, metrics aggregate) are byte-identical at every shard count.
+//
+// The sim-level ShardSet (internal/sim/shard.go) parallelizes inside one
+// simulation; this executor parallelizes across simulations. ckptsim and
+// figures -shards plumb into this layer, and large sweeps scale with cores
+// while the per-cell kernels stay serial and zero-alloc.
+
+// ForEachSharded runs fn(0..n-1) statically partitioned: shard s owns the
+// indices congruent to s modulo the shard count and runs them in
+// increasing order on one goroutine. Unlike Runner.ForEach's work-stealing
+// pool, the assignment is a pure function of (index, shards) — which is
+// what lets merged outputs carry stable shard attribution. Panics in fn
+// are captured as errors; the first error in index order is returned.
+func ForEachSharded(shards, n int, fn func(i int) error) error {
+	if shards < 1 {
+		return fmt.Errorf("harness: shard count must be >= 1, got %d", shards)
+	}
+	if n <= 0 {
+		return nil
+	}
+	if shards > n {
+		shards = n
+	}
+	errs := make([]error, n)
+	// shared: mutex joins the shard goroutines before returning
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		// shared: mutex shard goroutines write disjoint errs slots and join via wg
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < n; i += shards {
+				errs[i] = protect(i, fn)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardedOptions configures RunSharded's captures. Captures are per cell
+// and merged in cell order, so every output is identical at any shard
+// count; only wall-clock time changes.
+type ShardedOptions struct {
+	// Shards is the executor width; must be >= 1 and <= len(cells) — a
+	// shard with no cells cannot honor the request.
+	Shards int
+	// Trace captures per-cell text timelines (RenderTimeline).
+	Trace bool
+	// JSONL captures per-cell JSON Lines traces (WriteJSONL).
+	JSONL bool
+	// Chrome captures per-cell Chrome traces, one process per cell
+	// (WriteChrome).
+	Chrome bool
+	// Exec additionally records executor shard lanes — which shard ran
+	// which cell — rendered as "shard N" tracks in an extra Chrome process.
+	// Lane content depends on the shard count (that is its point), so it is
+	// excluded from the equivalence contract.
+	Exec bool
+}
+
+// ShardedRun is one executed matrix: results in cell order plus the merged
+// observability captures.
+type ShardedRun struct {
+	Cells   []Cell
+	Results []Result
+	Shards  int
+
+	mems    []*obs.MemorySink
+	jsonls  []*bytes.Buffer
+	chromes []*obs.ChromeSink
+	exec    *obs.ShardTrace
+	agg     *obs.Aggregate
+}
+
+// cellLabel is the stable, shard-independent identity of cell i in merged
+// outputs.
+func cellLabel(i int, c Cell) string {
+	return fmt.Sprintf("cell %d: %s group=%d at=%v",
+		i, c.Workload.Name(), c.Config.CR.GroupSize, c.IssuedAt)
+}
+
+// RunSharded measures every cell on the sharded executor. Baselines are
+// deduplicated by BaselineKey and computed first (also sharded), so cells
+// sharing a configuration never re-run the failure-free execution.
+func RunSharded(cells []Cell, opt ShardedOptions) (*ShardedRun, error) {
+	if opt.Shards < 1 {
+		return nil, fmt.Errorf("harness: shard count must be >= 1, got %d", opt.Shards)
+	}
+	if opt.Shards > len(cells) {
+		return nil, fmt.Errorf("harness: %d shards but only %d cells; a shard with no cells cannot honor the request",
+			opt.Shards, len(cells))
+	}
+
+	// Phase 1: unique baselines, in first-appearance order, each computed
+	// from its earliest representative cell.
+	keys := make([]string, 0, len(cells))
+	keyOf := make([]string, len(cells))
+	seen := make(map[string]int)
+	for i, c := range cells {
+		k := BaselineKey(c.Config, c.Workload)
+		keyOf[i] = k
+		if _, ok := seen[k]; !ok {
+			seen[k] = len(keys)
+			keys = append(keys, k)
+		}
+	}
+	baseT := make([]sim.Time, len(keys))
+	firstCell := make([]int, len(keys))
+	for i := len(cells) - 1; i >= 0; i-- {
+		firstCell[seen[keyOf[i]]] = i
+	}
+	bs := opt.Shards
+	if bs > len(keys) {
+		bs = len(keys)
+	}
+	if err := ForEachSharded(bs, len(keys), func(j int) error {
+		c := cells[firstCell[j]]
+		t, err := Baseline(c.Config, c.Workload)
+		if err != nil {
+			return fmt.Errorf("baseline for %s: %w", cellLabel(firstCell[j], c), err)
+		}
+		baseT[j] = t
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the cells themselves.
+	r := &ShardedRun{
+		Cells:   cells,
+		Results: make([]Result, len(cells)),
+		Shards:  opt.Shards,
+		agg:     obs.NewAggregate(),
+	}
+	if opt.Trace {
+		r.mems = make([]*obs.MemorySink, len(cells))
+	}
+	if opt.JSONL {
+		r.jsonls = make([]*bytes.Buffer, len(cells))
+	}
+	if opt.Chrome {
+		r.chromes = make([]*obs.ChromeSink, len(cells))
+	}
+	if opt.Exec {
+		r.exec = obs.NewShardTrace(opt.Shards)
+	}
+	done := make([]int, opt.Shards) // per-shard cell count; each slot written by its own shard goroutine
+	if err := ForEachSharded(opt.Shards, len(cells), func(i int) error {
+		shard := i % opt.Shards
+		bus := obs.NewBus()
+		if opt.Trace {
+			r.mems[i] = &obs.MemorySink{}
+			bus.AddSink(r.mems[i])
+		}
+		if opt.JSONL {
+			r.jsonls[i] = &bytes.Buffer{}
+			bus.AddSink(obs.NewJSONL(r.jsonls[i]))
+		}
+		if opt.Chrome {
+			// PID and label depend only on the cell index, so the merged
+			// Chrome file is byte-identical at any shard count too.
+			r.chromes[i] = obs.NewChrome()
+			r.chromes[i].PID = i + 1
+			r.chromes[i].ProcessName = cellLabel(i, cells[i])
+			bus.AddSink(r.chromes[i])
+		}
+		c := cells[i]
+		res, err := measureWithBaselineObs(c.Config, c.Workload, c.IssuedAt, baseT[seen[keyOf[i]]], bus)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cellLabel(i, c), err)
+		}
+		r.Results[i] = res
+		r.agg.Merge(bus.Metrics().Snapshot())
+		if r.exec != nil {
+			done[shard]++
+			r.exec.ShardAdvance(shard, res.WithCkpt, uint64(done[shard]))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RenderTimeline writes the merged text timeline: each cell's events in
+// cell order under a stable header line. Byte-identical at any shard count.
+func (r *ShardedRun) RenderTimeline(w io.Writer) error {
+	if r.mems == nil {
+		return fmt.Errorf("harness: timeline was not captured; set ShardedOptions.Trace")
+	}
+	for i, m := range r.mems {
+		if _, err := fmt.Fprintf(w, "=== %s ===\n", cellLabel(i, r.Cells[i])); err != nil {
+			return err
+		}
+		m.Render(w)
+	}
+	return nil
+}
+
+// WriteJSONL writes the merged JSON Lines trace: one cell-header object per
+// cell, then that cell's events, in cell order. Byte-identical at any shard
+// count.
+func (r *ShardedRun) WriteJSONL(w io.Writer) error {
+	if r.jsonls == nil {
+		return fmt.Errorf("harness: JSONL trace was not captured; set ShardedOptions.JSONL")
+	}
+	for i, buf := range r.jsonls {
+		hdr, err := json.Marshal(struct {
+			Cell     int      `json:"cell"`
+			Workload string   `json:"workload"`
+			Group    int      `json:"group"`
+			At       sim.Time `json:"at"`
+		}{i, r.Cells[i].Workload.Name(), r.Cells[i].Config.CR.GroupSize, r.Cells[i].IssuedAt})
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(hdr, '\n')); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChrome writes the merged Chrome trace: one process per cell and,
+// when executor lanes were recorded, an extra "sharded executor" process
+// with one track per shard.
+func (r *ShardedRun) WriteChrome(w io.Writer) error {
+	if r.chromes == nil {
+		return fmt.Errorf("harness: Chrome trace was not captured; set ShardedOptions.Chrome")
+	}
+	sinks := append([]*obs.ChromeSink(nil), r.chromes...)
+	if r.exec != nil {
+		ex := obs.NewChrome()
+		ex.PID = len(r.Cells) + 1
+		ex.ProcessName = fmt.Sprintf("sharded executor (S=%d)", r.Shards)
+		r.exec.EmitTo(ex)
+		sinks = append(sinks, ex)
+	}
+	return obs.RenderChromeMulti(w, sinks)
+}
+
+// Aggregate returns the merged per-layer metrics across all cells. The
+// merge is commutative, so the snapshot is identical at any shard count.
+func (r *ShardedRun) Aggregate() obs.Snapshot { return r.agg.Snapshot() }

@@ -1,0 +1,289 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gbcr/internal/cr/protocol"
+	"gbcr/internal/fault"
+	"gbcr/internal/obs"
+	"gbcr/internal/sim"
+	"gbcr/internal/storage/tier"
+	"gbcr/internal/workload"
+)
+
+// equivCells is the equivalence matrix: all three protocols, two group
+// sizes, repeated issuance times (exercising baseline dedup), and the
+// tiered-storage hierarchy. Eight cells so S=8 puts one cell per shard.
+func equivCells() []Cell {
+	const n = 4
+	w := workload.CommGroups{N: n, CommGroupSize: 2, Iters: 60,
+		Chunk: 50 * sim.Millisecond, FootprintMB: 20}
+	group := func(gs int) ClusterConfig {
+		cfg := smallCluster(n)
+		cfg.CR.GroupSize = gs
+		cfg.CR.DefaultFootprint = 20 << 20
+		return cfg
+	}
+	wholejob := group(0)
+	wholejob.CR.Protocol = protocol.WholeJob
+	uncoord := group(0)
+	uncoord.CR.Protocol = protocol.Uncoordinated
+	uncoord.CR.HelperEnabled = false
+	uncoord.MPI.LogMessages = true
+	tiered := group(2)
+	tiered.Tiers.Mode = tier.ModeHierarchy
+	tiered.Tiers.Replicas = 2
+	return []Cell{
+		{Config: group(2), Workload: w, IssuedAt: 1 * sim.Second},
+		{Config: group(2), Workload: w, IssuedAt: 2 * sim.Second},
+		{Config: group(4), Workload: w, IssuedAt: 1 * sim.Second},
+		{Config: wholejob, Workload: w, IssuedAt: 1 * sim.Second},
+		{Config: wholejob, Workload: w, IssuedAt: 2 * sim.Second},
+		{Config: uncoord, Workload: w, IssuedAt: 1 * sim.Second},
+		{Config: tiered, Workload: w, IssuedAt: 1 * sim.Second},
+		{Config: tiered, Workload: w, IssuedAt: 2 * sim.Second},
+	}
+}
+
+// shardedOutputs captures every merged artifact of one RunSharded
+// execution.
+type shardedOutputs struct {
+	timeline, jsonl, chrome, metrics []byte
+	results                          []Result
+}
+
+func captureSharded(t *testing.T, cells []Cell, shards int) shardedOutputs {
+	t.Helper()
+	run, err := RunSharded(cells, ShardedOptions{
+		Shards: shards, Trace: true, JSONL: true, Chrome: true,
+	})
+	if err != nil {
+		t.Fatalf("RunSharded(S=%d): %v", shards, err)
+	}
+	var out shardedOutputs
+	var buf bytes.Buffer
+	if err := run.RenderTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out.timeline = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := run.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out.jsonl = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := run.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out.chrome = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := run.Aggregate().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out.metrics = append([]byte(nil), buf.Bytes()...)
+	out.results = run.Results
+	return out
+}
+
+// TestShardedEquivalenceMatrix is the committed regression for the
+// acceptance criterion: byte-identical obs traces (text timeline, JSONL,
+// Chrome) and equal metrics aggregates and CycleReports between S=1 and
+// S∈{2,4,8}, across all three protocols, two issuance times, and the
+// tiered-storage hierarchy. Run under -race in CI (shard-equivalence job).
+func TestShardedEquivalenceMatrix(t *testing.T) {
+	cells := equivCells()
+	want := captureSharded(t, cells, 1)
+	if len(want.results) != len(cells) {
+		t.Fatalf("got %d results for %d cells", len(want.results), len(cells))
+	}
+	for _, shards := range []int{2, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("S=%d", shards), func(t *testing.T) {
+			got := captureSharded(t, cells, shards)
+			if !bytes.Equal(got.timeline, want.timeline) {
+				t.Errorf("text timeline differs from serial (%d vs %d bytes)",
+					len(got.timeline), len(want.timeline))
+			}
+			if !bytes.Equal(got.jsonl, want.jsonl) {
+				t.Errorf("JSONL trace differs from serial (%d vs %d bytes)",
+					len(got.jsonl), len(want.jsonl))
+			}
+			if !bytes.Equal(got.chrome, want.chrome) {
+				t.Errorf("Chrome trace differs from serial (%d vs %d bytes)",
+					len(got.chrome), len(want.chrome))
+			}
+			if !bytes.Equal(got.metrics, want.metrics) {
+				t.Errorf("metrics aggregate differs from serial:\nserial: %s\nS=%d:  %s",
+					want.metrics, shards, got.metrics)
+			}
+			if !reflect.DeepEqual(got.results, want.results) {
+				t.Errorf("results (cycle reports included) differ from serial")
+			}
+		})
+	}
+}
+
+// TestShardedFaultScenarioEquivalence shards a batch of -faults
+// availability scenarios across executors: each scenario is one serial
+// restart chain (RunScenario), and the batch's traces and results must be
+// identical at any shard count.
+func TestShardedFaultScenarioEquivalence(t *testing.T) {
+	const n = 4
+	w := scenarioRing(n)
+	specs := []string{
+		"crash:phase=write,epoch=2,rank=1;seed=3",
+		"crash:phase=sync,epoch=1,rank=0;seed=5",
+		"outage@650ms+200ms;crash:phase=write,epoch=2,rank=2;seed=7",
+		"memloss@2s:count=2;seed=5",
+	}
+	scns := make([]fault.Scenario, len(specs))
+	for i, spec := range specs {
+		scns[i] = mustParse(t, spec)
+	}
+	runBatch := func(shards int) ([][]byte, []AvailabilityResult) {
+		traces := make([][]byte, len(specs))
+		results := make([]AvailabilityResult, len(specs))
+		err := ForEachSharded(shards, len(specs), func(i int) error {
+			cfg := smallCluster(n)
+			cfg.CR.GroupSize = 2
+			cfg.CR.DefaultFootprint = 5 << 20
+			if strings.Contains(specs[i], "memloss") {
+				cfg.Tiers.Mode = tier.ModeHierarchy
+				cfg.Tiers.Replicas = 2
+			}
+			var buf bytes.Buffer
+			js := obs.NewJSONL(&buf)
+			res, err := RunScenario(cfg, w, scns[i], 600*sim.Millisecond, obs.NewBus(js))
+			if err != nil {
+				return fmt.Errorf("scenario %d: %w", i, err)
+			}
+			if js.Err() != nil {
+				return js.Err()
+			}
+			res.FinalInst = nil // instances carry pointers; compare the numbers
+			traces[i] = buf.Bytes()
+			results[i] = res
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("batch (S=%d): %v", shards, err)
+		}
+		return traces, results
+	}
+	wantTraces, wantResults := runBatch(1)
+	for _, shards := range []int{2, 4} {
+		gotTraces, gotResults := runBatch(shards)
+		for i := range specs {
+			if !bytes.Equal(gotTraces[i], wantTraces[i]) {
+				t.Errorf("S=%d scenario %d: trace differs from serial (%d vs %d bytes)",
+					shards, i, len(gotTraces[i]), len(wantTraces[i]))
+			}
+		}
+		if !reflect.DeepEqual(gotResults, wantResults) {
+			t.Errorf("S=%d: availability results differ from serial", shards)
+		}
+	}
+}
+
+// TestShardedRunnerSweepMatchesPool pins the static-sharded Runner against
+// the work-stealing pool: bit-identical sweep results.
+func TestShardedRunnerSweepMatchesPool(t *testing.T) {
+	const n = 4
+	cfg := smallCluster(n)
+	cfg.CR.DefaultFootprint = 20 << 20
+	w := workload.CommGroups{N: n, CommGroupSize: 2, Iters: 40,
+		Chunk: 50 * sim.Millisecond, FootprintMB: 20}
+	groups := []int{0, 2}
+	times := []sim.Time{1 * sim.Second, 2 * sim.Second}
+	pool, err := NewRunner(2).Sweep(cfg, w, groups, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := NewShardedRunner(2)
+	if !sharded.Sharded() {
+		t.Fatal("NewShardedRunner is not marked sharded")
+	}
+	got, err := sharded.Sweep(cfg, w, groups, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pool) {
+		t.Fatal("sharded Runner sweep differs from pool Runner sweep")
+	}
+}
+
+// TestForEachSharded covers the scheduling primitive: full coverage,
+// static assignment, panic capture, and validation.
+func TestForEachSharded(t *testing.T) {
+	const n = 13
+	owner := make([]int, n)
+	if err := ForEachSharded(4, n, func(i int) error {
+		owner[i] = i%4 + 1 // record which shard would own i (static: i mod shards)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range owner {
+		if o == 0 {
+			t.Fatalf("index %d never ran", i)
+		}
+	}
+	sentinel := errors.New("cell 7 failed")
+	err := ForEachSharded(3, n, func(i int) error {
+		if i == 9 {
+			return errors.New("cell 9 failed")
+		}
+		if i == 7 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want first error in index order (cell 7), got %v", err)
+	}
+	err = ForEachSharded(2, 4, func(i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic not captured: %v", err)
+	}
+	if err := ForEachSharded(0, 4, func(int) error { return nil }); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+	if err := ForEachSharded(8, 0, func(int) error { t.Error("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunShardedValidation covers the executor's rejection paths.
+func TestRunShardedValidation(t *testing.T) {
+	cells := equivCells()[:2]
+	if _, err := RunSharded(cells, ShardedOptions{Shards: 0}); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+	if _, err := RunSharded(cells, ShardedOptions{Shards: 3}); err == nil {
+		t.Fatal("more shards than cells accepted")
+	}
+	run, err := RunSharded(cells, ShardedOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run.RenderTimeline(&buf); err == nil {
+		t.Fatal("timeline rendered without capture")
+	}
+	if err := run.WriteJSONL(&buf); err == nil {
+		t.Fatal("JSONL written without capture")
+	}
+	if err := run.WriteChrome(&buf); err == nil {
+		t.Fatal("Chrome written without capture")
+	}
+}

@@ -28,6 +28,14 @@ type chromeEvent struct {
 // and Instants become instant events. Load the file in chrome://tracing or
 // https://ui.perfetto.dev to inspect a whole checkpoint cycle visually.
 type ChromeSink struct {
+	// PID tags every event of this sink with a Chrome process id, so a
+	// multi-cell run can merge per-cell sinks into one file with one process
+	// per cell (RenderChromeMulti). Zero is the default single process.
+	PID int
+	// ProcessName, when set, names the process track in the merged view via
+	// process_name metadata.
+	ProcessName string
+
 	events []chromeEvent
 	tids   map[int]bool
 	open   map[int][]string // per-track stack of unclosed Begin span names
@@ -44,6 +52,10 @@ func NewChrome() *ChromeSink {
 // any plausible rank track so the "faults" track renders apart from the
 // per-rank lanes and never collides with rank+1 numbering.
 const faultTID = 1 << 20
+
+// shardTID is the base track id for sharded-engine diagnostics: shard s
+// renders on track shardTID+s, between the rank lanes and the faults track.
+const shardTID = 1 << 19
 
 // tid maps a world rank to a stable track id: 0 is the system track, rank r
 // is track r+1. Fault-layer events override this with faultTID.
@@ -67,17 +79,22 @@ func (s *ChromeSink) Emit(e Event) {
 		ph, scope = "E", ""
 	}
 	track := tid(e.Rank)
-	if e.Layer == LayerFault {
+	switch e.Layer {
+	case LayerFault:
 		// Injected faults get their own track regardless of which rank they
 		// target; the target rank stays visible via the args below.
 		track = faultTID
+	case LayerShard:
+		// Engine diagnostics: Rank carries the shard index, and each shard
+		// gets its own track above the rank lanes.
+		track = shardTID + e.Rank
 	}
 	ce := chromeEvent{
 		Name:  e.What,
 		Cat:   e.Layer.String(),
 		Phase: ph,
 		TS:    float64(e.At) / 1e3, // ns -> us
-		PID:   0,
+		PID:   s.PID,
 		TID:   track,
 		Scope: scope,
 	}
@@ -109,50 +126,78 @@ func (s *ChromeSink) Emit(e Event) {
 	}
 }
 
-// Render writes the complete trace file to w. The output is deterministic:
-// events appear in emission (kernel) order, preceded by thread-name
-// metadata in track order.
-func (s *ChromeSink) Render(w io.Writer) error {
+// renderEvents returns the sink's complete event list: process/thread-name
+// metadata in track order, the buffered events in emission (kernel) order,
+// and synthesized End events for spans a crashed run left open. Built
+// afresh each call, so rendering does not mutate the sink.
+func (s *ChromeSink) renderEvents() []chromeEvent {
 	var ids []int
 	//lint:allow-simdeterminism track ids are sorted below before any output is built
 	for id := range s.tids {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	meta := make([]chromeEvent, 0, len(ids))
+	var meta []chromeEvent
+	if s.ProcessName != "" {
+		meta = append(meta, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   s.PID,
+			Args:  map[string]any{"name": s.ProcessName},
+		})
+	}
 	for _, id := range ids {
 		name := "system"
 		switch {
 		case id == faultTID:
 			name = "faults"
+		case id >= shardTID:
+			name = fmt.Sprintf("shard %d", id-shardTID)
 		case id > 0:
 			name = fmt.Sprintf("rank %d", id-1)
 		}
 		meta = append(meta, chromeEvent{
 			Name:  "thread_name",
 			Phase: "M",
-			PID:   0,
+			PID:   s.PID,
 			TID:   id,
 			Args:  map[string]any{"name": name},
 		})
 	}
 	// A crashed run leaves spans open (a killed rank never emits its End);
 	// close them at the final timestamp so the file stays well-formed.
-	// Built afresh each call, so Render does not mutate the sink.
 	var closing []chromeEvent
 	for _, id := range ids {
 		for st := s.open[id]; len(st) > 0; st = st[:len(st)-1] {
 			closing = append(closing, chromeEvent{
-				Name: st[len(st)-1], Phase: "E", TS: s.lastTS, PID: 0, TID: id,
+				Name: st[len(st)-1], Phase: "E", TS: s.lastTS, PID: s.PID, TID: id,
 			})
 		}
+	}
+	return append(meta, append(s.events, closing...)...)
+}
+
+// Render writes the complete trace file to w. The output is deterministic:
+// events appear in emission (kernel) order, preceded by thread-name
+// metadata in track order.
+func (s *ChromeSink) Render(w io.Writer) error {
+	return RenderChromeMulti(w, []*ChromeSink{s})
+}
+
+// RenderChromeMulti writes several sinks as one trace file, in slice order.
+// Give each sink a distinct PID (and a ProcessName) so a merged multi-cell
+// run renders one Chrome process per cell.
+func RenderChromeMulti(w io.Writer, sinks []*ChromeSink) error {
+	var all []chromeEvent
+	for _, s := range sinks {
+		all = append(all, s.renderEvents()...)
 	}
 	out := struct {
 		DisplayTimeUnit string        `json:"displayTimeUnit"`
 		TraceEvents     []chromeEvent `json:"traceEvents"`
 	}{
 		DisplayTimeUnit: "ms",
-		TraceEvents:     append(meta, append(s.events, closing...)...),
+		TraceEvents:     all,
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

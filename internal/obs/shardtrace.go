@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sort"
+
+	"gbcr/internal/sim"
+)
+
+// ShardTrace records the sharded engine's diagnostics — window advances,
+// lookahead stalls, cross-shard sends and receives — as LayerShard events.
+// It implements sim.ShardObserver.
+//
+// It is deliberately not a Bus sink feed: engine diagnostics depend on
+// real-time window interleaving, so they are kept out of the deterministic
+// model timeline and collected on one lane per shard instead. The engine
+// only ever reports a given shard index from one goroutine at a time, so
+// the lanes need no locking. Sends land on the sending shard's lane,
+// receives on the receiving shard's lane; the peer shard travels in Arg.
+type ShardTrace struct {
+	lanes [][]Event
+}
+
+// NewShardTrace returns a trace with one lane per shard.
+func NewShardTrace(shards int) *ShardTrace {
+	return &ShardTrace{lanes: make([][]Event, shards)}
+}
+
+func (t *ShardTrace) record(shard int, e Event) {
+	if t == nil || shard < 0 || shard >= len(t.lanes) {
+		return
+	}
+	t.lanes[shard] = append(t.lanes[shard], e)
+}
+
+// ShardAdvance implements sim.ShardObserver.
+func (t *ShardTrace) ShardAdvance(shard int, to sim.Time, events uint64) {
+	t.record(shard, Event{At: to, Rank: shard, Layer: LayerShard, Type: Instant,
+		What: KindShardAdvance, Arg: int64(events)})
+}
+
+// ShardStall implements sim.ShardObserver.
+func (t *ShardTrace) ShardStall(shard int, at sim.Time) {
+	t.record(shard, Event{At: at, Rank: shard, Layer: LayerShard, Type: Instant,
+		What: KindShardStall})
+}
+
+// CrossShardSend implements sim.ShardObserver.
+func (t *ShardTrace) CrossShardSend(src, dst int, at sim.Time) {
+	t.record(src, Event{At: at, Rank: src, Layer: LayerShard, Type: Instant,
+		What: KindShardSend, Arg: int64(dst)})
+}
+
+// CrossShardRecv implements sim.ShardObserver.
+func (t *ShardTrace) CrossShardRecv(dst, src int, at sim.Time) {
+	t.record(dst, Event{At: at, Rank: dst, Layer: LayerShard, Type: Instant,
+		What: KindShardRecv, Arg: int64(src)})
+}
+
+// Lane returns shard i's events in recording order.
+func (t *ShardTrace) Lane(i int) []Event {
+	if t == nil || i < 0 || i >= len(t.lanes) {
+		return nil
+	}
+	return t.lanes[i]
+}
+
+// Merged returns all lanes as one slice ordered by (At, shard), with each
+// lane's relative order preserved for equal timestamps. Under parallel
+// execution lane contents vary run to run (window boundaries are real-time
+// dependent); the merge is still a stable, well-defined view for Chrome
+// export and summaries.
+func (t *ShardTrace) Merged() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for _, lane := range t.lanes {
+		out = append(out, lane...)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].At != out[b].At {
+			return out[a].At < out[b].At
+		}
+		return out[a].Rank < out[b].Rank
+	})
+	return out
+}
+
+// EmitTo replays the merged lanes into a sink (typically a ChromeSink,
+// where each shard renders on its own track).
+func (t *ShardTrace) EmitTo(s Sink) {
+	if t == nil || s == nil {
+		return
+	}
+	for _, e := range t.Merged() {
+		s.Emit(e)
+	}
+}

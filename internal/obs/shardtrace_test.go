@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gbcr/internal/sim"
+)
+
+func TestShardTraceLanesAndMerge(t *testing.T) {
+	tr := NewShardTrace(3)
+	tr.ShardAdvance(0, 5*sim.Microsecond, 7)
+	tr.CrossShardSend(0, 2, 9*sim.Microsecond)
+	tr.CrossShardRecv(2, 0, 9*sim.Microsecond)
+	tr.ShardStall(1, 2*sim.Microsecond)
+	tr.ShardAdvance(2, 9*sim.Microsecond, 1)
+
+	if got := len(tr.Lane(0)); got != 2 {
+		t.Fatalf("lane 0: %d events, want 2", got)
+	}
+	if got := len(tr.Lane(2)); got != 2 {
+		t.Fatalf("lane 2: %d events, want 2", got)
+	}
+	if e := tr.Lane(0)[1]; e.What != KindShardSend || e.Arg != 2 {
+		t.Fatalf("send event: %+v", e)
+	}
+	if e := tr.Lane(2)[0]; e.What != KindShardRecv || e.Arg != 0 {
+		t.Fatalf("recv event: %+v", e)
+	}
+	// Out-of-range shard indices are dropped, not panicking: the trace may
+	// be narrower than the engine when a caller miscounts.
+	tr.ShardAdvance(99, sim.Microsecond, 1)
+	tr.ShardStall(-1, sim.Microsecond)
+
+	merged := tr.Merged()
+	if len(merged) != 5 {
+		t.Fatalf("merged: %d events, want 5", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		a, b := merged[i-1], merged[i]
+		if a.At > b.At || (a.At == b.At && a.Rank > b.Rank) {
+			t.Fatalf("merge order violated at %d: %+v before %+v", i, a, b)
+		}
+	}
+	// Every recorded kind must be a registered Kind* constant, so traces
+	// stay queryable by the obscomplete contract.
+	for _, e := range merged {
+		if e.Layer != LayerShard {
+			t.Fatalf("event off the shard layer: %+v", e)
+		}
+		if !Known(e.What) {
+			t.Fatalf("unregistered kind %q", e.What)
+		}
+	}
+}
+
+func TestShardTraceChromeTracks(t *testing.T) {
+	tr := NewShardTrace(2)
+	tr.ShardAdvance(0, 5*sim.Microsecond, 3)
+	tr.ShardAdvance(1, 6*sim.Microsecond, 4)
+	tr.CrossShardSend(1, 0, 8*sim.Microsecond)
+
+	cs := NewChrome()
+	cs.PID = 7
+	cs.ProcessName = "sharded executor (S=2)"
+	tr.EmitTo(cs)
+	var buf bytes.Buffer
+	if err := cs.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"shard 0"`, `"shard 1"`, // one named track per shard
+		`"sharded executor (S=2)"`, // process metadata
+		`"pid":7`,
+		KindShardAdvance, KindShardSend,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestShardTraceNilSafety(t *testing.T) {
+	var tr *ShardTrace
+	tr.ShardAdvance(0, sim.Microsecond, 1)
+	tr.ShardStall(0, sim.Microsecond)
+	tr.CrossShardSend(0, 1, sim.Microsecond)
+	tr.CrossShardRecv(1, 0, sim.Microsecond)
+	if tr.Lane(0) != nil || tr.Merged() != nil {
+		t.Fatal("nil trace returned events")
+	}
+	tr.EmitTo(nil)
+}

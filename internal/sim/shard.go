@@ -1,0 +1,636 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file implements the sharded parallel execution mode: S kernels, one
+// per shard, advance concurrently on real cores under conservative
+// lookahead. Shards exchange timestamped messages only across declared
+// links, each with a positive lookahead (minimum model latency on that
+// edge); a barrier-free lower-bound-timestamp protocol computes, per shard,
+// a grant — a time below which no further cross-shard input can arrive —
+// and each shard executes events strictly below its grant with
+// Kernel.RunBefore. Delivered messages carry a deterministic sequence key
+// (injectedSeqBit | src<<shardSeqShift | link seq), so the merged execution
+// is a strict (at, seq) priority order independent of how windows happen to
+// interleave in real time: traces are byte-identical at any shard count.
+//
+// Coordination is a monitor: one mutex guards the published clocks,
+// promises, and link queues, and is never held across a blocking operation.
+// Idle shards block on a private capacity-1 wake channel; publishers update
+// state under the lock, then send a token without blocking. A stale token
+// costs one spurious re-check; a missed state change is impossible because
+// every publish happens before the waiter's re-check acquires the lock.
+
+// maxTime is the saturation point for promise and grant arithmetic: a shard
+// whose grant reaches maxTime can never receive another cross-shard message.
+const maxTime = Time(math.MaxInt64)
+
+// shardSeqShift positions the source-shard index inside an injected
+// sequence key, leaving 48 bits for the per-link message sequence.
+const shardSeqShift = 48
+
+// maxShards bounds the shard count so the source-shard index fits between
+// injectedSeqBit and shardSeqShift.
+const maxShards = 1 << 15
+
+// maxLinkSeq bounds per-link message counts so link sequences cannot
+// overflow into the source-shard bits of the injected key.
+const maxLinkSeq = uint64(1)<<shardSeqShift - 1
+
+// ShardMsg is one timestamped cross-shard message. At is the delivery time
+// in the receiving shard's virtual clock; Src and Seq identify the message
+// deterministically (per-link sequence numbers are assigned in send order,
+// which is deterministic because each shard executes its own events in
+// deterministic order). Kind, Arg, and Payload are model-defined freight.
+type ShardMsg struct {
+	At      Time
+	Src     int
+	Dst     int
+	Seq     uint64
+	Kind    int
+	Arg     int64
+	Payload any
+}
+
+// ShardHandler delivers a message inside the receiving shard's kernel
+// context: it runs as an event at m.At and may schedule, wake processes,
+// and Post further messages, exactly like any other event callback.
+type ShardHandler func(k *Kernel, m ShardMsg)
+
+// ShardObserver receives engine diagnostics: window advances, lookahead
+// stalls, and cross-shard sends/receives. Callbacks arrive concurrently
+// from distinct shard goroutines, but any single shard index is only ever
+// reported from one goroutine at a time, so per-shard fan-in (one lane per
+// shard) needs no locking. Engine diagnostics are intentionally separate
+// from the model's observability stream: window boundaries depend on
+// real-time interleaving, so they must not perturb byte-identical traces.
+type ShardObserver interface {
+	// ShardAdvance reports shard completing a window up to (not including) to.
+	ShardAdvance(shard int, to Time, events uint64)
+	// ShardStall reports shard blocking at local clock at until a peer
+	// publishes progress.
+	ShardStall(shard int, at Time)
+	// CrossShardSend reports src posting a message for dst at delivery time at.
+	CrossShardSend(src, dst int, at Time)
+	// CrossShardRecv reports dst injecting a message from src at delivery
+	// time at.
+	CrossShardRecv(dst, src int, at Time)
+}
+
+// ShardStats counts one shard's engine activity over a run.
+type ShardStats struct {
+	Windows   uint64 // execution windows completed
+	Stalls    uint64 // blocking waits for peer progress
+	Sent      uint64 // cross-shard messages posted
+	Received  uint64 // cross-shard messages injected
+	Events    uint64 // kernel events processed
+	MaxQueued int    // high-water mark of pending inbound messages
+}
+
+// shardLink is one directed cross-shard edge. queue and seq are guarded by
+// the ShardSet monitor.
+type shardLink struct {
+	src, dst  int
+	lookahead Time
+	seq       uint64
+	queue     []ShardMsg
+}
+
+// ShardSet runs S kernels as one simulation. Build it with NewShardSet,
+// declare the cross-shard topology with Connect and OnMessage, populate
+// each kernel (Spawn, At) before Run, then Run. With one shard it
+// degenerates to the serial kernel's Run — the S=1 fast path executes no
+// engine machinery at all.
+type ShardSet struct {
+	kernels  []*Kernel
+	handlers []ShardHandler
+	in       [][]*shardLink // inbound links per shard
+	out      [][]*shardLink // outbound links per shard
+	links    map[[2]int]*shardLink
+	obs      ShardObserver
+	started  bool
+
+	// shared: mutex monitor over clocks, promises, link queues, and abort state
+	mu       sync.Mutex
+	clock    []Time  // guarded by mu: lower bound each shard has executed up to (exclusive)
+	next     []Time  // guarded by mu: each shard's earliest pending local event (maxTime if none)
+	promise  []Time  // guarded by mu: scratch for the fixpoint
+	finished []bool  // guarded by mu
+	aborted  bool    // guarded by mu
+	errs     []error // guarded by mu
+	// wake holds one capacity-1 token channel per shard; publishers send
+	// without blocking, so the monitor mutex is never held across a channel
+	// operation.
+	wake []chan struct{}
+
+	stats []ShardStats // per-shard slots; owned by that shard's goroutine until Run returns
+}
+
+// NewShardSet builds shards kernels with deterministic per-shard seeds
+// derived from seed. Shard i's kernel is Kernel(i).
+func NewShardSet(shards int, seed int64) (*ShardSet, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: shard count must be >= 1, got %d", shards)
+	}
+	if shards > maxShards {
+		return nil, fmt.Errorf("sim: shard count %d exceeds the maximum %d", shards, maxShards)
+	}
+	s := &ShardSet{
+		kernels:  make([]*Kernel, shards),
+		handlers: make([]ShardHandler, shards),
+		in:       make([][]*shardLink, shards),
+		out:      make([][]*shardLink, shards),
+		links:    make(map[[2]int]*shardLink),
+		clock:    make([]Time, shards),
+		next:     make([]Time, shards),
+		promise:  make([]Time, shards),
+		finished: make([]bool, shards),
+		errs:     make([]error, shards),
+		wake:     make([]chan struct{}, shards),
+		stats:    make([]ShardStats, shards),
+	}
+	for i := range s.kernels {
+		// Distinct seeds per shard: a shard's random stream must not depend
+		// on how many shards exist elsewhere, only on its own index.
+		s.kernels[i] = NewKernel(seed + int64(i)*0x9e3779b9)
+		// shared: channel per-shard wake token; publishers send non-blocking under the monitor
+		s.wake[i] = make(chan struct{}, 1)
+	}
+	return s, nil
+}
+
+// Shards reports the shard count.
+func (s *ShardSet) Shards() int { return len(s.kernels) }
+
+// Kernel returns shard i's kernel for pre-Run population. After Run starts,
+// a kernel may only be touched from its own shard's events and processes.
+func (s *ShardSet) Kernel(i int) *Kernel { return s.kernels[i] }
+
+// Stats returns per-shard engine counters. Call it after Run returns.
+func (s *ShardSet) Stats() []ShardStats {
+	out := append([]ShardStats(nil), s.stats...)
+	for i, k := range s.kernels {
+		out[i].Events = k.EventsProcessed()
+	}
+	return out
+}
+
+// SetObserver installs an engine diagnostics observer. Must be called
+// before Run.
+func (s *ShardSet) SetObserver(o ShardObserver) { s.obs = o }
+
+// OnMessage installs dst's delivery handler. Every shard that has inbound
+// links must have a handler before Run.
+func (s *ShardSet) OnMessage(dst int, h ShardHandler) error {
+	if dst < 0 || dst >= len(s.kernels) {
+		return fmt.Errorf("sim: OnMessage shard %d out of range [0,%d)", dst, len(s.kernels))
+	}
+	s.handlers[dst] = h
+	return nil
+}
+
+// Connect declares the directed link src→dst with the given lookahead: a
+// promise that every message posted on the link is delivered at least
+// lookahead after the sender's clock at post time. Lookahead must be
+// positive — it is what guarantees grants strictly advance — and should be
+// the minimum model latency on the edge (for the IB fabric,
+// ib.Config.MinLinkLatency).
+func (s *ShardSet) Connect(src, dst int, lookahead Time) error {
+	n := len(s.kernels)
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return fmt.Errorf("sim: Connect(%d,%d) out of range [0,%d)", src, dst, n)
+	}
+	if src == dst {
+		return fmt.Errorf("sim: Connect(%d,%d): a shard does not link to itself", src, dst)
+	}
+	if lookahead <= 0 {
+		return fmt.Errorf("sim: Connect(%d,%d): lookahead must be positive, got %v", src, dst, lookahead)
+	}
+	if s.links[[2]int{src, dst}] != nil {
+		return fmt.Errorf("sim: Connect(%d,%d): link already declared", src, dst)
+	}
+	l := &shardLink{src: src, dst: dst, lookahead: lookahead}
+	s.links[[2]int{src, dst}] = l
+	s.out[src] = append(s.out[src], l)
+	s.in[dst] = append(s.in[dst], l)
+	return nil
+}
+
+// Post sends a message from src to dst for delivery at the absolute time
+// at. It must be called from src's kernel context (an event callback or
+// process body on shard src), and at must respect the link's lookahead:
+// at >= src's now + lookahead. Kind, arg, and payload travel opaquely to
+// dst's ShardHandler.
+func (s *ShardSet) Post(src, dst int, at Time, kind int, arg int64, payload any) error {
+	l := s.links[[2]int{src, dst}]
+	if l == nil {
+		return fmt.Errorf("sim: Post(%d,%d): no such link; declare it with Connect", src, dst)
+	}
+	now := s.kernels[src].Now()
+	if at < now+l.lookahead {
+		return fmt.Errorf("sim: Post(%d,%d) at %v violates lookahead %v from now %v",
+			src, dst, at, l.lookahead, now)
+	}
+	s.mu.Lock()
+	if l.seq >= maxLinkSeq {
+		s.mu.Unlock()
+		return fmt.Errorf("sim: Post(%d,%d): link sequence space exhausted", src, dst)
+	}
+	l.seq++
+	l.queue = append(l.queue, ShardMsg{
+		At: at, Src: src, Dst: dst, Seq: l.seq, Kind: kind, Arg: arg, Payload: payload,
+	})
+	s.stats[src].Sent++
+	if q := s.pendingLocked(dst); q > s.stats[dst].MaxQueued {
+		s.stats[dst].MaxQueued = q
+	}
+	s.wakeOneLocked(dst)
+	s.mu.Unlock()
+	if s.obs != nil {
+		s.obs.CrossShardSend(src, dst, at)
+	}
+	return nil
+}
+
+// pendingLocked counts queued inbound messages for shard i.
+func (s *ShardSet) pendingLocked(i int) int {
+	n := 0
+	for _, l := range s.in[i] {
+		n += len(l.queue)
+	}
+	return n
+}
+
+// wakeOneLocked hands shard i a token without blocking; a token already in
+// flight carries the same information.
+func (s *ShardSet) wakeOneLocked(i int) {
+	select {
+	case s.wake[i] <- struct{}{}:
+	default:
+	}
+}
+
+// wakeAllLocked wakes every shard but self after a publish that can move
+// any grant (promises propagate transitively, so neighbors are not enough).
+func (s *ShardSet) wakeAllLocked(self int) {
+	for i := range s.wake {
+		//lint:allow-guardedby caller holds mu — the Locked suffix is the contract
+		if i != self && !s.finished[i] {
+			s.wakeOneLocked(i)
+		}
+	}
+}
+
+// satAdd is saturating addition over Time: promises at maxTime stay there.
+func satAdd(a, b Time) Time {
+	if a >= maxTime-b {
+		return maxTime
+	}
+	return a + b
+}
+
+// promisesLocked computes the greatest fixpoint of
+//
+//	p[i] = min(next[i], min queued inbound At, min over in-links (p[src] + lookahead))
+//
+// iterated downward from the link-free bound. p[i] is a lower bound on any
+// event shard i could ever execute or message it could ever send from here
+// on; it is monotone non-decreasing over real time, which is what makes
+// grants monotone and the protocol barrier-free.
+func (s *ShardSet) promisesLocked() []Time {
+	//lint:allow-guardedby caller holds mu — the Locked suffix is the contract
+	p := s.promise
+	for i := range p {
+		//lint:allow-guardedby caller holds mu — the Locked suffix is the contract
+		p[i] = s.next[i]
+		for _, l := range s.in[i] {
+			for _, m := range l.queue {
+				if m.At < p[i] {
+					p[i] = m.At
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range p {
+			for _, l := range s.in[i] {
+				if v := satAdd(p[l.src], l.lookahead); v < p[i] {
+					p[i] = v
+					changed = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+// grantLocked computes shard i's grant: the time strictly below which no
+// further cross-shard input can arrive, i.e. min over in-links of the
+// source's promise plus the link lookahead. A shard with no inbound links
+// is granted maxTime immediately.
+func (s *ShardSet) grantLocked(i int) Time {
+	p := s.promisesLocked()
+	g := maxTime
+	for _, l := range s.in[i] {
+		if v := satAdd(p[l.src], l.lookahead); v < g {
+			g = v
+		}
+	}
+	return g
+}
+
+// drainLocked removes and returns every queued message for shard i with
+// At < grant. Messages at or beyond the grant stay queued for a later
+// window — RunBefore's exclusive bound guarantees no event at the grant
+// time has fired when they are finally delivered.
+func (s *ShardSet) drainLocked(i int, grant Time) []ShardMsg {
+	var msgs []ShardMsg
+	for _, l := range s.in[i] {
+		kept := l.queue[:0]
+		for _, m := range l.queue {
+			if m.At < grant {
+				msgs = append(msgs, m)
+			} else {
+				kept = append(kept, m)
+			}
+		}
+		l.queue = kept
+	}
+	return msgs
+}
+
+// inject delivers drained messages into shard i's kernel in deterministic
+// key order. The key (injectedSeqBit | src<<shardSeqShift | link seq) is a
+// total order: same link ⇒ distinct seq, different links into i ⇒ distinct
+// src. Sorting by (At, key) before injection keeps the run queue's
+// FIFO-equals-key-order invariant.
+func (s *ShardSet) inject(i int, msgs []ShardMsg) error {
+	sort.Slice(msgs, func(a, b int) bool {
+		if msgs[a].At != msgs[b].At {
+			return msgs[a].At < msgs[b].At
+		}
+		if msgs[a].Src != msgs[b].Src {
+			return msgs[a].Src < msgs[b].Src
+		}
+		return msgs[a].Seq < msgs[b].Seq
+	})
+	k := s.kernels[i]
+	h := s.handlers[i]
+	if h == nil {
+		return fmt.Errorf("sim: shard %d received a message but has no OnMessage handler", i)
+	}
+	for _, m := range msgs {
+		m := m
+		key := injectedSeqBit | uint64(m.Src)<<shardSeqShift | m.Seq
+		if err := k.injectAt(m.At, key, func() { h(k, m) }); err != nil {
+			return err
+		}
+		if s.obs != nil {
+			s.obs.CrossShardRecv(i, m.Src, m.At)
+		}
+	}
+	s.stats[i].Received += uint64(len(msgs))
+	return nil
+}
+
+// publishLocked records shard i's new clock and promise input and wakes
+// peers whose grants may have moved.
+func (s *ShardSet) publishLocked(i int, clock Time) {
+	//lint:allow-guardedby caller holds mu — the Locked suffix is the contract
+	s.clock[i] = clock
+	if t, ok := s.kernels[i].NextEventTime(); ok {
+		//lint:allow-guardedby caller holds mu — the Locked suffix is the contract
+		s.next[i] = t
+	} else {
+		//lint:allow-guardedby caller holds mu — the Locked suffix is the contract
+		s.next[i] = maxTime
+	}
+	s.wakeAllLocked(i)
+}
+
+// step performs one scheduling round for shard i: compute the grant, drain
+// deliverable messages, execute the window, publish. It reports whether the
+// shard made progress and whether it is finished. No progress and not
+// finished means the caller should wait for a peer publish.
+func (s *ShardSet) step(i int) (progressed, done bool, err error) {
+	s.mu.Lock()
+	if s.aborted {
+		s.mu.Unlock()
+		return false, true, nil
+	}
+	grant := s.grantLocked(i)
+	msgs := s.drainLocked(i, grant)
+	if len(msgs) == 0 {
+		if _, ok := s.kernels[i].NextEventTime(); !ok && grant == maxTime {
+			// Granted forever, nothing queued, nothing pending: this shard
+			// is done. Publish maxTime so peers' grants saturate too.
+			s.finished[i] = true
+			s.clock[i] = maxTime
+			s.next[i] = maxTime
+			s.wakeAllLocked(i)
+			s.mu.Unlock()
+			return false, true, nil
+		}
+		if grant <= s.clock[i] {
+			s.mu.Unlock()
+			return false, false, nil
+		}
+	}
+	s.mu.Unlock()
+
+	if err := s.inject(i, msgs); err != nil {
+		return false, true, err
+	}
+	if err := s.kernels[i].RunBefore(grant); err != nil {
+		return false, true, err
+	}
+
+	s.mu.Lock()
+	s.publishLocked(i, grant)
+	s.mu.Unlock()
+	s.stats[i].Windows++
+	if s.obs != nil {
+		// A saturated grant (the final, unbounded window) is reported at the
+		// clock of the last fired event so exported timestamps stay finite.
+		to := grant
+		if to == maxTime {
+			to = s.kernels[i].Now()
+		}
+		s.obs.ShardAdvance(i, to, s.kernels[i].EventsProcessed())
+	}
+	return true, false, nil
+}
+
+// initLocked publishes every shard's initial promise input before any shard
+// starts executing.
+func (s *ShardSet) initRun() error {
+	if s.started {
+		return fmt.Errorf("sim: ShardSet ran already; build a fresh one per run")
+	}
+	s.started = true
+	s.mu.Lock()
+	for i, k := range s.kernels {
+		if t, ok := k.NextEventTime(); ok {
+			s.next[i] = t
+		} else {
+			s.next[i] = maxTime
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// fail records err for shard i, aborts every shard, and wakes all waiters.
+func (s *ShardSet) fail(i int, err error) {
+	s.mu.Lock()
+	if s.errs[i] == nil {
+		s.errs[i] = err
+	}
+	s.aborted = true
+	s.wakeAllLocked(-1)
+	s.mu.Unlock()
+}
+
+// Run executes the sharded simulation to completion: every shard's events
+// fire, in parallel across real cores, until all queues drain and no
+// message is in flight. It returns the first error in shard order — a
+// process panic, a Fail call, or a cross-shard deadlock diagnostic listing
+// every parked process on every shard. With one shard it is exactly
+// Kernel.Run.
+func (s *ShardSet) Run() error {
+	if len(s.kernels) == 1 {
+		if err := s.initRun(); err != nil {
+			return err
+		}
+		return s.kernels[0].Run()
+	}
+	if err := s.initRun(); err != nil {
+		return err
+	}
+	// shared: mutex joins the shard goroutines before Run returns
+	var wg sync.WaitGroup
+	for i := range s.kernels {
+		wg.Add(1)
+		// shared: channel each shard goroutine coordinates via the monitor and its wake channel
+		go func(i int) {
+			defer wg.Done()
+			s.runShard(i)
+		}(i)
+	}
+	wg.Wait()
+	return s.finish()
+}
+
+// runShard is one shard's scheduling loop: step until done, waiting on the
+// wake channel when no progress is possible.
+func (s *ShardSet) runShard(i int) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.fail(i, fmt.Errorf("sim: shard %d panicked: %v", i, p))
+		}
+	}()
+	for {
+		progressed, done, err := s.step(i)
+		if err != nil {
+			s.fail(i, err)
+			return
+		}
+		if done {
+			return
+		}
+		if !progressed {
+			s.stats[i].Stalls++
+			if s.obs != nil {
+				s.obs.ShardStall(i, s.kernels[i].Now())
+			}
+			<-s.wake[i]
+		}
+	}
+}
+
+// RunSequential executes the same protocol as Run on the calling goroutine,
+// stepping shards round-robin in index order. It exists for the engine's
+// own determinism tests: parallel and sequential execution must produce
+// byte-identical model traces, and sequential execution additionally makes
+// the engine diagnostics themselves deterministic.
+func (s *ShardSet) RunSequential() error {
+	if len(s.kernels) == 1 {
+		if err := s.initRun(); err != nil {
+			return err
+		}
+		return s.kernels[0].Run()
+	}
+	if err := s.initRun(); err != nil {
+		return err
+	}
+	done := make([]bool, len(s.kernels))
+	remaining := len(s.kernels)
+	for remaining > 0 {
+		progressedAny := false
+		for i := range s.kernels {
+			if done[i] {
+				continue
+			}
+			progressed, fin, err := s.step(i)
+			if err != nil {
+				s.fail(i, err)
+				return s.finish()
+			}
+			if fin {
+				done[i] = true
+				remaining--
+			}
+			if progressed {
+				progressedAny = true
+			}
+		}
+		if !progressedAny && remaining > 0 {
+			// The progress lemma says the shard owning the globally earliest
+			// event can always advance; all stuck and not done is an engine
+			// invariant violation, not a model deadlock.
+			s.fail(0, fmt.Errorf("sim: sharded engine stalled with %d shard(s) unfinished", remaining))
+			return s.finish()
+		}
+	}
+	return s.finish()
+}
+
+// finish aggregates per-shard outcomes after all shards stop: abort errors
+// first (in shard order), then a cross-shard deadlock diagnostic if any
+// processes remain parked. Kernels with live processes are shut down so
+// their goroutines exit.
+func (s *ShardSet) finish() error {
+	s.mu.Lock()
+	var first error
+	for _, err := range s.errs {
+		if err != nil {
+			first = err
+			break
+		}
+	}
+	s.mu.Unlock()
+	var stuck []string
+	live := 0
+	for i, k := range s.kernels {
+		if k.LiveProcs() > 0 {
+			live += k.LiveProcs()
+			stuck = append(stuck, fmt.Sprintf("shard %d: %v", i, k.deadlockError()))
+			k.Shutdown()
+		}
+	}
+	if first != nil {
+		return first
+	}
+	if live > 0 {
+		return fmt.Errorf("sim: cross-shard deadlock with %d live process(es):\n%s",
+			live, strings.Join(stuck, "\n"))
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gbcr/internal/sim"
+)
+
+// shardWorkload builds a compute-heavy ring: nodes, one per shard slot,
+// exchange a token around the ring, and each visit burns a cascade of local
+// events before forwarding. Local work dominates cross-shard traffic by
+// construction (work events per visit >> 1 message), which is the regime
+// where conservative-lookahead sharding pays: each shard's window holds a
+// full compute cascade.
+func shardWorkload(b *testing.B, shards, nodes, hops, work int) *sim.ShardSet {
+	b.Helper()
+	s, err := sim.NewShardSet(shards, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const latency = 10 * sim.Microsecond
+	shardOf := func(node int) int { return node % shards }
+	declared := map[[2]int]bool{}
+	for n := 0; n < nodes; n++ {
+		a, z := shardOf(n), shardOf((n+1)%nodes)
+		if a != z && !declared[[2]int{a, z}] {
+			declared[[2]int{a, z}] = true
+			if err := s.Connect(a, z, latency); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// visit burns `work` chained events at the node, then forwards.
+	var visit func(k *sim.Kernel, node, hops int)
+	visit = func(k *sim.Kernel, node, hops int) {
+		step := 0
+		var burn func()
+		burn = func() {
+			if step < work {
+				step++
+				k.After(sim.Microsecond, burn)
+				return
+			}
+			if hops == 0 {
+				return
+			}
+			next := (node + 1) % nodes
+			at := k.Now() + latency
+			if shardOf(next) == shardOf(node) {
+				k.At(at, func() { visit(k, next, hops-1) })
+				return
+			}
+			if err := s.Post(shardOf(node), shardOf(next), at, next, int64(hops-1), nil); err != nil {
+				k.Fail(err)
+			}
+		}
+		burn()
+	}
+	for i := 0; i < shards; i++ {
+		if err := s.OnMessage(i, func(k *sim.Kernel, m sim.ShardMsg) {
+			visit(k, m.Kind, int(m.Arg))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// One token per node keeps every shard busy the whole run.
+	for n := 0; n < nodes; n++ {
+		n := n
+		k := s.Kernel(shardOf(n))
+		k.At(sim.Time(n)*sim.Microsecond, func() { visit(k, n, hops) })
+	}
+	return s
+}
+
+// BenchmarkShardEngine measures the sharded engine end to end at several
+// shard counts on an identical total workload. On a single-core host the
+// S>1 cells report the engine's coordination overhead; on a multi-core host
+// they report the speedup. cmd/benchjson derives speedup-vs-serial from the
+// S=1 sibling and records GOMAXPROCS and CPU count alongside.
+func BenchmarkShardEngine(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("S=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := shardWorkload(b, shards, 8, 40, 200)
+				b.StartTimer()
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,343 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gbcr/internal/ib"
+	"gbcr/internal/sim"
+)
+
+// ringParams parameterizes the token-ring model used by the engine tests:
+// tokens circulate a ring of nodes, each visit computes for a deterministic
+// chunk and forwards with a fixed link latency. A token's trajectory is a
+// pure function of (token, start node, hop budget) and the timing
+// parameters, so its visit log must be identical at every shard count —
+// that is the engine's determinism contract at model level.
+type ringParams struct {
+	nodes   int
+	tokens  int
+	hops    int
+	latency sim.Time
+}
+
+// ring distributes nodes round-robin over the ShardSet's shards and records
+// one visit log per token. Logs are appended from the owning node's shard
+// only; a token is in exactly one place at a time, so its log needs no
+// synchronization beyond the engine's ordering guarantees.
+type ring struct {
+	p    ringParams
+	s    *sim.ShardSet
+	logs [][]string
+}
+
+func (r *ring) shardOf(node int) int { return node % r.s.Shards() }
+
+// chunk is the deterministic compute time token tok spends at node on the
+// visit with the given remaining hop budget.
+func (r *ring) chunk(tok, node, hops int) sim.Time {
+	return sim.Time((tok*31+node*37+hops*11)%23+1) * sim.Microsecond
+}
+
+// visit runs in node's kernel context at the token's arrival time.
+func (r *ring) visit(k *sim.Kernel, tok, node, hops int) {
+	r.logs[tok] = append(r.logs[tok], fmt.Sprintf("tok%d node%d hops%d at%v", tok, node, hops, k.Now()))
+	if hops == 0 {
+		return
+	}
+	next := (node + 1) % r.p.nodes
+	delay := r.chunk(tok, node, hops) + r.p.latency
+	at := k.Now() + delay
+	if r.shardOf(next) == r.shardOf(node) {
+		k.At(at, func() { r.visit(k, tok, next, hops-1) })
+		return
+	}
+	if err := r.s.Post(r.shardOf(node), r.shardOf(next), at, tok, int64(next)<<32|int64(hops-1), nil); err != nil {
+		k.Fail(err)
+	}
+}
+
+// buildRing assembles the model on a fresh ShardSet.
+func buildRing(t testing.TB, shards int, p ringParams) *ring {
+	t.Helper()
+	s, err := sim.NewShardSet(shards, 42)
+	if err != nil {
+		t.Fatalf("NewShardSet: %v", err)
+	}
+	r := &ring{p: p, s: s, logs: make([][]string, p.tokens)}
+	// Fully connect adjacent-in-ring shard pairs: node n forwards to n+1,
+	// so shard a sends to shard b whenever some node on a precedes a node
+	// on b in the ring.
+	declared := map[[2]int]bool{}
+	for n := 0; n < p.nodes; n++ {
+		a, b := r.shardOf(n), r.shardOf((n+1)%p.nodes)
+		if a != b && !declared[[2]int{a, b}] {
+			declared[[2]int{a, b}] = true
+			if err := s.Connect(a, b, p.latency); err != nil {
+				t.Fatalf("Connect(%d,%d): %v", a, b, err)
+			}
+		}
+	}
+	for i := 0; i < shards; i++ {
+		i := i
+		if err := s.OnMessage(i, func(k *sim.Kernel, m sim.ShardMsg) {
+			r.visit(k, m.Kind, int(m.Arg>>32), int(m.Arg&0xffffffff))
+		}); err != nil {
+			t.Fatalf("OnMessage(%d): %v", i, err)
+		}
+	}
+	for tok := 0; tok < p.tokens; tok++ {
+		tok := tok
+		start := tok % p.nodes
+		k := s.Kernel(r.shardOf(start))
+		// Stagger starts so tokens do not all launch at t=0.
+		k.At(sim.Time(tok+1)*sim.Microsecond, func() { r.visit(k, tok, start, p.hops) })
+	}
+	return r
+}
+
+func runRing(t testing.TB, shards int, p ringParams, sequential bool) *ring {
+	t.Helper()
+	r := buildRing(t, shards, p)
+	var err error
+	if sequential {
+		err = r.s.RunSequential()
+	} else {
+		err = r.s.Run()
+	}
+	if err != nil {
+		t.Fatalf("run S=%d: %v", shards, err)
+	}
+	return r
+}
+
+var ringCase = ringParams{nodes: 12, tokens: 5, hops: 40, latency: 5 * sim.Microsecond}
+
+// TestShardRingEquivalence is the engine-level determinism contract: every
+// token's visit log is identical at any shard count, parallel or not.
+func TestShardRingEquivalence(t *testing.T) {
+	want := runRing(t, 1, ringCase, false).logs
+	for _, shards := range []int{2, 3, 4, 8} {
+		got := runRing(t, shards, ringCase, false)
+		if !reflect.DeepEqual(got.logs, want) {
+			t.Fatalf("S=%d token logs differ from serial:\nserial: %v\nS=%d:   %v",
+				shards, want, shards, got.logs)
+		}
+		stats := got.s.Stats()
+		var sent, recv uint64
+		for _, st := range stats {
+			sent += st.Sent
+			recv += st.Received
+		}
+		if sent != recv {
+			t.Fatalf("S=%d: %d messages sent but %d received", shards, sent, recv)
+		}
+		if sent == 0 {
+			t.Fatalf("S=%d: ring crossed no shard boundary; the test is vacuous", shards)
+		}
+	}
+}
+
+// TestShardSequentialMatchesParallel pins the two execution modes of the
+// same protocol to each other (and transitively to the serial kernel).
+func TestShardSequentialMatchesParallel(t *testing.T) {
+	seq := runRing(t, 4, ringCase, true)
+	par := runRing(t, 4, ringCase, false)
+	if !reflect.DeepEqual(seq.logs, par.logs) {
+		t.Fatalf("sequential and parallel token logs differ:\nseq: %v\npar: %v", seq.logs, par.logs)
+	}
+}
+
+// TestShardRandomizedEquivalence is the quick-check sweep: random ring
+// shapes and timing parameters, each compared against its own serial run.
+func TestShardRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		p := ringParams{
+			nodes:   2 + rng.Intn(14),
+			tokens:  1 + rng.Intn(6),
+			hops:    5 + rng.Intn(60),
+			latency: sim.Time(1+rng.Intn(20)) * sim.Microsecond,
+		}
+		shards := 2 + rng.Intn(6)
+		want := runRing(t, 1, p, false).logs
+		got := runRing(t, shards, p, false).logs
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (%+v, S=%d): token logs differ from serial", trial, p, shards)
+		}
+	}
+}
+
+// TestShardConnectValidation covers the topology error paths.
+func TestShardConnectValidation(t *testing.T) {
+	if _, err := sim.NewShardSet(0, 1); err == nil {
+		t.Fatal("NewShardSet(0) succeeded")
+	}
+	s, err := sim.NewShardSet(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(0, 0, sim.Microsecond); err == nil {
+		t.Fatal("self-link accepted")
+	}
+	if err := s.Connect(0, 3, sim.Microsecond); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	if err := s.Connect(0, 1, 0); err == nil {
+		t.Fatal("zero lookahead accepted")
+	}
+	if err := s.Connect(0, 1, sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(0, 1, sim.Microsecond); err == nil {
+		t.Fatal("duplicate link accepted")
+	}
+	if err := s.Post(1, 0, sim.Second, 0, 0, nil); err == nil {
+		t.Fatal("Post on undeclared link accepted")
+	}
+	if err := s.Post(0, 1, 0, 0, 0, nil); err == nil {
+		t.Fatal("Post below lookahead accepted")
+	}
+	if err := s.OnMessage(3, nil); err == nil {
+		t.Fatal("OnMessage out of range accepted")
+	}
+}
+
+// TestShardMissingHandler: receiving without OnMessage is an engine error,
+// not a hang.
+func TestShardMissingHandler(t *testing.T) {
+	s, err := sim.NewShardSet(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(0, 1, sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	k := s.Kernel(0)
+	k.At(0, func() {
+		if err := s.Post(0, 1, 2*sim.Microsecond, 0, 0, nil); err != nil {
+			k.Fail(err)
+		}
+	})
+	if err := s.Run(); err == nil || !strings.Contains(err.Error(), "no OnMessage handler") {
+		t.Fatalf("want missing-handler error, got %v", err)
+	}
+}
+
+// TestShardCrossShardDeadlock: a process parked forever on one shard while
+// every queue drains is reported as a cross-shard deadlock naming the shard.
+func TestShardCrossShardDeadlock(t *testing.T) {
+	s, err := sim.NewShardSet(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(0, 1, sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OnMessage(1, func(*sim.Kernel, sim.ShardMsg) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Kernel(1).Spawn("waiter", func(p *sim.Proc) {
+		p.Park("awaiting a message that never comes")
+	})
+	err = s.Run()
+	if err == nil || !strings.Contains(err.Error(), "cross-shard deadlock") {
+		t.Fatalf("want cross-shard deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("deadlock diagnostic does not name shard 1: %v", err)
+	}
+}
+
+// TestShardFailurePropagation: a model failure on one shard aborts the
+// whole run and surfaces the original error.
+func TestShardFailurePropagation(t *testing.T) {
+	r := buildRing(t, 4, ringCase)
+	s := r.s
+	s.Kernel(2).At(30*sim.Microsecond, func() {
+		s.Kernel(2).Fail(fmt.Errorf("synthetic model failure"))
+	})
+	err := s.Run()
+	if err == nil || !strings.Contains(err.Error(), "synthetic model failure") {
+		t.Fatalf("want synthetic failure, got %v", err)
+	}
+}
+
+// TestShardRunTwice: a ShardSet is single-use.
+func TestShardRunTwice(t *testing.T) {
+	s, err := sim.NewShardSet(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err == nil {
+		t.Fatal("second Run succeeded")
+	}
+}
+
+// countingObserver tallies engine diagnostics per shard.
+type countingObserver struct {
+	advances, stalls, sends, recvs []int
+}
+
+func (o *countingObserver) ShardAdvance(s int, _ sim.Time, _ uint64) { o.advances[s]++ }
+func (o *countingObserver) ShardStall(s int, _ sim.Time)             { o.stalls[s]++ }
+func (o *countingObserver) CrossShardSend(s, _ int, _ sim.Time)      { o.sends[s]++ }
+func (o *countingObserver) CrossShardRecv(s, _ int, _ sim.Time)      { o.recvs[s]++ }
+
+// TestShardObserver: diagnostics agree with the engine's own stats.
+func TestShardObserver(t *testing.T) {
+	r := buildRing(t, 3, ringCase)
+	o := &countingObserver{
+		advances: make([]int, 3), stalls: make([]int, 3),
+		sends: make([]int, 3), recvs: make([]int, 3),
+	}
+	r.s.SetObserver(o)
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range r.s.Stats() {
+		if uint64(o.sends[i]) != st.Sent {
+			t.Errorf("shard %d: observer saw %d sends, stats say %d", i, o.sends[i], st.Sent)
+		}
+		if uint64(o.recvs[i]) != st.Received {
+			t.Errorf("shard %d: observer saw %d recvs, stats say %d", i, o.recvs[i], st.Received)
+		}
+		if uint64(o.advances[i]) != st.Windows {
+			t.Errorf("shard %d: observer saw %d advances, stats say %d", i, o.advances[i], st.Windows)
+		}
+	}
+}
+
+// TestShardLookaheadFromFabric pins the intended wiring: the IB fabric's
+// minimum link latency is a valid (positive) lookahead for the paper
+// configuration, and the floor of the in-band and out-of-band channels.
+func TestShardLookaheadFromFabric(t *testing.T) {
+	cfg := ib.PaperConfig()
+	la := cfg.MinLinkLatency()
+	if la <= 0 {
+		t.Fatalf("paper fabric lookahead must be positive, got %v", la)
+	}
+	if la != cfg.Latency {
+		t.Fatalf("paper fabric lookahead: want in-band latency %v, got %v", cfg.Latency, la)
+	}
+	cfg.Latency = 300 * sim.Microsecond
+	if got := cfg.MinLinkLatency(); got != cfg.OOBLatency {
+		t.Fatalf("OOB channel should set the floor: want %v, got %v", cfg.OOBLatency, got)
+	}
+	if got := (ib.Config{}).MinLinkLatency(); got != 0 {
+		t.Fatalf("unconfigured fabric lookahead: want 0, got %v", got)
+	}
+	s, err := sim.NewShardSet(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(0, 1, la); err != nil {
+		t.Fatalf("fabric lookahead rejected by Connect: %v", err)
+	}
+}

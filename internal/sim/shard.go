@@ -39,6 +39,12 @@ const shardSeqShift = 48
 // injectedSeqBit and shardSeqShift.
 const maxShards = 1 << 15
 
+// Compile-time guard tying maxShards to the key layout: the source-shard
+// field of an injected key must never reach injectedSeqBit. If maxShards
+// grows past the bits available above shardSeqShift, this unsigned constant
+// underflows and the package stops compiling.
+const _ = (injectedSeqBit - 1) - uint64(maxShards-1)<<shardSeqShift
+
 // maxLinkSeq bounds per-link message counts so link sequences cannot
 // overflow into the source-shard bits of the injected key.
 const maxLinkSeq = uint64(1)<<shardSeqShift - 1
@@ -443,6 +449,20 @@ func (s *ShardSet) step(i int) (progressed, done bool, err error) {
 			return false, false, nil
 		}
 	}
+	// LBTS soundness: the drained batch is about to leave the link queues,
+	// and mu is released for the whole inject+RunBefore window. During that
+	// gap the messages would be invisible to promisesLocked — not queued,
+	// and not reflected in the stale next[i] — letting a peer's fixpoint
+	// overestimate this shard's lower bound and grant times the in-flight
+	// deliveries can still send below. Fold the batch's minimum At into the
+	// published promise input before unlocking; publishLocked restores the
+	// true next after the window. Queued messages already bounded the
+	// promise at exactly these At values, so this keeps promises monotone.
+	for _, m := range msgs {
+		if m.At < s.next[i] {
+			s.next[i] = m.At
+		}
+	}
 	s.mu.Unlock()
 
 	if err := s.inject(i, msgs); err != nil {
@@ -615,6 +635,18 @@ func (s *ShardSet) finish() error {
 			break
 		}
 	}
+	// Every shard reported finished, so every link queue must be empty: a
+	// stranded message means the engine granted past an arrival and silently
+	// dropped a delivery. Surface it rather than report a clean run.
+	var stranded []string
+	for i := range s.in {
+		for _, l := range s.in[i] {
+			for _, m := range l.queue {
+				stranded = append(stranded,
+					fmt.Sprintf("link %d->%d: message seq %d undelivered at t=%v", l.src, l.dst, m.Seq, m.At))
+			}
+		}
+	}
 	s.mu.Unlock()
 	var stuck []string
 	live := 0
@@ -631,6 +663,10 @@ func (s *ShardSet) finish() error {
 	if live > 0 {
 		return fmt.Errorf("sim: cross-shard deadlock with %d live process(es):\n%s",
 			live, strings.Join(stuck, "\n"))
+	}
+	if len(stranded) > 0 {
+		return fmt.Errorf("sim: engine invariant violation: %d message(s) stranded after all shards finished:\n%s",
+			len(stranded), strings.Join(stranded, "\n"))
 	}
 	return nil
 }

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFinishReportsStrandedMessages pins the engine-invariant diagnostic:
+// a message still sitting in a link queue after every shard stops must
+// surface as an error, not vanish as a silently dropped delivery.
+func TestFinishReportsStrandedMessages(t *testing.T) {
+	s, err := NewShardSet(2, 1)
+	if err != nil {
+		t.Fatalf("NewShardSet: %v", err)
+	}
+	if err := s.Connect(0, 1, Microsecond); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if err := s.Post(0, 1, 5*Microsecond, 0, 0, nil); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	err = s.finish()
+	if err == nil {
+		t.Fatal("finish() reported a clean run with a message stranded in a link queue")
+	}
+	for _, want := range []string{"stranded", "link 0->1", "seq 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("stranded diagnostic %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestShardKeyLayout ties the runtime constants to the compile-time guard:
+// the widest possible source-shard field must stay clear of injectedSeqBit
+// and of the per-link sequence bits.
+func TestShardKeyLayout(t *testing.T) {
+	shardBits := uint64(maxShards-1) << shardSeqShift
+	if shardBits&injectedSeqBit != 0 {
+		t.Fatalf("source-shard field %#x collides with injectedSeqBit %#x", shardBits, injectedSeqBit)
+	}
+	if shardBits&maxLinkSeq != 0 {
+		t.Fatalf("source-shard field %#x collides with link sequence space %#x", shardBits, maxLinkSeq)
+	}
+}

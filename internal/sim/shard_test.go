@@ -171,6 +171,27 @@ func TestShardRandomizedEquivalence(t *testing.T) {
 	}
 }
 
+// TestShardParallelStress re-runs the parallel engine on a tight-lookahead
+// ring many times. Minimal lookahead keeps windows short and cross-shard
+// traffic dense, maximizing pressure on the inject+RunBefore gap where a
+// drained-but-undelivered batch must stay visible to peer promise
+// computations; combined with -race in CI this is the regression net for
+// LBTS soundness races that only manifest under real interleaving.
+func TestShardParallelStress(t *testing.T) {
+	p := ringParams{nodes: 9, tokens: 6, hops: 30, latency: sim.Microsecond}
+	want := runRing(t, 1, p, false).logs
+	iters := 40
+	if testing.Short() {
+		iters = 5
+	}
+	for iter := 0; iter < iters; iter++ {
+		got := runRing(t, 4, p, false).logs
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: parallel token logs diverged from serial", iter)
+		}
+	}
+}
+
 // TestShardConnectValidation covers the topology error paths.
 func TestShardConnectValidation(t *testing.T) {
 	if _, err := sim.NewShardSet(0, 1); err == nil {
